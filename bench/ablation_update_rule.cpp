@@ -1,0 +1,58 @@
+// Ablation — design choices DESIGN.md calls out:
+//   1. Algorithm 1 update rule: simultaneous (released implementations)
+//      vs paper-literal sequential;
+//   2. sigmoid evaluation: 1024-knot LUT vs exact expf.
+// Both are measured for wall time and link-prediction AUCROC.
+//
+//   bench_ablation_update_rule [--medium-scale N] [--dim D] [--epochs E]
+#include "bench_common.hpp"
+
+#include "gosh/common/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gosh;
+  const unsigned scale =
+      static_cast<unsigned>(bench::flag_value(argc, argv, "--medium-scale", 12));
+  const unsigned dim =
+      static_cast<unsigned>(bench::flag_value(argc, argv, "--dim", 32));
+  const unsigned epochs =
+      static_cast<unsigned>(bench::flag_value(argc, argv, "--epochs", 250));
+
+  bench::print_banner("Ablation: update rule and sigmoid evaluation");
+  const auto spec = graph::find_dataset("com-lj", scale, scale + 3);
+  const graph::Graph g = graph::generate_dataset(spec);
+  const auto split = graph::split_for_link_prediction(g, {.seed = 1});
+  std::printf("com-lj analog: |V|=%u |E|=%llu, dim=%u, %u epochs\n\n",
+              split.train.num_vertices(),
+              static_cast<unsigned long long>(
+                  split.train.num_edges_undirected()),
+              dim, epochs);
+
+  struct Variant {
+    const char* label;
+    embedding::UpdateRule rule;
+    bool lut;
+  };
+  const Variant variants[] = {
+      {"simultaneous + LUT", embedding::UpdateRule::kSimultaneous, true},
+      {"simultaneous + exact", embedding::UpdateRule::kSimultaneous, false},
+      {"paper-seq + LUT", embedding::UpdateRule::kPaperSequential, true},
+      {"paper-seq + exact", embedding::UpdateRule::kPaperSequential, false},
+  };
+
+  std::printf("%-24s %10s %10s\n", "variant", "time(s)", "AUCROC");
+  for (const Variant& variant : variants) {
+    embedding::GoshConfig config = embedding::gosh_normal();
+    config.train.dim = dim;
+    config.train.update_rule = variant.rule;
+    config.train.use_sigmoid_lut = variant.lut;
+    config.total_epochs = epochs;
+    const auto run = bench::measure_gosh(split, config, 512u << 20);
+    std::printf("%-24s %10.2f %9.2f%%\n", variant.label, run.seconds,
+                100.0 * run.auc_roc);
+  }
+  std::printf("\n(the shape to check: all four variants land in the same\n"
+              " AUCROC band — the rule difference is second-order — while\n"
+              " the LUT shaves sigmoid cost)\n");
+  return 0;
+}

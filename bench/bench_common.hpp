@@ -1,0 +1,97 @@
+// Shared helpers for the table/figure harnesses: a minimal flag parser,
+// device construction, and the link-prediction measurement loop reused by
+// Tables 6/7 and Figure 3.
+//
+// Scale policy (see DESIGN.md / EXPERIMENTS.md): every harness defaults to
+// sizes a 2-core machine finishes in minutes; --medium-scale / --large-scale
+// raise the synthetic analog sizes toward the paper's.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gosh/embedding/gosh.hpp"
+#include "gosh/eval/pipeline.hpp"
+#include "gosh/graph/datasets.hpp"
+#include "gosh/graph/split.hpp"
+
+namespace gosh::bench {
+
+/// "--name value" CLI lookup with a default.
+inline long flag_value(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// Comma-separated dataset selection; empty = all in `fallback`.
+inline std::vector<std::string> flag_list(int argc, char** argv,
+                                          const char* name,
+                                          std::vector<std::string> fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) != 0) continue;
+    std::vector<std::string> values;
+    std::string raw = argv[i + 1];
+    std::size_t begin = 0;
+    while (begin <= raw.size()) {
+      const std::size_t comma = raw.find(',', begin);
+      const std::size_t end = comma == std::string::npos ? raw.size() : comma;
+      if (end > begin) values.push_back(raw.substr(begin, end - begin));
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+    return values;
+  }
+  return fallback;
+}
+
+inline simt::DeviceConfig device_config(std::size_t bytes) {
+  simt::DeviceConfig config;
+  config.memory_bytes = bytes;
+  return config;
+}
+
+struct MeasuredRun {
+  double seconds = 0.0;
+  double auc_roc = 0.0;
+};
+
+/// Embeds split.train with `config` on a fresh device of `device_bytes`
+/// and evaluates link prediction — one Table 6/7 cell.
+inline MeasuredRun measure_gosh(const graph::LinkPredictionSplit& split,
+                                embedding::GoshConfig config,
+                                std::size_t device_bytes) {
+  simt::Device device(device_config(device_bytes));
+  const auto result = embedding::gosh_embed(split.train, device, config);
+  eval::LinkPredictionOptions eval_options;
+  // Large feature sets use the SGD solver, as the paper does.
+  if (split.train.num_edges_undirected() > 200000) {
+    eval_options.logreg.solver = eval::LogRegConfig::Solver::kSgd;
+    eval_options.logreg.max_iterations = 10;
+  }
+  const auto report =
+      eval::evaluate_link_prediction(result.embedding, split, eval_options);
+  return {result.total_seconds, report.auc_roc};
+}
+
+/// Header banner shared by the table harnesses.
+inline void print_banner(const char* title) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(synthetic analogs; shapes comparable to the paper, absolute\n");
+  std::printf(" numbers are not — see EXPERIMENTS.md)\n");
+  std::printf("==========================================================\n");
+}
+
+}  // namespace gosh::bench

@@ -1,0 +1,111 @@
+// Figure 4 — speedup breakdown over the multi-core CPU baseline:
+//   CPU (tau threads)            : VERSE-CPU, adjacency similarity
+//   Naive GPU                    : device trainer, no staging, no coarsening
+//   Optimized GPU                : device trainer, staging, no coarsening
+//   + Sequential Coarsening      : full GOSH, tau=1 coarsening
+//   + Parallel Coarsening (GOSH) : full GOSH, parallel coarsening
+//
+//   bench_fig4_breakdown [--medium-scale N] [--dim D] [--epochs E]
+//                        [--datasets a,b,...]
+#include "bench_common.hpp"
+
+#include <thread>
+
+#include "gosh/baselines/verse_cpu.hpp"
+#include "gosh/common/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gosh;
+  const unsigned scale =
+      static_cast<unsigned>(bench::flag_value(argc, argv, "--medium-scale", 13));
+  const unsigned dim =
+      static_cast<unsigned>(bench::flag_value(argc, argv, "--dim", 32));
+  const unsigned epochs =
+      static_cast<unsigned>(bench::flag_value(argc, argv, "--epochs", 200));
+  const auto names = bench::flag_list(
+      argc, argv, "--datasets",
+      {"com-dblp", "youtube", "soc-LiveJournal"});
+  const std::size_t device_bytes = std::size_t{512} << 20;
+
+  bench::print_banner("Figure 4: speedup breakdown vs multi-core CPU");
+  std::printf("dim=%u, %u epochs, tau=%u\n\n", dim, epochs,
+              std::thread::hardware_concurrency());
+
+  for (const auto& name : names) {
+    const auto spec = graph::find_dataset(name, scale, scale + 3);
+    const graph::Graph g = graph::generate_dataset(spec);
+    std::printf("%s analog: |V|=%u |E|=%llu\n", name.c_str(),
+                g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges_undirected()));
+
+    // CPU reference.
+    double cpu_seconds;
+    {
+      baselines::VerseConfig config;
+      config.dim = dim;
+      config.epochs = epochs;
+      config.similarity = baselines::VerseConfig::Similarity::kAdjacency;
+      WallTimer timer;
+      baselines::verse_cpu_embed(g, config);
+      cpu_seconds = timer.seconds();
+    }
+
+    auto gosh_variant = [&](bool coarsen, bool naive, unsigned coarsen_threads,
+                            simt::MetricsSnapshot* metrics,
+                            double* coarsen_seconds) {
+      simt::Device device(bench::device_config(device_bytes));
+      embedding::GoshConfig config =
+          coarsen ? embedding::gosh_normal() : embedding::gosh_no_coarsening();
+      config.train.dim = dim;
+      config.train.naive_kernel = naive;
+      config.total_epochs = epochs;
+      config.coarsening.threads = coarsen_threads;
+      WallTimer timer;
+      const auto result = embedding::gosh_embed(g, device, config);
+      if (metrics != nullptr) *metrics = device.metrics().snapshot();
+      if (coarsen_seconds != nullptr) {
+        *coarsen_seconds = result.coarsening_seconds;
+      }
+      return timer.seconds();
+    };
+
+    simt::MetricsSnapshot naive_metrics, optimized_metrics;
+    double seq_coarsen_s = 0.0, par_coarsen_s = 0.0;
+    const double naive_gpu =
+        gosh_variant(false, true, 1, &naive_metrics, nullptr);
+    const double optimized_gpu =
+        gosh_variant(false, false, 1, &optimized_metrics, nullptr);
+    const double seq_coarse =
+        gosh_variant(true, false, 1, nullptr, &seq_coarsen_s);
+    const double par_coarse =
+        gosh_variant(true, false, std::thread::hardware_concurrency(),
+                     nullptr, &par_coarsen_s);
+
+    std::printf("  %-30s %10s %9s\n", "version", "time(s)", "speedup");
+    std::printf("  %-30s %10.2f %8.2fx\n", "CPU (multi-core)", cpu_seconds,
+                1.0);
+    std::printf("  %-30s %10.2f %8.2fx\n", "Naive GPU", naive_gpu,
+                cpu_seconds / naive_gpu);
+    std::printf("  %-30s %10.2f %8.2fx\n", "Optimized GPU", optimized_gpu,
+                cpu_seconds / optimized_gpu);
+    std::printf("  %-30s %10.2f %8.2fx   (coarsening %.3f s)\n",
+                "+ Sequential Coarsening", seq_coarse,
+                cpu_seconds / seq_coarse, seq_coarsen_s);
+    std::printf("  %-30s %10.2f %8.2fx   (coarsening %.3f s)\n",
+                "+ Parallel Coarsening (GOSH)", par_coarse,
+                cpu_seconds / par_coarse, par_coarsen_s);
+    // The naive->optimized step on real hardware comes from coalescing and
+    // shared-memory staging; the emulator reports the modeled traffic so
+    // the effect is visible even where CPU caches mask the time cost.
+    std::printf("  modeled global accesses: naive %llu vs optimized %llu "
+                "(%.2fx fewer; staged into shared: %llu)\n\n",
+                static_cast<unsigned long long>(naive_metrics.global_accesses),
+                static_cast<unsigned long long>(
+                    optimized_metrics.global_accesses),
+                static_cast<double>(naive_metrics.global_accesses) /
+                    static_cast<double>(optimized_metrics.global_accesses),
+                static_cast<unsigned long long>(
+                    optimized_metrics.shared_accesses));
+  }
+  return 0;
+}

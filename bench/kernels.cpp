@@ -1,0 +1,139 @@
+// Kernel-level microbenchmarks (google-benchmark): the Algorithm 1 update
+// across dimensions, sigmoid LUT vs exact, samplers, counting sort, and a
+// single coarsening level. These are the primitives whose costs explain
+// the table-level results.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gosh/common/counting_sort.hpp"
+#include "gosh/common/rng.hpp"
+#include "gosh/common/sigmoid.hpp"
+#include "gosh/coarsening/multi_edge_collapse.hpp"
+#include "gosh/embedding/samplers.hpp"
+#include "gosh/embedding/update.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace {
+
+using namespace gosh;
+
+void BM_UpdateEmbedding(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  std::vector<float> source(d, 0.1f), sample(d, -0.05f);
+  const SigmoidTable& sigmoid = default_sigmoid_table();
+  for (auto _ : state) {
+    embedding::update_embedding<embedding::UpdateRule::kSimultaneous>(
+        source.data(), sample.data(), d, 1.0f, 0.01f, sigmoid);
+    benchmark::DoNotOptimize(source.data());
+    benchmark::DoNotOptimize(sample.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * d * 2 * sizeof(float));
+}
+BENCHMARK(BM_UpdateEmbedding)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_UpdateEmbeddingPaperRule(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  std::vector<float> source(d, 0.1f), sample(d, -0.05f);
+  const SigmoidTable& sigmoid = default_sigmoid_table();
+  for (auto _ : state) {
+    embedding::update_embedding<embedding::UpdateRule::kPaperSequential>(
+        source.data(), sample.data(), d, 1.0f, 0.01f, sigmoid);
+    benchmark::DoNotOptimize(source.data());
+  }
+}
+BENCHMARK(BM_UpdateEmbeddingPaperRule)->Arg(32)->Arg(128);
+
+void BM_SigmoidLut(benchmark::State& state) {
+  const SigmoidTable& table = default_sigmoid_table();
+  float x = -7.9f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table(x));
+    x += 0.001f;
+    if (x > 7.9f) x = -7.9f;
+  }
+}
+BENCHMARK(BM_SigmoidLut);
+
+void BM_SigmoidExact(benchmark::State& state) {
+  float x = -7.9f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sigmoid_exact(x));
+    x += 0.001f;
+    if (x > 7.9f) x = -7.9f;
+  }
+}
+BENCHMARK(BM_SigmoidExact);
+
+void BM_RngBounded(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_bounded(1000003));
+  }
+}
+BENCHMARK(BM_RngBounded);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.next_double() + 0.01;
+  embedding::AliasTable table{std::span<const double>(weights)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_CountingSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<unsigned> keys(n);
+  for (auto& k : keys) k = static_cast<unsigned>(rng.next_bounded(n / 8 + 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        counting_sort_descending(std::span<const unsigned>(keys), n / 8 + 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CountingSort)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CoarsenLevelSequential(benchmark::State& state) {
+  const graph::Graph g = graph::rmat(static_cast<unsigned>(state.range(0)),
+                                     1ull << (state.range(0) + 3), 7);
+  for (auto _ : state) {
+    auto mapping = coarsen::map_level_sequential(g);
+    benchmark::DoNotOptimize(mapping.num_clusters);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_CoarsenLevelSequential)->Arg(12)->Arg(14);
+
+void BM_CoarsenLevelParallel(benchmark::State& state) {
+  const graph::Graph g = graph::rmat(static_cast<unsigned>(state.range(0)),
+                                     1ull << (state.range(0) + 3), 7);
+  for (auto _ : state) {
+    auto mapping = coarsen::map_level_parallel(g, 0, 256);
+    benchmark::DoNotOptimize(mapping.num_clusters);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_CoarsenLevelParallel)->Arg(12)->Arg(14);
+
+void BM_PositiveSampling(benchmark::State& state) {
+  const graph::Graph g = graph::rmat(12, 40000, 8);
+  simt::DeviceConfig config;
+  config.memory_bytes = 64u << 20;
+  simt::Device device(config);
+  embedding::DeviceGraph device_graph(device, g);
+  Rng rng(4);
+  vid_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device_graph.positive_sample(v, rng));
+    v = (v + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_PositiveSampling);
+
+}  // namespace

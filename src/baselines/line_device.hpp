@@ -1,0 +1,44 @@
+// GraphVite stand-in: LINE-style edge-sampled embedding on the emulated
+// device, without coarsening (Zhu et al., WWW'19 use LINE as the base
+// method; DESIGN.md documents the substitution).
+//
+// What is reproduced from GraphVite's algorithmic core:
+//   * training samples are EDGES drawn uniformly (alias table kept for the
+//     weighted general case), not vertices — LINE's objective;
+//   * negatives are drawn from the degree^{3/4} unigram distribution via a
+//     device-resident alias table;
+//   * the whole embedding matrix and the sample machinery must reside in
+//     device memory — so, exactly like GraphVite on a single GPU, this
+//     baseline throws DeviceOutOfMemory for matrices beyond capacity
+//     instead of falling back to partitioning.
+#pragma once
+
+#include <cstdint>
+
+#include "gosh/embedding/matrix.hpp"
+#include "gosh/embedding/update.hpp"
+#include "gosh/graph/graph.hpp"
+#include "gosh/simt/device.hpp"
+
+namespace gosh::baselines {
+
+struct LineConfig {
+  unsigned dim = 128;
+  unsigned negative_samples = 3;
+  float learning_rate = 0.025f;
+  /// One epoch = |E| edge samples (the epoch definition the paper adopts
+  /// from GraphVite for fairness).
+  unsigned epochs = 600;
+  double negative_power = 0.75;  ///< unigram exponent for negatives
+  embedding::UpdateRule update_rule = embedding::UpdateRule::kSimultaneous;
+  std::uint64_t seed = 42;
+};
+
+/// Trains a LINE embedding of `graph` on `device` and returns it.
+/// Throws simt::DeviceOutOfMemory when graph + matrix exceed capacity —
+/// deliberately NOT caught here; callers print the OOM row (Table 7).
+embedding::EmbeddingMatrix line_device_embed(const graph::Graph& graph,
+                                             simt::Device& device,
+                                             const LineConfig& config);
+
+}  // namespace gosh::baselines

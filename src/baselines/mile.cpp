@@ -1,0 +1,96 @@
+#include "gosh/baselines/mile.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "gosh/common/timer.hpp"
+#include "gosh/embedding/matrix.hpp"
+
+namespace gosh::baselines {
+namespace {
+
+/// Damped normalized propagation: one round of
+///   M[v] <- self_weight * M[v] + (1-self_weight) * mean_{u in Gamma(v)} M[u]
+/// over the weighted coarse graph (weights act as edge multiplicities),
+/// followed by L2 row renormalization. The renormalization is what keeps
+/// repeated per-level rounds from collapsing every row onto the global
+/// mean (MD-GCN's learned weights play that role in the original MILE);
+/// without it an 8-level hierarchy smooths the embedding into a constant.
+void propagate(const coarsen::WeightedGraph& graph,
+               embedding::EmbeddingMatrix& matrix, float self_weight) {
+  const vid_t n = graph.num_vertices();
+  const unsigned d = matrix.dim();
+  embedding::EmbeddingMatrix next(n, d);
+  for (vid_t v = 0; v < n; ++v) {
+    const auto source = matrix.row(v);
+    auto out = next.row(v);
+    float total_weight = 0.0f;
+    std::vector<float> accumulator(d, 0.0f);
+    for (eid_t i = graph.xadj[v]; i < graph.xadj[v + 1]; ++i) {
+      const auto neighbor = matrix.row(graph.adj[i]);
+      const float w = graph.weights[i];
+      total_weight += w;
+      for (unsigned j = 0; j < d; ++j) accumulator[j] += w * neighbor[j];
+    }
+    // Preserve each row's original magnitude so dot-product scales stay
+    // comparable across rows after smoothing.
+    float source_norm = 0.0f;
+    for (unsigned j = 0; j < d; ++j) source_norm += source[j] * source[j];
+    if (total_weight > 0.0f) {
+      const float inv = (1.0f - self_weight) / total_weight;
+      float out_norm = 0.0f;
+      for (unsigned j = 0; j < d; ++j) {
+        out[j] = self_weight * source[j] + inv * accumulator[j];
+        out_norm += out[j] * out[j];
+      }
+      if (out_norm > 0.0f && source_norm > 0.0f) {
+        const float rescale = std::sqrt(source_norm / out_norm);
+        for (unsigned j = 0; j < d; ++j) out[j] *= rescale;
+      }
+    } else {
+      for (unsigned j = 0; j < d; ++j) out[j] = source[j];
+    }
+  }
+  matrix = std::move(next);
+}
+
+}  // namespace
+
+MileResult mile_embed(const graph::Graph& graph, const MileConfig& config) {
+  MileResult result;
+
+  WallTimer coarsen_timer;
+  result.hierarchy =
+      coarsen::mile_coarsen(graph, config.coarsening_levels, config.seed);
+  result.coarsening_seconds = coarsen_timer.seconds();
+
+  // Base embedding on the coarsest graph.
+  WallTimer base_timer;
+  const coarsen::WeightedGraph& coarsest = result.hierarchy.graphs.back();
+  VerseConfig base = config.base;
+  base.seed = config.seed;
+  embedding::EmbeddingMatrix matrix =
+      verse_cpu_embed(coarsest.unweighted(), base);
+  result.base_embed_seconds = base_timer.seconds();
+
+  // Refinement: project up one level, then propagate (the MD-GCN
+  // substitute) for a few rounds.
+  WallTimer refine_timer;
+  for (std::size_t level = result.hierarchy.maps.size(); level > 0; --level) {
+    const auto& map = result.hierarchy.maps[level - 1];
+    matrix = embedding::expand_embedding(matrix,
+                                         std::span<const vid_t>(map));
+    const coarsen::WeightedGraph& fine = result.hierarchy.graphs[level - 1];
+    for (unsigned round = 0; round < config.refinement_rounds; ++round) {
+      propagate(fine, matrix, config.self_weight);
+    }
+  }
+  result.refinement_seconds = refine_timer.seconds();
+
+  result.embedding = std::move(matrix);
+  return result;
+}
+
+}  // namespace gosh::baselines

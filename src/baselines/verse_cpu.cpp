@@ -1,0 +1,86 @@
+#include "gosh/baselines/verse_cpu.hpp"
+
+#include "gosh/common/parallel_for.hpp"
+#include "gosh/common/rng.hpp"
+#include "gosh/common/sigmoid.hpp"
+#include "gosh/embedding/schedule.hpp"
+
+namespace gosh::baselines {
+namespace {
+
+/// PPR-positive sample: random walk from v that continues with probability
+/// alpha; the stopping vertex is the sample. Walks from isolated vertices
+/// (or reaching one) stop in place.
+vid_t ppr_sample(const graph::Graph& graph, vid_t v, float alpha, Rng& rng) {
+  vid_t current = v;
+  for (;;) {
+    const auto neighbors = graph.neighbors(current);
+    if (neighbors.empty()) return current;
+    current = neighbors[rng.next_bounded(neighbors.size())];
+    if (rng.next_float() >= alpha) return current;
+  }
+}
+
+vid_t adjacency_sample(const graph::Graph& graph, vid_t v, Rng& rng) {
+  const auto neighbors = graph.neighbors(v);
+  if (neighbors.empty()) return kInvalidVertex;
+  return neighbors[rng.next_bounded(neighbors.size())];
+}
+
+}  // namespace
+
+embedding::EmbeddingMatrix verse_cpu_embed(const graph::Graph& graph,
+                                           const VerseConfig& config) {
+  const vid_t n = graph.num_vertices();
+  embedding::EmbeddingMatrix matrix(n, config.dim);
+  matrix.initialize_random(config.seed);
+
+  const SigmoidTable& sigmoid = default_sigmoid_table();
+  const unsigned d = config.dim;
+
+  ParallelForOptions options;
+  options.threads = config.threads;
+  options.grain = 512;
+
+  const unsigned passes =
+      config.edge_epochs
+          ? embedding::epochs_to_passes(config.epochs,
+                                        graph.num_edges_undirected(), n)
+          : config.epochs;
+  for (unsigned epoch = 0; epoch < passes; ++epoch) {
+    const float lr = embedding::decayed_learning_rate(config.learning_rate,
+                                                      epoch, passes);
+    const std::uint64_t epoch_seed = hash_combine(config.seed, epoch);
+
+    // HOGWILD epoch: vertices processed in parallel, shared rows updated
+    // without locks. Unlike the device path there is no staging — this is
+    // exactly the multi-core VERSE the paper benchmarks against.
+    parallel_for(
+        n,
+        [&](std::size_t index) {
+          const vid_t v = static_cast<vid_t>(index);
+          Rng rng(hash_combine(epoch_seed, v));
+          emb_t* source = matrix.row(v).data();
+
+          const vid_t positive =
+              config.similarity == VerseConfig::Similarity::kPpr
+                  ? ppr_sample(graph, v, config.ppr_alpha, rng)
+                  : adjacency_sample(graph, v, rng);
+          if (positive != kInvalidVertex && positive != v) {
+            embedding::update_embedding(source, matrix.row(positive).data(),
+                                        d, 1.0f, lr, sigmoid,
+                                        config.update_rule);
+          }
+          for (unsigned k = 0; k < config.negative_samples; ++k) {
+            const vid_t negative = rng.next_vertex(n);
+            embedding::update_embedding(source, matrix.row(negative).data(),
+                                        d, 0.0f, lr, sigmoid,
+                                        config.update_rule);
+          }
+        },
+        options);
+  }
+  return matrix;
+}
+
+}  // namespace gosh::baselines

@@ -1,0 +1,40 @@
+// VERSE on the CPU — the paper's 1.00x baseline (Tsitsulin et al., WWW'18).
+//
+// A faithful multi-threaded reimplementation: HOGWILD workers (Niu et al.)
+// update the shared matrix lock-free; each of e epochs draws one positive
+// and ns negative samples per vertex and applies Algorithm 1 updates. Two
+// positive-similarity modes are provided, matching the VERSE measures the
+// paper uses: adjacency (uniform neighbour — what GOSH itself trains) and
+// PPR with restart probability alpha = 0.85 (what the paper configures for
+// the VERSE baseline rows).
+#pragma once
+
+#include <cstdint>
+
+#include "gosh/embedding/matrix.hpp"
+#include "gosh/embedding/update.hpp"
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::baselines {
+
+struct VerseConfig {
+  unsigned dim = 128;
+  unsigned negative_samples = 3;
+  float learning_rate = 0.0025f;  ///< paper's VERSE setting
+  unsigned epochs = 600;
+  /// Paper epoch semantics: one epoch = |E| samples = |E|/|V| passes over
+  /// the vertex set (Section 4.3). Disable for raw per-|V| passes.
+  bool edge_epochs = true;
+  unsigned threads = 0;           ///< 0 = all host workers (paper: 16)
+  enum class Similarity { kAdjacency, kPpr };
+  Similarity similarity = Similarity::kPpr;
+  float ppr_alpha = 0.85f;        ///< continue probability (paper's alpha)
+  embedding::UpdateRule update_rule = embedding::UpdateRule::kSimultaneous;
+  std::uint64_t seed = 42;
+};
+
+/// Trains a VERSE embedding of `graph` from scratch and returns it.
+embedding::EmbeddingMatrix verse_cpu_embed(const graph::Graph& graph,
+                                           const VerseConfig& config);
+
+}  // namespace gosh::baselines

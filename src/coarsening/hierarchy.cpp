@@ -1,0 +1,39 @@
+#include "gosh/coarsening/hierarchy.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <utility>
+
+namespace gosh::coarsen {
+
+Hierarchy::Hierarchy(graph::Graph original) {
+  graphs_.push_back(std::move(original));
+}
+
+void Hierarchy::push_level(std::vector<vid_t> map, graph::Graph coarser) {
+  assert(!graphs_.empty());
+  assert(map.size() == graphs_.back().num_vertices());
+#ifndef NDEBUG
+  for (vid_t super : map) assert(super < coarser.num_vertices());
+#endif
+  maps_.push_back(std::move(map));
+  graphs_.push_back(std::move(coarser));
+}
+
+double Hierarchy::shrink_rate(std::size_t level) const {
+  const double from = graphs_.at(level).num_vertices();
+  const double to = graphs_.at(level + 1).num_vertices();
+  return from == 0.0 ? 0.0 : (from - to) / from;
+}
+
+std::vector<vid_t> Hierarchy::composed_map(std::size_t level) const {
+  assert(level < depth());
+  std::vector<vid_t> composed(original().num_vertices());
+  std::iota(composed.begin(), composed.end(), vid_t{0});
+  for (std::size_t i = 0; i < level; ++i) {
+    for (auto& target : composed) target = maps_[i][target];
+  }
+  return composed;
+}
+
+}  // namespace gosh::coarsen

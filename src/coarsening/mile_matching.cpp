@@ -1,0 +1,208 @@
+#include "gosh/coarsening/mile_matching.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/common/timer.hpp"
+
+namespace gosh::coarsen {
+
+float WeightedGraph::weighted_degree(vid_t v) const {
+  float total = 0.0f;
+  for (eid_t i = xadj[v]; i < xadj[v + 1]; ++i) total += weights[i];
+  return total;
+}
+
+graph::Graph WeightedGraph::unweighted() const {
+  return graph::Graph{xadj, adj};
+}
+
+WeightedGraph WeightedGraph::from_graph(const graph::Graph& graph) {
+  WeightedGraph weighted;
+  weighted.xadj = graph.xadj();
+  weighted.adj = graph.adj();
+  weighted.weights.assign(weighted.adj.size(), 1.0f);
+  weighted.vertex_weight.assign(graph.num_vertices(), 1.0f);
+  return weighted;
+}
+
+namespace {
+
+/// SEM pass: groups vertices whose sorted neighbourhoods are identical.
+/// Returns group id per vertex (hash-bucketed, exact comparison inside a
+/// bucket to rule out collisions).
+std::vector<vid_t> structural_groups(const WeightedGraph& graph,
+                                     vid_t& group_count) {
+  const vid_t n = graph.num_vertices();
+  std::vector<vid_t> group(n, kInvalidVertex);
+
+  std::unordered_map<std::uint64_t, std::vector<vid_t>> buckets;
+  buckets.reserve(n);
+  for (vid_t v = 0; v < n; ++v) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (eid_t i = graph.xadj[v]; i < graph.xadj[v + 1]; ++i) {
+      h = (h ^ graph.adj[i]) * 0x100000001b3ULL;
+    }
+    buckets[h].push_back(v);
+  }
+
+  auto same_neighbourhood = [&graph](vid_t a, vid_t b) {
+    const eid_t da = graph.xadj[a + 1] - graph.xadj[a];
+    const eid_t db = graph.xadj[b + 1] - graph.xadj[b];
+    if (da != db) return false;
+    return std::equal(graph.adj.begin() + static_cast<std::ptrdiff_t>(graph.xadj[a]),
+                      graph.adj.begin() + static_cast<std::ptrdiff_t>(graph.xadj[a + 1]),
+                      graph.adj.begin() + static_cast<std::ptrdiff_t>(graph.xadj[b]));
+  };
+
+  group_count = 0;
+  for (auto& [hash, members] : buckets) {
+    // Within a bucket, compare against each established representative;
+    // buckets are tiny in practice so the quadratic scan is negligible.
+    std::vector<vid_t> representatives;
+    for (vid_t v : members) {
+      bool placed = false;
+      for (vid_t rep : representatives) {
+        if (same_neighbourhood(v, rep)) {
+          group[v] = group[rep];
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        group[v] = group_count++;
+        representatives.push_back(v);
+      }
+    }
+  }
+  return group;
+}
+
+}  // namespace
+
+MileLevel mile_coarsen_level(const WeightedGraph& graph, std::uint64_t seed) {
+  const vid_t n = graph.num_vertices();
+
+  // --- SEM: collapse structurally equivalent vertices. -------------------
+  vid_t sem_count = 0;
+  const std::vector<vid_t> sem_group = structural_groups(graph, sem_count);
+  // Representative (first member) per SEM group carries the match decision.
+  std::vector<vid_t> sem_representative(sem_count, kInvalidVertex);
+  for (vid_t v = 0; v < n; ++v) {
+    if (sem_representative[sem_group[v]] == kInvalidVertex) {
+      sem_representative[sem_group[v]] = v;
+    }
+  }
+
+  // --- NHEM over SEM representatives. -------------------------------------
+  // matched[g] = partner group (possibly itself). Visit order is a seeded
+  // shuffle of groups, as in MILE.
+  std::vector<vid_t> matched(sem_count, kInvalidVertex);
+  std::vector<vid_t> visit(sem_count);
+  std::iota(visit.begin(), visit.end(), vid_t{0});
+  Rng rng(seed);
+  for (vid_t i = sem_count; i > 1; --i) {
+    std::swap(visit[i - 1], visit[rng.next_vertex(i)]);
+  }
+
+  std::vector<float> weighted_degree(n, 0.0f);
+  for (vid_t v = 0; v < n; ++v) weighted_degree[v] = graph.weighted_degree(v);
+
+  for (vid_t g : visit) {
+    if (matched[g] != kInvalidVertex) continue;
+    const vid_t v = sem_representative[g];
+    float best_score = -1.0f;
+    vid_t best_group = kInvalidVertex;
+    for (eid_t i = graph.xadj[v]; i < graph.xadj[v + 1]; ++i) {
+      const vid_t u = graph.adj[i];
+      const vid_t gu = sem_group[u];
+      if (gu == g || matched[gu] != kInvalidVertex) continue;
+      // Normalized heavy-edge score w(u,v)/sqrt(D(u) D(v)).
+      const float norm =
+          std::sqrt(weighted_degree[v] * weighted_degree[u]);
+      const float score = norm > 0.0f ? graph.weights[i] / norm : 0.0f;
+      if (score > best_score) {
+        best_score = score;
+        best_group = gu;
+      }
+    }
+    if (best_group != kInvalidVertex) {
+      matched[g] = best_group;
+      matched[best_group] = g;
+    } else {
+      matched[g] = g;  // stays single
+    }
+  }
+
+  // --- Assign super-vertex ids: one per matched pair / singleton group. ---
+  MileLevel level;
+  level.map.assign(n, kInvalidVertex);
+  std::vector<vid_t> group_super(sem_count, kInvalidVertex);
+  vid_t super_count = 0;
+  for (vid_t g = 0; g < sem_count; ++g) {
+    if (group_super[g] != kInvalidVertex) continue;
+    const vid_t partner = matched[g];
+    group_super[g] = super_count;
+    if (partner != g) group_super[partner] = super_count;
+    super_count++;
+  }
+  for (vid_t v = 0; v < n; ++v) level.map[v] = group_super[sem_group[v]];
+
+  // --- Build the coarse weighted graph (weights accumulate). -------------
+  WeightedGraph& coarse = level.coarse;
+  coarse.xadj.assign(static_cast<std::size_t>(super_count) + 1, 0);
+  coarse.vertex_weight.assign(super_count, 0.0f);
+  for (vid_t v = 0; v < n; ++v) {
+    coarse.vertex_weight[level.map[v]] += graph.vertex_weight[v];
+  }
+
+  // Two passes with a dedup map per super vertex: count then fill.
+  std::vector<std::unordered_map<vid_t, float>> rows(super_count);
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t sv = level.map[v];
+    for (eid_t i = graph.xadj[v]; i < graph.xadj[v + 1]; ++i) {
+      const vid_t su = level.map[graph.adj[i]];
+      if (su == sv) continue;  // collapsed inside the super vertex
+      rows[sv][su] += graph.weights[i];
+    }
+  }
+  for (vid_t sv = 0; sv < super_count; ++sv) {
+    coarse.xadj[sv + 1] = coarse.xadj[sv] + rows[sv].size();
+  }
+  coarse.adj.resize(coarse.xadj.back());
+  coarse.weights.resize(coarse.xadj.back());
+  for (vid_t sv = 0; sv < super_count; ++sv) {
+    eid_t cursor = coarse.xadj[sv];
+    // Sort each row for canonical order (unordered_map iteration varies).
+    std::vector<std::pair<vid_t, float>> row(rows[sv].begin(), rows[sv].end());
+    std::sort(row.begin(), row.end());
+    for (const auto& [su, w] : row) {
+      coarse.adj[cursor] = su;
+      coarse.weights[cursor] = w;
+      cursor++;
+    }
+  }
+  return level;
+}
+
+MileHierarchy mile_coarsen(const graph::Graph& original, unsigned levels,
+                           std::uint64_t seed) {
+  MileHierarchy hierarchy;
+  hierarchy.graphs.push_back(WeightedGraph::from_graph(original));
+  for (unsigned i = 0; i < levels; ++i) {
+    const WeightedGraph& current = hierarchy.graphs.back();
+    if (current.num_vertices() <= 2) break;
+    WallTimer timer;
+    MileLevel level = mile_coarsen_level(current, hash_combine(seed, i));
+    hierarchy.level_seconds.push_back(timer.seconds());
+    hierarchy.maps.push_back(std::move(level.map));
+    hierarchy.graphs.push_back(std::move(level.coarse));
+  }
+  return hierarchy;
+}
+
+}  // namespace gosh::coarsen

@@ -1,0 +1,234 @@
+#include "gosh/coarsening/multi_edge_collapse.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <utility>
+
+#include "gosh/common/parallel_for.hpp"
+#include "gosh/common/prefix_sum.hpp"
+#include "gosh/coarsening/order.hpp"
+
+namespace gosh::coarsen {
+namespace {
+
+/// Renumbers a map whose cluster ids are hub vertex ids (map[hub] == hub)
+/// into contiguous [0, K): the sequential fix-up pass of Section 3.2.2.
+vid_t renumber_hub_ids(std::vector<vid_t>& map) {
+  const std::size_t n = map.size();
+  std::vector<vid_t> new_id(n, kInvalidVertex);
+  vid_t next = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (map[v] == static_cast<vid_t>(v)) new_id[v] = next++;
+  }
+  for (auto& target : map) {
+    assert(new_id[target] != kInvalidVertex);
+    target = new_id[target];
+  }
+  return next;
+}
+
+}  // namespace
+
+LevelMapping map_level_sequential(const graph::Graph& graph) {
+  const vid_t n = graph.num_vertices();
+  const double delta = graph.average_degree();
+
+  LevelMapping result;
+  result.map.assign(n, kInvalidVertex);
+
+  const std::vector<vid_t> order = degree_order_descending(graph);
+  vid_t cluster = 0;
+  for (vid_t v : order) {
+    if (result.map[v] != kInvalidVertex) continue;
+    result.map[v] = cluster;
+    const bool v_small = graph.degree(v) <= delta;
+    for (vid_t u : graph.neighbors(v)) {
+      // Hub-exclusion rule: u joins v's cluster only if at least one of
+      // the two degrees is at most delta = |E|/|V|.
+      if (!v_small && graph.degree(u) > delta) continue;
+      if (result.map[u] == kInvalidVertex) result.map[u] = cluster;
+    }
+    cluster++;
+  }
+  result.num_clusters = cluster;
+  return result;
+}
+
+LevelMapping map_level_parallel(const graph::Graph& graph, unsigned threads,
+                                std::size_t batch_size) {
+  const vid_t n = graph.num_vertices();
+  const double delta = graph.average_degree();
+
+  // The map array *is* the lock table: a CAS from kInvalidVertex claims the
+  // entry, and entries never change once set (paper: thread that fails to
+  // obtain the lock "skips the current candidate").
+  std::vector<std::atomic<vid_t>> map(n);
+  for (auto& slot : map) slot.store(kInvalidVertex, std::memory_order_relaxed);
+
+  const std::vector<vid_t> order = degree_order_descending(graph);
+
+  ParallelForOptions options;
+  options.threads = threads;
+  options.grain = batch_size;
+  parallel_for(
+      n,
+      [&](std::size_t idx) {
+        const vid_t v = order[idx];
+        vid_t expected = kInvalidVertex;
+        // Claim v as its own hub; provisional cluster id = hub vertex id so
+        // no shared counter is needed (Section 3.2.2).
+        if (!map[v].compare_exchange_strong(expected, v,
+                                            std::memory_order_acq_rel)) {
+          return;  // already pulled into another cluster — skip
+        }
+        const bool v_small = graph.degree(v) <= delta;
+        for (vid_t u : graph.neighbors(v)) {
+          if (!v_small && graph.degree(u) > delta) continue;
+          vid_t u_expected = kInvalidVertex;
+          map[u].compare_exchange_strong(u_expected, v,
+                                         std::memory_order_acq_rel);
+          // On failure u already belongs elsewhere; skip, per the paper.
+        }
+      },
+      options);
+
+  LevelMapping result;
+  result.map.resize(n);
+  for (vid_t v = 0; v < n; ++v) {
+    result.map[v] = map[v].load(std::memory_order_relaxed);
+  }
+  result.num_clusters = renumber_hub_ids(result.map);
+  return result;
+}
+
+graph::Graph build_coarse_graph(const graph::Graph& graph,
+                                const LevelMapping& mapping, unsigned threads,
+                                std::size_t batch_size) {
+  const vid_t n = graph.num_vertices();
+  const vid_t k = mapping.num_clusters;
+
+  // Bucket the fine vertices by cluster (counting sort by map value), so a
+  // cluster's members are contiguous — "sorting the vertices with respect
+  // to their mappings" (Section 3.2.1).
+  std::vector<eid_t> bucket_offsets(static_cast<std::size_t>(k) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) bucket_offsets[mapping.map[v] + 1]++;
+  for (std::size_t c = 0; c < k; ++c) bucket_offsets[c + 1] += bucket_offsets[c];
+  std::vector<vid_t> members(n);
+  {
+    std::vector<eid_t> cursor(bucket_offsets.begin(), bucket_offsets.end() - 1);
+    for (vid_t v = 0; v < n; ++v) members[cursor[mapping.map[v]]++] = v;
+  }
+
+  const unsigned workers =
+      std::max(1u, threads == 0 ? effective_threads({}) : threads);
+
+  // Each worker emits (cluster, neighbours...) runs into a private region;
+  // a scan pass then computes every cluster's final offset and the private
+  // regions are copied out — the private-E^j/merge scheme of Section 3.2.2.
+  struct WorkerRegion {
+    std::vector<vid_t> clusters;           // cluster ids in emission order
+    std::vector<std::size_t> run_offsets;  // per-run start into edges
+    std::vector<vid_t> edges;              // concatenated neighbour lists
+    std::vector<vid_t> mark;               // dedup tags, sized k
+  };
+  std::vector<WorkerRegion> regions(workers);
+  for (auto& region : regions) region.mark.assign(k, kInvalidVertex);
+
+  ParallelForOptions options;
+  options.threads = workers;
+  options.grain = batch_size;
+  parallel_for_worker(
+      k,
+      [&](unsigned worker, std::size_t begin, std::size_t end) {
+        WorkerRegion& region = regions[worker];
+        for (std::size_t c = begin; c < end; ++c) {
+          region.clusters.push_back(static_cast<vid_t>(c));
+          region.run_offsets.push_back(region.edges.size());
+          for (eid_t i = bucket_offsets[c]; i < bucket_offsets[c + 1]; ++i) {
+            const vid_t v = members[i];
+            for (vid_t u : graph.neighbors(v)) {
+              const vid_t cu = mapping.map[u];
+              // Drop intra-cluster edges; emit each external cluster once
+              // (mark tags make the per-cluster list duplicate-free).
+              if (cu == c || region.mark[cu] == static_cast<vid_t>(c)) {
+                continue;
+              }
+              region.mark[cu] = static_cast<vid_t>(c);
+              region.edges.push_back(cu);
+            }
+          }
+        }
+      },
+      options);
+
+  // Scan: per-cluster degrees -> xadj.
+  std::vector<eid_t> xadj(static_cast<std::size_t>(k) + 1, 0);
+  for (const auto& region : regions) {
+    for (std::size_t r = 0; r < region.clusters.size(); ++r) {
+      const std::size_t run_end = (r + 1 < region.run_offsets.size())
+                                      ? region.run_offsets[r + 1]
+                                      : region.edges.size();
+      xadj[region.clusters[r] + 1] +=
+          static_cast<eid_t>(run_end - region.run_offsets[r]);
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) xadj[c + 1] += xadj[c];
+
+  std::vector<vid_t> adj(xadj.back());
+  for (const auto& region : regions) {
+    for (std::size_t r = 0; r < region.clusters.size(); ++r) {
+      const std::size_t run_begin = region.run_offsets[r];
+      const std::size_t run_end = (r + 1 < region.run_offsets.size())
+                                      ? region.run_offsets[r + 1]
+                                      : region.edges.size();
+      std::copy(region.edges.begin() + static_cast<std::ptrdiff_t>(run_begin),
+                region.edges.begin() + static_cast<std::ptrdiff_t>(run_end),
+                adj.begin() +
+                    static_cast<std::ptrdiff_t>(xadj[region.clusters[r]]));
+    }
+  }
+
+  // Sort each slice: downstream binary searches and graph equality tests
+  // rely on canonical adjacency order. Slices are short after collapse.
+  ParallelForOptions sort_options;
+  sort_options.threads = workers;
+  sort_options.grain = std::max<std::size_t>(batch_size, 64);
+  parallel_for(
+      k,
+      [&](std::size_t c) {
+        std::sort(adj.begin() + static_cast<std::ptrdiff_t>(xadj[c]),
+                  adj.begin() + static_cast<std::ptrdiff_t>(xadj[c + 1]));
+      },
+      sort_options);
+
+  return graph::Graph{std::move(xadj), std::move(adj)};
+}
+
+Hierarchy multi_edge_collapse(graph::Graph original,
+                              const CoarseningConfig& config) {
+  Hierarchy hierarchy(std::move(original));
+  const unsigned threads = config.threads;
+
+  while (hierarchy.depth() < config.max_levels) {
+    const graph::Graph& current = hierarchy.coarsest();
+    if (current.num_vertices() <= config.threshold) break;
+
+    LevelMapping mapping =
+        threads == 1
+            ? map_level_sequential(current)
+            : map_level_parallel(current, threads, config.batch_size);
+
+    const double shrink =
+        1.0 - static_cast<double>(mapping.num_clusters) /
+                  static_cast<double>(current.num_vertices());
+    if (shrink < config.min_shrink) break;  // stalled; give up gracefully
+
+    graph::Graph coarser = build_coarse_graph(current, mapping, threads,
+                                              config.batch_size);
+    hierarchy.push_level(std::move(mapping.map), std::move(coarser));
+  }
+  return hierarchy;
+}
+
+}  // namespace gosh::coarsen

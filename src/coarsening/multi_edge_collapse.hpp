@@ -1,0 +1,75 @@
+// MultiEdgeCollapse — the paper's coarsening algorithm (Section 3.2,
+// Algorithm 4) in both sequential and parallel forms.
+//
+// One level works in three O(|V|+|E|) stages:
+//   1. order vertices by descending degree (counting sort);
+//   2. map: walk the order; an unmapped vertex v founds a cluster and pulls
+//      every unmapped neighbour u in, *unless* both deg(v) and deg(u)
+//      exceed delta = |E|/|V| (the hub-exclusion rule that stops two giant
+//      hubs from merging);
+//   3. build the coarse graph: bucket vertices by cluster, emit each
+//      cluster's distinct external neighbour clusters (multi-edges collapse,
+//      intra-cluster edges vanish).
+//
+// The parallel form follows Section 3.2.2: the map array doubles as the
+// lock — entries are std::atomic and a single CAS from kInvalidVertex
+// claims a vertex; contended candidates are simply skipped; provisional
+// cluster ids are hub vertex ids, renumbered to [0, K) in a sequential
+// O(|V|) pass afterwards. Coarse-graph construction gives each worker a
+// private edge region merged by prefix-sum scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gosh/coarsening/hierarchy.hpp"
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::coarsen {
+
+struct CoarseningConfig {
+  /// Stop once a level has fewer vertices than this (paper default 100).
+  vid_t threshold = 100;
+  /// Hard cap on levels — a safety net; the shrink-stall check below is
+  /// what normally terminates degenerate inputs.
+  unsigned max_levels = 64;
+  /// Abort coarsening when a level shrinks less than this fraction; keeps
+  /// expander-like graphs from looping at |V_{i+1}| == |V_i|.
+  double min_shrink = 0.01;
+  /// 1 => sequential Algorithm 4; >1 => parallel MultiEdgeCollapse with
+  /// that many workers; 0 => all hardware workers.
+  unsigned threads = 1;
+  /// Dynamic-scheduling batch size for the parallel passes ("small batch
+  /// sizes", Section 3.2.2).
+  std::size_t batch_size = 256;
+};
+
+/// Result of mapping one level.
+struct LevelMapping {
+  /// Cluster id per vertex, already renumbered to [0, num_clusters).
+  std::vector<vid_t> map;
+  vid_t num_clusters = 0;
+};
+
+/// Stage 2 only, sequential (deterministic; matches Algorithm 4 line by
+/// line).
+LevelMapping map_level_sequential(const graph::Graph& graph);
+
+/// Stage 2 only, parallel (lock-free claims; nondeterministic tie-breaks,
+/// same quality class — Table 4 of the paper quantifies the difference).
+LevelMapping map_level_parallel(const graph::Graph& graph, unsigned threads,
+                                std::size_t batch_size);
+
+/// Stage 3: coarse CSR from a level mapping. Sorted, dedup'd adjacency;
+/// intra-cluster edges dropped. `threads` as in CoarseningConfig.
+graph::Graph build_coarse_graph(const graph::Graph& graph,
+                                const LevelMapping& mapping, unsigned threads,
+                                std::size_t batch_size);
+
+/// Full multilevel driver: iterates map+build until the threshold, shrink
+/// stall, or level cap is hit. graphs_[0] is `original`.
+Hierarchy multi_edge_collapse(graph::Graph original,
+                              const CoarseningConfig& config = {});
+
+}  // namespace gosh::coarsen

@@ -1,0 +1,27 @@
+#include "gosh/coarsening/order.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "gosh/common/counting_sort.hpp"
+
+namespace gosh::coarsen {
+
+std::vector<vid_t> degree_order_descending(const graph::Graph& graph) {
+  const vid_t n = graph.num_vertices();
+  std::vector<vid_t> degrees(n);
+  vid_t max_degree = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    degrees[v] = graph.degree(v);
+    max_degree = std::max(max_degree, degrees[v]);
+  }
+  const auto order =
+      counting_sort_descending(std::span<const vid_t>(degrees), max_degree);
+  std::vector<vid_t> result(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    result[i] = static_cast<vid_t>(order[i]);
+  }
+  return result;
+}
+
+}  // namespace gosh::coarsen

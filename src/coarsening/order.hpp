@@ -1,0 +1,19 @@
+// Vertex processing order for coarsening.
+//
+// MultiEdgeCollapse visits vertices hub-first: "an ordering is procured by
+// sorting the vertices with respect to their neighborhood size ... vertices
+// with a higher degree before the vertices with smaller neighborhoods"
+// (Section 3.2). Counting sort keeps this O(|V| + |E|).
+#pragma once
+
+#include <vector>
+
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::coarsen {
+
+/// Vertices of `graph` sorted by descending degree, ties in ascending id
+/// order (stable), computed with counting sort.
+std::vector<vid_t> degree_order_descending(const graph::Graph& graph);
+
+}  // namespace gosh::coarsen

@@ -1,0 +1,80 @@
+// Cache-line / SIMD aligned heap buffer.
+//
+// Embedding rows are accessed by 32-lane warps; aligning the backing store
+// to 64 bytes keeps each row's first cache line unshared with the previous
+// row (for d a multiple of 16 floats) and lets the compiler emit aligned
+// vector loads in the update kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace gosh {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Fixed-size, 64-byte aligned, value-initialized array of trivially
+/// copyable T. Deliberately minimal: no growth, no copy (moves only), so
+/// ownership of large embedding blocks is always explicit.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer is for POD-style payloads");
+
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    if (n == 0) return;
+    void* p = ::operator new[](n * sizeof(T), std::align_val_t{kCacheLine});
+    data_ = static_cast<T*>(p);
+    std::uninitialized_value_construct_n(data_, n);
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{kCacheLine});
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gosh

@@ -1,0 +1,47 @@
+// Counting sort over small integer keys.
+//
+// MultiEdgeCollapse orders vertices by neighbourhood size before mapping
+// (paper Section 3.2, "a counting sort is implemented ... with a time
+// complexity of O(|V|+|E|)"). Keys are degrees, bounded by |V|, so counting
+// sort is both asymptotically and practically right; comparison sort would
+// dominate the whole coarsening pass.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gosh {
+
+/// Stable counting sort by key.
+///
+/// Returns a permutation `order` such that iterating order[0..n) visits
+/// items in *descending* key order (GOSH processes hubs first); ties keep
+/// their original relative order (stability makes the sequential coarsening
+/// deterministic).
+///
+/// `max_key` must be >= every key. O(n + max_key) time and space.
+template <typename Key>
+std::vector<std::size_t> counting_sort_descending(std::span<const Key> keys,
+                                                  std::size_t max_key) {
+  const std::size_t n = keys.size();
+  // count[k] = number of items with key == max_key - k, so that the prefix
+  // sum lays items out from the largest key downward.
+  std::vector<std::size_t> count(max_key + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    count[max_key - static_cast<std::size_t>(keys[i])]++;
+  }
+  std::size_t running = 0;
+  for (auto& c : count) {
+    const std::size_t this_bucket = c;
+    c = running;
+    running += this_bucket;
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[count[max_key - static_cast<std::size_t>(keys[i])]++] = i;
+  }
+  return order;
+}
+
+}  // namespace gosh

@@ -1,0 +1,27 @@
+// Minimal leveled logging.
+//
+// Benches narrate progress (level Info); the library itself only speaks at
+// Debug so tests stay quiet. No formatting library is available offline, so
+// messages are composed by the caller.
+#pragma once
+
+#include <string_view>
+
+namespace gosh {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes "[level] message\n" to stderr if `level` passes the threshold.
+/// Thread-safe (single write call per message).
+void log(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::Debug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::Info, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::Warn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::Error, m); }
+
+}  // namespace gosh

@@ -1,0 +1,96 @@
+#include "gosh/common/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <latch>
+
+#include "gosh/common/thread_pool.hpp"
+
+namespace gosh {
+
+unsigned effective_threads(const ParallelForOptions& options) {
+  unsigned pool = global_pool().size();
+  unsigned t = options.threads == 0 ? pool : options.threads;
+  return std::max(1u, t);
+}
+
+// The calling thread always participates as the last worker: on a 2-core
+// box the caller would otherwise sit blocked on the latch while holding a
+// runnable core, and participation also keeps single-thread runs free of
+// any pool traffic (bitwise-deterministic paths never touch the queue).
+void parallel_for_worker(
+    std::size_t n,
+    const std::function<void(unsigned, std::size_t, std::size_t)>& body,
+    const ParallelForOptions& options) {
+  if (n == 0) return;
+  const unsigned threads = static_cast<unsigned>(
+      std::min<std::size_t>(effective_threads(options), n));
+
+  if (threads == 1) {
+    body(0, 0, n);
+    return;
+  }
+  const unsigned helpers = threads - 1;
+
+  if (options.static_partition) {
+    // Contiguous equal slices; the first (n % threads) workers get one extra.
+    std::latch done(helpers);
+    const std::size_t base = n / threads;
+    const std::size_t extra = n % threads;
+    std::size_t begin = 0;
+    std::size_t caller_begin = 0, caller_end = 0;
+    for (unsigned w = 0; w < threads; ++w) {
+      const std::size_t len = base + (w < extra ? 1 : 0);
+      const std::size_t end = begin + len;
+      if (w < helpers) {
+        global_pool().submit_detached([&body, &done, w, begin, end] {
+          body(w, begin, end);
+          done.count_down();
+        });
+      } else {
+        caller_begin = begin;
+        caller_end = end;
+      }
+      begin = end;
+    }
+    body(helpers, caller_begin, caller_end);
+    done.wait();
+    return;
+  }
+
+  // Dynamic: workers repeatedly claim `grain`-sized chunks from a shared
+  // cursor until the range is exhausted. This is the skew-tolerant default
+  // (paper Section 3.2.2: dynamic scheduling with small batch sizes).
+  const std::size_t grain = std::max<std::size_t>(1, options.grain);
+  std::atomic<std::size_t> cursor{0};
+  std::latch done(helpers);
+  auto run = [&body, &cursor, n, grain](unsigned w) {
+    for (;;) {
+      const std::size_t begin =
+          cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      body(w, begin, std::min(begin + grain, n));
+    }
+  };
+  for (unsigned w = 0; w < helpers; ++w) {
+    global_pool().submit_detached([&run, &done, w] {
+      run(w);
+      done.count_down();
+    });
+  }
+  run(helpers);
+  done.wait();
+}
+
+void parallel_for_range(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    const ParallelForOptions& options) {
+  parallel_for_worker(
+      n,
+      [&body](unsigned, std::size_t begin, std::size_t end) {
+        body(begin, end);
+      },
+      options);
+}
+
+}  // namespace gosh

@@ -1,0 +1,27 @@
+// Exclusive prefix sums.
+//
+// Used wherever per-thread or per-vertex counts are turned into offsets:
+// CSR construction, parallel coarsened-graph assembly (the "sequential scan
+// operation to find the region in E_{i+1} for each thread" of Section
+// 3.2.2), and partition sizing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gosh {
+
+/// In-place exclusive prefix sum; returns the total.
+/// [3,1,4] becomes [0,3,4] and 8 is returned.
+template <typename T>
+T exclusive_prefix_sum(std::span<T> values) {
+  T running{};
+  for (auto& v : values) {
+    const T x = v;
+    v = running;
+    running += x;
+  }
+  return running;
+}
+
+}  // namespace gosh

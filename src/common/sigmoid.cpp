@@ -1,0 +1,21 @@
+#include "gosh/common/sigmoid.hpp"
+
+namespace gosh {
+
+SigmoidTable::SigmoidTable(unsigned resolution)
+    : table_(resolution + 1),
+      size_(resolution + 1),
+      scale_(static_cast<float>(resolution) / (2.0f * kSigmoidBound)) {
+  for (unsigned i = 0; i < size_; ++i) {
+    const float x = -kSigmoidBound +
+                    static_cast<float>(i) / scale_;
+    table_[i] = sigmoid_exact(x);
+  }
+}
+
+const SigmoidTable& default_sigmoid_table() {
+  static SigmoidTable table;
+  return table;
+}
+
+}  // namespace gosh

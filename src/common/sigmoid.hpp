@@ -1,0 +1,50 @@
+// Sigmoid evaluation for the logistic update rule.
+//
+// The embedding update (Algorithm 1) evaluates sigma(M[v] . M[sample]) once
+// per sample. The released GOSH/VERSE implementations replace expf with a
+// clamped lookup table; we provide both and let TrainConfig choose. The LUT
+// clamps to [-kSigmoidBound, +kSigmoidBound]: beyond that range the true
+// sigmoid saturates to within 3e-4 of 0/1 and the gradient signal is noise.
+#pragma once
+
+#include <cmath>
+
+#include "gosh/common/aligned_buffer.hpp"
+
+namespace gosh {
+
+inline constexpr float kSigmoidBound = 8.0f;
+
+/// Exact sigmoid.
+inline float sigmoid_exact(float x) noexcept {
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+/// Precomputed sigmoid table over [-kSigmoidBound, kSigmoidBound] with
+/// linear interpolation between knots. Thread-safe after construction.
+class SigmoidTable {
+ public:
+  /// `resolution` = number of knots; 1024 gives max abs error ~2e-5.
+  explicit SigmoidTable(unsigned resolution = 1024);
+
+  float operator()(float x) const noexcept {
+    if (x <= -kSigmoidBound) return table_[0];
+    if (x >= kSigmoidBound) return table_[size_ - 1];
+    const float t = (x + kSigmoidBound) * scale_;
+    const unsigned i = static_cast<unsigned>(t);
+    const float frac = t - static_cast<float>(i);
+    return table_[i] + (table_[i + 1] - table_[i]) * frac;
+  }
+
+  unsigned resolution() const noexcept { return size_ - 1; }
+
+ private:
+  AlignedBuffer<float> table_;
+  unsigned size_;
+  float scale_;
+};
+
+/// Shared default table (1024 knots), built on first use.
+const SigmoidTable& default_sigmoid_table();
+
+}  // namespace gosh

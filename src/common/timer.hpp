@@ -1,0 +1,27 @@
+// Monotonic wall-clock timing used by every bench harness.
+#pragma once
+
+#include <chrono>
+
+namespace gosh {
+
+/// Monotonic stopwatch. Starts on construction; `seconds()` / `millis()`
+/// report elapsed time since construction or the last `reset()`.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gosh

@@ -1,0 +1,34 @@
+// Fundamental integer types shared by every subsystem.
+//
+// GOSH targets graphs of up to a few hundred million vertices and a few
+// billion edges. Vertex ids therefore fit in 32 bits while edge offsets
+// (CSR xadj entries) need 64 bits. Keeping the vertex id narrow halves the
+// memory traffic of the adjacency array, which dominates both coarsening and
+// sampling, so this split is load-bearing rather than cosmetic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace gosh {
+
+/// Vertex identifier. 32 bits: the paper's largest graph (com-friendster)
+/// has 65.6M vertices, far below 2^32.
+using vid_t = std::uint32_t;
+
+/// Edge offset / edge count. 64 bits: com-friendster has 1.8B edges and a
+/// symmetrized CSR doubles that, overflowing 32 bits.
+using eid_t = std::uint64_t;
+
+/// Embedding scalar. The paper's CUDA kernels train in single precision.
+using emb_t = float;
+
+/// Sentinel meaning "no vertex" / "unmapped" (used by coarsening maps).
+inline constexpr vid_t kInvalidVertex = std::numeric_limits<vid_t>::max();
+
+/// Number of lanes in one SIMT warp, fixed at 32 to match NVIDIA hardware
+/// and the paper's vertex-per-warp arithmetic (Section 3.1).
+inline constexpr unsigned kWarpSize = 32;
+
+}  // namespace gosh

@@ -1,0 +1,124 @@
+#include "gosh/embedding/gosh.hpp"
+
+#include <string>
+#include <utility>
+
+#include "gosh/common/logging.hpp"
+#include "gosh/common/timer.hpp"
+#include "gosh/embedding/samplers.hpp"
+#include "gosh/embedding/schedule.hpp"
+
+namespace gosh::embedding {
+namespace {
+
+GoshConfig preset(double p, float lr, unsigned e_normal, unsigned e_large,
+                  bool large_scale, bool coarsen) {
+  GoshConfig config;
+  config.smoothing_ratio = p;
+  config.train.learning_rate = lr;
+  config.total_epochs = large_scale ? e_large : e_normal;
+  config.enable_coarsening = coarsen;
+  config.coarsening.threads = 0;  // parallel coarsening by default
+  return config;
+}
+
+}  // namespace
+
+// Table 3 of the paper.
+GoshConfig gosh_fast(bool large_scale) {
+  return preset(0.1, 0.050f, 600, 100, large_scale, true);
+}
+GoshConfig gosh_normal(bool large_scale) {
+  return preset(0.3, 0.035f, 1000, 200, large_scale, true);
+}
+GoshConfig gosh_slow(bool large_scale) {
+  return preset(0.5, 0.025f, 1400, 300, large_scale, true);
+}
+GoshConfig gosh_no_coarsening(bool large_scale) {
+  // p is meaningless with a single level.
+  return preset(1.0, 0.045f, 1000, 200, large_scale, false);
+}
+
+GoshResult gosh_embed(const graph::Graph& graph, simt::Device& device,
+                      const GoshConfig& config) {
+  WallTimer total_timer;
+  GoshResult result;
+
+  // --- Stage 1: coarsening (Algorithm 2 line 1). -------------------------
+  WallTimer coarsen_timer;
+  coarsen::Hierarchy hierarchy;
+  if (config.enable_coarsening) {
+    hierarchy = coarsen::multi_edge_collapse(graph, config.coarsening);
+  } else {
+    hierarchy = coarsen::Hierarchy(graph);
+  }
+  result.coarsening_seconds = coarsen_timer.seconds();
+
+  const std::size_t depth = hierarchy.depth();
+  const std::vector<unsigned> epochs = distribute_epochs(
+      config.total_epochs, depth, config.smoothing_ratio);
+  result.levels.resize(depth);
+
+  // --- Stage 2: level-by-level training (lines 2-11). --------------------
+  const std::size_t device_budget = static_cast<std::size_t>(
+      static_cast<double>(device.memory_capacity()) *
+      config.device_memory_fraction);
+
+  EmbeddingMatrix matrix(hierarchy.coarsest().num_vertices(),
+                         config.train.dim);
+  matrix.initialize_random(config.train.seed);
+
+  WallTimer training_timer;
+  for (std::size_t level_plus_one = depth; level_plus_one > 0;
+       --level_plus_one) {
+    const std::size_t level = level_plus_one - 1;
+    const graph::Graph& level_graph = hierarchy.graph(level);
+    LevelReport& report = result.levels[level];
+    report.vertices = level_graph.num_vertices();
+    report.arcs = level_graph.num_arcs();
+    report.epochs = epochs[level];
+    report.passes =
+        config.edge_epochs
+            ? epochs_to_passes(epochs[level],
+                               level_graph.num_edges_undirected(),
+                               level_graph.num_vertices())
+            : epochs[level];
+
+    // Fits-check (line 5): G_i + M_i within the planned device budget.
+    const std::size_t needed =
+        DeviceGraph::required_bytes(level_graph) +
+        EmbeddingMatrix::bytes_for(level_graph.num_vertices(),
+                                   config.train.dim);
+    const bool fits = needed <= device_budget;
+
+    WallTimer level_timer;
+    if (fits) {
+      DeviceTrainer trainer(device, level_graph, config.train);
+      trainer.train(matrix, report.passes);
+    } else {
+      report.used_large_graph_path = true;
+      largegraph::LargeGraphConfig lg = config.large_graph;
+      if (lg.device_budget_bytes == 0) lg.device_budget_bytes = device_budget;
+      largegraph::LargeGraphTrainer trainer(device, level_graph, config.train,
+                                            lg);
+      trainer.train(matrix, report.passes);
+    }
+    report.train_seconds = level_timer.seconds();
+    log_debug("gosh: level " + std::to_string(level) + " |V|=" +
+              std::to_string(report.vertices) + " epochs=" +
+              std::to_string(report.epochs) +
+              (report.used_large_graph_path ? " [partitioned]" : ""));
+
+    // Projection to the finer level (line 11).
+    if (level > 0) {
+      matrix = expand_embedding(
+          matrix, std::span<const vid_t>(hierarchy.map(level - 1)));
+    }
+  }
+  result.training_seconds = training_timer.seconds();
+  result.embedding = std::move(matrix);
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace gosh::embedding

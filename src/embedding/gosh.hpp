@@ -1,0 +1,71 @@
+// The GOSH driver — Algorithm 2 of the paper.
+//
+//   1. coarsen G_0 into G = {G_0 ... G_{D-1}} (MultiEdgeCollapse);
+//   2. randomly initialize M_{D-1};
+//   3. for i = D-1 .. 0: train M_i for e_i epochs — on-device in one piece
+//      when G_i and M_i fit (TrainInGPU), otherwise through the partitioned
+//      large-graph engine (LargeGraphGPU) — then project M_i to level i-1;
+//   4. return M_0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gosh/coarsening/multi_edge_collapse.hpp"
+#include "gosh/embedding/matrix.hpp"
+#include "gosh/embedding/trainer.hpp"
+#include "gosh/graph/graph.hpp"
+#include "gosh/largegraph/trainer.hpp"
+#include "gosh/simt/device.hpp"
+
+namespace gosh::embedding {
+
+struct GoshConfig {
+  TrainConfig train;
+  coarsen::CoarseningConfig coarsening;
+  largegraph::LargeGraphConfig large_graph;
+
+  /// Total epoch budget e, distributed over levels by `smoothing_ratio`.
+  unsigned total_epochs = 1000;
+  /// p of Table 3; 1.0 = uniform across levels.
+  double smoothing_ratio = 0.3;
+  /// false = train all epochs on G_0 only (the Gosh-NoCoarse row).
+  bool enable_coarsening = true;
+  /// Paper epoch semantics (Section 4.3): one epoch samples |E| targets,
+  /// i.e. |E_i|/|V_i| TrainInGPU passes at level i. Disable to treat
+  /// total_epochs as raw per-|V| passes (cheap smoke tests).
+  bool edge_epochs = true;
+  /// Fraction of device memory the fits-check may plan for; the rest is
+  /// headroom for the trainer's transient buffers.
+  double device_memory_fraction = 0.9;
+};
+
+/// Table 3 presets. `large_scale` selects the e_large epoch budgets.
+GoshConfig gosh_fast(bool large_scale = false);
+GoshConfig gosh_normal(bool large_scale = false);
+GoshConfig gosh_slow(bool large_scale = false);
+GoshConfig gosh_no_coarsening(bool large_scale = false);
+
+struct LevelReport {
+  vid_t vertices = 0;
+  eid_t arcs = 0;
+  unsigned epochs = 0;  ///< scheduled budget in the paper's epoch unit
+  unsigned passes = 0;  ///< Algorithm 3 passes actually run (see edge_epochs)
+  bool used_large_graph_path = false;
+  double train_seconds = 0.0;
+};
+
+struct GoshResult {
+  EmbeddingMatrix embedding;          ///< M_0
+  double coarsening_seconds = 0.0;
+  double training_seconds = 0.0;      ///< all levels
+  double total_seconds = 0.0;
+  std::vector<LevelReport> levels;    ///< index = level (0 = original)
+};
+
+/// Runs the full pipeline on `device`. The input graph must be symmetrized
+/// (builders do this by default).
+GoshResult gosh_embed(const graph::Graph& graph, simt::Device& device,
+                      const GoshConfig& config);
+
+}  // namespace gosh::embedding

@@ -1,0 +1,89 @@
+#include "gosh/embedding/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gosh::embedding {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'G', 'S', 'H', 'E'};
+constexpr std::uint64_t kVersion = 1;
+
+}  // namespace
+
+void write_matrix_text(const EmbeddingMatrix& matrix,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("gosh: cannot write " + path);
+  out << matrix.rows() << ' ' << matrix.dim() << '\n';
+  for (vid_t v = 0; v < matrix.rows(); ++v) {
+    out << v;
+    for (float x : matrix.row(v)) out << ' ' << x;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("gosh: short write to " + path);
+}
+
+EmbeddingMatrix read_matrix_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("gosh: cannot open " + path);
+  std::uint64_t rows = 0, dim = 0;
+  if (!(in >> rows >> dim) || dim == 0) {
+    throw std::runtime_error("gosh: malformed embedding header in " + path);
+  }
+  EmbeddingMatrix matrix(static_cast<vid_t>(rows),
+                         static_cast<unsigned>(dim));
+  std::vector<bool> seen(rows, false);
+  for (std::uint64_t line = 0; line < rows; ++line) {
+    std::uint64_t v = 0;
+    if (!(in >> v) || v >= rows || seen[v]) {
+      throw std::runtime_error("gosh: bad vertex id in " + path);
+    }
+    seen[v] = true;
+    for (float& x : matrix.row(static_cast<vid_t>(v))) {
+      if (!(in >> x)) {
+        throw std::runtime_error("gosh: truncated row in " + path);
+      }
+    }
+  }
+  return matrix;
+}
+
+void write_matrix_binary(const EmbeddingMatrix& matrix,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("gosh: cannot write " + path);
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t header[3] = {kVersion, matrix.rows(), matrix.dim()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(matrix.data()),
+            static_cast<std::streamsize>(matrix.bytes()));
+  if (!out) throw std::runtime_error("gosh: short write to " + path);
+}
+
+EmbeddingMatrix read_matrix_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("gosh: cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("gosh: bad magic in " + path);
+  }
+  std::uint64_t header[3] = {};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kVersion) {
+    throw std::runtime_error("gosh: unsupported version in " + path);
+  }
+  EmbeddingMatrix matrix(static_cast<vid_t>(header[1]),
+                         static_cast<unsigned>(header[2]));
+  in.read(reinterpret_cast<char*>(matrix.data()),
+          static_cast<std::streamsize>(matrix.bytes()));
+  if (!in) throw std::runtime_error("gosh: truncated payload in " + path);
+  return matrix;
+}
+
+}  // namespace gosh::embedding

@@ -1,0 +1,29 @@
+// Embedding matrix persistence.
+//
+// Two formats, matching what downstream tooling expects:
+//  * text — the word2vec convention: a "rows dim" header line, then one
+//    "vertex_id f0 f1 ... f{d-1}" line per vertex (loadable by gensim,
+//    scikit-learn pipelines, etc.);
+//  * binary — "GSHE" magic + u64 version/rows/dim + raw float payload,
+//    for fast exact round trips between runs.
+#pragma once
+
+#include <string>
+
+#include "gosh/embedding/matrix.hpp"
+
+namespace gosh::embedding {
+
+void write_matrix_text(const EmbeddingMatrix& matrix, const std::string& path);
+
+/// Reads a word2vec-style text file written by write_matrix_text.
+/// Vertex ids must be exactly 0..rows-1 (any order). Throws
+/// std::runtime_error on malformed input.
+EmbeddingMatrix read_matrix_text(const std::string& path);
+
+void write_matrix_binary(const EmbeddingMatrix& matrix,
+                         const std::string& path);
+
+EmbeddingMatrix read_matrix_binary(const std::string& path);
+
+}  // namespace gosh::embedding

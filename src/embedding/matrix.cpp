@@ -1,0 +1,30 @@
+#include "gosh/embedding/matrix.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "gosh/common/rng.hpp"
+
+namespace gosh::embedding {
+
+void EmbeddingMatrix::initialize_random(std::uint64_t seed) {
+  Rng rng(seed);
+  const float scale = dim_ > 0 ? 1.0f / static_cast<float>(dim_) : 0.0f;
+  for (auto& value : data_) {
+    value = (rng.next_float() - 0.5f) * scale;
+  }
+}
+
+EmbeddingMatrix expand_embedding(const EmbeddingMatrix& coarse,
+                                 std::span<const vid_t> map) {
+  EmbeddingMatrix fine(static_cast<vid_t>(map.size()), coarse.dim());
+  const std::size_t row_bytes = coarse.dim() * sizeof(emb_t);
+  for (std::size_t v = 0; v < map.size(); ++v) {
+    assert(map[v] < coarse.rows());
+    std::memcpy(fine.row(static_cast<vid_t>(v)).data(),
+                coarse.row(map[v]).data(), row_bytes);
+  }
+  return fine;
+}
+
+}  // namespace gosh::embedding

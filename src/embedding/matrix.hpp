@@ -1,0 +1,56 @@
+// The embedding matrix M: |V| x d row-major floats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gosh/common/aligned_buffer.hpp"
+#include "gosh/common/types.hpp"
+
+namespace gosh::embedding {
+
+class EmbeddingMatrix {
+ public:
+  EmbeddingMatrix() = default;
+  EmbeddingMatrix(vid_t rows, unsigned dim)
+      : rows_(rows), dim_(dim), data_(static_cast<std::size_t>(rows) * dim) {}
+
+  vid_t rows() const noexcept { return rows_; }
+  unsigned dim() const noexcept { return dim_; }
+
+  std::span<emb_t> row(vid_t v) noexcept {
+    return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
+  }
+  std::span<const emb_t> row(vid_t v) const noexcept {
+    return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
+  }
+
+  emb_t* data() noexcept { return data_.data(); }
+  const emb_t* data() const noexcept { return data_.data(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(emb_t); }
+
+  /// Uniform init in [-0.5/d, 0.5/d] — the word2vec-family convention VERSE
+  /// and GOSH follow; keeps initial dot products near zero so the sigmoid
+  /// starts in its responsive range.
+  void initialize_random(std::uint64_t seed);
+
+  /// Deterministic memory estimate used by the fits-on-device check
+  /// (Algorithm 2 line 5).
+  static std::size_t bytes_for(vid_t rows, unsigned dim) noexcept {
+    return static_cast<std::size_t>(rows) * dim * sizeof(emb_t);
+  }
+
+ private:
+  vid_t rows_ = 0;
+  unsigned dim_ = 0;
+  AlignedBuffer<emb_t> data_;
+};
+
+/// Projects a coarse embedding down one level (Algorithm 2 line 11):
+/// result.row(v) = coarse.row(map[v]) for every fine vertex v. `map` sends
+/// fine vertices to super vertices, i.e. hierarchy.map(level).
+EmbeddingMatrix expand_embedding(const EmbeddingMatrix& coarse,
+                                 std::span<const vid_t> map);
+
+}  // namespace gosh::embedding

@@ -1,0 +1,66 @@
+#include "gosh/embedding/samplers.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace gosh::embedding {
+
+DeviceGraph::DeviceGraph(simt::Device& device, const graph::Graph& graph)
+    : num_vertices_(graph.num_vertices()),
+      num_arcs_(graph.num_arcs()),
+      xadj_(device, graph.xadj().size()),
+      adj_(device, graph.adj().size()) {
+  xadj_.copy_from_host(std::span<const eid_t>(graph.xadj()));
+  adj_.copy_from_host(std::span<const vid_t>(graph.adj()));
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("AliasTable: weights must sum to > 0");
+  }
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Standard two-worklist construction: scale to mean 1, pair each
+  // under-full slot with an over-full donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are numerically 1.0.
+  for (std::size_t s : small) probability_[s] = 1.0;
+  for (std::size_t l : large) probability_[l] = 1.0;
+}
+
+void AliasTable::export_arrays(std::span<float> probability,
+                               std::span<vid_t> alias) const {
+  assert(probability.size() == probability_.size());
+  assert(alias.size() == alias_.size());
+  for (std::size_t i = 0; i < probability_.size(); ++i) {
+    probability[i] = static_cast<float>(probability_[i]);
+    alias[i] = static_cast<vid_t>(alias_[i]);
+  }
+}
+
+}  // namespace gosh::embedding

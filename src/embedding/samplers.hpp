@@ -1,0 +1,106 @@
+// Sampling machinery for training.
+//
+//  * DeviceGraph — the CSR uploaded into device memory, from which kernels
+//    draw positive samples (Algorithm 3 line 4: GetPositiveSample);
+//  * negative samples are uniform over V (Section 3.1), drawn inline from
+//    the per-warp RNG, so no state is needed beyond |V|;
+//  * AliasTable — O(1) sampling from an arbitrary discrete distribution;
+//    used by the LINE/GraphVite-style baseline, which samples *edges*
+//    proportionally to weight rather than vertices uniformly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/graph/graph.hpp"
+#include "gosh/simt/device.hpp"
+
+namespace gosh::embedding {
+
+/// CSR resident in device memory. The xadj/adj spans are readable from
+/// kernels; uploading is metered like any transfer.
+class DeviceGraph {
+ public:
+  /// Allocates device memory for the CSR and copies it up. Throws
+  /// simt::DeviceOutOfMemory if it does not fit (Algorithm 2's fits-check
+  /// is done by the caller against required_bytes()).
+  DeviceGraph(simt::Device& device, const graph::Graph& graph);
+
+  vid_t num_vertices() const noexcept { return num_vertices_; }
+  eid_t num_arcs() const noexcept { return num_arcs_; }
+
+  const eid_t* xadj() const noexcept { return xadj_.data(); }
+  const vid_t* adj() const noexcept { return adj_.data(); }
+
+  /// Uniform positive sample from Gamma(v); kInvalidVertex when v is
+  /// isolated (the trainer then skips the positive update).
+  vid_t positive_sample(vid_t v, Rng& rng) const noexcept {
+    const eid_t begin = xadj_.data()[v];
+    const eid_t end = xadj_.data()[v + 1];
+    if (begin == end) return kInvalidVertex;
+    return adj_.data()[begin + rng.next_bounded(end - begin)];
+  }
+
+  /// PPR positive sample: a random walk from v continuing with probability
+  /// `alpha` per step; the stop vertex is the sample. This is VERSE's
+  /// personalized-PageRank similarity (the paper's Section 2 notes GOSH
+  /// inherits VERSE's generality over similarity measures Q; GOSH itself
+  /// defaults to adjacency). Returns kInvalidVertex for isolated starts.
+  vid_t ppr_sample(vid_t v, float alpha, Rng& rng) const noexcept {
+    vid_t current = v;
+    for (;;) {
+      const eid_t begin = xadj_.data()[current];
+      const eid_t end = xadj_.data()[current + 1];
+      if (begin == end) return current == v ? kInvalidVertex : current;
+      current = adj_.data()[begin + rng.next_bounded(end - begin)];
+      if (rng.next_float() >= alpha) return current;
+    }
+  }
+
+  /// Device bytes a graph needs: the paper's (|V|+1) + |E| entry count.
+  static std::size_t required_bytes(const graph::Graph& graph) noexcept {
+    return (graph.num_vertices() + 1) * sizeof(eid_t) +
+           graph.num_arcs() * sizeof(vid_t);
+  }
+
+ private:
+  vid_t num_vertices_;
+  eid_t num_arcs_;
+  simt::DeviceBuffer<eid_t> xadj_;
+  simt::DeviceBuffer<vid_t> adj_;
+};
+
+/// Uniform negative sample over [0, n) — the noise distribution N.
+inline vid_t negative_sample(vid_t n, Rng& rng) noexcept {
+  return rng.next_vertex(n);
+}
+
+/// Walker alias table for O(1) weighted discrete sampling.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  /// Builds from (unnormalized, nonnegative) weights; O(n).
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t size() const noexcept { return probability_.size(); }
+
+  /// Samples an index with probability weight[i]/sum(weights).
+  std::size_t sample(Rng& rng) const noexcept {
+    const std::size_t slot = rng.next_bounded(probability_.size());
+    return rng.next_double() < probability_[slot] ? slot : alias_[slot];
+  }
+
+  /// Compacts the internal arrays into caller buffers (float probabilities,
+  /// 32-bit alias ids) — the layout device-resident tables use. Both spans
+  /// must have size() elements.
+  void export_arrays(std::span<float> probability,
+                     std::span<vid_t> alias) const;
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace gosh::embedding

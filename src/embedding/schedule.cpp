@@ -1,0 +1,84 @@
+#include "gosh/embedding/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gosh::embedding {
+
+std::vector<unsigned> distribute_epochs(unsigned total_epochs,
+                                        std::size_t levels,
+                                        double smoothing_ratio) {
+  assert(levels > 0);
+  const std::size_t d = levels;
+  // Budgets below one epoch per level degenerate to exactly one each.
+  if (total_epochs <= d) return std::vector<unsigned>(d, 1);
+
+  const double p = std::clamp(smoothing_ratio, 0.0, 1.0);
+  const double e = static_cast<double>(total_epochs);
+
+  // Real-valued shares: uniform pool p*e spread evenly + geometric pool
+  // e*(1-p) with ratio 1/2 toward finer levels (coarsest gets the most).
+  const double geometric_pool = e * (1.0 - p);
+  const double geometric_sum =
+      2.0 - std::ldexp(1.0, -(static_cast<int>(d) - 1));
+  const double coarsest_share = geometric_pool / geometric_sum;
+  const double uniform_share = p * e / static_cast<double>(d);
+
+  std::vector<double> share(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    share[i] = uniform_share +
+               coarsest_share * std::ldexp(1.0, -(static_cast<int>(d) - 1 -
+                                                  static_cast<int>(i)));
+  }
+
+  // Largest-remainder rounding: floors first, then hand the leftover
+  // epochs to the largest fractional parts (ties favour coarser levels so
+  // the coarser-trains-more shape is preserved through rounding).
+  std::vector<unsigned> epochs(d);
+  unsigned floored = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    epochs[i] = static_cast<unsigned>(share[i]);
+    floored += epochs[i];
+  }
+  std::vector<std::size_t> order(d);
+  for (std::size_t i = 0; i < d; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&share, &epochs](std::size_t a,
+                                                          std::size_t b) {
+    const double fa = share[a] - epochs[a];
+    const double fb = share[b] - epochs[b];
+    if (fa != fb) return fa > fb;
+    return a > b;  // tie: coarser level first
+  });
+  const unsigned leftover = total_epochs - floored;  // < d by construction
+  for (unsigned j = 0; j < leftover; ++j) epochs[order[j]]++;
+
+  // Lift empty levels to one epoch, stealing from the largest level.
+  for (std::size_t i = 0; i < d; ++i) {
+    if (epochs[i] != 0) continue;
+    const std::size_t richest =
+        std::max_element(epochs.begin(), epochs.end()) - epochs.begin();
+    assert(epochs[richest] > 1);
+    epochs[richest]--;
+    epochs[i] = 1;
+  }
+  return epochs;
+}
+
+unsigned epochs_to_passes(unsigned epochs, eid_t undirected_edges,
+                          vid_t vertices) noexcept {
+  if (vertices == 0) return epochs;
+  const double density = static_cast<double>(undirected_edges) /
+                         static_cast<double>(vertices);
+  const double passes = static_cast<double>(epochs) * density;
+  return static_cast<unsigned>(std::max(1.0, std::llround(passes) * 1.0));
+}
+
+float decayed_learning_rate(float base_lr, unsigned epoch,
+                            unsigned level_epochs) noexcept {
+  const float progress =
+      1.0f - static_cast<float>(epoch) / static_cast<float>(level_epochs);
+  return base_lr * std::max(progress, 1e-4f);
+}
+
+}  // namespace gosh::embedding

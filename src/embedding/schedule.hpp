@@ -1,0 +1,45 @@
+// Epoch distribution across coarsening levels and per-epoch learning-rate
+// decay (paper Section 3, "Embedding on small hardware").
+//
+// Epoch budget: a fraction p ("smoothing ratio") of the e total epochs is
+// spread uniformly over the D levels; the remaining e*(1-p) is distributed
+// geometrically with ratio 1/2 from the coarsest level down, i.e. the
+// coarsest (smallest, cheapest) graph trains the most:
+//
+//   e_i = p*e/D + g_i,   g_i = g_{i+1}/2,   sum(g_i) = e*(1-p).
+//
+// p = 1 recovers the naive uniform split; p -> 0 pushes nearly all epochs
+// to the coarse levels, trading fine-tuning for speed (Table 3 presets).
+//
+// Learning rate within a level (Algorithm 3 line 2):
+//   lr_j = lr * max(1 - j/e_i, 1e-4).
+#pragma once
+
+#include <vector>
+
+#include "gosh/common/types.hpp"
+
+namespace gosh::embedding {
+
+/// epochs_per_level[i] is e_i for level i (0 = original graph, D-1 =
+/// coarsest). Every level gets at least one epoch and the values sum to
+/// max(e, D).
+std::vector<unsigned> distribute_epochs(unsigned total_epochs,
+                                        std::size_t levels,
+                                        double smoothing_ratio);
+
+/// Decayed learning rate for epoch j (0-based) of a level trained for
+/// `level_epochs` epochs.
+float decayed_learning_rate(float base_lr, unsigned epoch,
+                            unsigned level_epochs) noexcept;
+
+/// Converts the paper's epoch unit into trainer passes. Section 4.3:
+/// "we define a single epoch as sampling |E| target vertices" (to match
+/// GraphVite's definition), while one TrainInGPU pass (Algorithm 3)
+/// samples |V| source vertices — so one epoch is |E|/|V| passes. Density
+/// is taken per level: coarse graphs are smaller AND sparser, which is
+/// where the multilevel speedup comes from.
+unsigned epochs_to_passes(unsigned epochs, eid_t undirected_edges,
+                          vid_t vertices) noexcept;
+
+}  // namespace gosh::embedding

@@ -1,0 +1,86 @@
+// TrainInGPU (Algorithm 3) on the emulated device.
+//
+// Execution model reproduced from Section 3.1:
+//   * epochs are synchronized — one kernel launch per epoch, full barrier
+//     between launches, so no two epochs overlap;
+//   * each source vertex belongs to exactly one warp per epoch (no vertex
+//     is a source of two concurrent updates); sampled rows are read and
+//     written lock-free and may race, which the paper accepts;
+//   * the source row is staged into warp shared memory for the whole
+//     (1 + ns) sample loop and written back once; sampled rows are touched
+//     in global memory exactly once per element;
+//   * small-dimension packing (Section 3.1.1): for d <= 16, a vertex only
+//     needs ceil-to-8 lanes, so 2 (d=16) or 4 (d=8) source vertices share
+//     one warp, quartering/halving the warp count.
+//
+// The "naive kernel" variant drops the staging and the packing (one vertex
+// per warp, all accesses accounted as global) — it is the first rung of the
+// Figure 4 speedup ladder.
+#pragma once
+
+#include <cstdint>
+
+#include "gosh/embedding/matrix.hpp"
+#include "gosh/embedding/samplers.hpp"
+#include "gosh/embedding/update.hpp"
+#include "gosh/graph/graph.hpp"
+#include "gosh/simt/device.hpp"
+
+namespace gosh::embedding {
+
+/// Positive-sample similarity measure Q (Section 2: GOSH trains VERSE's
+/// objective, which accepts any vertex similarity; the paper and this
+/// default use adjacency).
+enum class PositiveSampling {
+  kAdjacency,  ///< uniform neighbour of the source
+  kPpr,        ///< personalized-PageRank walk endpoint
+};
+
+struct TrainConfig {
+  unsigned dim = 128;
+  unsigned negative_samples = 3;  ///< ns
+  float learning_rate = 0.025f;   ///< initial lr, decayed per epoch
+  UpdateRule update_rule = UpdateRule::kSimultaneous;
+  PositiveSampling positive_sampling = PositiveSampling::kAdjacency;
+  float ppr_alpha = 0.85f;        ///< walk-continue probability for kPpr
+  bool use_sigmoid_lut = true;
+  /// Enables the Section 3.1.1 multi-vertex-per-warp path for d <= 16.
+  bool small_dim_packing = true;
+  /// Disables shared-memory staging and packing (Figure 4 "naive GPU").
+  bool naive_kernel = false;
+  std::uint64_t seed = 42;
+};
+
+/// Lanes serving one source vertex: smallest multiple of 8 covering d,
+/// capped at the warp size (Section 3.1.1).
+unsigned lanes_per_vertex(unsigned dim, bool small_dim_packing) noexcept;
+
+/// Trains an embedding matrix against one resident graph. The matrix and
+/// the CSR both live in device memory for the lifetime of this object —
+/// the caller (the Gosh driver) has already verified they fit.
+class DeviceTrainer {
+ public:
+  DeviceTrainer(simt::Device& device, const graph::Graph& graph,
+                const TrainConfig& config);
+
+  /// Runs `epochs` training epochs over `matrix` (Algorithm 3). The host
+  /// matrix is uploaded once, trained on device, and downloaded at the
+  /// end. `lr_offset`/`lr_total` position this call inside the level's
+  /// decay schedule when training is split across calls.
+  void train(EmbeddingMatrix& matrix, unsigned epochs);
+  void train(EmbeddingMatrix& matrix, unsigned epochs, unsigned lr_offset,
+             unsigned lr_total);
+
+  const TrainConfig& config() const noexcept { return config_; }
+
+ private:
+  void run_epoch(emb_t* matrix_device, vid_t num_vertices, float lr,
+                 std::uint64_t epoch_seed);
+
+  simt::Device& device_;
+  const graph::Graph& graph_;
+  TrainConfig config_;
+  DeviceGraph device_graph_;
+};
+
+}  // namespace gosh::embedding

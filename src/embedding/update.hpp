@@ -1,0 +1,83 @@
+// Algorithm 1 — the single positive/negative update of GOSH/VERSE.
+//
+//   score <- (b - sigmoid(M[v] . M[sample])) * lr
+//   M[v]      <- M[v]      + M[sample] * score
+//   M[sample] <- M[sample] + M[v]      * score
+//
+// Two readings of line 3 exist: the paper's pseudocode sequentially uses
+// the *updated* M[v], while register-staged GPU implementations (and plain
+// SGD on the pair objective) use the *old* M[v]. The difference is a
+// second-order term (score^2); both are provided and an ablation bench
+// measures the effect. UpdateRule::kSimultaneous is the default as it
+// matches the released implementations.
+//
+// The source row is expected to live in warp shared memory (the trainer
+// stages it); the sample row is touched in global memory exactly once per
+// element, as the paper prescribes.
+#pragma once
+
+#include <span>
+
+#include "gosh/common/sigmoid.hpp"
+#include "gosh/common/types.hpp"
+
+namespace gosh::embedding {
+
+enum class UpdateRule {
+  /// Fused elementwise update using old values of both rows.
+  kSimultaneous,
+  /// Paper-literal: the sample update sees the already-updated source.
+  kPaperSequential,
+};
+
+/// Callable wrapper so kernels can be instantiated with the exact sigmoid
+/// where reproducibility against a closed form matters (tests, ablation).
+struct ExactSigmoid {
+  float operator()(float x) const noexcept { return sigmoid_exact(x); }
+};
+
+/// Dot product of two d-length rows (float accumulate, like the kernels).
+inline float dot(const emb_t* a, const emb_t* b, unsigned d) noexcept {
+  float acc = 0.0f;
+  for (unsigned j = 0; j < d; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+/// One Algorithm 1 update. `b` is 1 for a positive sample, 0 for negative.
+/// `source` may alias shared-memory staging; `sample` is the global row.
+template <UpdateRule Rule, typename Sigmoid>
+inline void update_embedding(emb_t* source, emb_t* sample, unsigned d,
+                             float b, float lr,
+                             const Sigmoid& sigmoid) noexcept {
+  const float score = (b - sigmoid(dot(source, sample, d))) * lr;
+  if constexpr (Rule == UpdateRule::kSimultaneous) {
+    for (unsigned j = 0; j < d; ++j) {
+      const float vj = source[j];
+      const float sj = sample[j];
+      source[j] = vj + sj * score;
+      sample[j] = sj + vj * score;
+    }
+  } else {
+    for (unsigned j = 0; j < d; ++j) {
+      const float sj = sample[j];
+      source[j] += sj * score;
+      sample[j] = sj + source[j] * score;
+    }
+  }
+}
+
+/// Runtime-dispatched form for callers configured by TrainConfig.
+template <typename Sigmoid>
+inline void update_embedding(emb_t* source, emb_t* sample, unsigned d,
+                             float b, float lr, const Sigmoid& sigmoid,
+                             UpdateRule rule) noexcept {
+  if (rule == UpdateRule::kSimultaneous) {
+    update_embedding<UpdateRule::kSimultaneous>(source, sample, d, b, lr,
+                                                sigmoid);
+  } else {
+    update_embedding<UpdateRule::kPaperSequential>(source, sample, d, b, lr,
+                                                   sigmoid);
+  }
+}
+
+}  // namespace gosh::embedding

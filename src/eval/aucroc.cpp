@@ -1,0 +1,51 @@
+#include "gosh/eval/aucroc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gosh::eval {
+
+double auc_roc(std::span<const float> scores,
+               std::span<const uint8_t> labels) {
+  assert(scores.size() == labels.size());
+  const std::size_t n = scores.size();
+
+  std::size_t positives = 0;
+  for (uint8_t label : labels) positives += label;
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("auc_roc: need both classes present");
+  }
+
+  // Rank all scores ascending; tied scores share the average rank so the
+  // statistic is exact under ties.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double positive_rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // Ranks are 1-based; the tie group [i, j] shares the mean rank.
+    const double mean_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t t = i; t <= j; ++t) {
+      if (labels[order[t]] != 0) positive_rank_sum += mean_rank;
+    }
+    i = j + 1;
+  }
+
+  const double u_statistic =
+      positive_rank_sum -
+      static_cast<double>(positives) * (static_cast<double>(positives) + 1.0) / 2.0;
+  return u_statistic /
+         (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace gosh::eval

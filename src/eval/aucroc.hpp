@@ -1,0 +1,17 @@
+// Area under the ROC curve (the paper's quality metric, after [4]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gosh::eval {
+
+/// Rank-based AUCROC: the probability a uniformly chosen positive scores
+/// above a uniformly chosen negative, with ties counted half. Equivalent to
+/// the Mann-Whitney U statistic; O(n log n).
+///
+/// `scores[i]` is the classifier score of sample i; `labels[i]` is 1 for a
+/// positive, 0 for a negative. Requires at least one of each.
+double auc_roc(std::span<const float> scores, std::span<const uint8_t> labels);
+
+}  // namespace gosh::eval

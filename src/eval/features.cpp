@@ -1,0 +1,62 @@
+#include "gosh/eval/features.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/graph/ops.hpp"
+
+namespace gosh::eval {
+
+std::vector<graph::Edge> sample_negative_edges(
+    const graph::Graph& exclude, std::size_t count, std::uint64_t seed,
+    const std::vector<graph::Edge>& also_exclude) {
+  const vid_t n = exclude.num_vertices();
+  Rng rng(seed);
+
+  std::unordered_set<std::uint64_t> extra;
+  extra.reserve(also_exclude.size() * 2);
+  auto pack = [](vid_t u, vid_t v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  for (const auto& [u, v] : also_exclude) extra.insert(pack(u, v));
+
+  std::vector<graph::Edge> negatives;
+  negatives.reserve(count);
+  while (negatives.size() < count) {
+    const vid_t u = rng.next_vertex(n);
+    const vid_t v = rng.next_vertex(n);
+    if (u == v) continue;
+    if (graph::has_arc(exclude, u, v)) continue;
+    if (!extra.empty() && extra.contains(pack(u, v))) continue;
+    negatives.emplace_back(u, v);
+  }
+  return negatives;
+}
+
+EdgeFeatureSet build_edge_features(
+    const embedding::EmbeddingMatrix& matrix,
+    const std::vector<graph::Edge>& positive_edges,
+    const std::vector<graph::Edge>& negative_edges) {
+  EdgeFeatureSet set;
+  set.dim = matrix.dim();
+  const std::size_t total = positive_edges.size() + negative_edges.size();
+  set.features.resize(total * set.dim);
+  set.labels.resize(total);
+
+  std::size_t row = 0;
+  auto emit = [&](const graph::Edge& edge, uint8_t label) {
+    const auto a = matrix.row(edge.first);
+    const auto b = matrix.row(edge.second);
+    float* out = set.features.data() + row * set.dim;
+    for (unsigned j = 0; j < set.dim; ++j) out[j] = a[j] * b[j];
+    set.labels[row] = label;
+    ++row;
+  };
+  for (const auto& edge : positive_edges) emit(edge, 1);
+  for (const auto& edge : negative_edges) emit(edge, 0);
+  return set;
+}
+
+}  // namespace gosh::eval

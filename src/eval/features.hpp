@@ -1,0 +1,45 @@
+// Edge feature construction for link prediction (paper Section 4.1).
+//
+// A candidate edge (u, v) becomes the element-wise (Hadamard) product of
+// the two embedding rows — d features per sample; the logistic regression
+// then learns a weighted dot product. Negative candidates are uniform
+// non-edges, as many as there are positives, so the training set is
+// balanced exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gosh/embedding/matrix.hpp"
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::eval {
+
+struct EdgeFeatureSet {
+  /// Row-major |samples| x dim feature block.
+  std::vector<float> features;
+  std::vector<uint8_t> labels;
+  unsigned dim = 0;
+
+  std::size_t size() const noexcept { return labels.size(); }
+  const float* row(std::size_t i) const noexcept {
+    return features.data() + i * dim;
+  }
+};
+
+/// Samples `count` vertex pairs that are NOT arcs of `exclude` (and not
+/// self-pairs), uniformly over V x V. Used for both train and test
+/// negatives; the test set additionally excludes its own positives via
+/// `also_exclude` (may be empty).
+std::vector<graph::Edge> sample_negative_edges(
+    const graph::Graph& exclude, std::size_t count, std::uint64_t seed,
+    const std::vector<graph::Edge>& also_exclude = {});
+
+/// Builds the balanced feature set: every `positive_edges` entry (label 1)
+/// plus an equal number of provided negatives (label 0), Hadamard features.
+EdgeFeatureSet build_edge_features(const embedding::EmbeddingMatrix& matrix,
+                                   const std::vector<graph::Edge>& positive_edges,
+                                   const std::vector<graph::Edge>& negative_edges);
+
+}  // namespace gosh::eval

@@ -1,0 +1,126 @@
+#include "gosh/eval/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/common/timer.hpp"
+#include "gosh/eval/aucroc.hpp"
+#include "gosh/graph/builder.hpp"
+
+namespace gosh::eval {
+
+LinkPredictionReport evaluate_link_prediction(
+    const embedding::EmbeddingMatrix& matrix,
+    const graph::LinkPredictionSplit& split,
+    const LinkPredictionOptions& options) {
+  assert(matrix.rows() == split.train.num_vertices());
+
+  // --- R_train: all train edges + equal negatives from (VxV) \ E_train. --
+  std::vector<graph::Edge> train_positives =
+      graph::undirected_edges(split.train);
+  if (options.max_train_edges != 0 &&
+      train_positives.size() > options.max_train_edges) {
+    // Deterministic subsample: shuffle then truncate.
+    Rng rng(options.negative_seed);
+    for (std::size_t i = train_positives.size(); i > 1; --i) {
+      std::swap(train_positives[i - 1], train_positives[rng.next_bounded(i)]);
+    }
+    train_positives.resize(options.max_train_edges);
+  }
+  const std::vector<graph::Edge> train_negatives = sample_negative_edges(
+      split.train, train_positives.size(), options.negative_seed);
+  const EdgeFeatureSet train_set =
+      build_edge_features(matrix, train_positives, train_negatives);
+
+  LinkPredictionReport report;
+  report.train_samples = train_set.size();
+
+  WallTimer fit_timer;
+  LogisticRegression model(options.logreg);
+  model.fit(train_set);
+  report.fit_seconds = fit_timer.seconds();
+
+  // --- R_test: test edges + equal negatives excluding train AND test. ----
+  const std::vector<graph::Edge> test_negatives = sample_negative_edges(
+      split.train, split.test_edges.size(), options.negative_seed + 1,
+      /*also_exclude=*/split.test_edges);
+  const EdgeFeatureSet test_set =
+      build_edge_features(matrix, split.test_edges, test_negatives);
+  report.test_samples = test_set.size();
+
+  const std::vector<float> scores = model.predict(test_set);
+  report.auc_roc = auc_roc(scores, test_set.labels);
+  return report;
+}
+
+NodeClassificationReport evaluate_node_classification(
+    const embedding::EmbeddingMatrix& matrix,
+    const std::vector<unsigned>& labels,
+    const NodeClassificationOptions& options) {
+  assert(labels.size() == matrix.rows());
+  const vid_t n = matrix.rows();
+  const unsigned d = matrix.dim();
+  const unsigned num_classes =
+      labels.empty() ? 0 : *std::max_element(labels.begin(), labels.end()) + 1;
+
+  // Split vertices into train/test.
+  Rng rng(options.seed);
+  std::vector<vid_t> train_ids, test_ids;
+  for (vid_t v = 0; v < n; ++v) {
+    (rng.next_double() < options.train_fraction ? train_ids : test_ids)
+        .push_back(v);
+  }
+
+  // One-vs-rest: reuse the EdgeFeatureSet container with raw embedding rows
+  // as features.
+  auto make_set = [&](const std::vector<vid_t>& ids, unsigned positive_class) {
+    EdgeFeatureSet set;
+    set.dim = d;
+    set.features.resize(ids.size() * d);
+    set.labels.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto row = matrix.row(ids[i]);
+      std::copy(row.begin(), row.end(), set.features.begin() + i * d);
+      set.labels[i] = labels[ids[i]] == positive_class ? 1 : 0;
+    }
+    return set;
+  };
+
+  std::vector<LogisticRegression> models;
+  models.reserve(num_classes);
+  for (unsigned c = 0; c < num_classes; ++c) {
+    LogisticRegression model(options.logreg);
+    model.fit(make_set(train_ids, c));
+    models.push_back(std::move(model));
+  }
+
+  // Predict argmax over the per-class probabilities.
+  std::size_t correct = 0;
+  for (vid_t v : test_ids) {
+    const auto row = matrix.row(v);
+    std::vector<float> features(row.begin(), row.end());
+    unsigned best_class = 0;
+    float best_probability = -1.0f;
+    for (unsigned c = 0; c < num_classes; ++c) {
+      const float probability =
+          models[c].predict_probability(features.data());
+      if (probability > best_probability) {
+        best_probability = probability;
+        best_class = c;
+      }
+    }
+    if (best_class == labels[v]) ++correct;
+  }
+
+  NodeClassificationReport report;
+  report.classes = num_classes;
+  report.accuracy = test_ids.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) / test_ids.size();
+  // With single-label classes, micro-F1 equals accuracy.
+  report.micro_f1 = report.accuracy;
+  return report;
+}
+
+}  // namespace gosh::eval

@@ -1,0 +1,44 @@
+// COO (edge list) to CSR construction.
+//
+// All graph inputs — file loads, generators, coarsened graphs, train splits
+// — funnel through this builder so dedup / self-loop / symmetrization policy
+// lives in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::graph {
+
+using Edge = std::pair<vid_t, vid_t>;
+
+struct BuildOptions {
+  /// Add the reverse of every arc (undirected semantics). GOSH embeds the
+  /// symmetrized graph: Gamma(u) is the union of in/out neighbourhoods.
+  bool symmetrize = true;
+  /// Drop (v,v) arcs. Self-loops add no training signal (a positive sample
+  /// of itself) and would distort coarsening degrees.
+  bool remove_self_loops = true;
+  /// Collapse parallel arcs to one.
+  bool dedup = true;
+  /// Sort each adjacency slice ascending (required by dedup; kept on by
+  /// default so binary-search lookups work downstream).
+  bool sort_adjacency = true;
+};
+
+/// Builds a CSR graph over `num_vertices` vertices from an arc list.
+/// Arcs referencing vertices >= num_vertices are invalid (asserted).
+/// Complexity O(|V| + |E| log deg_max) (per-slice sort dominates).
+Graph build_csr(vid_t num_vertices, std::vector<Edge> arcs,
+                const BuildOptions& options = {});
+
+/// Convenience: builds with num_vertices = 1 + max endpoint (0 for empty).
+Graph build_csr_auto(std::vector<Edge> arcs, const BuildOptions& options = {});
+
+/// Extracts the unique undirected edge list (u < v) of a symmetrized graph.
+std::vector<Edge> undirected_edges(const Graph& graph);
+
+}  // namespace gosh::graph

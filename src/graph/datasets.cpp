@@ -1,0 +1,62 @@
+#include "gosh/graph/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::graph {
+
+std::vector<DatasetSpec> table2_datasets(unsigned medium_scale,
+                                         unsigned large_scale) {
+  // Analogs are LFR-style planted-community powerlaw graphs: heavy-tailed
+  // degrees (drives coarsening and scheduling behaviour) plus community
+  // structure at mixing mu = 0.15 (makes 20%-held-out edges predictable —
+  // the property of the paper's social/web graphs that link prediction
+  // depends on). The average degree targets 2x the paper's |E|/|V|
+  // density column. Seeds are fixed so bench tables are stable run to run.
+  std::vector<DatasetSpec> specs = {
+      {"com-dblp", 317080, 1049866, 3.31, false, medium_scale, 6.62, 101},
+      {"com-amazon", 334863, 925872, 2.76, false, medium_scale, 5.52, 102},
+      {"youtube", 1138499, 4945382, 4.34, false, medium_scale, 8.68, 103},
+      {"soc-pokec", 1632803, 30622564, 18.75, false, medium_scale, 37.5, 104},
+      {"wiki-topcats", 1791489, 28511807, 15.92, false, medium_scale, 31.84,
+       105},
+      {"com-orkut", 3072441, 117185083, 38.14, false, medium_scale, 76.28,
+       106},
+      {"com-lj", 3997962, 34681189, 8.67, false, medium_scale, 17.34, 107},
+      {"soc-LiveJournal", 4847571, 68993773, 14.23, false, medium_scale,
+       28.46, 108},
+      {"hyperlink2012", 39497204, 623056313, 15.77, true, large_scale, 31.54,
+       109},
+      {"soc-sinaweibo", 58655849, 261321071, 4.46, true, large_scale, 8.92,
+       110},
+      {"twitter_rv", 41652230, 1468365182, 35.25, true, large_scale, 70.5,
+       111},
+      {"com-friendster", 65608366, 1806067135, 27.53, true, large_scale,
+       55.06, 112},
+  };
+  return specs;
+}
+
+DatasetSpec find_dataset(const std::string& name, unsigned medium_scale,
+                         unsigned large_scale) {
+  for (auto& spec : table2_datasets(medium_scale, large_scale)) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("gosh: unknown dataset " + name);
+}
+
+Graph generate_dataset(const DatasetSpec& spec) {
+  const vid_t n = vid_t{1} << spec.vertex_scale;
+  LfrParams params;
+  params.average_degree = spec.analog_average_degree;
+  // ~64 vertices per community, as in typical LFR settings; at least 4
+  // communities so the mixing parameter stays meaningful at tiny scales.
+  params.communities = std::max<vid_t>(4, n / 64);
+  params.mixing = 0.15;
+  return lfr_like(n, params, spec.seed);
+}
+
+}  // namespace gosh::graph

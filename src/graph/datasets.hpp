@@ -1,0 +1,46 @@
+// Synthetic dataset registry mirroring the paper's Table 2.
+//
+// Each entry pairs the paper's real graph (name, |V|, |E|, density) with a
+// generator recipe producing a scaled-down synthetic analog of matching
+// character: heavy-tailed RMAT for the social / web graphs, denser RMAT for
+// orkut-like graphs, Barabasi-Albert for citation-style ones. The scale
+// knob keeps |E| within what a 2-core machine embeds in seconds while
+// preserving each graph's |E|/|V| density ratio, which is what drives the
+// coarsening and partitioning behaviour being reproduced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::graph {
+
+struct DatasetSpec {
+  std::string name;           ///< paper's graph name
+  std::uint64_t paper_vertices;
+  std::uint64_t paper_edges;
+  double paper_density;       ///< paper Table 2 |E|/|V|
+  bool large_scale;           ///< below/above the 10M-vertex line in Table 2
+
+  /// Synthetic analog parameters (already scaled). The analog is an
+  /// LFR-style planted-community powerlaw graph (see generate_dataset).
+  unsigned vertex_scale;        ///< vertices = 2^vertex_scale
+  double analog_average_degree; ///< 2 x paper density (density = |E|/|V|)
+  std::uint64_t seed;
+};
+
+/// All twelve Table 2 rows. `medium_scale` / `large_scale` pick the vertex
+/// budget for the two experiment families; defaults fit a small machine.
+std::vector<DatasetSpec> table2_datasets(unsigned medium_scale = 14,
+                                         unsigned large_scale = 17);
+
+/// Finds a spec by paper name; throws std::out_of_range if absent.
+DatasetSpec find_dataset(const std::string& name, unsigned medium_scale = 14,
+                         unsigned large_scale = 17);
+
+/// Materializes the synthetic analog graph for a spec.
+Graph generate_dataset(const DatasetSpec& spec);
+
+}  // namespace gosh::graph

@@ -1,0 +1,322 @@
+#include "gosh/graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/graph/builder.hpp"
+
+namespace gosh::graph {
+namespace {
+
+/// Packs an undirected pair (min,max) into one u64 for dedup sets.
+std::uint64_t pack_edge(vid_t u, vid_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph erdos_renyi(vid_t n, eid_t m, std::uint64_t seed) {
+  const eid_t max_edges =
+      static_cast<eid_t>(n) * (n - 1) / 2;
+  if (n < 2 || m > max_edges) {
+    throw std::invalid_argument("erdos_renyi: infeasible (n, m)");
+  }
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const vid_t u = rng.next_vertex(n);
+    const vid_t v = rng.next_vertex(n);
+    if (u == v) continue;
+    if (seen.insert(pack_edge(u, v)).second) edges.emplace_back(u, v);
+  }
+  return build_csr(n, std::move(edges));
+}
+
+Graph rmat(unsigned scale, eid_t edges, std::uint64_t seed,
+           const RmatParams& params) {
+  if (scale == 0 || scale > 31) {
+    throw std::invalid_argument("rmat: scale must be in [1, 31]");
+  }
+  const double sum = params.a + params.b + params.c + params.d;
+  if (sum < 0.999 || sum > 1.001) {
+    throw std::invalid_argument("rmat: quadrant probabilities must sum to 1");
+  }
+  const vid_t n = vid_t{1} << scale;
+  Rng rng(seed);
+
+  std::vector<Edge> arcs;
+  arcs.reserve(edges);
+  for (eid_t i = 0; i < edges; ++i) {
+    vid_t row = 0, col = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant choice: a = top-left, b = top-right, c = bottom-left,
+      // d = bottom-right, recursively refined per bit.
+      unsigned quadrant;
+      if (r < params.a) quadrant = 0;
+      else if (r < params.a + params.b) quadrant = 1;
+      else if (r < params.a + params.b + params.c) quadrant = 2;
+      else quadrant = 3;
+      row = (row << 1) | (quadrant >> 1);
+      col = (col << 1) | (quadrant & 1);
+    }
+    if (row != col) arcs.emplace_back(row, col);
+  }
+
+  if (params.shuffle_ids) {
+    // Fisher-Yates permutation of ids decouples degree from id order;
+    // counting-sort ordering in coarsening must not get the hubs for free.
+    std::vector<vid_t> perm(n);
+    std::iota(perm.begin(), perm.end(), vid_t{0});
+    for (vid_t i = n - 1; i > 0; --i) {
+      const vid_t j = rng.next_vertex(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+    for (auto& [u, v] : arcs) {
+      u = perm[u];
+      v = perm[v];
+    }
+  }
+  return build_csr(n, std::move(arcs));
+}
+
+Graph barabasi_albert(vid_t n, vid_t attach, std::uint64_t seed) {
+  if (n < 2 || attach == 0 || attach >= n) {
+    throw std::invalid_argument("barabasi_albert: need 0 < attach < n >= 2");
+  }
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+  // `endpoints` lists every endpoint of every edge so far; sampling a
+  // uniform element is sampling a vertex with probability ~ degree.
+  std::vector<vid_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * attach * 2);
+
+  // Seed clique over the first attach+1 vertices.
+  for (vid_t u = 0; u <= attach; ++u) {
+    for (vid_t v = u + 1; v <= attach; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  for (vid_t v = attach + 1; v < n; ++v) {
+    std::unordered_set<vid_t> chosen;
+    while (chosen.size() < attach) {
+      const vid_t target =
+          endpoints[rng.next_bounded(endpoints.size())];
+      if (target != v) chosen.insert(target);
+    }
+    for (vid_t target : chosen) {
+      edges.emplace_back(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return build_csr(n, std::move(edges));
+}
+
+Graph holme_kim(vid_t n, vid_t attach, double triad_probability,
+                std::uint64_t seed) {
+  if (n < 2 || attach == 0 || attach >= n) {
+    throw std::invalid_argument("holme_kim: need 0 < attach < n >= 2");
+  }
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+  // Endpoint list for preferential attachment, as in barabasi_albert.
+  std::vector<vid_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * attach * 2);
+  // Adjacency-so-far, needed for the triad step.
+  std::vector<std::vector<vid_t>> adjacency(n);
+
+  auto add_edge = [&](vid_t u, vid_t v) {
+    edges.emplace_back(u, v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  };
+
+  for (vid_t u = 0; u <= attach; ++u) {
+    for (vid_t v = u + 1; v <= attach; ++v) add_edge(u, v);
+  }
+
+  for (vid_t v = attach + 1; v < n; ++v) {
+    std::unordered_set<vid_t> chosen;
+    vid_t last_target = kInvalidVertex;
+    while (chosen.size() < attach) {
+      vid_t target = kInvalidVertex;
+      if (last_target != kInvalidVertex &&
+          rng.next_double() < triad_probability) {
+        // Triad step: close a triangle through the previous target.
+        const auto& candidates = adjacency[last_target];
+        const vid_t pick =
+            candidates[rng.next_bounded(candidates.size())];
+        if (pick != v && !chosen.contains(pick)) target = pick;
+      }
+      if (target == kInvalidVertex) {
+        // Preferential-attachment step.
+        const vid_t pick = endpoints[rng.next_bounded(endpoints.size())];
+        if (pick != v && !chosen.contains(pick)) target = pick;
+      }
+      if (target == kInvalidVertex) continue;
+      chosen.insert(target);
+      last_target = target;
+    }
+    for (vid_t target : chosen) add_edge(v, target);
+  }
+  return build_csr(n, std::move(edges));
+}
+
+Graph watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
+  if (n < 4 || k == 0 || 2 * k >= n) {
+    throw std::invalid_argument("watts_strogatz: need 0 < 2k < n >= 4");
+  }
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t offset = 1; offset <= k; ++offset) {
+      vid_t target = static_cast<vid_t>((v + offset) % n);
+      if (rng.next_double() < beta) {
+        // Rewire to a uniform non-self target; duplicates skipped below.
+        target = rng.next_vertex(n);
+        if (target == v) continue;
+      }
+      if (seen.insert(pack_edge(v, target)).second) {
+        edges.emplace_back(v, target);
+      }
+    }
+  }
+  return build_csr(n, std::move(edges));
+}
+
+Graph lfr_like(vid_t n, const LfrParams& params, std::uint64_t seed) {
+  if (n < 4 || params.communities == 0 || params.average_degree < 1.0 ||
+      params.mixing < 0.0 || params.mixing > 1.0) {
+    throw std::invalid_argument("lfr_like: bad parameters");
+  }
+  Rng rng(seed);
+
+  // --- Powerlaw degree sequence, rescaled to the requested mean. ---------
+  const double gamma = params.degree_exponent;
+  const double d_max = params.average_degree * params.max_degree_factor;
+  std::vector<double> raw(n);
+  double raw_mean = 0.0;
+  for (vid_t v = 0; v < n; ++v) {
+    // Inverse-CDF sample of a continuous powerlaw with x_min = 1.
+    const double u = rng.next_double();
+    raw[v] = std::min(std::pow(1.0 - u, -1.0 / (gamma - 1.0)), d_max);
+    raw_mean += raw[v];
+  }
+  raw_mean /= n;
+  std::vector<vid_t> degree(n);
+  for (vid_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<vid_t>(std::max(
+        1.0, std::round(raw[v] * params.average_degree / raw_mean)));
+  }
+
+  // --- Community assignment and stub lists. ------------------------------
+  std::vector<vid_t> community(n);
+  for (vid_t v = 0; v < n; ++v) {
+    community[v] = rng.next_vertex(params.communities);
+  }
+  // within[c] lists v repeated round((1-mu)*degree[v]) times; the global
+  // `across` list carries the remaining stubs of every vertex.
+  std::vector<std::vector<vid_t>> within(params.communities);
+  std::vector<vid_t> across;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t internal = static_cast<vid_t>(
+        std::round((1.0 - params.mixing) * degree[v]));
+    for (vid_t s = 0; s < internal; ++s) within[community[v]].push_back(v);
+    for (vid_t s = internal; s < degree[v]; ++s) across.push_back(v);
+  }
+
+  // --- Chung-Lu pairing: random stub pairs, duplicates dropped. ----------
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  auto pair_stubs = [&](const std::vector<vid_t>& stubs) {
+    const std::size_t target_pairs = stubs.size() / 2;
+    std::size_t emitted = 0;
+    // Bounded retry budget so colliding communities terminate.
+    for (std::size_t attempt = 0;
+         emitted < target_pairs && attempt < target_pairs * 4; ++attempt) {
+      const vid_t u = stubs[rng.next_bounded(stubs.size())];
+      const vid_t v = stubs[rng.next_bounded(stubs.size())];
+      if (u == v) continue;
+      if (!seen.insert(pack_edge(u, v)).second) continue;
+      edges.emplace_back(u, v);
+      ++emitted;
+    }
+  };
+  for (const auto& stubs : within) {
+    if (stubs.size() >= 2) pair_stubs(stubs);
+  }
+  if (across.size() >= 2) pair_stubs(across);
+
+  return build_csr(n, std::move(edges));
+}
+
+Graph path_graph(vid_t n) {
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return build_csr(n, std::move(edges));
+}
+
+Graph cycle_graph(vid_t n) {
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v < n; ++v) {
+    edges.emplace_back(v, static_cast<vid_t>((v + 1) % n));
+  }
+  return build_csr(n, std::move(edges));
+}
+
+Graph star_graph(vid_t n) {
+  std::vector<Edge> edges;
+  for (vid_t v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return build_csr(n, std::move(edges));
+}
+
+Graph complete_graph(vid_t n) {
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return build_csr(n, std::move(edges));
+}
+
+Graph complete_bipartite(vid_t left, vid_t right) {
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < left; ++u) {
+    for (vid_t v = 0; v < right; ++v) {
+      edges.emplace_back(u, static_cast<vid_t>(left + v));
+    }
+  }
+  return build_csr(left + right, std::move(edges));
+}
+
+Graph grid_graph(vid_t rows, vid_t cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return build_csr(rows * cols, std::move(edges));
+}
+
+}  // namespace gosh::graph

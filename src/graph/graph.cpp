@@ -1,0 +1,47 @@
+#include "gosh/graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace gosh::graph {
+
+Graph::Graph(std::vector<eid_t> xadj, std::vector<vid_t> adj)
+    : xadj_(std::move(xadj)), adj_(std::move(adj)) {
+  assert(!xadj_.empty());
+  assert(xadj_.front() == 0);
+  assert(xadj_.back() == adj_.size());
+#ifndef NDEBUG
+  for (std::size_t v = 0; v + 1 < xadj_.size(); ++v) {
+    assert(xadj_[v] <= xadj_[v + 1]);
+  }
+  const vid_t n = num_vertices();
+  for (vid_t u : adj_) assert(u < n);
+#endif
+}
+
+bool Graph::is_symmetric() const {
+  const vid_t n = num_vertices();
+  const bool sorted = has_sorted_adjacency();
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t u : neighbors(v)) {
+      const auto back = neighbors(u);
+      const bool found =
+          sorted ? std::binary_search(back.begin(), back.end(), v)
+                 : std::find(back.begin(), back.end(), v) != back.end();
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+bool Graph::has_sorted_adjacency() const {
+  const vid_t n = num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nb = neighbors(v);
+    if (!std::is_sorted(nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+}  // namespace gosh::graph

@@ -1,0 +1,79 @@
+// Compressed Sparse Row graph — the substrate every other subsystem reads.
+//
+// Layout follows the paper's Section 3.2.1 exactly: `adj` holds the
+// neighbours of vertex 0, then of vertex 1, ...; `xadj[v]`..`xadj[v+1]`
+// delimits vertex v's slice, and `xadj[n]` equals the number of stored arcs.
+//
+// Undirected graphs are stored symmetrized (both directions present), which
+// is what the embedding and coarsening passes operate on: Gamma(u) in the
+// paper is the union of in- and out-neighbourhoods, i.e. precisely the
+// adjacency of the symmetrized form.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gosh/common/types.hpp"
+
+namespace gosh::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adopts prebuilt CSR arrays. Requirements (checked in debug builds):
+  /// xadj.size() == n+1, xadj is nondecreasing, xadj.back() == adj.size(),
+  /// every adj entry < n.
+  Graph(std::vector<eid_t> xadj, std::vector<vid_t> adj);
+
+  vid_t num_vertices() const noexcept {
+    return xadj_.empty() ? 0 : static_cast<vid_t>(xadj_.size() - 1);
+  }
+
+  /// Number of stored arcs (directed edges). For a symmetrized undirected
+  /// graph this is twice the undirected edge count.
+  eid_t num_arcs() const noexcept { return xadj_.empty() ? 0 : xadj_.back(); }
+
+  /// Undirected edge count, assuming symmetrized storage.
+  eid_t num_edges_undirected() const noexcept { return num_arcs() / 2; }
+
+  vid_t degree(vid_t v) const noexcept {
+    return static_cast<vid_t>(xadj_[v + 1] - xadj_[v]);
+  }
+
+  std::span<const vid_t> neighbors(vid_t v) const noexcept {
+    return {adj_.data() + xadj_[v], adj_.data() + xadj_[v + 1]};
+  }
+
+  /// Average neighbourhood size |E|/|V| over stored arcs — the paper's
+  /// delta used by the coarsening hub-exclusion rule (Section 3.2).
+  double average_degree() const noexcept {
+    const vid_t n = num_vertices();
+    return n == 0 ? 0.0
+                  : static_cast<double>(num_arcs()) / static_cast<double>(n);
+  }
+
+  const std::vector<eid_t>& xadj() const noexcept { return xadj_; }
+  const std::vector<vid_t>& adj() const noexcept { return adj_; }
+
+  /// True when every arc (u,v) has its reverse (v,u) present.
+  bool is_symmetric() const;
+
+  /// True when each adjacency slice is sorted ascending (builders produce
+  /// sorted slices; some algorithms rely on it for binary search).
+  bool has_sorted_adjacency() const;
+
+  /// Estimated host memory footprint in bytes (xadj + adj payloads); the
+  /// large-graph planner uses the analogous device-side formula.
+  std::size_t memory_bytes() const noexcept {
+    return xadj_.size() * sizeof(eid_t) + adj_.size() * sizeof(vid_t);
+  }
+
+  bool operator==(const Graph& other) const = default;
+
+ private:
+  std::vector<eid_t> xadj_;
+  std::vector<vid_t> adj_;
+};
+
+}  // namespace gosh::graph

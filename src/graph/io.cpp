@@ -1,0 +1,106 @@
+#include "gosh/graph/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gosh::graph {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'G', 'S', 'H', 'B'};
+constexpr std::uint64_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("gosh: truncated binary graph file");
+  return value;
+}
+
+}  // namespace
+
+Graph read_edge_list(const std::string& path, const BuildOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("gosh: cannot open " + path);
+
+  std::unordered_map<std::uint64_t, vid_t> relabel;
+  auto intern = [&relabel](std::uint64_t raw) {
+    auto [it, inserted] =
+        relabel.try_emplace(raw, static_cast<vid_t>(relabel.size()));
+    return it->second;
+  };
+
+  std::vector<Edge> arcs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(fields >> u >> v)) {
+      throw std::runtime_error("gosh: malformed edge at " + path + ":" +
+                               std::to_string(line_no));
+    }
+    arcs.emplace_back(intern(u), intern(v));
+  }
+  return build_csr(static_cast<vid_t>(relabel.size()), std::move(arcs),
+                   options);
+}
+
+void write_edge_list(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("gosh: cannot write " + path);
+  for (const auto& [u, v] : undirected_edges(graph)) {
+    out << u << ' ' << v << '\n';
+  }
+}
+
+void write_binary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("gosh: cannot write " + path);
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod<std::uint64_t>(out, graph.num_vertices());
+  write_pod<std::uint64_t>(out, graph.num_arcs());
+  out.write(reinterpret_cast<const char*>(graph.xadj().data()),
+            static_cast<std::streamsize>(graph.xadj().size() * sizeof(eid_t)));
+  out.write(reinterpret_cast<const char*>(graph.adj().data()),
+            static_cast<std::streamsize>(graph.adj().size() * sizeof(vid_t)));
+  if (!out) throw std::runtime_error("gosh: short write to " + path);
+}
+
+Graph read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("gosh: cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("gosh: bad magic in " + path);
+  }
+  if (read_pod<std::uint64_t>(in) != kVersion) {
+    throw std::runtime_error("gosh: unsupported version in " + path);
+  }
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto m = read_pod<std::uint64_t>(in);
+  std::vector<eid_t> xadj(n + 1);
+  std::vector<vid_t> adj(m);
+  in.read(reinterpret_cast<char*>(xadj.data()),
+          static_cast<std::streamsize>(xadj.size() * sizeof(eid_t)));
+  in.read(reinterpret_cast<char*>(adj.data()),
+          static_cast<std::streamsize>(adj.size() * sizeof(vid_t)));
+  if (!in) throw std::runtime_error("gosh: truncated payload in " + path);
+  return Graph{std::move(xadj), std::move(adj)};
+}
+
+}  // namespace gosh::graph

@@ -1,0 +1,33 @@
+// Graph file IO.
+//
+// Two formats:
+//  * text edge lists — one "u v" pair per line, '#'/'%%' comment lines
+//    skipped; this is the SNAP distribution format the paper's datasets use;
+//  * a binary CSR container ("GSHB") for fast reload of generated graphs in
+//    benches (text parse of a multi-million-edge file would dominate
+//    small-machine runs).
+#pragma once
+
+#include <string>
+
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::graph {
+
+/// Parses a whitespace-separated edge list. Vertex ids may be arbitrary
+/// (non-contiguous) and are compacted to [0, n) in first-appearance order.
+/// Throws std::runtime_error on unreadable files or malformed lines.
+Graph read_edge_list(const std::string& path, const BuildOptions& options = {});
+
+/// Writes the unique undirected edges (u < v) as "u v" lines.
+void write_edge_list(const Graph& graph, const std::string& path);
+
+/// Binary CSR: magic "GSHB", u64 version, u64 n, u64 m, xadj[], adj[].
+void write_binary(const Graph& graph, const std::string& path);
+
+/// Reads a binary CSR written by write_binary. Throws on bad magic/version
+/// or truncated payload.
+Graph read_binary(const std::string& path);
+
+}  // namespace gosh::graph

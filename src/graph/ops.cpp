@@ -1,0 +1,84 @@
+#include "gosh/graph/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "gosh/graph/builder.hpp"
+
+namespace gosh::graph {
+
+DegreeStats degree_stats(const Graph& graph) {
+  DegreeStats stats;
+  const vid_t n = graph.num_vertices();
+  if (n == 0) return stats;
+  stats.min = std::numeric_limits<vid_t>::max();
+  double total = 0.0;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t deg = graph.degree(v);
+    stats.min = std::min(stats.min, deg);
+    stats.max = std::max(stats.max, deg);
+    if (deg == 0) stats.isolated++;
+    total += deg;
+  }
+  stats.mean = total / n;
+  return stats;
+}
+
+Graph relabel(const Graph& graph, const std::vector<vid_t>& map, vid_t new_n) {
+  assert(map.size() == graph.num_vertices());
+  std::vector<Edge> arcs;
+  arcs.reserve(graph.num_arcs());
+  const vid_t n = graph.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    if (map[v] == kInvalidVertex) continue;
+    for (vid_t u : graph.neighbors(v)) {
+      if (map[u] == kInvalidVertex) continue;
+      arcs.emplace_back(map[v], map[u]);
+    }
+  }
+  // Arcs already contain both directions, so skip re-symmetrization.
+  BuildOptions options;
+  options.symmetrize = false;
+  return build_csr(new_n, std::move(arcs), options);
+}
+
+Graph induced_subgraph(const Graph& graph,
+                       const std::vector<vid_t>& vertices) {
+  std::vector<vid_t> map(graph.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    map[vertices[i]] = static_cast<vid_t>(i);
+  }
+  return relabel(graph, map, static_cast<vid_t>(vertices.size()));
+}
+
+std::vector<vid_t> connected_components(const Graph& graph, vid_t& count) {
+  const vid_t n = graph.num_vertices();
+  std::vector<vid_t> component(n, kInvalidVertex);
+  std::vector<vid_t> stack;
+  count = 0;
+  for (vid_t start = 0; start < n; ++start) {
+    if (component[start] != kInvalidVertex) continue;
+    component[start] = count;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const vid_t v = stack.back();
+      stack.pop_back();
+      for (vid_t u : graph.neighbors(v)) {
+        if (component[u] == kInvalidVertex) {
+          component[u] = count;
+          stack.push_back(u);
+        }
+      }
+    }
+    count++;
+  }
+  return component;
+}
+
+bool has_arc(const Graph& graph, vid_t u, vid_t v) {
+  const auto nb = graph.neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+}  // namespace gosh::graph

@@ -1,0 +1,36 @@
+// Structural graph operations shared by coarsening, evaluation and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::graph {
+
+struct DegreeStats {
+  vid_t min = 0;
+  vid_t max = 0;
+  double mean = 0.0;
+  vid_t isolated = 0;  ///< vertices with no neighbours
+};
+
+DegreeStats degree_stats(const Graph& graph);
+
+/// Relabels vertices: new id = map[old id]; map entries of kInvalidVertex
+/// drop the vertex (and all incident arcs). `new_n` is the vertex count of
+/// the result. Arcs between surviving vertices are preserved verbatim.
+Graph relabel(const Graph& graph, const std::vector<vid_t>& map, vid_t new_n);
+
+/// Induced subgraph on `vertices` (each old id listed once); result ids
+/// follow the order of `vertices`.
+Graph induced_subgraph(const Graph& graph, const std::vector<vid_t>& vertices);
+
+/// Connected components of a symmetrized graph; returns component id per
+/// vertex and sets `count` to the number of components.
+std::vector<vid_t> connected_components(const Graph& graph, vid_t& count);
+
+/// True iff the arc (u, v) exists. O(log deg(u)) on sorted adjacency.
+bool has_arc(const Graph& graph, vid_t u, vid_t v);
+
+}  // namespace gosh::graph

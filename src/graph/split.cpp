@@ -1,0 +1,46 @@
+#include "gosh/graph/split.hpp"
+
+#include "gosh/common/rng.hpp"
+#include "gosh/graph/ops.hpp"
+
+namespace gosh::graph {
+
+LinkPredictionSplit split_for_link_prediction(const Graph& graph,
+                                              const SplitOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Edge> train_edges;
+  std::vector<Edge> test_edges_original;
+  for (const Edge& e : undirected_edges(graph)) {
+    if (rng.next_double() < options.train_fraction) {
+      train_edges.push_back(e);
+    } else {
+      test_edges_original.push_back(e);
+    }
+  }
+
+  // Build over original ids first to find the surviving (non-isolated)
+  // vertex set, then compact.
+  Graph train_full = build_csr(graph.num_vertices(), train_edges);
+
+  LinkPredictionSplit split;
+  split.original_to_train.assign(graph.num_vertices(), kInvalidVertex);
+  vid_t next_id = 0;
+  for (vid_t v = 0; v < train_full.num_vertices(); ++v) {
+    if (train_full.degree(v) > 0) split.original_to_train[v] = next_id++;
+  }
+  split.train = relabel(train_full, split.original_to_train, next_id);
+
+  split.test_edges.reserve(test_edges_original.size());
+  for (const Edge& e : test_edges_original) {
+    const vid_t u = split.original_to_train[e.first];
+    const vid_t v = split.original_to_train[e.second];
+    if (u == kInvalidVertex || v == kInvalidVertex) {
+      split.dropped_test_edges++;
+      continue;
+    }
+    split.test_edges.emplace_back(u, v);
+  }
+  return split;
+}
+
+}  // namespace gosh::graph

@@ -1,0 +1,39 @@
+// Link-prediction train/test split (paper Section 4.1).
+//
+// Protocol reproduced exactly:
+//   * undirected edges split 80/20 (configurable) uniformly at random;
+//   * isolated vertices are removed from the train graph (compacted ids);
+//   * test edges with an endpoint absent from the train graph are dropped,
+//     guaranteeing V_test is a subset of V_train.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::graph {
+
+struct SplitOptions {
+  double train_fraction = 0.8;
+  std::uint64_t seed = 1;
+};
+
+struct LinkPredictionSplit {
+  /// Symmetrized train graph over compacted ids [0, |V_train|).
+  Graph train;
+  /// Test edges in train-graph ids; both endpoints guaranteed present.
+  std::vector<Edge> test_edges;
+  /// original id -> train id; kInvalidVertex for removed (isolated) ones.
+  std::vector<vid_t> original_to_train;
+  /// Number of test edges dropped because an endpoint left the train graph.
+  std::size_t dropped_test_edges = 0;
+};
+
+/// Splits a symmetrized graph for link prediction.
+LinkPredictionSplit split_for_link_prediction(const Graph& graph,
+                                              const SplitOptions& options = {});
+
+}  // namespace gosh::graph

@@ -1,0 +1,60 @@
+#include "gosh/largegraph/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gosh::largegraph {
+namespace {
+
+std::size_t working_set_for_capacity(vid_t part_capacity,
+                                     const PartitionRequest& request) {
+  const std::size_t matrix_slots = static_cast<std::size_t>(request.pgpu) *
+                                   part_capacity * request.dim * sizeof(emb_t);
+  const std::size_t pool_slots = static_cast<std::size_t>(request.sgpu) * 2 *
+                                 request.batch_B * part_capacity *
+                                 sizeof(vid_t);
+  return matrix_slots + pool_slots;
+}
+
+}  // namespace
+
+PartitionPlan plan_partitions(const PartitionRequest& request) {
+  if (request.num_vertices == 0 || request.dim == 0) {
+    throw std::invalid_argument("plan_partitions: empty matrix");
+  }
+  if (request.pgpu < 2) {
+    throw std::invalid_argument(
+        "plan_partitions: PGPU must be >= 2 (a rotation pairs two parts)");
+  }
+
+  const vid_t n = request.num_vertices;
+  unsigned k = 2;
+  for (;; ++k) {
+    const vid_t capacity = (n + k - 1) / k;
+    if (working_set_for_capacity(capacity, request) <=
+        request.device_budget_bytes) {
+      break;
+    }
+    if (k >= n) {
+      throw std::invalid_argument(
+          "plan_partitions: device budget too small even for single-vertex "
+          "parts");
+    }
+  }
+
+  PartitionPlan plan;
+  plan.part_capacity = (n + k - 1) / k;
+  plan.offsets.reserve(k + 1);
+  for (unsigned p = 0; p <= k; ++p) {
+    plan.offsets.push_back(
+        std::min<vid_t>(n, static_cast<vid_t>(p) * plan.part_capacity));
+  }
+  return plan;
+}
+
+std::size_t working_set_bytes(const PartitionPlan& plan,
+                              const PartitionRequest& request) {
+  return working_set_for_capacity(plan.part_capacity, request);
+}
+
+}  // namespace gosh::largegraph

@@ -1,0 +1,63 @@
+// Embedding-matrix partitioning for graphs that exceed device memory
+// (paper Section 3.3).
+//
+// V_i is split into K_i contiguous, equal-size vertex ranges; P_i is the
+// corresponding row-block partition of M_i. K_i is the smallest part count
+// whose device working set fits the memory budget:
+//
+//   PGPU sub-matrix slots   : PGPU * ceil(n/K) * d * sizeof(float)
+//   SGPU sample-pool slots  : SGPU * 2 * B * ceil(n/K) * sizeof(vid_t)
+//
+// (pools carry B positive ids per vertex for both directions of a part
+// pair; negatives are generated on device and need no storage). Contiguous
+// ranges are load-bearing: host-side positive sampling intersects sorted
+// neighbour lists with a part by binary search, and kernels map global row
+// ids to slot-local rows by one subtraction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gosh/common/types.hpp"
+
+namespace gosh::largegraph {
+
+struct PartitionPlan {
+  /// Part boundaries: part p covers [offsets[p], offsets[p+1]).
+  std::vector<vid_t> offsets;
+  /// ceil(n / num_parts) — every device slot is sized for this.
+  vid_t part_capacity = 0;
+
+  unsigned num_parts() const noexcept {
+    return offsets.empty() ? 0 : static_cast<unsigned>(offsets.size() - 1);
+  }
+  vid_t part_begin(unsigned p) const noexcept { return offsets[p]; }
+  vid_t part_end(unsigned p) const noexcept { return offsets[p + 1]; }
+  vid_t part_size(unsigned p) const noexcept {
+    return offsets[p + 1] - offsets[p];
+  }
+  /// Part containing vertex v (parts are equal-size, so this is O(1)).
+  unsigned part_of(vid_t v) const noexcept {
+    return static_cast<unsigned>(v / part_capacity);
+  }
+};
+
+struct PartitionRequest {
+  vid_t num_vertices = 0;
+  unsigned dim = 0;
+  std::size_t device_budget_bytes = 0;
+  unsigned pgpu = 3;       ///< resident sub-matrix slots (paper default)
+  unsigned sgpu = 4;       ///< resident sample-pool slots (paper default)
+  unsigned batch_B = 5;    ///< positives per vertex per pool (paper default)
+};
+
+/// Smallest-K plan satisfying the budget. K starts at 2 (a rotation needs
+/// two parts resident) and never exceeds num_vertices. Throws
+/// std::invalid_argument when even K = num_vertices does not fit.
+PartitionPlan plan_partitions(const PartitionRequest& request);
+
+/// Device bytes a plan's working set occupies (used by tests/benches).
+std::size_t working_set_bytes(const PartitionPlan& plan,
+                              const PartitionRequest& request);
+
+}  // namespace gosh::largegraph

@@ -1,0 +1,27 @@
+#include "gosh/largegraph/rotation.hpp"
+
+namespace gosh::largegraph {
+
+std::vector<std::pair<unsigned, unsigned>> rotation_pairs(unsigned num_parts) {
+  // Direct transcription of the recurrence in Section 3.3.1:
+  //   (a_0, b_0) = (0, 0)
+  //   (a_j, b_j) = (a_{j-1}, b_{j-1}+1)  if a_{j-1} > b_{j-1}
+  //              = (a_{j-1}+1, 0)        if a_{j-1} = b_{j-1}
+  std::vector<std::pair<unsigned, unsigned>> pairs;
+  if (num_parts == 0) return pairs;
+  pairs.reserve(static_cast<std::size_t>(num_parts) * (num_parts + 1) / 2);
+  unsigned a = 0, b = 0;
+  pairs.emplace_back(a, b);
+  while (!(a == num_parts - 1 && b == num_parts - 1)) {
+    if (a > b) {
+      ++b;
+    } else {
+      ++a;
+      b = 0;
+    }
+    pairs.emplace_back(a, b);
+  }
+  return pairs;
+}
+
+}  // namespace gosh::largegraph

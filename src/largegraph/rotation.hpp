@@ -1,0 +1,19 @@
+// The inside-out rotation order over part pairs (paper Section 3.3.1).
+//
+// A rotation must visit every unordered pair (j, k), j <= k, so that all
+// positive and negative samples across parts can be processed. The order
+//   (0,0), (1,0), (1,1), (2,0), (2,1), (2,2), ...
+// keeps the row part `a` resident across its whole run while `b` cycles,
+// which is what minimizes sub-matrix switches.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace gosh::largegraph {
+
+/// Ordered pair list of one full rotation over K parts; length K(K+1)/2.
+/// pair.first >= pair.second always holds.
+std::vector<std::pair<unsigned, unsigned>> rotation_pairs(unsigned num_parts);
+
+}  // namespace gosh::largegraph

@@ -1,0 +1,379 @@
+#include "gosh/largegraph/trainer.hpp"
+
+#include <cassert>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/common/sigmoid.hpp"
+#include "gosh/embedding/schedule.hpp"
+#include "gosh/embedding/update.hpp"
+#include "gosh/largegraph/rotation.hpp"
+#include "gosh/largegraph/sample_pool.hpp"
+#include "gosh/simt/stream.hpp"
+
+namespace gosh::largegraph {
+namespace {
+
+constexpr unsigned kNoPart = ~0u;
+
+/// A device pool slot plus the metadata of the pool it currently holds.
+struct DevicePool {
+  simt::DeviceBuffer<vid_t> ids;  ///< [a_from_b | b_from_a]
+  unsigned part_a = kNoPart;
+  unsigned part_b = kNoPart;
+  std::size_t a_count = 0;  ///< entries in the a_from_b segment
+  std::size_t b_count = 0;  ///< entries in the b_from_a segment
+};
+
+/// Pair kernel: warps [0, |Va|) run part-a sources sampling from part b;
+/// warps [|Va|, |Va|+|Vb|) the reverse (absent on the diagonal). One
+/// vertex per warp; the source row is staged in shared memory as in the
+/// resident-graph kernel.
+struct PairKernelArgs {
+  emb_t* slot_a = nullptr;
+  emb_t* slot_b = nullptr;
+  vid_t a_begin = 0, a_size = 0;
+  vid_t b_begin = 0, b_size = 0;
+  const vid_t* a_from_b = nullptr;
+  const vid_t* b_from_a = nullptr;
+  unsigned batch_B = 0;
+  unsigned dim = 0;
+  unsigned ns = 0;
+  float lr = 0.0f;
+  embedding::UpdateRule rule = embedding::UpdateRule::kSimultaneous;
+  std::uint64_t seed = 0;
+};
+
+template <typename Sigmoid>
+void run_pair_kernel(simt::Device& device, const PairKernelArgs& args,
+                     const Sigmoid& sigmoid) {
+  const bool diagonal = args.slot_a == args.slot_b && args.a_begin == args.b_begin;
+  const std::size_t num_warps =
+      static_cast<std::size_t>(args.a_size) + (diagonal ? 0 : args.b_size);
+  const std::size_t shared_bytes = args.dim * sizeof(emb_t);
+
+  auto kernel = [args, diagonal, &sigmoid](const simt::WarpContext& ctx) {
+    const unsigned d = args.dim;
+    // Decode which direction this warp serves.
+    const bool forward = ctx.warp_id < args.a_size;
+    const vid_t local = forward
+                            ? static_cast<vid_t>(ctx.warp_id)
+                            : static_cast<vid_t>(ctx.warp_id - args.a_size);
+    emb_t* source_slot = forward ? args.slot_a : args.slot_b;
+    emb_t* partner_slot = forward ? args.slot_b : args.slot_a;
+    const vid_t partner_begin = forward ? args.b_begin : args.a_begin;
+    const vid_t partner_size = forward ? args.b_size : args.a_size;
+    const vid_t global_id =
+        (forward ? args.a_begin : args.b_begin) + local;
+    const vid_t* positives = forward ? args.a_from_b : args.b_from_a;
+
+    Rng rng(hash_combine(args.seed, global_id));
+
+    emb_t* source_row = source_slot + static_cast<std::size_t>(local) * d;
+    emb_t* staged = reinterpret_cast<emb_t*>(ctx.shared);
+    std::memcpy(staged, source_row, d * sizeof(emb_t));
+
+    for (unsigned i = 0; i < args.batch_B; ++i) {
+      const vid_t positive = positives[static_cast<std::size_t>(local) *
+                                           args.batch_B + i];
+      if (positive != kInvalidVertex) {
+        emb_t* sample = partner_slot +
+                        static_cast<std::size_t>(positive - partner_begin) * d;
+        embedding::update_embedding(staged, sample, d, 1.0f, args.lr, sigmoid,
+                                    args.rule);
+      }
+      // Negatives come from the partner part, generated on device
+      // (Section 3.3: "the kernel for the parts draws the negative samples
+      // ... randomly from V_k").
+      for (unsigned k = 0; k < args.ns; ++k) {
+        const vid_t negative =
+            static_cast<vid_t>(rng.next_bounded(partner_size));
+        emb_t* sample = partner_slot + static_cast<std::size_t>(negative) * d;
+        embedding::update_embedding(staged, sample, d, 0.0f, args.lr, sigmoid,
+                                    args.rule);
+      }
+    }
+    std::memcpy(source_row, staged, d * sizeof(emb_t));
+  };
+
+  device.launch_blocking(num_warps, shared_bytes, kernel);
+}
+
+}  // namespace
+
+LargeGraphTrainer::LargeGraphTrainer(simt::Device& device,
+                                     const graph::Graph& graph,
+                                     const embedding::TrainConfig& train_config,
+                                     const LargeGraphConfig& config)
+    : device_(device),
+      graph_(graph),
+      train_config_(train_config),
+      config_(config) {
+  PartitionRequest request;
+  request.num_vertices = graph.num_vertices();
+  request.dim = train_config.dim;
+  request.device_budget_bytes = config.device_budget_bytes != 0
+                                    ? config.device_budget_bytes
+                                    : device.memory_free();
+  request.pgpu = config.pgpu;
+  request.sgpu = config.sgpu;
+  request.batch_B = config.batch_B;
+  plan_ = plan_partitions(request);
+}
+
+LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
+                                         unsigned epochs) {
+  if (matrix.rows() != graph_.num_vertices() ||
+      matrix.dim() != train_config_.dim) {
+    throw std::invalid_argument(
+        "LargeGraphTrainer: matrix shape does not match graph/config");
+  }
+
+  const unsigned k = plan_.num_parts();
+  const unsigned d = train_config_.dim;
+  const vid_t capacity = plan_.part_capacity;
+  const unsigned rotations = std::max(
+      1u, (epochs + config_.batch_B * k - 1) / (config_.batch_B * k));
+
+  LargeGraphStats stats;
+  stats.num_parts = k;
+  stats.rotations = rotations;
+
+  // --- Device residency state. -------------------------------------------
+  // PGPU sub-matrix slots; slot_part[s] is the resident part or kNoPart.
+  std::vector<simt::DeviceBuffer<emb_t>> slots;
+  std::vector<unsigned> slot_part(config_.pgpu, kNoPart);
+  slots.reserve(config_.pgpu);
+  for (unsigned s = 0; s < config_.pgpu; ++s) {
+    slots.emplace_back(device_, static_cast<std::size_t>(capacity) * d);
+  }
+
+  auto upload_part = [&](unsigned slot, unsigned part) {
+    const vid_t begin = plan_.part_begin(part);
+    const vid_t size = plan_.part_size(part);
+    slots[slot].copy_from_host(
+        std::span<const emb_t>(matrix.row(begin).data(),
+                               static_cast<std::size_t>(size) * d));
+    slot_part[slot] = part;
+  };
+  auto writeback_part = [&](unsigned slot) {
+    if (slot_part[slot] == kNoPart) return;
+    const vid_t begin = plan_.part_begin(slot_part[slot]);
+    const vid_t size = plan_.part_size(slot_part[slot]);
+    slots[slot].copy_to_host(
+        std::span<emb_t>(matrix.row(begin).data(),
+                         static_cast<std::size_t>(size) * d));
+    slot_part[slot] = kNoPart;
+  };
+  auto find_slot = [&](unsigned part) -> std::optional<unsigned> {
+    for (unsigned s = 0; s < config_.pgpu; ++s) {
+      if (slot_part[s] == part) return s;
+    }
+    return std::nullopt;
+  };
+
+  // Prefetch bookkeeping: one in-flight switch on the copy stream
+  // (NextSubMatrix / SwitchSubMatrices of Algorithm 5).
+  simt::Stream copy_stream;
+  struct Prefetch {
+    unsigned slot;
+    unsigned part;
+    simt::Event done;
+  };
+  std::optional<Prefetch> pending;
+
+  auto commit_pending = [&] {
+    if (!pending) return;
+    pending->done.wait();
+    slot_part[pending->slot] = pending->part;
+    pending.reset();
+  };
+
+  auto ensure_resident = [&](unsigned part, unsigned pin_a,
+                             unsigned pin_b) -> unsigned {
+    if (auto slot = find_slot(part)) return *slot;
+    // Victim: any slot not holding a pinned part.
+    for (unsigned s = 0; s < config_.pgpu; ++s) {
+      if (slot_part[s] == pin_a || slot_part[s] == pin_b) continue;
+      writeback_part(s);
+      upload_part(s, part);
+      stats.submatrix_switches++;
+      return s;
+    }
+    assert(false && "PGPU >= 2 guarantees an evictable slot");
+    return 0;
+  };
+
+  // --- SGPU device pool slots + PoolManager. -----------------------------
+  const std::size_t pool_entries =
+      static_cast<std::size_t>(2) * config_.batch_B * capacity;
+  std::vector<DevicePool> pools;
+  pools.reserve(config_.sgpu);
+  for (unsigned s = 0; s < config_.sgpu; ++s) {
+    DevicePool pool;
+    pool.ids = simt::DeviceBuffer<vid_t>(device_, pool_entries);
+    pools.push_back(std::move(pool));
+  }
+
+  std::mutex pool_mutex;
+  std::condition_variable pool_freed;   // a device pool slot became free
+  std::condition_variable pool_ready;   // an uploaded pool is available
+  std::deque<unsigned> free_pool_slots;
+  std::deque<unsigned> ready_pool_slots;  // in pair order
+  bool pools_done = false;
+  for (unsigned s = 0; s < config_.sgpu; ++s) free_pool_slots.push_back(s);
+
+  SampleManager sample_manager(graph_, plan_, config_.batch_B, rotations,
+                               config_.sampler_threads, train_config_.seed,
+                               /*queue_capacity=*/config_.sgpu);
+
+  // PoolManager: moves ready host pools into free device slots, preserving
+  // order (the main loop consumes pools in the same pair order).
+  std::thread pool_manager([&] {
+    for (;;) {
+      auto host_pool = sample_manager.next_pool();
+      if (host_pool == nullptr) break;
+      unsigned slot;
+      {
+        std::unique_lock lock(pool_mutex);
+        pool_freed.wait(lock, [&] { return !free_pool_slots.empty(); });
+        slot = free_pool_slots.front();
+        free_pool_slots.pop_front();
+      }
+      DevicePool& device_pool = pools[slot];
+      device_pool.part_a = host_pool->part_a;
+      device_pool.part_b = host_pool->part_b;
+      device_pool.a_count = host_pool->a_from_b.size();
+      device_pool.b_count = host_pool->b_from_a.size();
+      device_pool.ids.copy_from_host(
+          std::span<const vid_t>(host_pool->a_from_b), 0);
+      if (!host_pool->b_from_a.empty()) {
+        device_pool.ids.copy_from_host(
+            std::span<const vid_t>(host_pool->b_from_a),
+            device_pool.a_count);
+      }
+      {
+        std::lock_guard lock(pool_mutex);
+        ready_pool_slots.push_back(slot);
+      }
+      pool_ready.notify_one();
+    }
+    {
+      std::lock_guard lock(pool_mutex);
+      pools_done = true;
+    }
+    pool_ready.notify_all();
+  });
+
+  // --- Main loop: Algorithm 5 lines 7-13. --------------------------------
+  const auto pairs = rotation_pairs(k);
+  const embedding::UpdateRule rule = train_config_.update_rule;
+  const SigmoidTable& lut = default_sigmoid_table();
+
+  for (unsigned r = 0; r < rotations; ++r) {
+    const float lr = embedding::decayed_learning_rate(
+        train_config_.learning_rate, r, rotations);
+    for (std::size_t pair_index = 0; pair_index < pairs.size(); ++pair_index) {
+      const auto [m, s] = pairs[pair_index];
+      commit_pending();
+      const unsigned slot_m = ensure_resident(m, m, s);
+      const unsigned slot_s = m == s ? slot_m : ensure_resident(s, m, s);
+
+      // Wait for the pool of this pair (pools arrive in pair order).
+      unsigned pool_slot;
+      {
+        std::unique_lock lock(pool_mutex);
+        pool_ready.wait(lock,
+                        [&] { return !ready_pool_slots.empty() || pools_done; });
+        assert(!ready_pool_slots.empty());
+        pool_slot = ready_pool_slots.front();
+        ready_pool_slots.pop_front();
+      }
+      DevicePool& pool = pools[pool_slot];
+      assert(pool.part_a == m && pool.part_b == s);
+
+      // Prefetch the next pair's missing part while the kernel runs.
+      if (pair_index + 1 < pairs.size() && config_.pgpu > 2) {
+        const auto [next_m, next_s] = pairs[pair_index + 1];
+        const unsigned needed =
+            !find_slot(next_m) ? next_m : (!find_slot(next_s) ? next_s : kNoPart);
+        if (needed != kNoPart) {
+          for (unsigned slot = 0; slot < config_.pgpu; ++slot) {
+            const unsigned held = slot_part[slot];
+            if (held == m || held == s) continue;
+            slot_part[slot] = kNoPart;  // reserved for the prefetch
+            const unsigned evicted = held;
+            Prefetch prefetch{slot, needed, simt::Event{}};
+            copy_stream.enqueue([&, slot, evicted, needed] {
+              if (evicted != kNoPart) {
+                const vid_t begin = plan_.part_begin(evicted);
+                const vid_t size = plan_.part_size(evicted);
+                slots[slot].copy_to_host(std::span<emb_t>(
+                    matrix.row(begin).data(),
+                    static_cast<std::size_t>(size) * d));
+              }
+              const vid_t begin = plan_.part_begin(needed);
+              const vid_t size = plan_.part_size(needed);
+              slots[slot].copy_from_host(std::span<const emb_t>(
+                  matrix.row(begin).data(),
+                  static_cast<std::size_t>(size) * d));
+            });
+            prefetch.done = copy_stream.record();
+            pending = std::move(prefetch);
+            stats.submatrix_switches++;
+            break;
+          }
+        }
+      }
+
+      PairKernelArgs args;
+      args.slot_a = slots[slot_m].data();
+      args.slot_b = slots[slot_s].data();
+      args.a_begin = plan_.part_begin(m);
+      args.a_size = plan_.part_size(m);
+      args.b_begin = plan_.part_begin(s);
+      args.b_size = plan_.part_size(s);
+      args.a_from_b = pool.ids.data();
+      args.b_from_a = pool.ids.data() + pool.a_count;
+      args.batch_B = config_.batch_B;
+      args.dim = d;
+      args.ns = train_config_.negative_samples;
+      args.lr = lr;
+      args.rule = rule;
+      args.seed = hash_combine(train_config_.seed,
+                               (static_cast<std::uint64_t>(r) << 32) |
+                                   (static_cast<std::uint64_t>(m) << 16) | s);
+
+      if (train_config_.use_sigmoid_lut) {
+        run_pair_kernel(device_, args, lut);
+      } else {
+        run_pair_kernel(device_, args, embedding::ExactSigmoid{});
+      }
+      stats.kernels++;
+      stats.pools_consumed++;
+
+      {
+        std::lock_guard lock(pool_mutex);
+        free_pool_slots.push_back(pool_slot);
+      }
+      pool_freed.notify_one();
+    }
+  }
+
+  commit_pending();
+  copy_stream.synchronize();
+  pool_manager.join();
+
+  // Flush every resident part back to the host matrix.
+  for (unsigned slot = 0; slot < config_.pgpu; ++slot) writeback_part(slot);
+  return stats;
+}
+
+}  // namespace gosh::largegraph

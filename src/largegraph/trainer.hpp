@@ -1,0 +1,69 @@
+// LargeGraphGPU (Algorithm 5): embedding a graph whose matrix does not fit
+// in device memory.
+//
+// Three actors cooperate, exactly as in Figure 2 of the paper:
+//   * SampleManager (sample_pool.hpp) — a host producer thread filling
+//     positive-sample pools for the rotation's part pairs;
+//   * PoolManager — a host thread that uploads ready pools into one of the
+//     SGPU device pool slots as they free up;
+//   * the main thread — walks the inside-out pair order, keeps the PGPU
+//     sub-matrix slots loaded (with an async prefetch of the next part on a
+//     copy stream so switches hide behind kernel execution, Section 3.3.2),
+//     launches the pair kernel, and recycles pool slots.
+//
+// One rotation runs B positive (and B*ns negative) updates per vertex per
+// partner part, so e_i epochs shrink to ceil(e_i / (B * K_i)) rotations.
+#pragma once
+
+#include <cstdint>
+
+#include "gosh/embedding/matrix.hpp"
+#include "gosh/embedding/trainer.hpp"
+#include "gosh/graph/graph.hpp"
+#include "gosh/largegraph/partition.hpp"
+#include "gosh/simt/device.hpp"
+
+namespace gosh::largegraph {
+
+struct LargeGraphConfig {
+  unsigned pgpu = 3;            ///< sub-matrix slots on device (paper: 3)
+  unsigned sgpu = 4;            ///< sample-pool slots on device (paper: 4)
+  unsigned batch_B = 5;         ///< positives per vertex per pool (paper: 5)
+  unsigned sampler_threads = 0; ///< SampleManager team; 0 = all host workers
+  /// Device bytes the planner may use; 0 = the device's free memory at
+  /// trainer construction (minus nothing — the caller budgets headroom).
+  std::size_t device_budget_bytes = 0;
+};
+
+struct LargeGraphStats {
+  unsigned num_parts = 0;
+  unsigned rotations = 0;
+  std::uint64_t kernels = 0;
+  std::uint64_t submatrix_switches = 0;
+  std::uint64_t pools_consumed = 0;
+};
+
+class LargeGraphTrainer {
+ public:
+  /// The graph stays on the host (only samples and sub-matrices travel),
+  /// so construction never allocates device memory for the CSR.
+  LargeGraphTrainer(simt::Device& device, const graph::Graph& graph,
+                    const embedding::TrainConfig& train_config,
+                    const LargeGraphConfig& config);
+
+  /// Trains `epochs` epochs (converted to rotations) over `matrix`,
+  /// which must have graph.num_vertices() rows. The host matrix is the
+  /// source of truth between part residencies; it holds the final result.
+  LargeGraphStats train(embedding::EmbeddingMatrix& matrix, unsigned epochs);
+
+  const PartitionPlan& plan() const noexcept { return plan_; }
+
+ private:
+  simt::Device& device_;
+  const graph::Graph& graph_;
+  embedding::TrainConfig train_config_;
+  LargeGraphConfig config_;
+  PartitionPlan plan_;
+};
+
+}  // namespace gosh::largegraph

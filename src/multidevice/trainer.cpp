@@ -1,0 +1,71 @@
+#include "gosh/multidevice/trainer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "gosh/common/rng.hpp"
+
+namespace gosh::multidevice {
+
+MultiDeviceTrainer::MultiDeviceTrainer(
+    std::span<simt::Device* const> devices, const graph::Graph& graph,
+    const embedding::TrainConfig& train_config,
+    const MultiDeviceConfig& config)
+    : graph_(graph), config_(config) {
+  if (devices.empty()) {
+    throw std::invalid_argument("MultiDeviceTrainer: need >= 1 device");
+  }
+  trainers_.reserve(devices.size());
+  for (std::size_t replica = 0; replica < devices.size(); ++replica) {
+    embedding::TrainConfig replica_config = train_config;
+    replica_config.seed = hash_combine(train_config.seed, replica);
+    trainers_.push_back(std::make_unique<embedding::DeviceTrainer>(
+        *devices[replica], graph, replica_config));
+  }
+}
+
+void MultiDeviceTrainer::train(embedding::EmbeddingMatrix& matrix,
+                               unsigned passes) {
+  const unsigned replicas = this->replicas();
+  if (replicas == 1) {  // no averaging needed; train in place
+    trainers_[0]->train(matrix, passes);
+    return;
+  }
+
+  const std::size_t size = matrix.size();
+  std::vector<embedding::EmbeddingMatrix> local(replicas);
+
+  unsigned done = 0;
+  while (done < passes) {
+    const unsigned block =
+        std::min(config_.sync_interval, passes - done);
+
+    // Broadcast the averaged model, then run each replica's block on its
+    // own host thread — the devices execute concurrently.
+    std::vector<std::thread> workers;
+    workers.reserve(replicas);
+    for (unsigned r = 0; r < replicas; ++r) {
+      local[r] = embedding::EmbeddingMatrix(matrix.rows(), matrix.dim());
+      std::memcpy(local[r].data(), matrix.data(), matrix.bytes());
+      workers.emplace_back([this, &local, r, block, done, passes] {
+        trainers_[r]->train(local[r], block, /*lr_offset=*/done,
+                            /*lr_total=*/passes);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+
+    // Average replicas back into the master copy.
+    const float inverse = 1.0f / static_cast<float>(replicas);
+    emb_t* out = matrix.data();
+    for (std::size_t i = 0; i < size; ++i) {
+      float sum = 0.0f;
+      for (unsigned r = 0; r < replicas; ++r) sum += local[r].data()[i];
+      out[i] = sum * inverse;
+    }
+    done += block;
+  }
+}
+
+}  // namespace gosh::multidevice

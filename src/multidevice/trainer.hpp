@@ -1,0 +1,60 @@
+// Multi-device training — the extension the paper's introduction promises
+// ("it can easily be extended to the multi-GPU setting").
+//
+// Data-parallel scheme: each device holds a full replica of the embedding
+// matrix and trains it on the whole graph with an independent sample
+// stream; every `sync_interval` passes the replicas are averaged on the
+// host and re-broadcast. With the lock-free HOGWILD-style updates GOSH
+// already tolerates, periodic averaging preserves quality while the
+// devices run fully independently between synchronizations — the same
+// trade GraphVite makes across GPUs.
+//
+// Devices are the library's emulated simt::Device instances; on real
+// hardware the same structure maps to one CUDA device per replica.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gosh/embedding/matrix.hpp"
+#include "gosh/embedding/trainer.hpp"
+#include "gosh/graph/graph.hpp"
+#include "gosh/simt/device.hpp"
+
+namespace gosh::multidevice {
+
+struct MultiDeviceConfig {
+  /// Passes each replica trains between model averagings. Larger =
+  /// less sync traffic (each sync costs a full matrix copy per replica
+  /// plus re-upload), more replica drift. 32 keeps sync cost well under
+  /// the training cost at typical pass budgets.
+  unsigned sync_interval = 32;
+};
+
+class MultiDeviceTrainer {
+ public:
+  /// Every device uploads its own copy of the graph at construction; the
+  /// caller keeps ownership of the devices, which must outlive the
+  /// trainer. Replica r trains with seed hash(seed, r) so the streams
+  /// are decorrelated.
+  MultiDeviceTrainer(std::span<simt::Device* const> devices,
+                     const graph::Graph& graph,
+                     const embedding::TrainConfig& train_config,
+                     const MultiDeviceConfig& config = {});
+
+  /// Trains `passes` total passes (each replica runs all of them; the
+  /// parallelism buys wall-time, not extra samples — mirroring how the
+  /// multi-GPU GraphVite accounting works).
+  void train(embedding::EmbeddingMatrix& matrix, unsigned passes);
+
+  unsigned replicas() const noexcept {
+    return static_cast<unsigned>(trainers_.size());
+  }
+
+ private:
+  const graph::Graph& graph_;
+  MultiDeviceConfig config_;
+  std::vector<std::unique_ptr<embedding::DeviceTrainer>> trainers_;
+};
+
+}  // namespace gosh::multidevice

@@ -1,0 +1,191 @@
+#include "gosh/simt/device.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gosh/common/aligned_buffer.hpp"
+
+namespace gosh::simt {
+
+DeviceOutOfMemory::DeviceOutOfMemory(std::size_t requested,
+                                     std::size_t free_bytes)
+    : std::runtime_error("gosh: device out of memory (requested " +
+                         std::to_string(requested) + " bytes, free " +
+                         std::to_string(free_bytes) + ")"),
+      requested_(requested),
+      free_(free_bytes) {}
+
+// Dedicated worker threads (not the global host pool): device kernels are
+// launched *from* host pool threads in the large-graph engine, and sharing
+// one pool there could deadlock two nested waits.
+//
+// Lifecycle discipline: the Launch record lives on the launcher's stack, so
+// the launcher may not return while any worker still holds a pointer to it.
+// All hand-off state (current launch, completion count, reference count,
+// generation number) is guarded by one mutex; only the warp-claim cursor is
+// atomic so that chunk claims stay wait-free on the hot path.
+struct Device::Impl {
+  struct Launch {
+    std::size_t num_warps = 0;
+    std::size_t shared_bytes = 0;
+    const WarpKernel* kernel = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::size_t completed = 0;  // guarded by Impl::mutex
+    unsigned refs = 0;          // guarded by Impl::mutex
+  };
+
+  Impl(unsigned workers, const DeviceConfig& device_config)
+      : config(device_config) {
+    shared_arenas.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      shared_arenas.emplace_back(config.max_shared_bytes);
+    }
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard lock(mutex);
+      stopping = true;
+    }
+    work_cv.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  void run(std::size_t num_warps, std::size_t shared_bytes,
+           const WarpKernel& kernel) {
+    std::unique_lock lock(mutex);
+    // One launch at a time per device; concurrent launchers (one per
+    // stream) serialize here. In-order execution per stream and a full
+    // barrier per launch are exactly the guarantees the trainer's
+    // epoch-synchronization relies on.
+    idle_cv.wait(lock, [this] { return current == nullptr; });
+
+    Launch launch;
+    launch.num_warps = num_warps;
+    launch.shared_bytes = shared_bytes;
+    launch.kernel = &kernel;
+    current = &launch;
+    ++generation;
+    work_cv.notify_all();
+
+    done_cv.wait(lock, [&launch] {
+      return launch.completed == launch.num_warps && launch.refs == 0;
+    });
+    current = nullptr;
+    idle_cv.notify_one();
+  }
+
+  void worker_loop(unsigned worker_index) {
+    AlignedBuffer<std::byte>& arena = shared_arenas[worker_index];
+    const std::size_t grain = std::max<std::size_t>(1, config.warp_grain);
+
+    std::unique_lock lock(mutex);
+    for (;;) {
+      work_cv.wait(lock, [this] { return stopping || current != nullptr; });
+      if (stopping) return;
+      Launch* launch = current;
+      const std::uint64_t my_generation = generation;
+      launch->refs++;
+      lock.unlock();
+
+      std::size_t processed = 0;
+      for (;;) {
+        const std::size_t begin =
+            launch->cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= launch->num_warps) break;
+        const std::size_t end = std::min(begin + grain, launch->num_warps);
+        WarpContext ctx;
+        ctx.shared = arena.data();
+        ctx.shared_bytes = launch->shared_bytes;
+        for (std::size_t w = begin; w < end; ++w) {
+          ctx.warp_id = w;
+          (*launch->kernel)(ctx);
+        }
+        processed += end - begin;
+      }
+
+      lock.lock();
+      launch->refs--;
+      launch->completed += processed;
+      if (launch->completed == launch->num_warps && launch->refs == 0) {
+        done_cv.notify_all();
+      }
+      // Park until this launch retires; otherwise the worker would spin on
+      // the exhausted cursor while the launcher is still waking up.
+      work_cv.wait(lock, [this, my_generation] {
+        return stopping || generation != my_generation || current == nullptr;
+      });
+      if (stopping) return;
+    }
+  }
+
+  DeviceConfig config;
+  std::vector<std::thread> threads;
+  std::vector<AlignedBuffer<std::byte>> shared_arenas;
+  std::mutex mutex;
+  std::condition_variable work_cv;   // new launch available
+  std::condition_variable done_cv;   // current launch fully complete
+  std::condition_variable idle_cv;   // device free for the next launcher
+  Launch* current = nullptr;         // guarded by mutex
+  std::uint64_t generation = 0;      // guarded by mutex
+  bool stopping = false;             // guarded by mutex
+};
+
+Device::Device(const DeviceConfig& config)
+    : config_(config),
+      worker_count_(config.workers != 0
+                        ? config.workers
+                        : std::max(1u, std::thread::hardware_concurrency())),
+      impl_(std::make_unique<Impl>(worker_count_, config)) {}
+
+Device::~Device() = default;
+
+std::size_t Device::memory_used() const noexcept {
+  return used_.load(std::memory_order_relaxed);
+}
+
+void* Device::allocate(std::size_t bytes) {
+  // Round up so the meter matches what the aligned allocator consumes.
+  const std::size_t charged = (bytes + kCacheLine - 1) & ~(kCacheLine - 1);
+  std::size_t expected = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (expected + charged > config_.memory_bytes) {
+      throw DeviceOutOfMemory(charged, config_.memory_bytes - expected);
+    }
+    if (used_.compare_exchange_weak(expected, expected + charged,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  return ::operator new[](charged == 0 ? 1 : charged,
+                          std::align_val_t{kCacheLine});
+}
+
+void Device::deallocate(void* pointer, std::size_t bytes) noexcept {
+  const std::size_t charged = (bytes + kCacheLine - 1) & ~(kCacheLine - 1);
+  ::operator delete[](pointer, std::align_val_t{kCacheLine});
+  used_.fetch_sub(charged, std::memory_order_relaxed);
+}
+
+void Device::launch_blocking(std::size_t num_warps, std::size_t shared_bytes,
+                             const WarpKernel& kernel) {
+  if (num_warps == 0) return;
+  if (shared_bytes > config_.max_shared_bytes) {
+    throw std::invalid_argument(
+        "gosh: kernel requests more shared memory than the device provides");
+  }
+  metrics_.add_kernel();
+  metrics_.add_warps(num_warps);
+  impl_->run(num_warps, shared_bytes, kernel);
+}
+
+}  // namespace gosh::simt

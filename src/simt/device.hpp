@@ -1,0 +1,182 @@
+// SIMT device emulation — the repository's GPU substitute.
+//
+// What the paper's algorithms actually depend on from the Titan X is
+// reproduced here (DESIGN.md Section 1):
+//   * a FINITE memory capacity — allocation beyond it throws
+//     DeviceOutOfMemory, which is what routes a graph into the Algorithm 5
+//     partitioned path, exactly as 12 GB does for 65M-vertex graphs;
+//   * WARP-GRAINED execution — kernels are functions invoked once per
+//     32-lane warp; a persistent worker pool (the "SMs") pulls warps off a
+//     shared cursor; lane-level parallelism is expressed as inner loops the
+//     compiler vectorizes;
+//   * SHARED MEMORY — each executing warp gets a scratch arena for staging
+//     (the trainer stages M[src] there, Section 3.1);
+//   * ASYNCHRONY — Streams (simt/stream.hpp) order work and overlap
+//     transfers with kernels, which the large-graph engine uses to hide
+//     sub-matrix switches (Section 3.3.2).
+//
+// Device "memory" is ordinary host memory behind a capacity meter: the
+// emulation is about control flow and limits, not about simulating DRAM
+// timing. Transfers really copy bytes (so H2D/D2H costs are nonzero and
+// overlap is observable) and are metered in Metrics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+#include "gosh/common/types.hpp"
+#include "gosh/simt/metrics.hpp"
+
+namespace gosh::simt {
+
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t free_bytes);
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t free_bytes() const noexcept { return free_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t free_;
+};
+
+/// Per-warp execution context handed to kernels.
+struct WarpContext {
+  /// Global warp index in [0, num_warps) of the launch.
+  std::size_t warp_id = 0;
+  /// Shared-memory scratch, `shared_bytes` long, 64-byte aligned, private
+  /// to this warp for the duration of the call.
+  std::byte* shared = nullptr;
+  std::size_t shared_bytes = 0;
+};
+
+/// A kernel body: invoked once per warp; must be safe to call concurrently
+/// for distinct warps.
+using WarpKernel = std::function<void(const WarpContext&)>;
+
+struct DeviceConfig {
+  /// Capacity of the emulated device memory. The paper's card has 12 GB;
+  /// benches shrink this to force the large-graph path at test scale.
+  std::size_t memory_bytes = std::size_t{512} << 20;
+  /// Emulated SM worker threads; 0 = hardware concurrency.
+  unsigned workers = 0;
+  /// Warps claimed per worker pull; small keeps load balanced when warps
+  /// have skewed cost (hub vertices own long sample loops).
+  std::size_t warp_grain = 16;
+  /// Upper bound on per-warp shared memory a launch may request (48 KiB,
+  /// the per-block shared-memory size of the paper's Pascal card).
+  std::size_t max_shared_bytes = std::size_t{48} << 10;
+};
+
+class Stream;
+
+/// The emulated device. Thread-safe: allocation, launches and metrics may
+/// be used from multiple host threads (the large-graph engine does).
+class Device {
+ public:
+  explicit Device(const DeviceConfig& config = {});
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  std::size_t memory_capacity() const noexcept { return config_.memory_bytes; }
+  std::size_t memory_used() const noexcept;
+  std::size_t memory_free() const noexcept {
+    return memory_capacity() - memory_used();
+  }
+  unsigned workers() const noexcept { return worker_count_; }
+
+  /// Raw capacity-metered allocation (64-byte aligned). Prefer
+  /// DeviceBuffer. Throws DeviceOutOfMemory when it does not fit.
+  void* allocate(std::size_t bytes);
+  void deallocate(void* pointer, std::size_t bytes) noexcept;
+
+  /// Runs `kernel` for warps [0, num_warps), blocking until all complete.
+  /// `shared_bytes` scratch is provided per executing warp. Epoch-level
+  /// synchronization in the trainer is built from consecutive launches.
+  void launch_blocking(std::size_t num_warps, std::size_t shared_bytes,
+                       const WarpKernel& kernel);
+
+  Metrics& metrics() noexcept { return metrics_; }
+
+ private:
+  struct Impl;
+  DeviceConfig config_;
+  unsigned worker_count_;
+  Metrics metrics_;
+  std::atomic<std::size_t> used_{0};
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Typed RAII allocation in device memory with metered transfer helpers.
+template <typename T>
+class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& device, std::size_t count)
+      : device_(&device),
+        count_(count),
+        data_(static_cast<T*>(device.allocate(count * sizeof(T)))) {}
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~DeviceBuffer() { release(); }
+
+  /// Copies host data into the buffer (metered H2D).
+  void copy_from_host(std::span<const T> host, std::size_t offset = 0) {
+    std::memcpy(data_ + offset, host.data(), host.size_bytes());
+    device_->metrics().add_h2d(host.size_bytes());
+  }
+
+  /// Copies buffer contents out to host (metered D2H).
+  void copy_to_host(std::span<T> host, std::size_t offset = 0) const {
+    std::memcpy(host.data(), data_ + offset, host.size_bytes());
+    device_->metrics().add_d2h(host.size_bytes());
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  explicit operator bool() const noexcept { return data_ != nullptr; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      device_->deallocate(data_, count_ * sizeof(T));
+      data_ = nullptr;
+      count_ = 0;
+    }
+  }
+
+  void swap(DeviceBuffer& other) noexcept {
+    std::swap(device_, other.device_);
+    std::swap(count_, other.count_);
+    std::swap(data_, other.data_);
+  }
+
+  Device* device_ = nullptr;
+  std::size_t count_ = 0;
+  T* data_ = nullptr;
+};
+
+}  // namespace gosh::simt

@@ -1,0 +1,25 @@
+#include "gosh/simt/metrics.hpp"
+
+namespace gosh::simt {
+
+MetricsSnapshot Metrics::snapshot() const noexcept {
+  MetricsSnapshot snap;
+  snap.h2d_bytes = h2d_bytes_.load(std::memory_order_relaxed);
+  snap.d2h_bytes = d2h_bytes_.load(std::memory_order_relaxed);
+  snap.kernels_launched = kernels_launched_.load(std::memory_order_relaxed);
+  snap.warps_executed = warps_executed_.load(std::memory_order_relaxed);
+  snap.global_accesses = global_accesses_.load(std::memory_order_relaxed);
+  snap.shared_accesses = shared_accesses_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Metrics::reset() noexcept {
+  h2d_bytes_.store(0, std::memory_order_relaxed);
+  d2h_bytes_.store(0, std::memory_order_relaxed);
+  kernels_launched_.store(0, std::memory_order_relaxed);
+  warps_executed_.store(0, std::memory_order_relaxed);
+  global_accesses_.store(0, std::memory_order_relaxed);
+  shared_accesses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gosh::simt

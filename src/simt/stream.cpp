@@ -1,0 +1,72 @@
+#include "gosh/simt/stream.hpp"
+
+namespace gosh::simt {
+
+Event::Event() : state_(std::make_shared<State>()) {}
+
+void Event::wait() const {
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->set; });
+}
+
+bool Event::ready() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->set;
+}
+
+void Event::signal() const {
+  {
+    std::lock_guard lock(state_->mutex);
+    state_->set = true;
+  }
+  state_->cv.notify_all();
+}
+
+Stream::Stream() : thread_([this] { worker_loop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Stream::enqueue(std::function<void()> work) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(work));
+  }
+  cv_.notify_one();
+}
+
+Event Stream::record() {
+  Event event;
+  enqueue([event] { event.signal(); });
+  return event;
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(mutex_);
+  drained_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> work;
+    {
+      std::unique_lock lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) drained_.notify_all();
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    work();
+  }
+}
+
+}  // namespace gosh::simt

@@ -1,0 +1,75 @@
+// Streams and events — the asynchrony layer of the device emulation.
+//
+// A Stream executes enqueued host closures (transfers, kernel launches) in
+// FIFO order on its own thread, mirroring CUDA stream semantics: work on
+// one stream is ordered; work on different streams overlaps. The
+// large-graph engine uses multiple streams to hide sub-matrix transfers
+// behind kernel execution (paper Section 3.3.2: "Multiple GPU streams are
+// used to allow for multiple kernel dispatches at once").
+//
+// An Event is a lightweight completion marker recorded into a stream;
+// waiting on it blocks the host until every item enqueued before the record
+// has finished.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace gosh::simt {
+
+class Event {
+ public:
+  Event();
+
+  /// Blocks until the event has been signalled (no-op if already set).
+  void wait() const;
+
+  /// True once signalled.
+  bool ready() const;
+
+ private:
+  friend class Stream;
+  void signal() const;
+
+  struct State {
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+    bool set = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues `work` after everything previously enqueued.
+  void enqueue(std::function<void()> work);
+
+  /// Enqueues a marker and returns its event.
+  Event record();
+
+  /// Blocks until the queue is drained.
+  void synchronize();
+
+ private:
+  void worker_loop();
+
+  std::thread thread_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;        // queue became non-empty / stopping
+  std::condition_variable drained_;   // queue empty and worker idle
+  bool stopping_ = false;
+  bool busy_ = false;
+};
+
+}  // namespace gosh::simt

@@ -1,0 +1,84 @@
+// LINE-on-device (GraphVite stand-in): learning and the single-GPU
+// memory limitation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gosh/baselines/line_device.hpp"
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::baselines {
+namespace {
+
+TEST(LineDevice, ProducesFiniteEmbedding) {
+  simt::DeviceConfig device_config;
+  device_config.memory_bytes = 32u << 20;
+  device_config.workers = 2;
+  simt::Device device(device_config);
+  LineConfig config;
+  config.dim = 16;
+  config.epochs = 10;
+  const auto m = line_device_embed(graph::rmat(9, 2000, 81), device, config);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(m.data()[i]));
+  }
+}
+
+TEST(LineDevice, LearnsCommunities) {
+  const vid_t clique = 8;
+  std::vector<graph::Edge> edges;
+  for (vid_t u = 0; u < clique; ++u) {
+    for (vid_t v = u + 1; v < clique; ++v) {
+      edges.emplace_back(u, v);
+      edges.emplace_back(clique + u, clique + v);
+    }
+  }
+  edges.emplace_back(0, clique);
+  const auto g = graph::build_csr(2 * clique, std::move(edges));
+
+  simt::DeviceConfig device_config;
+  device_config.memory_bytes = 16u << 20;
+  device_config.workers = 2;
+  simt::Device device(device_config);
+  LineConfig config;
+  config.dim = 16;
+  config.epochs = 600;
+  config.learning_rate = 0.05f;
+  const auto m = line_device_embed(g, device, config);
+
+  float intra = 0.0f, inter = 0.0f;
+  int intra_n = 0, inter_n = 0;
+  for (vid_t u = 0; u < 2 * clique; ++u) {
+    for (vid_t v = u + 1; v < 2 * clique; ++v) {
+      const float d =
+          embedding::dot(m.row(u).data(), m.row(v).data(), m.dim());
+      if ((u < clique) == (v < clique)) {
+        intra += d;
+        intra_n++;
+      } else {
+        inter += d;
+        inter_n++;
+      }
+    }
+  }
+  EXPECT_GT(intra / intra_n - inter / inter_n, 0.05f);
+}
+
+TEST(LineDevice, OutOfMemoryLikeGraphvite) {
+  // The Table 7 behaviour: when matrix+graph exceed device memory the
+  // tool fails instead of partitioning.
+  simt::DeviceConfig device_config;
+  device_config.memory_bytes = 64u << 10;  // 64 KiB device
+  device_config.workers = 1;
+  simt::Device device(device_config);
+  const auto g = graph::rmat(11, 10000, 82);
+  LineConfig config;
+  config.dim = 64;
+  EXPECT_THROW(line_device_embed(g, device, config),
+               simt::DeviceOutOfMemory);
+}
+
+}  // namespace
+}  // namespace gosh::baselines

@@ -1,0 +1,57 @@
+// MILE baseline: hierarchy shape and end-to-end embedding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gosh/baselines/mile.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::baselines {
+namespace {
+
+TEST(Mile, EndToEndProducesOriginalSizeEmbedding) {
+  const auto g = graph::rmat(10, 4000, 71);
+  MileConfig config;
+  config.coarsening_levels = 4;
+  config.base.dim = 16;
+  config.base.epochs = 50;
+  const auto result = mile_embed(g, config);
+  EXPECT_EQ(result.embedding.rows(), g.num_vertices());
+  EXPECT_EQ(result.embedding.dim(), 16u);
+  for (std::size_t i = 0; i < result.embedding.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.embedding.data()[i]));
+  }
+}
+
+TEST(Mile, HierarchyTimingsReported) {
+  const auto g = graph::rmat(9, 2000, 72);
+  MileConfig config;
+  config.coarsening_levels = 3;
+  config.base.dim = 8;
+  config.base.epochs = 10;
+  const auto result = mile_embed(g, config);
+  EXPECT_EQ(result.hierarchy.level_seconds.size(),
+            result.hierarchy.maps.size());
+  EXPECT_GE(result.coarsening_seconds, 0.0);
+  EXPECT_GT(result.base_embed_seconds, 0.0);
+  EXPECT_GT(result.refinement_seconds, 0.0);
+}
+
+TEST(Mile, RefinementPreservesScale) {
+  // Propagation must not blow up or zero out the embedding.
+  const auto g = graph::rmat(9, 2000, 73);
+  MileConfig config;
+  config.coarsening_levels = 3;
+  config.base.dim = 8;
+  config.base.epochs = 30;
+  const auto result = mile_embed(g, config);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < result.embedding.size(); ++i) {
+    norm += std::abs(result.embedding.data()[i]);
+  }
+  EXPECT_GT(norm, 1e-6);
+  EXPECT_TRUE(std::isfinite(norm));
+}
+
+}  // namespace
+}  // namespace gosh::baselines

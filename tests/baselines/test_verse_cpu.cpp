@@ -1,0 +1,102 @@
+// VERSE-CPU baseline: runs, learns, both similarity modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gosh/baselines/verse_cpu.hpp"
+#include "gosh/embedding/update.hpp"
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::baselines {
+namespace {
+
+graph::Graph two_cliques(vid_t clique = 8) {
+  std::vector<graph::Edge> edges;
+  for (vid_t u = 0; u < clique; ++u) {
+    for (vid_t v = u + 1; v < clique; ++v) {
+      edges.emplace_back(u, v);
+      edges.emplace_back(clique + u, clique + v);
+    }
+  }
+  edges.emplace_back(0, clique);
+  return graph::build_csr(2 * clique, std::move(edges));
+}
+
+float separation(const embedding::EmbeddingMatrix& m, vid_t clique) {
+  float intra = 0.0f, inter = 0.0f;
+  int intra_n = 0, inter_n = 0;
+  for (vid_t u = 0; u < 2 * clique; ++u) {
+    for (vid_t v = u + 1; v < 2 * clique; ++v) {
+      const float d =
+          embedding::dot(m.row(u).data(), m.row(v).data(), m.dim());
+      if ((u < clique) == (v < clique)) {
+        intra += d;
+        intra_n++;
+      } else {
+        inter += d;
+        inter_n++;
+      }
+    }
+  }
+  return intra / intra_n - inter / inter_n;
+}
+
+TEST(VerseCpu, ProducesFiniteEmbedding) {
+  VerseConfig config;
+  config.dim = 16;
+  config.epochs = 20;
+  const auto m = verse_cpu_embed(graph::rmat(9, 2000, 61), config);
+  EXPECT_EQ(m.dim(), 16u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(m.data()[i]));
+  }
+}
+
+TEST(VerseCpu, AdjacencyModeLearnsCommunities) {
+  VerseConfig config;
+  config.dim = 16;
+  config.epochs = 400;
+  config.learning_rate = 0.05f;
+  config.similarity = VerseConfig::Similarity::kAdjacency;
+  const auto m = verse_cpu_embed(two_cliques(), config);
+  EXPECT_GT(separation(m, 8), 0.1f);
+}
+
+TEST(VerseCpu, PprModeLearnsCommunities) {
+  VerseConfig config;
+  config.dim = 16;
+  config.epochs = 400;
+  config.learning_rate = 0.05f;
+  config.similarity = VerseConfig::Similarity::kPpr;
+  const auto m = verse_cpu_embed(two_cliques(), config);
+  EXPECT_GT(separation(m, 8), 0.05f);
+}
+
+TEST(VerseCpu, SingleThreadDeterministic) {
+  VerseConfig config;
+  config.dim = 8;
+  config.epochs = 10;
+  config.threads = 1;
+  const auto g = graph::rmat(8, 1000, 62);
+  const auto a = verse_cpu_embed(g, config);
+  const auto b = verse_cpu_embed(g, config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(VerseCpu, HandlesIsolatedVertices) {
+  graph::Graph g = graph::build_csr(20, {{0, 1}, {2, 3}});
+  VerseConfig config;
+  config.dim = 8;
+  config.epochs = 10;
+  const auto m = verse_cpu_embed(g, config);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(m.data()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace gosh::baselines

@@ -1,0 +1,48 @@
+// Hierarchy container invariants.
+#include <gtest/gtest.h>
+
+#include "gosh/coarsening/hierarchy.hpp"
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::coarsen {
+namespace {
+
+TEST(Hierarchy, SingleLevelBasics) {
+  Hierarchy h(graph::cycle_graph(10));
+  EXPECT_EQ(h.depth(), 1u);
+  EXPECT_EQ(&h.original(), &h.coarsest());
+  const auto composed = h.composed_map(0);
+  for (vid_t v = 0; v < 10; ++v) EXPECT_EQ(composed[v], v);
+}
+
+TEST(Hierarchy, PushLevelTracksMaps) {
+  Hierarchy h(graph::path_graph(6));
+  // 6 -> 3: pairs (0,1)(2,3)(4,5).
+  std::vector<vid_t> map = {0, 0, 1, 1, 2, 2};
+  h.push_level(map, graph::path_graph(3));
+  EXPECT_EQ(h.depth(), 2u);
+  EXPECT_EQ(h.map(0), map);
+  EXPECT_EQ(h.coarsest().num_vertices(), 3u);
+  EXPECT_DOUBLE_EQ(h.shrink_rate(0), 0.5);
+}
+
+TEST(Hierarchy, ComposedMapChainsLevels) {
+  Hierarchy h(graph::path_graph(8));
+  h.push_level({0, 0, 1, 1, 2, 2, 3, 3}, graph::path_graph(4));
+  h.push_level({0, 0, 1, 1}, graph::path_graph(2));
+  const auto composed = h.composed_map(2);
+  // 0..3 -> super 0, 4..7 -> super 1.
+  for (vid_t v = 0; v < 4; ++v) EXPECT_EQ(composed[v], 0u);
+  for (vid_t v = 4; v < 8; ++v) EXPECT_EQ(composed[v], 1u);
+}
+
+TEST(Hierarchy, ShrinkRateOfEqualSizesIsZero) {
+  Hierarchy h(graph::cycle_graph(4));
+  std::vector<vid_t> identity = {0, 1, 2, 3};
+  h.push_level(identity, graph::cycle_graph(4));
+  EXPECT_DOUBLE_EQ(h.shrink_rate(0), 0.0);
+}
+
+}  // namespace
+}  // namespace gosh::coarsen

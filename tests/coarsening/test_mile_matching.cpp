@@ -1,0 +1,100 @@
+// MILE-style SEM+NHEM coarsening invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gosh/coarsening/mile_matching.hpp"
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::coarsen {
+namespace {
+
+TEST(WeightedGraph, FromGraphUnitWeights) {
+  const auto g = graph::cycle_graph(10);
+  const auto w = WeightedGraph::from_graph(g);
+  EXPECT_EQ(w.num_vertices(), 10u);
+  EXPECT_EQ(w.num_arcs(), g.num_arcs());
+  for (float weight : w.weights) EXPECT_FLOAT_EQ(weight, 1.0f);
+  EXPECT_FLOAT_EQ(w.weighted_degree(0), 2.0f);
+}
+
+TEST(WeightedGraph, UnweightedRoundTrip) {
+  const auto g = graph::rmat(8, 500, 3);
+  EXPECT_EQ(WeightedGraph::from_graph(g).unweighted(), g);
+}
+
+TEST(MileLevel, MatchingAtMostHalves) {
+  const auto g = graph::cycle_graph(64);
+  const auto level =
+      mile_coarsen_level(WeightedGraph::from_graph(g), 1);
+  // A perfect matching halves the cycle; SEM cannot help (all distinct
+  // neighbourhoods), so the floor is n/2.
+  EXPECT_GE(level.coarse.num_vertices(), 32u);
+}
+
+TEST(MileLevel, MapIsValidPartition) {
+  const auto g = graph::rmat(9, 2000, 4);
+  const auto level = mile_coarsen_level(WeightedGraph::from_graph(g), 2);
+  std::set<vid_t> used;
+  for (vid_t super : level.map) {
+    ASSERT_LT(super, level.coarse.num_vertices());
+    used.insert(super);
+  }
+  EXPECT_EQ(used.size(), level.coarse.num_vertices());
+}
+
+TEST(MileLevel, SuperVertexHasAtMostTwoGroups) {
+  // Count fine vertices per super vertex on a graph without structural
+  // equivalence (cycle): must be 1 or 2 (a matching).
+  const auto g = graph::cycle_graph(101);
+  const auto level = mile_coarsen_level(WeightedGraph::from_graph(g), 5);
+  std::vector<unsigned> members(level.coarse.num_vertices(), 0);
+  for (vid_t super : level.map) members[super]++;
+  for (unsigned count : members) EXPECT_LE(count, 2u);
+}
+
+TEST(MileLevel, SemCollapsesTwins) {
+  // Star leaves all share the neighbourhood {hub}: SEM should group them,
+  // so the coarse graph is far smaller than a matching could reach.
+  const auto g = graph::star_graph(40);
+  const auto level = mile_coarsen_level(WeightedGraph::from_graph(g), 6);
+  EXPECT_LE(level.coarse.num_vertices(), 2u);
+}
+
+TEST(MileLevel, WeightsAccumulate) {
+  // Two vertices merging share an external neighbour -> the coarse edge
+  // carries weight 2.
+  //   0-2, 1-2, 0-1 ; matching merges 0,1 (heaviest normalized edge).
+  graph::Graph g = graph::build_csr(3, {{0, 1}, {0, 2}, {1, 2}});
+  const auto level = mile_coarsen_level(WeightedGraph::from_graph(g), 7);
+  ASSERT_EQ(level.coarse.num_vertices(), 2u);
+  // The surviving edge aggregates both fine edges.
+  float max_weight = 0.0f;
+  for (float w : level.coarse.weights) max_weight = std::max(max_weight, w);
+  EXPECT_FLOAT_EQ(max_weight, 2.0f);
+}
+
+TEST(MileHierarchy, RunsRequestedLevels) {
+  const auto h = mile_coarsen(graph::rmat(10, 3000, 8), 5, 1);
+  EXPECT_EQ(h.graphs.size(), 6u);  // original + 5
+  EXPECT_EQ(h.maps.size(), 5u);
+  EXPECT_EQ(h.level_seconds.size(), 5u);
+  for (std::size_t i = 0; i + 1 < h.graphs.size(); ++i) {
+    EXPECT_LE(h.graphs[i + 1].num_vertices(), h.graphs[i].num_vertices());
+  }
+}
+
+TEST(MileHierarchy, ShrinksSlowerThanGosh) {
+  // The Table 5 story: matching shrink per level is bounded by 2x (plus
+  // SEM), while GOSH clustering shrinks several-fold.
+  const auto g = graph::rmat(11, 10000, 9);
+  const auto mile = mile_coarsen(g, 3, 1);
+  const double mile_shrink =
+      static_cast<double>(g.num_vertices()) /
+      mile.graphs.back().num_vertices();
+  EXPECT_LT(mile_shrink, 10.0);  // 3 levels of <=2x + SEM
+}
+
+}  // namespace
+}  // namespace gosh::coarsen

@@ -1,0 +1,42 @@
+// Degree-descending visit order.
+#include <gtest/gtest.h>
+
+#include "gosh/coarsening/order.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::coarsen {
+namespace {
+
+TEST(DegreeOrder, StarHubFirst) {
+  const auto order = degree_order_descending(graph::star_graph(10));
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(DegreeOrder, DescendingDegrees) {
+  graph::Graph g = graph::rmat(10, 4000, 3);
+  const auto order = degree_order_descending(g);
+  ASSERT_EQ(order.size(), g.num_vertices());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(g.degree(order[i - 1]), g.degree(order[i]));
+  }
+}
+
+TEST(DegreeOrder, IsAPermutation) {
+  graph::Graph g = graph::erdos_renyi(500, 2000, 4);
+  auto order = degree_order_descending(g);
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<vid_t>(i));
+  }
+}
+
+TEST(DegreeOrder, TiesKeepIdOrder) {
+  // Cycle: all degrees equal, stability => identity order.
+  const auto order = degree_order_descending(graph::cycle_graph(20));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<vid_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace gosh::coarsen

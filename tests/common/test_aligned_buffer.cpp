@@ -1,0 +1,67 @@
+// AlignedBuffer: alignment, initialization, move-only ownership.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "gosh/common/aligned_buffer.hpp"
+
+namespace gosh {
+namespace {
+
+TEST(AlignedBuffer, CacheLineAligned) {
+  AlignedBuffer<float> buffer(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % kCacheLine, 0u);
+}
+
+TEST(AlignedBuffer, ValueInitialized) {
+  AlignedBuffer<double> buffer(257);
+  for (double x : buffer) EXPECT_EQ(x, 0.0);
+}
+
+TEST(AlignedBuffer, EmptyIsNull) {
+  AlignedBuffer<int> buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.data(), nullptr);
+  AlignedBuffer<int> zero(0);
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(AlignedBuffer, MoveConstructionTransfers) {
+  AlignedBuffer<int> source(16);
+  source[3] = 42;
+  int* raw = source.data();
+  AlignedBuffer<int> target(std::move(source));
+  EXPECT_EQ(target.data(), raw);
+  EXPECT_EQ(target[3], 42);
+  EXPECT_TRUE(source.empty());
+}
+
+TEST(AlignedBuffer, MoveAssignmentReleasesOld) {
+  AlignedBuffer<int> a(8), b(16);
+  b[0] = 7;
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a[0], 7);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(AlignedBuffer, SelfMoveAssignmentIsSafe) {
+  AlignedBuffer<int> a(8);
+  a[0] = 5;
+  AlignedBuffer<int>& alias = a;
+  a = std::move(alias);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a[0], 5);
+}
+
+TEST(AlignedBuffer, IterationCoversAllElements) {
+  AlignedBuffer<int> buffer(100);
+  int i = 0;
+  for (int& x : buffer) x = i++;
+  EXPECT_EQ(buffer[99], 99);
+  EXPECT_EQ(buffer.end() - buffer.begin(), 100);
+}
+
+}  // namespace
+}  // namespace gosh

@@ -1,0 +1,124 @@
+// Thread pool and parallel_for coverage / scheduling invariants.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gosh/common/parallel_for.hpp"
+#include "gosh/common/thread_pool.hpp"
+
+namespace gosh {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter++; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit_detached([&counter] { counter++; });
+    }
+  }  // join
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(kN, [&visits](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  ParallelForOptions options;
+  options.threads = 1;
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(16);
+  parallel_for(
+      16, [&ids](std::size_t i) { ids[i] = std::this_thread::get_id(); },
+      options);
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+class ParallelForGrainTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForGrainTest, SumMatchesUnderAnyGrain) {
+  ParallelForOptions options;
+  options.grain = GetParam();
+  constexpr std::size_t kN = 12345;
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(
+      kN,
+      [&sum](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      },
+      options);
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, ParallelForGrainTest,
+                         ::testing::Values(1, 2, 7, 64, 1024, 1 << 20));
+
+TEST(ParallelFor, StaticPartitionCoversRange) {
+  ParallelForOptions options;
+  options.static_partition = true;
+  constexpr std::size_t kN = 9999;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(
+      kN,
+      [&visits](std::size_t i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      options);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForWorker, WorkerIdsAreInRange) {
+  const unsigned threads = effective_threads({});
+  std::atomic<bool> bad{false};
+  parallel_for_worker(
+      10000,
+      [&bad, threads](unsigned worker, std::size_t, std::size_t) {
+        if (worker >= threads) bad.store(true);
+      },
+      {});
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ParallelForWorker, DisjointRangesCoverAll) {
+  constexpr std::size_t kN = 50000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for_worker(
+      kN,
+      [&visits](unsigned, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          visits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      {});
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace gosh

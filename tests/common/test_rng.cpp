@@ -1,0 +1,121 @@
+// RNG determinism, stream independence and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "gosh/common/rng.hpp"
+
+namespace gosh {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng parent(7);
+  Rng child1 = parent.split(42);
+  Rng child2 = parent.split(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(7);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += child1.next() == child2.next();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = rng.next_float();
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  // Chi-square-style loose check over 16 buckets.
+  Rng rng(11);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.next_bounded(kBuckets)]++;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int count : counts) {
+    EXPECT_NEAR(count, expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, HashCombineSeparatesStreams) {
+  std::set<std::uint64_t> values;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    for (std::uint64_t stream = 0; stream < 50; ++stream) {
+      values.insert(hash_combine(seed, stream));
+    }
+  }
+  EXPECT_EQ(values.size(), 50u * 50u);  // no collisions on a small grid
+}
+
+TEST(Rng, SplitMixAdvancesState) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+class RngVertexBoundTest : public ::testing::TestWithParam<vid_t> {};
+
+TEST_P(RngVertexBoundTest, VertexSamplesCoverRange) {
+  const vid_t n = GetParam();
+  Rng rng(n);
+  std::set<vid_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const vid_t v = rng.next_vertex(n);
+    ASSERT_LT(v, n);
+    seen.insert(v);
+  }
+  // All values should appear for small n.
+  if (n <= 8) EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngVertexBoundTest,
+                         ::testing::Values(1, 2, 3, 8, 1000, 1 << 20));
+
+}  // namespace
+}  // namespace gosh

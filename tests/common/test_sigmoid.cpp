@@ -1,0 +1,72 @@
+// Sigmoid table accuracy and boundary behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gosh/common/sigmoid.hpp"
+
+namespace gosh {
+namespace {
+
+TEST(Sigmoid, ExactMatchesClosedForm) {
+  EXPECT_FLOAT_EQ(sigmoid_exact(0.0f), 0.5f);
+  EXPECT_NEAR(sigmoid_exact(1.0f), 1.0f / (1.0f + std::exp(-1.0f)), 1e-7f);
+  EXPECT_NEAR(sigmoid_exact(-1.0f), 1.0f / (1.0f + std::exp(1.0f)), 1e-7f);
+}
+
+TEST(SigmoidTable, AccurateWithinBound) {
+  SigmoidTable table(1024);
+  for (float x = -kSigmoidBound; x <= kSigmoidBound; x += 0.001f) {
+    EXPECT_NEAR(table(x), sigmoid_exact(x), 5e-5f) << "x = " << x;
+  }
+}
+
+TEST(SigmoidTable, ClampsOutsideBound) {
+  SigmoidTable table;
+  EXPECT_FLOAT_EQ(table(-100.0f), table(-kSigmoidBound));
+  EXPECT_FLOAT_EQ(table(100.0f), table(kSigmoidBound));
+  EXPECT_LT(table(-kSigmoidBound), 1e-3f);
+  EXPECT_GT(table(kSigmoidBound), 1.0f - 1e-3f);
+}
+
+TEST(SigmoidTable, MonotoneNondecreasing) {
+  SigmoidTable table(256);
+  float previous = table(-kSigmoidBound - 1.0f);
+  for (float x = -kSigmoidBound; x <= kSigmoidBound + 1.0f; x += 0.01f) {
+    const float current = table(x);
+    EXPECT_GE(current, previous - 1e-7f);
+    previous = current;
+  }
+}
+
+TEST(SigmoidTable, SymmetryAroundZero) {
+  SigmoidTable table(2048);
+  for (float x = 0.0f; x < kSigmoidBound; x += 0.1f) {
+    EXPECT_NEAR(table(x) + table(-x), 1.0f, 1e-4f);
+  }
+}
+
+class SigmoidResolutionTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SigmoidResolutionTest, ErrorShrinksWithResolution) {
+  SigmoidTable table(GetParam());
+  float max_error = 0.0f;
+  for (float x = -kSigmoidBound; x <= kSigmoidBound; x += 0.003f) {
+    max_error = std::max(max_error, std::abs(table(x) - sigmoid_exact(x)));
+  }
+  // Linear interpolation error ~ (range/resolution)^2 / 8 * max|f''|.
+  const float step = 2.0f * kSigmoidBound / static_cast<float>(GetParam());
+  EXPECT_LT(max_error, step * step * 0.05f + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, SigmoidResolutionTest,
+                         ::testing::Values(128, 512, 1024, 4096));
+
+TEST(SigmoidTable, DefaultTableIsShared) {
+  const SigmoidTable& a = default_sigmoid_table();
+  const SigmoidTable& b = default_sigmoid_table();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace gosh

@@ -1,0 +1,87 @@
+// Counting sort and prefix-sum invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "gosh/common/counting_sort.hpp"
+#include "gosh/common/prefix_sum.hpp"
+#include "gosh/common/rng.hpp"
+
+namespace gosh {
+namespace {
+
+TEST(CountingSort, DescendingOrder) {
+  std::vector<unsigned> keys = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto order = counting_sort_descending(
+      std::span<const unsigned>(keys), 9);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(keys[order[i - 1]], keys[order[i]]);
+  }
+}
+
+TEST(CountingSort, StableOnTies) {
+  std::vector<unsigned> keys = {5, 5, 5, 2, 2, 7};
+  const auto order = counting_sort_descending(
+      std::span<const unsigned>(keys), 7);
+  // Expected: 7 first (index 5), then the 5s in original order, then 2s.
+  EXPECT_EQ(order[0], 5u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 2u);
+  EXPECT_EQ(order[4], 3u);
+  EXPECT_EQ(order[5], 4u);
+}
+
+TEST(CountingSort, IsAPermutation) {
+  Rng rng(1);
+  std::vector<unsigned> keys(1000);
+  for (auto& k : keys) k = static_cast<unsigned>(rng.next_bounded(50));
+  auto order = counting_sort_descending(std::span<const unsigned>(keys), 50);
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(CountingSort, EmptyInput) {
+  std::vector<unsigned> keys;
+  EXPECT_TRUE(
+      counting_sort_descending(std::span<const unsigned>(keys), 0).empty());
+}
+
+TEST(CountingSort, AllEqualKeys) {
+  std::vector<unsigned> keys(100, 7);
+  const auto order =
+      counting_sort_descending(std::span<const unsigned>(keys), 7);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);  // stability
+}
+
+TEST(PrefixSum, ExclusiveBasics) {
+  std::vector<int> values = {3, 1, 4};
+  const int total = exclusive_prefix_sum(std::span<int>(values));
+  EXPECT_EQ(total, 8);
+  EXPECT_EQ(values, (std::vector<int>{0, 3, 4}));
+}
+
+TEST(PrefixSum, EmptyReturnsZero) {
+  std::vector<int> values;
+  EXPECT_EQ(exclusive_prefix_sum(std::span<int>(values)), 0);
+}
+
+TEST(PrefixSum, MatchesManualAccumulation) {
+  Rng rng(2);
+  std::vector<std::uint64_t> values(500);
+  for (auto& v : values) v = rng.next_bounded(1000);
+  std::vector<std::uint64_t> expected(values.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    expected[i] = running;
+    running += values[i];
+  }
+  const auto total = exclusive_prefix_sum(std::span<std::uint64_t>(values));
+  EXPECT_EQ(total, running);
+  EXPECT_EQ(values, expected);
+}
+
+}  // namespace
+}  // namespace gosh

@@ -1,0 +1,99 @@
+// Embedding matrix persistence round trips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gosh/embedding/io.hpp"
+
+namespace gosh::embedding {
+namespace {
+
+class EmbeddingIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "gosh_emb_io";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+EmbeddingMatrix sample_matrix(vid_t rows = 37, unsigned dim = 9) {
+  EmbeddingMatrix m(rows, dim);
+  m.initialize_random(5);
+  return m;
+}
+
+TEST_F(EmbeddingIoTest, BinaryRoundTripExact) {
+  const auto original = sample_matrix();
+  write_matrix_binary(original, path("m.bin"));
+  const auto loaded = read_matrix_binary(path("m.bin"));
+  ASSERT_EQ(loaded.rows(), original.rows());
+  ASSERT_EQ(loaded.dim(), original.dim());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.data()[i], original.data()[i]);
+  }
+}
+
+TEST_F(EmbeddingIoTest, TextRoundTripApproximate) {
+  const auto original = sample_matrix(20, 4);
+  write_matrix_text(original, path("m.txt"));
+  const auto loaded = read_matrix_text(path("m.txt"));
+  ASSERT_EQ(loaded.rows(), original.rows());
+  ASSERT_EQ(loaded.dim(), original.dim());
+  for (vid_t v = 0; v < original.rows(); ++v) {
+    for (unsigned j = 0; j < original.dim(); ++j) {
+      EXPECT_NEAR(loaded.row(v)[j], original.row(v)[j], 1e-5f);
+    }
+  }
+}
+
+TEST_F(EmbeddingIoTest, TextHeaderIsWord2vecStyle) {
+  write_matrix_text(sample_matrix(3, 2), path("h.txt"));
+  std::ifstream in(path("h.txt"));
+  std::size_t rows = 0, dim = 0;
+  in >> rows >> dim;
+  EXPECT_EQ(rows, 3u);
+  EXPECT_EQ(dim, 2u);
+}
+
+TEST_F(EmbeddingIoTest, BinaryRejectsBadMagic) {
+  {
+    std::ofstream out(path("junk.bin"), std::ios::binary);
+    out << "NOPE0000000000000000000000000000";
+  }
+  EXPECT_THROW(read_matrix_binary(path("junk.bin")), std::runtime_error);
+}
+
+TEST_F(EmbeddingIoTest, BinaryRejectsTruncated) {
+  write_matrix_binary(sample_matrix(), path("t.bin"));
+  std::filesystem::resize_file(
+      path("t.bin"), std::filesystem::file_size(path("t.bin")) / 2);
+  EXPECT_THROW(read_matrix_binary(path("t.bin")), std::runtime_error);
+}
+
+TEST_F(EmbeddingIoTest, TextRejectsDuplicateVertex) {
+  {
+    std::ofstream out(path("dup.txt"));
+    out << "2 2\n0 1.0 2.0\n0 3.0 4.0\n";
+  }
+  EXPECT_THROW(read_matrix_text(path("dup.txt")), std::runtime_error);
+}
+
+TEST_F(EmbeddingIoTest, TextRejectsOutOfRangeVertex) {
+  {
+    std::ofstream out(path("oob.txt"));
+    out << "2 2\n0 1.0 2.0\n7 3.0 4.0\n";
+  }
+  EXPECT_THROW(read_matrix_text(path("oob.txt")), std::runtime_error);
+}
+
+TEST_F(EmbeddingIoTest, MissingFilesThrow) {
+  EXPECT_THROW(read_matrix_text(path("nope.txt")), std::runtime_error);
+  EXPECT_THROW(read_matrix_binary(path("nope.bin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gosh::embedding

@@ -1,0 +1,80 @@
+// EmbeddingMatrix storage, initialization and expansion.
+#include <gtest/gtest.h>
+
+#include "gosh/embedding/matrix.hpp"
+
+namespace gosh::embedding {
+namespace {
+
+TEST(Matrix, ShapeAndBytes) {
+  EmbeddingMatrix m(100, 32);
+  EXPECT_EQ(m.rows(), 100u);
+  EXPECT_EQ(m.dim(), 32u);
+  EXPECT_EQ(m.size(), 3200u);
+  EXPECT_EQ(m.bytes(), 3200u * sizeof(emb_t));
+  EXPECT_EQ(EmbeddingMatrix::bytes_for(100, 32), m.bytes());
+}
+
+TEST(Matrix, ZeroInitializedByDefault) {
+  EmbeddingMatrix m(10, 4);
+  for (vid_t v = 0; v < 10; ++v) {
+    for (float x : m.row(v)) EXPECT_EQ(x, 0.0f);
+  }
+}
+
+TEST(Matrix, RandomInitWithinScale) {
+  EmbeddingMatrix m(1000, 64);
+  m.initialize_random(3);
+  const float bound = 0.5f / 64.0f;
+  bool any_nonzero = false;
+  for (vid_t v = 0; v < 1000; ++v) {
+    for (float x : m.row(v)) {
+      EXPECT_GE(x, -bound);
+      EXPECT_LE(x, bound);
+      any_nonzero |= x != 0.0f;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Matrix, RandomInitDeterministic) {
+  EmbeddingMatrix a(50, 16), b(50, 16);
+  a.initialize_random(7);
+  b.initialize_random(7);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Matrix, RowsAreContiguousSlices) {
+  EmbeddingMatrix m(4, 8);
+  m.row(2)[3] = 42.0f;
+  EXPECT_EQ(m.data()[2 * 8 + 3], 42.0f);
+}
+
+TEST(Expand, CopiesSuperRows) {
+  EmbeddingMatrix coarse(2, 3);
+  coarse.row(0)[0] = 1.0f;
+  coarse.row(1)[0] = 2.0f;
+  const std::vector<vid_t> map = {0, 1, 1, 0, 1};
+  EmbeddingMatrix fine = expand_embedding(coarse, map);
+  EXPECT_EQ(fine.rows(), 5u);
+  EXPECT_EQ(fine.dim(), 3u);
+  EXPECT_EQ(fine.row(0)[0], 1.0f);
+  EXPECT_EQ(fine.row(1)[0], 2.0f);
+  EXPECT_EQ(fine.row(2)[0], 2.0f);
+  EXPECT_EQ(fine.row(3)[0], 1.0f);
+  EXPECT_EQ(fine.row(4)[0], 2.0f);
+}
+
+TEST(Expand, IdentityMapPreservesMatrix) {
+  EmbeddingMatrix coarse(6, 4);
+  coarse.initialize_random(9);
+  std::vector<vid_t> identity(6);
+  for (vid_t v = 0; v < 6; ++v) identity[v] = v;
+  EmbeddingMatrix fine = expand_embedding(coarse, identity);
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    EXPECT_EQ(fine.data()[i], coarse.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gosh::embedding

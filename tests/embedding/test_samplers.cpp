@@ -1,0 +1,119 @@
+// DeviceGraph and sampling distributions.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gosh/embedding/samplers.hpp"
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::embedding {
+namespace {
+
+simt::DeviceConfig device_config() {
+  simt::DeviceConfig config;
+  config.memory_bytes = 64u << 20;
+  config.workers = 1;
+  return config;
+}
+
+TEST(DeviceGraph, UploadsCsrFaithfully) {
+  const auto g = graph::rmat(8, 600, 3);
+  simt::Device device(device_config());
+  DeviceGraph device_graph(device, g);
+  EXPECT_EQ(device_graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(device_graph.num_arcs(), g.num_arcs());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(device_graph.xadj()[v], g.xadj()[v]);
+  }
+  for (eid_t i = 0; i < g.num_arcs(); ++i) {
+    EXPECT_EQ(device_graph.adj()[i], g.adj()[i]);
+  }
+}
+
+TEST(DeviceGraph, RequiredBytesMatchesLayout) {
+  const auto g = graph::cycle_graph(100);
+  EXPECT_EQ(DeviceGraph::required_bytes(g),
+            101 * sizeof(eid_t) + 200 * sizeof(vid_t));
+}
+
+TEST(DeviceGraph, PositiveSamplesAreNeighbors) {
+  const auto g = graph::rmat(8, 600, 4);
+  simt::Device device(device_config());
+  DeviceGraph device_graph(device, g);
+  Rng rng(1);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (int draw = 0; draw < 5; ++draw) {
+      const vid_t u = device_graph.positive_sample(v, rng);
+      if (g.degree(v) == 0) {
+        EXPECT_EQ(u, kInvalidVertex);
+      } else {
+        const auto nb = g.neighbors(v);
+        EXPECT_TRUE(std::find(nb.begin(), nb.end(), u) != nb.end());
+      }
+    }
+  }
+}
+
+TEST(DeviceGraph, PositiveSamplingIsUniformOverNeighbors) {
+  // Star center: 20 leaves, each should be drawn ~1/20 of the time.
+  const auto g = graph::star_graph(21);
+  simt::Device device(device_config());
+  DeviceGraph device_graph(device, g);
+  Rng rng(2);
+  std::map<vid_t, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[device_graph.positive_sample(0, rng)]++;
+  }
+  EXPECT_EQ(counts.size(), 20u);
+  for (const auto& [leaf, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 20, kDraws / 20 * 0.15) << "leaf " << leaf;
+  }
+}
+
+TEST(DeviceGraph, PprSampleStaysInComponentAndSkipsIsolated) {
+  // Two components: a triangle {0,1,2} and an isolated vertex 3.
+  const auto g = graph::build_csr(4, {{0, 1}, {1, 2}, {2, 0}});
+  simt::Device device(device_config());
+  DeviceGraph device_graph(device, g);
+  Rng rng(9);
+  for (int draw = 0; draw < 200; ++draw) {
+    const vid_t u = device_graph.ppr_sample(0, 0.85f, rng);
+    ASSERT_NE(u, kInvalidVertex);
+    EXPECT_LT(u, 3u);  // never escapes the triangle
+  }
+  EXPECT_EQ(device_graph.ppr_sample(3, 0.85f, rng), kInvalidVertex);
+}
+
+TEST(DeviceGraph, PprAlphaControlsWalkLength) {
+  // On a path, low alpha keeps samples near the start; high alpha ranges
+  // further. Compare mean distance from the source.
+  const auto g = graph::path_graph(64);
+  simt::Device device(device_config());
+  DeviceGraph device_graph(device, g);
+  auto mean_distance = [&](float alpha) {
+    Rng rng(10);
+    double total = 0.0;
+    constexpr int kDraws = 3000;
+    for (int i = 0; i < kDraws; ++i) {
+      const vid_t u = device_graph.ppr_sample(0, alpha, rng);
+      total += u;  // path ids equal distance from vertex 0
+    }
+    return total / kDraws;
+  };
+  EXPECT_LT(mean_distance(0.2f), mean_distance(0.9f));
+}
+
+TEST(NegativeSample, CoversVertexRange) {
+  Rng rng(3);
+  std::map<vid_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[negative_sample(5, rng)]++;
+  EXPECT_EQ(counts.size(), 5u);
+  for (const auto& [v, count] : counts) {
+    EXPECT_NEAR(count, 10000, 1000) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace gosh::embedding

@@ -1,0 +1,116 @@
+// Epoch distribution (smoothing ratio p) and learning-rate decay.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "gosh/embedding/schedule.hpp"
+
+namespace gosh::embedding {
+namespace {
+
+unsigned sum(const std::vector<unsigned>& v) {
+  return std::accumulate(v.begin(), v.end(), 0u);
+}
+
+TEST(Schedule, SingleLevelGetsEverything) {
+  const auto epochs = distribute_epochs(1000, 1, 0.3);
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_EQ(epochs[0], 1000u);
+}
+
+TEST(Schedule, SumEqualsBudget) {
+  const auto epochs = distribute_epochs(1000, 6, 0.3);
+  EXPECT_EQ(sum(epochs), 1000u);
+}
+
+TEST(Schedule, UniformWhenPIsOne) {
+  const auto epochs = distribute_epochs(600, 6, 1.0);
+  for (unsigned e : epochs) EXPECT_EQ(e, 100u);
+}
+
+TEST(Schedule, CoarserLevelsGetMoreWhenPIsSmall) {
+  const auto epochs = distribute_epochs(1000, 5, 0.1);
+  // Level i+1 (coarser) must get at least as much as level i.
+  for (std::size_t i = 0; i + 1 < epochs.size(); ++i) {
+    EXPECT_LE(epochs[i], epochs[i + 1]);
+  }
+  // The geometric component roughly doubles per level.
+  EXPECT_GT(epochs[4], 3u * epochs[3] / 2);
+}
+
+TEST(Schedule, EveryLevelGetsAtLeastOne) {
+  const auto epochs = distribute_epochs(4, 10, 0.0);
+  for (unsigned e : epochs) EXPECT_GE(e, 1u);
+  EXPECT_EQ(sum(epochs), 10u);  // budget lifted to the level count
+}
+
+TEST(Schedule, ZeroSmoothingIsFullyGeometric) {
+  const auto epochs = distribute_epochs(1024, 4, 0.0);
+  // Shares ~ [128, 256, 512, ... drift-corrected coarsest].
+  EXPECT_NEAR(static_cast<double>(epochs[1]) / epochs[0], 2.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(epochs[2]) / epochs[1], 2.0, 0.2);
+}
+
+class ScheduleSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t, double>> {
+};
+
+TEST_P(ScheduleSweep, InvariantsHoldAcrossGrid) {
+  const auto [e, d, p] = GetParam();
+  const auto epochs = distribute_epochs(e, d, p);
+  ASSERT_EQ(epochs.size(), d);
+  EXPECT_EQ(sum(epochs), std::max<unsigned>(e, static_cast<unsigned>(d)));
+  for (unsigned per_level : epochs) EXPECT_GE(per_level, 1u);
+  for (std::size_t i = 0; i + 1 < d; ++i) {
+    EXPECT_LE(epochs[i], epochs[i + 1] + 1);  // coarser >= finer (rounding)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScheduleSweep,
+    ::testing::Combine(::testing::Values(10u, 100u, 600u, 1000u, 1400u),
+                       ::testing::Values<std::size_t>(1, 2, 5, 8, 12),
+                       ::testing::Values(0.0, 0.1, 0.3, 0.5, 1.0)));
+
+TEST(EpochsToPasses, ScalesByDensity) {
+  // One epoch = |E| samples = |E|/|V| passes (Section 4.3).
+  EXPECT_EQ(epochs_to_passes(100, 1000, 100), 1000u);  // density 10
+  EXPECT_EQ(epochs_to_passes(10, 500, 1000), 5u);      // density 0.5
+}
+
+TEST(EpochsToPasses, NeverBelowOne) {
+  EXPECT_EQ(epochs_to_passes(1, 1, 1000000), 1u);
+  EXPECT_EQ(epochs_to_passes(0, 100, 10), 1u);
+}
+
+TEST(EpochsToPasses, EmptyGraphPassesThrough) {
+  EXPECT_EQ(epochs_to_passes(7, 0, 0), 7u);
+}
+
+TEST(EpochsToPasses, RoundsToNearest) {
+  // density 1.5: 3 epochs -> 4.5 -> 5 passes (llround).
+  EXPECT_EQ(epochs_to_passes(3, 15, 10), 5u);
+}
+
+TEST(LearningRate, StartsAtBaseAndDecays) {
+  EXPECT_FLOAT_EQ(decayed_learning_rate(0.05f, 0, 100), 0.05f);
+  EXPECT_NEAR(decayed_learning_rate(0.05f, 50, 100), 0.025f, 1e-6f);
+}
+
+TEST(LearningRate, FloorsAtTenThousandth) {
+  EXPECT_FLOAT_EQ(decayed_learning_rate(0.05f, 100, 100), 0.05f * 1e-4f);
+  EXPECT_FLOAT_EQ(decayed_learning_rate(0.05f, 1000, 100), 0.05f * 1e-4f);
+}
+
+TEST(LearningRate, MonotoneNonincreasing) {
+  float previous = 1.0f;
+  for (unsigned j = 0; j < 200; ++j) {
+    const float lr = decayed_learning_rate(0.025f, j, 150);
+    EXPECT_LE(lr, previous);
+    previous = lr;
+  }
+}
+
+}  // namespace
+}  // namespace gosh::embedding

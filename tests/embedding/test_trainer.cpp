@@ -1,0 +1,220 @@
+// DeviceTrainer (Algorithm 3): structural behaviour and embedding quality.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gosh/embedding/trainer.hpp"
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/generators.hpp"
+
+namespace gosh::embedding {
+namespace {
+
+simt::DeviceConfig test_device_config() {
+  simt::DeviceConfig config;
+  config.memory_bytes = 64u << 20;
+  config.workers = 2;
+  return config;
+}
+
+/// Two 8-cliques bridged by a single edge — the canonical "communities"
+/// fixture: a good embedding separates the cliques.
+graph::Graph two_cliques(vid_t clique = 8) {
+  std::vector<graph::Edge> edges;
+  for (vid_t u = 0; u < clique; ++u) {
+    for (vid_t v = u + 1; v < clique; ++v) {
+      edges.emplace_back(u, v);
+      edges.emplace_back(clique + u, clique + v);
+    }
+  }
+  edges.emplace_back(0, clique);  // bridge
+  return graph::build_csr(2 * clique, std::move(edges));
+}
+
+float mean_intra_minus_inter(const EmbeddingMatrix& m, vid_t clique) {
+  float intra = 0.0f, inter = 0.0f;
+  int intra_count = 0, inter_count = 0;
+  for (vid_t u = 0; u < 2 * clique; ++u) {
+    for (vid_t v = u + 1; v < 2 * clique; ++v) {
+      const float d = dot(m.row(u).data(), m.row(v).data(), m.dim());
+      if ((u < clique) == (v < clique)) {
+        intra += d;
+        intra_count++;
+      } else {
+        inter += d;
+        inter_count++;
+      }
+    }
+  }
+  return intra / intra_count - inter / inter_count;
+}
+
+TEST(LanesPerVertex, MatchesSection311) {
+  EXPECT_EQ(lanes_per_vertex(8, true), 8u);
+  EXPECT_EQ(lanes_per_vertex(16, true), 16u);
+  EXPECT_EQ(lanes_per_vertex(12, true), 16u);
+  EXPECT_EQ(lanes_per_vertex(32, true), 32u);
+  EXPECT_EQ(lanes_per_vertex(128, true), 32u);  // capped at warp width
+  EXPECT_EQ(lanes_per_vertex(8, false), 32u);   // packing disabled
+}
+
+TEST(Trainer, ChangesTheMatrix) {
+  simt::Device device(test_device_config());
+  const auto g = two_cliques();
+  TrainConfig config;
+  config.dim = 16;
+  EmbeddingMatrix m(g.num_vertices(), config.dim);
+  m.initialize_random(1);
+  const std::vector<emb_t> before(m.data(), m.data() + m.size());
+  DeviceTrainer trainer(device, g, config);
+  trainer.train(m, 5);
+  bool changed = false;
+  for (std::size_t i = 0; i < m.size(); ++i) changed |= m.data()[i] != before[i];
+  EXPECT_TRUE(changed);
+}
+
+TEST(Trainer, LearnsCommunityStructure) {
+  simt::Device device(test_device_config());
+  const auto g = two_cliques();
+  TrainConfig config;
+  config.dim = 16;
+  config.learning_rate = 0.05f;
+  EmbeddingMatrix m(g.num_vertices(), config.dim);
+  m.initialize_random(2);
+  DeviceTrainer trainer(device, g, config);
+  trainer.train(m, 300);
+  EXPECT_GT(mean_intra_minus_inter(m, 8), 0.1f);
+}
+
+TEST(Trainer, SingleWorkerIsDeterministic) {
+  simt::DeviceConfig config = test_device_config();
+  config.workers = 1;
+  const auto g = two_cliques();
+  TrainConfig train;
+  train.dim = 8;
+  auto run = [&] {
+    simt::Device device(config);
+    EmbeddingMatrix m(g.num_vertices(), train.dim);
+    m.initialize_random(3);
+    DeviceTrainer trainer(device, g, train);
+    trainer.train(m, 20);
+    return std::vector<emb_t>(m.data(), m.data() + m.size());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Trainer, IsolatedVerticesSurvive) {
+  // Vertices with no neighbours get no positive updates but must not
+  // corrupt the run.
+  graph::Graph g = graph::build_csr(10, {{0, 1}});
+  simt::Device device(test_device_config());
+  TrainConfig config;
+  config.dim = 8;
+  EmbeddingMatrix m(10, 8);
+  m.initialize_random(4);
+  DeviceTrainer trainer(device, g, config);
+  trainer.train(m, 10);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(m.data()[i]));
+  }
+}
+
+class SmallDimTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SmallDimTest, PackedQualityMatchesUnpacked) {
+  const unsigned d = GetParam();
+  const auto g = two_cliques();
+  auto quality = [&](bool packed) {
+    simt::Device device(test_device_config());
+    TrainConfig config;
+    config.dim = d;
+    config.small_dim_packing = packed;
+    config.learning_rate = 0.05f;
+    EmbeddingMatrix m(g.num_vertices(), d);
+    m.initialize_random(5);
+    DeviceTrainer trainer(device, g, config);
+    trainer.train(m, 300);
+    return mean_intra_minus_inter(m, 8);
+  };
+  const float packed = quality(true);
+  const float unpacked = quality(false);
+  EXPECT_GT(packed, 0.05f);
+  EXPECT_GT(unpacked, 0.05f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SmallDimTest, ::testing::Values(8u, 16u));
+
+TEST(Trainer, NaiveKernelStillLearns) {
+  simt::Device device(test_device_config());
+  const auto g = two_cliques();
+  TrainConfig config;
+  config.dim = 16;
+  config.naive_kernel = true;
+  config.learning_rate = 0.05f;
+  EmbeddingMatrix m(g.num_vertices(), config.dim);
+  m.initialize_random(6);
+  DeviceTrainer trainer(device, g, config);
+  trainer.train(m, 300);
+  EXPECT_GT(mean_intra_minus_inter(m, 8), 0.1f);
+}
+
+TEST(Trainer, PprSamplingLearnsCommunities) {
+  // VERSE's PPR similarity on the device trainer (the generality the
+  // paper inherits from VERSE, Section 2).
+  simt::Device device(test_device_config());
+  const auto g = two_cliques();
+  TrainConfig config;
+  config.dim = 16;
+  config.positive_sampling = PositiveSampling::kPpr;
+  config.learning_rate = 0.05f;
+  EmbeddingMatrix m(g.num_vertices(), config.dim);
+  m.initialize_random(11);
+  DeviceTrainer trainer(device, g, config);
+  trainer.train(m, 300);
+  EXPECT_GT(mean_intra_minus_inter(m, 8), 0.05f);
+}
+
+TEST(Trainer, ExactSigmoidPathWorks) {
+  simt::Device device(test_device_config());
+  const auto g = two_cliques();
+  TrainConfig config;
+  config.dim = 16;
+  config.use_sigmoid_lut = false;
+  config.learning_rate = 0.05f;
+  EmbeddingMatrix m(g.num_vertices(), config.dim);
+  m.initialize_random(7);
+  DeviceTrainer trainer(device, g, config);
+  trainer.train(m, 300);
+  EXPECT_GT(mean_intra_minus_inter(m, 8), 0.1f);
+}
+
+TEST(Trainer, AccountsDeviceTraffic) {
+  simt::Device device(test_device_config());
+  const auto g = two_cliques();
+  device.metrics().reset();
+  TrainConfig config;
+  config.dim = 16;
+  EmbeddingMatrix m(g.num_vertices(), config.dim);
+  m.initialize_random(8);
+  DeviceTrainer trainer(device, g, config);
+  trainer.train(m, 3);
+  const auto snap = device.metrics().snapshot();
+  EXPECT_GT(snap.h2d_bytes, m.bytes());      // matrix + CSR uploads
+  EXPECT_GE(snap.d2h_bytes, m.bytes());      // final download
+  EXPECT_EQ(snap.kernels_launched, 3u);      // one per epoch
+  EXPECT_GT(snap.shared_accesses, 0u);
+  EXPECT_GT(snap.global_accesses, 0u);
+}
+
+TEST(Trainer, GraphTooBigForDeviceThrows) {
+  simt::DeviceConfig config;
+  config.memory_bytes = 1024;  // tiny device
+  config.workers = 1;
+  simt::Device device(config);
+  const auto g = graph::erdos_renyi(1000, 5000, 9);
+  TrainConfig train;
+  EXPECT_THROW(DeviceTrainer(device, g, train), simt::DeviceOutOfMemory);
+}
+
+}  // namespace
+}  // namespace gosh::embedding

@@ -1,0 +1,166 @@
+// Algorithm 1 update semantics (both rules) and the alias table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/embedding/samplers.hpp"
+#include "gosh/embedding/update.hpp"
+
+namespace gosh::embedding {
+namespace {
+
+TEST(Dot, MatchesManual) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(dot(a, b, 3), 4.0f - 10.0f + 18.0f);
+}
+
+TEST(Update, SimultaneousHandComputed) {
+  // v = [1, 0], s = [0, 1]; dot = 0; sigmoid = 0.5.
+  // positive: score = (1 - 0.5) * 0.1 = 0.05
+  // v' = v + s*score = [1, 0.05]; s' = s + v_old*score = [0.05, 1].
+  float v[] = {1.0f, 0.0f};
+  float s[] = {0.0f, 1.0f};
+  update_embedding<UpdateRule::kSimultaneous>(v, s, 2, 1.0f, 0.1f,
+                                              ExactSigmoid{});
+  EXPECT_NEAR(v[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(v[1], 0.05f, 1e-6f);
+  EXPECT_NEAR(s[0], 0.05f, 1e-6f);
+  EXPECT_NEAR(s[1], 1.0f, 1e-6f);
+}
+
+TEST(Update, PaperSequentialHandComputed) {
+  // Same inputs; line 3 sees the updated v:
+  // v' = [1, 0.05]; s' = s + v'*score = [0.05, 1 + 0.05*0.05].
+  float v[] = {1.0f, 0.0f};
+  float s[] = {0.0f, 1.0f};
+  update_embedding<UpdateRule::kPaperSequential>(v, s, 2, 1.0f, 0.1f,
+                                                 ExactSigmoid{});
+  EXPECT_NEAR(v[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(v[1], 0.05f, 1e-6f);
+  EXPECT_NEAR(s[0], 0.05f, 1e-6f);
+  EXPECT_NEAR(s[1], 1.0025f, 1e-6f);
+}
+
+TEST(Update, RulesDifferBySecondOrderOnly) {
+  float v1[] = {0.3f, -0.2f, 0.5f};
+  float s1[] = {0.1f, 0.4f, -0.3f};
+  float v2[] = {0.3f, -0.2f, 0.5f};
+  float s2[] = {0.1f, 0.4f, -0.3f};
+  const float lr = 0.025f;
+  update_embedding<UpdateRule::kSimultaneous>(v1, s1, 3, 1.0f, lr,
+                                              ExactSigmoid{});
+  update_embedding<UpdateRule::kPaperSequential>(v2, s2, 3, 1.0f, lr,
+                                                 ExactSigmoid{});
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(v1[j], v2[j]);  // source updates are identical
+    EXPECT_NEAR(s1[j], s2[j], lr * lr);  // sample differs by O(score^2)
+  }
+}
+
+TEST(Update, PositivePullsTogether) {
+  Rng rng(5);
+  std::vector<float> v(16), s(16);
+  for (auto& x : v) x = rng.next_float() - 0.5f;
+  for (auto& x : s) x = rng.next_float() - 0.5f;
+  const float before = dot(v.data(), s.data(), 16);
+  for (int iter = 0; iter < 50; ++iter) {
+    update_embedding<UpdateRule::kSimultaneous>(v.data(), s.data(), 16, 1.0f,
+                                                0.05f, ExactSigmoid{});
+  }
+  EXPECT_GT(dot(v.data(), s.data(), 16), before);
+}
+
+TEST(Update, NegativePushesApart) {
+  std::vector<float> v(16, 0.3f), s(16, 0.3f);
+  const float before = dot(v.data(), s.data(), 16);
+  for (int iter = 0; iter < 50; ++iter) {
+    update_embedding<UpdateRule::kSimultaneous>(v.data(), s.data(), 16, 0.0f,
+                                                0.05f, ExactSigmoid{});
+  }
+  EXPECT_LT(dot(v.data(), s.data(), 16), before);
+}
+
+TEST(Update, SaturatedPositiveIsNearNoop) {
+  // Large positive dot => sigmoid ~ 1 => score ~ 0.
+  std::vector<float> v(4, 3.0f), s(4, 3.0f);
+  const std::vector<float> v_before = v;
+  update_embedding<UpdateRule::kSimultaneous>(v.data(), s.data(), 4, 1.0f,
+                                              0.1f, ExactSigmoid{});
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(v[j], v_before[j], 1e-3f);
+}
+
+TEST(Update, RuntimeDispatchMatchesTemplates) {
+  float a1[] = {0.1f, 0.2f}, b1[] = {0.3f, 0.4f};
+  float a2[] = {0.1f, 0.2f}, b2[] = {0.3f, 0.4f};
+  update_embedding<UpdateRule::kPaperSequential>(a1, b1, 2, 0.0f, 0.2f,
+                                                 ExactSigmoid{});
+  update_embedding(a2, b2, 2, 0.0f, 0.2f, ExactSigmoid{},
+                   UpdateRule::kPaperSequential);
+  EXPECT_FLOAT_EQ(a1[0], a2[0]);
+  EXPECT_FLOAT_EQ(b1[1], b2[1]);
+}
+
+TEST(AliasTable, UniformWeightsSampleUniformly) {
+  std::vector<double> weights(8, 1.0);
+  AliasTable table{std::span<const double>(weights)};
+  Rng rng(3);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) counts[table.sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.1);
+}
+
+TEST(AliasTable, SkewedWeightsMatchProportions) {
+  std::vector<double> weights = {1.0, 2.0, 4.0, 8.0};
+  AliasTable table{std::span<const double>(weights)};
+  Rng rng(4);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 150000;
+  for (int i = 0; i < kDraws; ++i) counts[table.sample(rng)]++;
+  const double total = 15.0;
+  for (int i = 0; i < 4; ++i) {
+    const double expected = kDraws * weights[i] / total;
+    EXPECT_NEAR(counts[i], expected, expected * 0.1) << "bucket " << i;
+  }
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  std::vector<double> weights = {0.0, 1.0, 1.0};
+  AliasTable table{std::span<const double>(weights)};
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, RejectsDegenerateInput) {
+  std::vector<double> empty;
+  EXPECT_THROW(AliasTable{std::span<const double>(empty)},
+               std::invalid_argument);
+  std::vector<double> zeros(4, 0.0);
+  EXPECT_THROW(AliasTable{std::span<const double>(zeros)},
+               std::invalid_argument);
+}
+
+TEST(AliasTable, ExportRoundTripsBehaviour) {
+  std::vector<double> weights = {3.0, 1.0};
+  AliasTable table{std::span<const double>(weights)};
+  std::vector<float> probability(2);
+  std::vector<vid_t> alias(2);
+  table.export_arrays(probability, alias);
+  // Manual sampling from exported arrays matches proportions.
+  Rng rng(6);
+  int zero_count = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const vid_t slot = rng.next_vertex(2);
+    const vid_t pick =
+        rng.next_float() < probability[slot] ? slot : alias[slot];
+    zero_count += pick == 0;
+  }
+  EXPECT_NEAR(zero_count, kDraws * 0.75, kDraws * 0.02);
+}
+
+}  // namespace
+}  // namespace gosh::embedding

@@ -1,0 +1,79 @@
+// AUCROC correctness against hand-computable cases.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/eval/aucroc.hpp"
+
+namespace gosh::eval {
+namespace {
+
+TEST(AucRoc, PerfectSeparationIsOne) {
+  const std::vector<float> scores = {0.1f, 0.2f, 0.8f, 0.9f};
+  const std::vector<uint8_t> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 1.0);
+}
+
+TEST(AucRoc, PerfectInversionIsZero) {
+  const std::vector<float> scores = {0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<uint8_t> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.0);
+}
+
+TEST(AucRoc, AllTiedIsHalf) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f, 0.5f};
+  const std::vector<uint8_t> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.5);
+}
+
+TEST(AucRoc, HandComputedMixedCase) {
+  // positives: 0.4, 0.8; negatives: 0.3, 0.6.
+  // Pairs: (0.4>0.3)=1, (0.4<0.6)=0, (0.8>0.3)=1, (0.8>0.6)=1 => 3/4.
+  const std::vector<float> scores = {0.4f, 0.8f, 0.3f, 0.6f};
+  const std::vector<uint8_t> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.75);
+}
+
+TEST(AucRoc, PartialTieCountsHalf) {
+  // positive at 0.5 ties one negative: (tie=0.5 + win=1)/2 ... compute:
+  // positives: {0.5}; negatives: {0.5, 0.2} => (0.5 + 1)/2 = 0.75.
+  const std::vector<float> scores = {0.5f, 0.5f, 0.2f};
+  const std::vector<uint8_t> labels = {1, 0, 0};
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.75);
+}
+
+TEST(AucRoc, RandomScoresNearHalf) {
+  Rng rng(12);
+  std::vector<float> scores(20000);
+  std::vector<uint8_t> labels(20000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.next_float();
+    labels[i] = static_cast<uint8_t>(rng.next_bounded(2));
+  }
+  EXPECT_NEAR(auc_roc(scores, labels), 0.5, 0.02);
+}
+
+TEST(AucRoc, SingleClassThrows) {
+  const std::vector<float> scores = {0.1f, 0.2f};
+  const std::vector<uint8_t> ones = {1, 1};
+  const std::vector<uint8_t> zeros = {0, 0};
+  EXPECT_THROW(auc_roc(scores, ones), std::invalid_argument);
+  EXPECT_THROW(auc_roc(scores, zeros), std::invalid_argument);
+}
+
+TEST(AucRoc, InvariantToMonotoneTransform) {
+  Rng rng(13);
+  std::vector<float> scores(1000);
+  std::vector<uint8_t> labels(1000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = static_cast<uint8_t>(rng.next_bounded(2));
+    scores[i] = rng.next_float() + 0.3f * labels[i];
+  }
+  const double base = auc_roc(scores, labels);
+  for (auto& s : scores) s = s * 10.0f - 3.0f;  // affine transform
+  EXPECT_NEAR(auc_roc(scores, labels), base, 1e-12);
+}
+
+}  // namespace
+}  // namespace gosh::eval

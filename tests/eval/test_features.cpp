@@ -1,0 +1,77 @@
+// Negative-edge sampling and feature construction details.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gosh/eval/features.hpp"
+#include "gosh/graph/generators.hpp"
+#include "gosh/graph/ops.hpp"
+
+namespace gosh::eval {
+namespace {
+
+TEST(NegativeSampling, DeterministicInSeed) {
+  const auto g = graph::erdos_renyi(100, 500, 1);
+  EXPECT_EQ(sample_negative_edges(g, 200, 7),
+            sample_negative_edges(g, 200, 7));
+  EXPECT_NE(sample_negative_edges(g, 200, 7),
+            sample_negative_edges(g, 200, 8));
+}
+
+TEST(NegativeSampling, ExhaustsSparseComplement) {
+  // Nearly-complete graph: only a handful of non-edges exist; sampling a
+  // few of them must terminate and produce valid non-edges.
+  auto g = graph::complete_graph(12);
+  // Remove 3 edges by rebuilding without them.
+  auto edges = graph::undirected_edges(g);
+  edges.resize(edges.size() - 3);
+  g = graph::build_csr(12, std::move(edges));
+  const auto negatives = sample_negative_edges(g, 3, 5);
+  EXPECT_EQ(negatives.size(), 3u);
+  for (const auto& [u, v] : negatives) {
+    EXPECT_FALSE(graph::has_arc(g, u, v));
+  }
+}
+
+TEST(NegativeSampling, ZeroCountIsEmpty) {
+  const auto g = graph::cycle_graph(10);
+  EXPECT_TRUE(sample_negative_edges(g, 0, 1).empty());
+}
+
+TEST(Features, LabelLayoutPositivesFirst) {
+  embedding::EmbeddingMatrix m(4, 2);
+  m.initialize_random(1);
+  const auto set =
+      build_edge_features(m, {{0, 1}, {1, 2}}, {{2, 3}});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.labels[0], 1);
+  EXPECT_EQ(set.labels[1], 1);
+  EXPECT_EQ(set.labels[2], 0);
+}
+
+TEST(Features, EmptyInputsGiveEmptySet) {
+  embedding::EmbeddingMatrix m(4, 2);
+  const auto set = build_edge_features(m, {}, {});
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(Features, RowPointersIndexCorrectly) {
+  embedding::EmbeddingMatrix m(3, 3);
+  for (vid_t v = 0; v < 3; ++v) {
+    for (unsigned j = 0; j < 3; ++j) {
+      m.row(v)[j] = static_cast<float>(v * 10 + j);
+    }
+  }
+  const auto set = build_edge_features(m, {{0, 1}}, {{1, 2}});
+  // row 0: m[0] * m[1] = [0*10, 1*11, 2*12]
+  EXPECT_FLOAT_EQ(set.row(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(set.row(0)[1], 11.0f);
+  EXPECT_FLOAT_EQ(set.row(0)[2], 24.0f);
+  // row 1: m[1] * m[2] = [10*20, 11*21, 12*22]
+  EXPECT_FLOAT_EQ(set.row(1)[0], 200.0f);
+  EXPECT_FLOAT_EQ(set.row(1)[1], 231.0f);
+  EXPECT_FLOAT_EQ(set.row(1)[2], 264.0f);
+}
+
+}  // namespace
+}  // namespace gosh::eval

@@ -1,0 +1,78 @@
+// Property-style builder sweeps: random COO inputs must always produce
+// CSR graphs satisfying the structural contract.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/graph/builder.hpp"
+
+namespace gosh::graph {
+namespace {
+
+std::vector<Edge> random_arcs(vid_t n, std::size_t count, std::uint64_t seed,
+                              bool with_self_loops) {
+  Rng rng(seed);
+  std::vector<Edge> arcs;
+  arcs.reserve(count);
+  while (arcs.size() < count) {
+    const vid_t u = rng.next_vertex(n);
+    const vid_t v = rng.next_vertex(n);
+    if (!with_self_loops && u == v) continue;
+    arcs.emplace_back(u, v);
+  }
+  return arcs;
+}
+
+class BuilderPropertyTest
+    : public ::testing::TestWithParam<std::tuple<vid_t, std::size_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(BuilderPropertyTest, SymmetrizedInvariants) {
+  const auto [n, count, seed] = GetParam();
+  Graph g = build_csr(n, random_arcs(n, count, seed, true));
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_TRUE(g.has_sorted_adjacency());
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_arcs() % 2, 0u);  // symmetrized + dedup => arc pairs
+  // No self loops, no duplicates within a slice.
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_NE(nb[i], v);
+      if (i > 0) EXPECT_LT(nb[i - 1], nb[i]);
+    }
+  }
+  // Degree sum identity.
+  eid_t degree_sum = 0;
+  for (vid_t v = 0; v < n; ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, g.num_arcs());
+}
+
+TEST_P(BuilderPropertyTest, DirectedPreservesArcCountWithoutDedup) {
+  const auto [n, count, seed] = GetParam();
+  BuildOptions options;
+  options.symmetrize = false;
+  options.dedup = false;
+  options.remove_self_loops = false;
+  options.sort_adjacency = false;
+  const auto arcs = random_arcs(n, count, seed, true);
+  Graph g = build_csr(n, arcs, options);
+  EXPECT_EQ(g.num_arcs(), arcs.size());
+}
+
+TEST_P(BuilderPropertyTest, RebuildFromUndirectedEdgesIsIdentity) {
+  const auto [n, count, seed] = GetParam();
+  Graph g = build_csr(n, random_arcs(n, count, seed, false));
+  Graph rebuilt = build_csr(n, undirected_edges(g));
+  EXPECT_EQ(g, rebuilt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuilderPropertyTest,
+    ::testing::Combine(::testing::Values<vid_t>(2, 10, 100, 1000),
+                       ::testing::Values<std::size_t>(1, 50, 2000),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace gosh::graph

@@ -1,0 +1,67 @@
+// Table 2 dataset registry.
+#include <gtest/gtest.h>
+
+#include "gosh/graph/datasets.hpp"
+#include "gosh/graph/ops.hpp"
+
+namespace gosh::graph {
+namespace {
+
+TEST(Datasets, TwelveEntriesWithPaperStats) {
+  const auto specs = table2_datasets();
+  ASSERT_EQ(specs.size(), 12u);
+  // Spot-check against Table 2 of the paper.
+  EXPECT_EQ(specs[0].name, "com-dblp");
+  EXPECT_EQ(specs[0].paper_vertices, 317080u);
+  EXPECT_EQ(specs[0].paper_edges, 1049866u);
+  EXPECT_FALSE(specs[0].large_scale);
+  EXPECT_EQ(specs[11].name, "com-friendster");
+  EXPECT_EQ(specs[11].paper_vertices, 65608366u);
+  EXPECT_TRUE(specs[11].large_scale);
+}
+
+TEST(Datasets, ScalesControlVertexCounts) {
+  const auto small = find_dataset("youtube", 10, 12);
+  const auto large = find_dataset("youtube", 12, 14);
+  EXPECT_EQ(generate_dataset(small).num_vertices(), 1u << 10);
+  EXPECT_EQ(generate_dataset(large).num_vertices(), 1u << 12);
+}
+
+TEST(Datasets, LargeEntriesUseLargeScale) {
+  const auto spec = find_dataset("twitter_rv", 10, 13);
+  EXPECT_EQ(generate_dataset(spec).num_vertices(), 1u << 13);
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(find_dataset("not-a-graph"), std::out_of_range);
+}
+
+TEST(Datasets, GenerationIsDeterministic) {
+  const auto spec = find_dataset("com-amazon", 10, 12);
+  EXPECT_EQ(generate_dataset(spec), generate_dataset(spec));
+}
+
+TEST(Datasets, AnalogDegreesAreHeavyTailed) {
+  const auto g = generate_dataset(find_dataset("soc-pokec", 11, 12));
+  const auto stats = degree_stats(g);
+  EXPECT_GT(stats.max, 3 * stats.mean);
+}
+
+class DatasetDensityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetDensityTest, AnalogDensityTracksPaper) {
+  const auto spec = find_dataset(GetParam(), 11, 12);
+  const auto g = generate_dataset(spec);
+  const double density =
+      static_cast<double>(g.num_edges_undirected()) / g.num_vertices();
+  EXPECT_GT(density, spec.paper_density * 0.4) << GetParam();
+  EXPECT_LT(density, spec.paper_density * 1.6) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, DatasetDensityTest,
+                         ::testing::Values("com-dblp", "youtube", "com-lj",
+                                           "soc-LiveJournal",
+                                           "soc-sinaweibo"));
+
+}  // namespace
+}  // namespace gosh::graph

@@ -1,0 +1,227 @@
+// Generator properties: closed-form structure and statistical shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gosh/graph/generators.hpp"
+#include "gosh/graph/ops.hpp"
+
+namespace gosh::graph {
+namespace {
+
+TEST(Structured, PathGraph) {
+  Graph g = path_graph(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges_undirected(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+}
+
+TEST(Structured, CycleGraph) {
+  Graph g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges_undirected(), 6u);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Structured, StarGraph) {
+  Graph g = star_graph(9);
+  EXPECT_EQ(g.degree(0), 8u);
+  for (vid_t v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Structured, CompleteGraph) {
+  Graph g = complete_graph(7);
+  EXPECT_EQ(g.num_edges_undirected(), 21u);
+  for (vid_t v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(Structured, CompleteBipartite) {
+  Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges_undirected(), 12u);
+  for (vid_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4u);
+  for (vid_t v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(Structured, GridGraph) {
+  Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges_undirected(), 2u * 4 + 3u * 3);  // rows*(c-1)+cols*(r-1)
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Graph g = erdos_renyi(100, 500, 42);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges_undirected(), 500u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  EXPECT_EQ(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 7));
+  EXPECT_NE(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 8));
+}
+
+TEST(ErdosRenyi, RejectsInfeasible) {
+  EXPECT_THROW(erdos_renyi(3, 10, 1), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(1, 0, 1), std::invalid_argument);
+}
+
+TEST(Rmat, VertexCountIsPowerOfTwo) {
+  Graph g = rmat(10, 5000, 1);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_TRUE(g.is_symmetric());
+  // Dedup/self-loop removal only shrinks the sampled count.
+  EXPECT_LE(g.num_edges_undirected(), 5000u);
+  EXPECT_GT(g.num_edges_undirected(), 2500u);
+}
+
+TEST(Rmat, SkewedDegreesVsErdosRenyi) {
+  Graph r = rmat(12, 20000, 3);
+  Graph e = erdos_renyi(4096, 20000, 3);
+  // RMAT's hub should dwarf the ER max degree.
+  EXPECT_GT(degree_stats(r).max, 2 * degree_stats(e).max);
+}
+
+TEST(Rmat, DeterministicInSeed) {
+  EXPECT_EQ(rmat(8, 1000, 5), rmat(8, 1000, 5));
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  EXPECT_THROW(rmat(0, 10, 1), std::invalid_argument);
+  RmatParams params;
+  params.a = 0.9;  // sums > 1 with defaults
+  EXPECT_THROW(rmat(4, 10, 1, params), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, DegreeFloorAndHubs) {
+  Graph g = barabasi_albert(2000, 3, 11);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  const auto stats = degree_stats(g);
+  EXPECT_GE(stats.min, 3u);            // every late vertex attaches 3 edges
+  EXPECT_GT(stats.max, 30u);           // preferential attachment builds hubs
+  EXPECT_EQ(stats.isolated, 0u);
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  EXPECT_THROW(barabasi_albert(5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(5, 5, 1), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, RegularWhenBetaZero) {
+  Graph g = watts_strogatz(100, 3, 0.0, 9);
+  for (vid_t v = 0; v < 100; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(WattsStrogatz, RewiringPreservesApproximateEdgeCount) {
+  Graph g = watts_strogatz(1000, 4, 0.3, 9);
+  // Rewiring can only drop edges via collision; expect most to survive.
+  EXPECT_GT(g.num_edges_undirected(), 3500u);
+  EXPECT_LE(g.num_edges_undirected(), 4000u);
+}
+
+TEST(HolmeKim, DegreeFloorAndHubs) {
+  Graph g = holme_kim(2000, 4, 0.6, 11);
+  const auto stats = degree_stats(g);
+  EXPECT_GE(stats.min, 4u);
+  EXPECT_GT(stats.max, 40u);  // preferential attachment keeps the tail
+}
+
+TEST(HolmeKim, TriadsRaiseClustering) {
+  // Count triangles through a sample of wedges; the triad-closure variant
+  // must beat plain BA by a wide margin.
+  auto wedge_closure = [](const Graph& g) {
+    std::uint64_t wedges = 0, closed = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      const auto nb = g.neighbors(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        for (std::size_t j = i + 1; j < nb.size() && j < i + 8; ++j) {
+          ++wedges;
+          closed += has_arc(g, nb[i], nb[j]);
+        }
+      }
+    }
+    return static_cast<double>(closed) / static_cast<double>(wedges);
+  };
+  const double hk = wedge_closure(holme_kim(1500, 4, 0.8, 5));
+  const double ba = wedge_closure(barabasi_albert(1500, 4, 5));
+  EXPECT_GT(hk, 2.0 * ba);
+}
+
+TEST(HolmeKim, DeterministicAndValidates) {
+  EXPECT_EQ(holme_kim(300, 3, 0.5, 9), holme_kim(300, 3, 0.5, 9));
+  EXPECT_THROW(holme_kim(5, 0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(holme_kim(5, 5, 0.5, 1), std::invalid_argument);
+}
+
+TEST(LfrLike, HitsTargetDensityRoughly) {
+  LfrParams params;
+  params.average_degree = 12.0;
+  params.communities = 32;
+  Graph g = lfr_like(4096, params, 3);
+  const double density =
+      static_cast<double>(g.num_edges_undirected()) / g.num_vertices();
+  EXPECT_GT(density, 12.0 / 2 * 0.6);
+  EXPECT_LT(density, 12.0 / 2 * 1.2);
+}
+
+TEST(LfrLike, HasHeavyTail) {
+  LfrParams params;
+  params.average_degree = 10.0;
+  Graph g = lfr_like(4096, params, 4);
+  const auto stats = degree_stats(g);
+  EXPECT_GT(stats.max, 4 * stats.mean);
+}
+
+TEST(LfrLike, MixingControlsCommunityPurity) {
+  // With tiny mixing nearly all edges stay inside a community; measure by
+  // re-deriving communities from the generator's own assignment (id-free:
+  // use modularity proxy — low-mixing graph has far fewer cross edges
+  // than a high-mixing one against the same community count).
+  LfrParams low;
+  low.average_degree = 12.0;
+  low.mixing = 0.05;
+  LfrParams high = low;
+  high.mixing = 0.6;
+  // Proxy: clustering-style wedge closure is much higher at low mixing.
+  auto closure = [](const Graph& g) {
+    std::uint64_t wedges = 0, closed = 0;
+    for (vid_t v = 0; v < g.num_vertices(); v += 3) {
+      const auto nb = g.neighbors(v);
+      for (std::size_t i = 0; i + 1 < nb.size() && i < 6; ++i) {
+        ++wedges;
+        closed += has_arc(g, nb[i], nb[i + 1]);
+      }
+    }
+    return wedges == 0 ? 0.0
+                       : static_cast<double>(closed) /
+                             static_cast<double>(wedges);
+  };
+  EXPECT_GT(closure(lfr_like(2048, low, 5)),
+            closure(lfr_like(2048, high, 5)) * 1.5);
+}
+
+TEST(LfrLike, DeterministicAndValidates) {
+  LfrParams params;
+  EXPECT_EQ(lfr_like(512, params, 6), lfr_like(512, params, 6));
+  params.mixing = 1.5;
+  EXPECT_THROW(lfr_like(512, params, 6), std::invalid_argument);
+}
+
+class GeneratorConnectivityTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorConnectivityTest, BarabasiAlbertIsConnected) {
+  Graph g = barabasi_albert(500, 2, GetParam());
+  vid_t components = 0;
+  connected_components(g, components);
+  EXPECT_EQ(components, 1u);  // preferential attachment grows one component
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorConnectivityTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gosh::graph

@@ -1,0 +1,102 @@
+// CSR graph and builder invariants.
+#include <gtest/gtest.h>
+
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/graph.hpp"
+
+namespace gosh::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(Builder, TriangleSymmetrized) {
+  Graph g = build_csr(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_EQ(g.num_edges_undirected(), 3u);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(g.has_sorted_adjacency());
+  for (vid_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Builder, RemovesSelfLoops) {
+  Graph g = build_csr(3, {{0, 0}, {0, 1}, {1, 1}, {2, 2}});
+  EXPECT_EQ(g.num_arcs(), 2u);  // only 0-1 survives, symmetrized
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Builder, KeepsSelfLoopsWhenAsked) {
+  BuildOptions options;
+  options.remove_self_loops = false;
+  options.symmetrize = false;
+  Graph g = build_csr(2, {{0, 0}, {0, 1}}, options);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(Builder, DeduplicatesParallelEdges) {
+  Graph g = build_csr(2, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Builder, DirectedWhenSymmetrizeOff) {
+  BuildOptions options;
+  options.symmetrize = false;
+  Graph g = build_csr(3, {{0, 1}, {0, 2}}, options);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_FALSE(g.is_symmetric());
+}
+
+TEST(Builder, AutoSizesVertexCount) {
+  Graph g = build_csr_auto({{0, 5}, {2, 3}});
+  EXPECT_EQ(g.num_vertices(), 6u);
+}
+
+TEST(Builder, AutoEmptyEdgeList) {
+  Graph g = build_csr_auto({});
+  EXPECT_EQ(g.num_vertices(), 0u);
+}
+
+TEST(Builder, IsolatedTrailingVertices) {
+  Graph g = build_csr(10, {{0, 1}});
+  EXPECT_EQ(g.num_vertices(), 10u);
+  for (vid_t v = 2; v < 10; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Builder, AverageDegreeIsArcsOverVertices) {
+  Graph g = build_csr(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(UndirectedEdges, RoundTripsThroughBuilder) {
+  const std::vector<Edge> original = {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}};
+  Graph g = build_csr(4, original);
+  auto extracted = undirected_edges(g);
+  EXPECT_EQ(extracted.size(), original.size());
+  Graph rebuilt = build_csr(4, extracted);
+  EXPECT_EQ(g, rebuilt);
+}
+
+TEST(Graph, MemoryBytesAccounting) {
+  Graph g = build_csr(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.memory_bytes(),
+            4 * sizeof(eid_t) + g.num_arcs() * sizeof(vid_t));
+}
+
+TEST(Graph, NeighborsSpanContents) {
+  Graph g = build_csr(4, {{2, 0}, {2, 3}, {2, 1}});
+  auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 3u);
+}
+
+}  // namespace
+}  // namespace gosh::graph

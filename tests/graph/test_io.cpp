@@ -1,0 +1,100 @@
+// Edge-list and binary IO round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gosh/graph/generators.hpp"
+#include "gosh/graph/io.hpp"
+
+namespace gosh::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "gosh_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  Graph original = erdos_renyi(200, 800, 3);
+  write_edge_list(original, path("g.txt"));
+  Graph loaded = read_edge_list(path("g.txt"));
+  // Ids are compacted in first-appearance order, so compare structure:
+  EXPECT_EQ(loaded.num_arcs(), original.num_arcs());
+  EXPECT_TRUE(loaded.is_symmetric());
+}
+
+TEST_F(IoTest, EdgeListSkipsComments) {
+  {
+    std::ofstream out(path("c.txt"));
+    out << "# SNAP-style comment\n% matrix-market comment\n0 1\n1 2\n";
+  }
+  Graph g = read_edge_list(path("c.txt"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges_undirected(), 2u);
+}
+
+TEST_F(IoTest, EdgeListCompactsSparseIds) {
+  {
+    std::ofstream out(path("s.txt"));
+    out << "1000000 2000000\n2000000 3000000\n";
+  }
+  Graph g = read_edge_list(path("s.txt"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+}
+
+TEST_F(IoTest, EdgeListRejectsMalformed) {
+  {
+    std::ofstream out(path("bad.txt"));
+    out << "0 1\nnot numbers\n";
+  }
+  EXPECT_THROW(read_edge_list(path("bad.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list(path("nope.txt")), std::runtime_error);
+  EXPECT_THROW(read_binary(path("nope.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTripExact) {
+  Graph original = rmat(9, 3000, 17);
+  write_binary(original, path("g.bin"));
+  Graph loaded = read_binary(path("g.bin"));
+  EXPECT_EQ(original, loaded);
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  {
+    std::ofstream out(path("junk.bin"), std::ios::binary);
+    out << "JUNKJUNKJUNKJUNK";
+  }
+  EXPECT_THROW(read_binary(path("junk.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncated) {
+  Graph original = erdos_renyi(100, 300, 5);
+  write_binary(original, path("t.bin"));
+  // Truncate the file in half.
+  const auto size = std::filesystem::file_size(path("t.bin"));
+  std::filesystem::resize_file(path("t.bin"), size / 2);
+  EXPECT_THROW(read_binary(path("t.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyGraphBinaryRoundTrip) {
+  Graph original = build_csr(5, {});
+  write_binary(original, path("e.bin"));
+  Graph loaded = read_binary(path("e.bin"));
+  EXPECT_EQ(original, loaded);
+}
+
+}  // namespace
+}  // namespace gosh::graph

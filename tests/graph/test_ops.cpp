@@ -1,0 +1,68 @@
+// Structural operations: stats, relabel, subgraph, components.
+#include <gtest/gtest.h>
+
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/generators.hpp"
+#include "gosh/graph/ops.hpp"
+
+namespace gosh::graph {
+namespace {
+
+TEST(DegreeStats, StarProperties) {
+  const auto stats = degree_stats(star_graph(10));
+  EXPECT_EQ(stats.max, 9u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.isolated, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 18.0 / 10.0);
+}
+
+TEST(DegreeStats, CountsIsolated) {
+  Graph g = build_csr(5, {{0, 1}});
+  EXPECT_EQ(degree_stats(g).isolated, 3u);
+}
+
+TEST(Relabel, DropsAndRenames) {
+  // Path 0-1-2-3; drop vertex 1 -> two arcs survive between {2,3}.
+  Graph g = path_graph(4);
+  std::vector<vid_t> map = {0, kInvalidVertex, 1, 2};
+  Graph h = relabel(g, map, 3);
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.num_edges_undirected(), 1u);  // only old 2-3 survives
+  EXPECT_TRUE(has_arc(h, 1, 2));
+  EXPECT_FALSE(has_arc(h, 0, 1));
+}
+
+TEST(InducedSubgraph, TriangleFromClique) {
+  Graph g = complete_graph(6);
+  Graph h = induced_subgraph(g, {1, 3, 5});
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.num_edges_undirected(), 3u);
+}
+
+TEST(ConnectedComponents, CountsIslands) {
+  // Two triangles + an isolated vertex.
+  Graph g = build_csr(7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  vid_t count = 0;
+  const auto component = connected_components(g, count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(component[0], component[1]);
+  EXPECT_EQ(component[3], component[5]);
+  EXPECT_NE(component[0], component[3]);
+  EXPECT_NE(component[6], component[0]);
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  vid_t count = 0;
+  connected_components(cycle_graph(50), count);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(HasArc, PresentAndAbsent) {
+  Graph g = path_graph(4);
+  EXPECT_TRUE(has_arc(g, 1, 2));
+  EXPECT_TRUE(has_arc(g, 2, 1));
+  EXPECT_FALSE(has_arc(g, 0, 3));
+}
+
+}  // namespace
+}  // namespace gosh::graph

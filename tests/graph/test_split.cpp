@@ -1,0 +1,83 @@
+// Link-prediction split semantics (paper Section 4.1).
+#include <gtest/gtest.h>
+
+#include "gosh/graph/generators.hpp"
+#include "gosh/graph/ops.hpp"
+#include "gosh/graph/split.hpp"
+
+namespace gosh::graph {
+namespace {
+
+TEST(Split, ApproximateFraction) {
+  Graph g = erdos_renyi(2000, 10000, 21);
+  const auto split = split_for_link_prediction(g, {.train_fraction = 0.8,
+                                                   .seed = 1});
+  const double train = static_cast<double>(split.train.num_edges_undirected());
+  const double test = static_cast<double>(split.test_edges.size() +
+                                          split.dropped_test_edges);
+  EXPECT_NEAR(train / (train + test), 0.8, 0.02);
+}
+
+TEST(Split, NoIsolatedVerticesInTrain) {
+  Graph g = erdos_renyi(500, 800, 5);  // sparse => isolation likely
+  const auto split = split_for_link_prediction(g);
+  for (vid_t v = 0; v < split.train.num_vertices(); ++v) {
+    EXPECT_GT(split.train.degree(v), 0u);
+  }
+}
+
+TEST(Split, TestEndpointsAreTrainVertices) {
+  Graph g = erdos_renyi(500, 1200, 6);
+  const auto split = split_for_link_prediction(g);
+  for (const auto& [u, v] : split.test_edges) {
+    EXPECT_LT(u, split.train.num_vertices());
+    EXPECT_LT(v, split.train.num_vertices());
+  }
+}
+
+TEST(Split, TestEdgesNotInTrain) {
+  Graph g = erdos_renyi(300, 2000, 7);
+  const auto split = split_for_link_prediction(g);
+  for (const auto& [u, v] : split.test_edges) {
+    EXPECT_FALSE(has_arc(split.train, u, v));
+  }
+}
+
+TEST(Split, MappingIsConsistent) {
+  Graph g = erdos_renyi(400, 1000, 8);
+  const auto split = split_for_link_prediction(g);
+  vid_t mapped = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (split.original_to_train[v] != kInvalidVertex) {
+      EXPECT_LT(split.original_to_train[v], split.train.num_vertices());
+      ++mapped;
+    }
+  }
+  EXPECT_EQ(mapped, split.train.num_vertices());
+}
+
+TEST(Split, DeterministicInSeed) {
+  Graph g = erdos_renyi(300, 900, 9);
+  const auto a = split_for_link_prediction(g, {.seed = 4});
+  const auto b = split_for_link_prediction(g, {.seed = 4});
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test_edges, b.test_edges);
+}
+
+class SplitFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionTest, EdgeConservation) {
+  Graph g = erdos_renyi(1000, 5000, 13);
+  const auto split =
+      split_for_link_prediction(g, {.train_fraction = GetParam(), .seed = 2});
+  // Every original edge is train, kept-test, or dropped-test.
+  EXPECT_EQ(split.train.num_edges_undirected() + split.test_edges.size() +
+                split.dropped_test_edges,
+            g.num_edges_undirected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionTest,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.9, 0.95));
+
+}  // namespace
+}  // namespace gosh::graph

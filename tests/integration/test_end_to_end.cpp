@@ -1,0 +1,125 @@
+// Cross-module integration: the full paper pipeline at miniature scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gosh/baselines/verse_cpu.hpp"
+#include "gosh/embedding/gosh.hpp"
+#include "gosh/eval/pipeline.hpp"
+#include "gosh/graph/datasets.hpp"
+#include "gosh/graph/generators.hpp"
+#include "gosh/graph/split.hpp"
+
+namespace gosh {
+namespace {
+
+simt::DeviceConfig device_config(std::size_t bytes) {
+  simt::DeviceConfig config;
+  config.memory_bytes = bytes;
+  config.workers = 2;
+  return config;
+}
+
+TEST(EndToEnd, DatasetRegistryCoversTable2) {
+  const auto specs = graph::table2_datasets();
+  ASSERT_EQ(specs.size(), 12u);
+  int large = 0;
+  for (const auto& spec : specs) large += spec.large_scale;
+  EXPECT_EQ(large, 4);  // hyperlink2012, soc-sinaweibo, twitter_rv, friendster
+  // Every analog preserves its paper density within 2x (dedup losses).
+  for (const auto& spec : specs) {
+    const auto g = graph::generate_dataset(
+        graph::find_dataset(spec.name, 10, 11));  // small scale for speed
+    const double analog_density =
+        static_cast<double>(g.num_edges_undirected()) / g.num_vertices();
+    EXPECT_GT(analog_density, spec.paper_density * 0.3) << spec.name;
+    EXPECT_LT(analog_density, spec.paper_density * 2.0) << spec.name;
+  }
+}
+
+TEST(EndToEnd, GoshBeatsRandomAndApproachesVerse) {
+  // The Table 6 shape at miniature scale: GOSH (coarsened, device) and
+  // VERSE (CPU) should land in the same AUC band, both far above chance.
+  graph::LfrParams params;
+  params.average_degree = 14.0;
+  params.communities = 32;
+  const auto g = graph::lfr_like(2048, params, 91);
+  const auto split = graph::split_for_link_prediction(g, {.seed = 7});
+
+  simt::Device device(device_config(64u << 20));
+  embedding::GoshConfig gosh_config = embedding::gosh_normal();
+  gosh_config.train.dim = 32;
+  gosh_config.total_epochs = 300;
+  const auto gosh_result =
+      embedding::gosh_embed(split.train, device, gosh_config);
+  const auto gosh_report =
+      eval::evaluate_link_prediction(gosh_result.embedding, split);
+
+  baselines::VerseConfig verse_config;
+  verse_config.dim = 32;
+  verse_config.epochs = 300;
+  verse_config.learning_rate = 0.025f;
+  verse_config.similarity = baselines::VerseConfig::Similarity::kAdjacency;
+  const auto verse_matrix = baselines::verse_cpu_embed(split.train, verse_config);
+  const auto verse_report = eval::evaluate_link_prediction(verse_matrix, split);
+
+  EXPECT_GT(gosh_report.auc_roc, 0.8);
+  EXPECT_GT(verse_report.auc_roc, 0.8);
+  EXPECT_NEAR(gosh_report.auc_roc, verse_report.auc_roc, 0.1);
+}
+
+TEST(EndToEnd, LargeGraphPathMatchesResidentQuality) {
+  // Same graph, two devices: one fits everything, one forces Algorithm 5.
+  // AUCROC must land in the same band (the paper's claim that partitioned
+  // training is "almost equivalent").
+  graph::LfrParams params;
+  params.average_degree = 14.0;
+  params.communities = 32;
+  const auto g = graph::lfr_like(2048, params, 92);
+  const auto split = graph::split_for_link_prediction(g, {.seed = 8});
+
+  auto run = [&](std::size_t device_bytes) {
+    simt::Device device(device_config(device_bytes));
+    embedding::GoshConfig config = embedding::gosh_normal();
+    config.train.dim = 32;
+    config.total_epochs = 300;
+    const auto result = embedding::gosh_embed(split.train, device, config);
+    return eval::evaluate_link_prediction(result.embedding, split).auc_roc;
+  };
+
+  const double resident = run(64u << 20);
+  const double partitioned = run(220u << 10);  // ~1/6 of the matrix fits
+  EXPECT_GT(partitioned, 0.75);
+  EXPECT_NEAR(resident, partitioned, 0.12);
+}
+
+TEST(EndToEnd, CoarseningSpeedsUpAtSimilarQuality) {
+  // Figure 4's core claim in miniature: with equal epoch budgets, the
+  // multilevel run needs less wall time than the flat run because most
+  // epochs land on tiny graphs — while staying in the same quality band.
+  graph::LfrParams params;
+  params.average_degree = 18.0;
+  params.communities = 64;
+  const auto g = graph::lfr_like(4096, params, 93);
+  const auto split = graph::split_for_link_prediction(g, {.seed = 9});
+
+  auto run = [&](bool coarsen, double* auc) {
+    simt::Device device(device_config(128u << 20));
+    embedding::GoshConfig config =
+        coarsen ? embedding::gosh_normal() : embedding::gosh_no_coarsening();
+    config.train.dim = 32;
+    config.total_epochs = 200;
+    const auto result = embedding::gosh_embed(split.train, device, config);
+    *auc = eval::evaluate_link_prediction(result.embedding, split).auc_roc;
+    return result.total_seconds;
+  };
+
+  double coarse_auc = 0.0, flat_auc = 0.0;
+  const double coarse_time = run(true, &coarse_auc);
+  const double flat_time = run(false, &flat_auc);
+  EXPECT_LT(coarse_time, flat_time);
+  EXPECT_GT(coarse_auc, flat_auc - 0.1);
+}
+
+}  // namespace
+}  // namespace gosh

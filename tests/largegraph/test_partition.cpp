@@ -1,0 +1,78 @@
+// Partition planning against a device budget.
+#include <gtest/gtest.h>
+
+#include "gosh/largegraph/partition.hpp"
+
+namespace gosh::largegraph {
+namespace {
+
+PartitionRequest request(vid_t n, unsigned dim, std::size_t budget) {
+  PartitionRequest r;
+  r.num_vertices = n;
+  r.dim = dim;
+  r.device_budget_bytes = budget;
+  return r;
+}
+
+TEST(Partition, CoversAllVerticesContiguously) {
+  const auto plan = plan_partitions(request(10000, 32, 1 << 20));
+  ASSERT_GE(plan.num_parts(), 2u);
+  EXPECT_EQ(plan.offsets.front(), 0u);
+  EXPECT_EQ(plan.offsets.back(), 10000u);
+  for (unsigned p = 0; p < plan.num_parts(); ++p) {
+    EXPECT_LE(plan.part_begin(p), plan.part_end(p));
+    EXPECT_LE(plan.part_size(p), plan.part_capacity);
+  }
+}
+
+TEST(Partition, WorkingSetFitsBudget) {
+  const auto req = request(100000, 64, 4 << 20);
+  const auto plan = plan_partitions(req);
+  EXPECT_LE(working_set_bytes(plan, req), req.device_budget_bytes);
+}
+
+TEST(Partition, MinimalPartsForBigBudget) {
+  // A budget comfortably holding everything still yields K = 2 (the
+  // algorithm always partitions in this path).
+  const auto plan = plan_partitions(request(1000, 8, 1 << 30));
+  EXPECT_EQ(plan.num_parts(), 2u);
+}
+
+TEST(Partition, PartOfMapsCorrectly) {
+  const auto plan = plan_partitions(request(1000, 128, 64 << 10));
+  for (vid_t v = 0; v < 1000; v += 37) {
+    const unsigned p = plan.part_of(v);
+    EXPECT_GE(v, plan.part_begin(p));
+    EXPECT_LT(v, plan.part_end(p));
+  }
+}
+
+TEST(Partition, ThrowsWhenImpossiblyTight) {
+  EXPECT_THROW(plan_partitions(request(1000, 128, 16)),
+               std::invalid_argument);
+}
+
+TEST(Partition, RejectsEmptyAndBadPgpu) {
+  EXPECT_THROW(plan_partitions(request(0, 32, 1 << 20)),
+               std::invalid_argument);
+  auto r = request(100, 32, 1 << 20);
+  r.pgpu = 1;
+  EXPECT_THROW(plan_partitions(r), std::invalid_argument);
+}
+
+class PartitionBudgetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionBudgetSweep, TighterBudgetsMeanMoreParts) {
+  const auto loose = plan_partitions(request(50000, 32, GetParam() * 4));
+  const auto tight = plan_partitions(request(50000, 32, GetParam()));
+  EXPECT_GE(tight.num_parts(), loose.num_parts());
+  // Both still cover the vertex set.
+  EXPECT_EQ(tight.offsets.back(), 50000u);
+  EXPECT_EQ(loose.offsets.back(), 50000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PartitionBudgetSweep,
+                         ::testing::Values(512u << 10, 1u << 20, 4u << 20));
+
+}  // namespace
+}  // namespace gosh::largegraph

@@ -1,0 +1,63 @@
+// Inside-out rotation order (Section 3.3.1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gosh/largegraph/rotation.hpp"
+
+namespace gosh::largegraph {
+namespace {
+
+TEST(Rotation, MatchesPaperRecurrenceForThree) {
+  const auto pairs = rotation_pairs(3);
+  const std::vector<std::pair<unsigned, unsigned>> expected = {
+      {0, 0}, {1, 0}, {1, 1}, {2, 0}, {2, 1}, {2, 2}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(Rotation, EmptyForZeroParts) {
+  EXPECT_TRUE(rotation_pairs(0).empty());
+}
+
+TEST(Rotation, SinglePartIsDiagonalOnly) {
+  const auto pairs = rotation_pairs(1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<unsigned, unsigned>{0, 0}));
+}
+
+class RotationSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RotationSweep, CoversEveryUnorderedPairOnce) {
+  const unsigned k = GetParam();
+  const auto pairs = rotation_pairs(k);
+  EXPECT_EQ(pairs.size(), static_cast<std::size_t>(k) * (k + 1) / 2);
+  std::set<std::pair<unsigned, unsigned>> seen;
+  for (const auto& [a, b] : pairs) {
+    EXPECT_LT(a, k);
+    EXPECT_LE(b, a);  // first >= second throughout
+    EXPECT_TRUE(seen.insert({a, b}).second) << a << "," << b;
+  }
+}
+
+TEST_P(RotationSweep, RowPartStaysResidentAcrossItsRun) {
+  // The order's point: consecutive pairs share the row part a until it
+  // completes, minimizing switches.
+  const auto pairs = rotation_pairs(GetParam());
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    const auto& [pa, pb] = pairs[i - 1];
+    const auto& [ca, cb] = pairs[i];
+    if (ca == pa) {
+      EXPECT_EQ(cb, pb + 1);  // same row, next column
+    } else {
+      EXPECT_EQ(ca, pa + 1);  // row finished at its diagonal
+      EXPECT_EQ(pb, pa);
+      EXPECT_EQ(cb, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, RotationSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 33));
+
+}  // namespace
+}  // namespace gosh::largegraph

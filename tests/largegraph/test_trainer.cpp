@@ -1,0 +1,164 @@
+// Algorithm 5 orchestration: out-of-memory training end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gosh/embedding/update.hpp"
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/generators.hpp"
+#include "gosh/largegraph/trainer.hpp"
+
+namespace gosh::largegraph {
+namespace {
+
+simt::DeviceConfig tiny_device(std::size_t bytes) {
+  simt::DeviceConfig config;
+  config.memory_bytes = bytes;
+  config.workers = 2;
+  return config;
+}
+
+embedding::TrainConfig train_config(unsigned dim) {
+  embedding::TrainConfig config;
+  config.dim = dim;
+  config.learning_rate = 0.05f;
+  return config;
+}
+
+TEST(LargeTrainer, PlansMultipleParts) {
+  // 4096 vertices x 32 dims x 4B = 512 KiB of matrix; 160 KiB device.
+  simt::Device device(tiny_device(160u << 10));
+  const auto g = graph::rmat(12, 20000, 41);
+  LargeGraphConfig config;
+  LargeGraphTrainer trainer(device, g, train_config(32), config);
+  EXPECT_GE(trainer.plan().num_parts(), 3u);
+}
+
+TEST(LargeTrainer, TrainsAndReportsStats) {
+  simt::Device device(tiny_device(160u << 10));
+  const auto g = graph::rmat(12, 20000, 42);
+  embedding::EmbeddingMatrix m(g.num_vertices(), 32);
+  m.initialize_random(1);
+  const std::vector<emb_t> before(m.data(), m.data() + m.size());
+
+  LargeGraphConfig config;
+  config.sampler_threads = 2;
+  LargeGraphTrainer trainer(device, g, train_config(32), config);
+  const auto stats = trainer.train(m, 40);
+
+  EXPECT_GT(stats.rotations, 0u);
+  const auto pairs = static_cast<std::uint64_t>(stats.num_parts) *
+                     (stats.num_parts + 1) / 2;
+  EXPECT_EQ(stats.kernels, stats.rotations * pairs);
+  EXPECT_EQ(stats.pools_consumed, stats.kernels);
+  EXPECT_GT(stats.submatrix_switches, 0u);
+
+  bool changed = false;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(m.data()[i]));
+    changed |= m.data()[i] != before[i];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(LargeTrainer, RotationCountMatchesFormula) {
+  simt::Device device(tiny_device(160u << 10));
+  const auto g = graph::rmat(12, 20000, 43);
+  embedding::EmbeddingMatrix m(g.num_vertices(), 32);
+  m.initialize_random(2);
+  LargeGraphConfig config;
+  config.batch_B = 5;
+  LargeGraphTrainer trainer(device, g, train_config(32), config);
+  const unsigned epochs = 60;
+  const auto stats = trainer.train(m, epochs);
+  const unsigned expected = std::max(
+      1u, (epochs + config.batch_B * stats.num_parts - 1) /
+              (config.batch_B * stats.num_parts));
+  EXPECT_EQ(stats.rotations, expected);
+}
+
+TEST(LargeTrainer, LearnsCommunityStructureAcrossParts) {
+  // Two 32-cliques bridged; partitioned so each clique spans parts.
+  const vid_t clique = 32;
+  std::vector<graph::Edge> edges;
+  for (vid_t u = 0; u < clique; ++u) {
+    for (vid_t v = u + 1; v < clique; ++v) {
+      edges.emplace_back(u, v);
+      edges.emplace_back(clique + u, clique + v);
+    }
+  }
+  edges.emplace_back(0, clique);
+  const auto g = graph::build_csr(2 * clique, std::move(edges));
+
+  // Budget forces >= 4 parts of 16 vertices.
+  simt::Device device(tiny_device(24u << 10));
+  embedding::EmbeddingMatrix m(g.num_vertices(), 16);
+  m.initialize_random(3);
+  LargeGraphConfig config;
+  config.batch_B = 2;
+  config.device_budget_bytes = 20u << 10;
+  LargeGraphTrainer trainer(device, g, train_config(16), config);
+  ASSERT_GE(trainer.plan().num_parts(), 2u);
+  trainer.train(m, 600);
+
+  float intra = 0.0f, inter = 0.0f;
+  int intra_n = 0, inter_n = 0;
+  for (vid_t u = 0; u < 2 * clique; ++u) {
+    for (vid_t v = u + 1; v < 2 * clique; ++v) {
+      const float d =
+          embedding::dot(m.row(u).data(), m.row(v).data(), m.dim());
+      if ((u < clique) == (v < clique)) {
+        intra += d;
+        intra_n++;
+      } else {
+        inter += d;
+        inter_n++;
+      }
+    }
+  }
+  EXPECT_GT(intra / intra_n - inter / inter_n, 0.05f);
+}
+
+class LargeTrainerPgpuTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LargeTrainerPgpuTest, WorksAcrossSlotCounts) {
+  simt::Device device(tiny_device(256u << 10));
+  const auto g = graph::rmat(11, 8000, 44);
+  embedding::EmbeddingMatrix m(g.num_vertices(), 32);
+  m.initialize_random(4);
+  LargeGraphConfig config;
+  config.pgpu = GetParam();
+  config.device_budget_bytes = 128u << 10;
+  LargeGraphTrainer trainer(device, g, train_config(32), config);
+  trainer.train(m, 20);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(m.data()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, LargeTrainerPgpuTest,
+                         ::testing::Values(2, 3, 4));
+
+class LargeTrainerBatchTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LargeTrainerBatchTest, LargerBMeansFewerRotations) {
+  simt::Device device(tiny_device(256u << 10));
+  const auto g = graph::rmat(11, 8000, 45);
+  embedding::EmbeddingMatrix m(g.num_vertices(), 32);
+  m.initialize_random(5);
+  LargeGraphConfig config;
+  config.batch_B = GetParam();
+  config.device_budget_bytes = 128u << 10;
+  LargeGraphTrainer trainer(device, g, train_config(32), config);
+  const auto stats = trainer.train(m, 64);
+  // rotations ~ epochs / (B*K): monotone nonincreasing in B given fixed K.
+  EXPECT_LE(stats.rotations,
+            std::max(1u, 64u / (GetParam() * stats.num_parts) + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, LargeTrainerBatchTest,
+                         ::testing::Values(1, 2, 5, 10));
+
+}  // namespace
+}  // namespace gosh::largegraph
