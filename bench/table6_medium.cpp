@@ -5,19 +5,25 @@
 //   bench_table6_medium [--medium-scale N] [--dim D] [--datasets a,b,...]
 //                       [--epoch-scale PCT]
 //
+// Every row is produced through the gosh::api facade: each tool is just a
+// backend name in the registry plus an Options tweak, so adding a method
+// to this table means registering a backend, not writing a harness.
+//
 // --epoch-scale rescales every tool's epoch budget (default 100 = the
 // paper's budgets; lower it for quick smoke runs — but note VERSE's low
 // learning rate genuinely needs the full budget to converge).
-#include "bench_common.hpp"
-
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
-#include "gosh/baselines/line_device.hpp"
-#include "gosh/baselines/mile.hpp"
-#include "gosh/baselines/verse_cpu.hpp"
-#include "gosh/common/timer.hpp"
+#include "gosh/api/api.hpp"
 
 namespace {
+
+using namespace gosh;
 
 struct Row {
   std::string label;
@@ -27,6 +33,10 @@ struct Row {
 };
 
 void print_rows(const std::vector<Row>& rows) {
+  // Speedups are relative to the VERSE row; if it failed there is no
+  // reference, so the column prints "-" instead of inf.
+  const bool have_reference =
+      !rows.front().failed && rows.front().seconds > 0.0;
   const double verse_time = rows.front().seconds;
   for (const auto& row : rows) {
     if (row.failed) {
@@ -34,30 +44,61 @@ void print_rows(const std::vector<Row>& rows) {
                   "FAILED");
       continue;
     }
-    std::printf("  %-16s %10.2f %8.2fx %9.2f%%\n", row.label.c_str(),
-                row.seconds, verse_time / row.seconds, 100.0 * row.auc);
+    if (have_reference && row.seconds > 0.0) {
+      std::printf("  %-16s %10.2f %8.2fx %9.2f%%\n", row.label.c_str(),
+                  row.seconds, verse_time / row.seconds, 100.0 * row.auc);
+    } else {
+      std::printf("  %-16s %10.2f %9s %9.2f%%\n", row.label.c_str(),
+                  row.seconds, "-", 100.0 * row.auc);
+    }
   }
+}
+
+/// One table cell: run `options` through the facade on split.train and
+/// evaluate link prediction. An out_of_memory Status becomes a FAILED row
+/// (the paper's GraphVite rows on devices it does not fit).
+Row measure(const std::string& label, const api::Options& options,
+            const graph::LinkPredictionSplit& split) {
+  auto embedded = api::embed(split.train, options);
+  if (!embedded.ok()) {
+    std::fprintf(stderr, "  %s: %s\n", label.c_str(),
+                 embedded.status().to_string().c_str());
+    return {label, 0.0, 0.0, true};
+  }
+  const double seconds = embedded.value().total_seconds;
+  eval::LinkPredictionOptions eval_options;
+  // Large feature sets use the SGD solver, as the paper does.
+  if (split.train.num_edges_undirected() > 200000) {
+    eval_options.logreg.solver = eval::LogRegConfig::Solver::kSgd;
+    eval_options.logreg.max_iterations = 10;
+  }
+  const auto report = eval::evaluate_link_prediction(
+      embedded.value().embedding, split, eval_options);
+  return {label, seconds, report.auc_roc};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace gosh;
-  const unsigned scale =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--medium-scale", 12));
-  const unsigned dim =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--dim", 32));
+  const unsigned scale = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--medium-scale", 12));
+  const unsigned dim = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--dim", 32));
   const double epoch_scale =
-      bench::flag_value(argc, argv, "--epoch-scale", 100) / 100.0;
-  const auto names = bench::flag_list(
+      api::require_flag_unsigned(argc, argv, "--epoch-scale", 100) / 100.0;
+  const auto names = api::flag_list(
       argc, argv, "--datasets",
       {"com-dblp", "com-amazon", "youtube", "soc-pokec", "wiki-topcats",
        "com-orkut", "com-lj", "soc-LiveJournal"});
-  const std::size_t device_bytes = std::size_t{512} << 20;
 
-  bench::print_banner("Table 6: link prediction on medium-scale analogs");
+  api::print_bench_banner("Table 6: link prediction on medium-scale analogs");
   std::printf("dim=%u, epoch budgets at %.0f%% of the paper's, tau=%u\n\n",
               dim, 100.0 * epoch_scale, std::thread::hardware_concurrency());
+
+  const auto scaled = [&](unsigned epochs) {
+    return std::max(10u, static_cast<unsigned>(epochs * epoch_scale));
+  };
+  const std::size_t device_bytes = std::size_t{512} << 20;
 
   for (const auto& name : names) {
     const auto spec = graph::find_dataset(name, scale, scale + 3);
@@ -68,70 +109,54 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     split.train.num_edges_undirected()));
 
-    std::vector<Row> rows;
-    auto scaled = [&](unsigned epochs) {
-      return std::max(10u, static_cast<unsigned>(epochs * epoch_scale));
-    };
+    api::Options base;
+    base.train().dim = dim;
+    base.device.memory_bytes = device_bytes;
 
-    // --- VERSE (the 1.00x reference). -----------------------------------
+    std::vector<Row> rows;
+    // --- VERSE (the 1.00x reference): paper PPR similarity, full budget.
     {
-      baselines::VerseConfig config;
-      config.dim = dim;
-      config.epochs = scaled(1000);
-      config.learning_rate = 0.0025f;
-      WallTimer timer;
-      const auto matrix = baselines::verse_cpu_embed(split.train, config);
-      const double seconds = timer.seconds();
-      const auto report = eval::evaluate_link_prediction(matrix, split);
-      rows.push_back({"Verse", seconds, report.auc_roc});
+      api::Options options = base;
+      options.backend = "verse-cpu";
+      options.gosh.total_epochs = scaled(1000);
+      rows.push_back(measure("Verse", options, split));
     }
-    // --- MILE. -----------------------------------------------------------
+    // --- MILE. 6 levels keeps its coarsest near the paper's relative
+    // --- granularity at these analog scales; deeper matching
+    // --- over-coarsens (its Table 6 weakness, visible here too).
     {
-      baselines::MileConfig config;
-      // 6 levels keeps MILE's coarsest near the paper's relative
-      // granularity at this scale; deeper matching over-coarsens (its
-      // Table 6 weakness, visible here too).
-      config.coarsening_levels = 6;
-      config.refinement_rounds = 1;
-      config.base.dim = dim;
-      config.base.epochs = scaled(600);
-      config.base.learning_rate = 0.025f;
-      WallTimer timer;
-      const auto result = baselines::mile_embed(split.train, config);
-      const double seconds = timer.seconds();
-      const auto report =
-          eval::evaluate_link_prediction(result.embedding, split);
-      rows.push_back({"Mile", seconds, report.auc_roc});
+      api::Options options = base;
+      options.backend = "mile";
+      options.gosh.total_epochs = scaled(600);
+      options.mile_levels = 6;
+      options.mile_refinement_rounds = 1;
+      rows.push_back(measure("Mile", options, split));
     }
-    // --- GraphVite-like (LINE on device), fast and slow. ------------------
-    for (const auto& [label, epochs] :
-         {std::pair{"Graphvite-fast", 600u}, std::pair{"Graphvite-slow", 1000u}}) {
-      baselines::LineConfig config;
-      config.dim = dim;
-      config.epochs = scaled(epochs);
-      simt::Device device(bench::device_config(device_bytes));
-      WallTimer timer;
-      try {
-        const auto matrix =
-            baselines::line_device_embed(split.train, device, config);
-        const double seconds = timer.seconds();
-        const auto report = eval::evaluate_link_prediction(matrix, split);
-        rows.push_back({label, seconds, report.auc_roc});
-      } catch (const simt::DeviceOutOfMemory&) {
-        rows.push_back({label, 0.0, 0.0, true});
+    // --- GraphVite-like (LINE on device), fast and slow. -----------------
+    for (const auto& [label, epochs] : {std::pair{"Graphvite-fast", 600u},
+                                        std::pair{"Graphvite-slow", 1000u}}) {
+      api::Options options = base;
+      options.backend = "line-device";
+      options.gosh.total_epochs = scaled(epochs);
+      options.train().learning_rate = 0.025f;
+      rows.push_back(measure(label, options, split));
+    }
+    // --- GOSH presets, each just an Options::preset value. ---------------
+    for (const char* preset : {"fast", "normal", "slow", "nocoarse"}) {
+      api::Options options = base;
+      if (api::Status status = options.set("preset", preset);
+          !status.is_ok()) {
+        std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+        return 1;
       }
-    }
-    // --- GOSH presets. -----------------------------------------------------
-    for (const auto& [label, make_config] :
-         {std::pair{"Gosh-fast", &embedding::gosh_fast},
-          std::pair{"Gosh-normal", &embedding::gosh_normal},
-          std::pair{"Gosh-slow", &embedding::gosh_slow},
-          std::pair{"Gosh-NoCoarse", &embedding::gosh_no_coarsening}}) {
-      embedding::GoshConfig config = make_config(false);
-      config.train.dim = dim;
-      config.total_epochs = scaled(config.total_epochs);
-      const auto run = bench::measure_gosh(split, config, device_bytes);
-      rows.push_back({label, run.seconds, run.auc_roc});
+      options.train().dim = dim;
+      options.backend = "auto";
+      options.gosh.total_epochs = scaled(options.gosh.total_epochs);
+      const std::string label =
+          std::strcmp(preset, "nocoarse") == 0
+              ? "Gosh-NoCoarse"
+              : std::string("Gosh-") + preset;
+      rows.push_back(measure(label, options, split));
     }
 
     std::printf("  %-16s %10s %9s %10s\n", "algorithm", "time(s)", "speedup",

@@ -1,38 +1,53 @@
-// Table 7 — link prediction on the large-scale analogs: GOSH presets run
-// through the partitioned path (device memory capped well below the
-// matrix), the GraphVite-like baseline fails with OOM, and VERSE runs only
-// where the paper's did (soc-sinaweibo) unless --verse-all.
+// Table 7 — link prediction on the large-scale analogs, driven through the
+// gosh::api facade: the auto policy routes GOSH to the "largegraph"
+// backend (device memory capped well below the matrix), the GraphVite-like
+// baseline fails with an out_of_memory Status, and VERSE runs only where
+// the paper's did (soc-sinaweibo) unless --verse-all.
 //
 //   bench_table7_large [--large-scale N] [--dim D] [--device-kib K]
 //                      [--epoch-scale PCT]
 //                      [--datasets a,b,...] [--verse-all]
-#include "bench_common.hpp"
-
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
-#include "gosh/baselines/line_device.hpp"
-#include "gosh/baselines/verse_cpu.hpp"
-#include "gosh/common/timer.hpp"
+#include "gosh/api/api.hpp"
+
+namespace {
+
+using namespace gosh;
+
+eval::LinkPredictionOptions sgd_eval() {
+  eval::LinkPredictionOptions options;
+  options.logreg.solver = eval::LogRegConfig::Solver::kSgd;
+  options.logreg.max_iterations = 10;
+  return options;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace gosh;
-  const unsigned scale =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--large-scale", 13));
-  const unsigned dim =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--dim", 32));
-  const std::size_t device_bytes = static_cast<std::size_t>(bench::flag_value(
-                                       argc, argv, "--device-kib", 2048))
-                                   << 10;
+  const unsigned scale = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--large-scale", 13));
+  const unsigned dim = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--dim", 32));
+  const std::size_t device_bytes =
+      static_cast<std::size_t>(
+          api::require_flag_unsigned(argc, argv, "--device-kib", 2048))
+      << 10;
   const double epoch_scale =
-      bench::flag_value(argc, argv, "--epoch-scale", 50) / 100.0;
-  const bool verse_all = bench::flag_present(argc, argv, "--verse-all");
-  const auto names = bench::flag_list(
+      api::require_flag_unsigned(argc, argv, "--epoch-scale", 50) / 100.0;
+  const bool verse_all = api::flag_present(argc, argv, "--verse-all");
+  const auto names = api::flag_list(
       argc, argv, "--datasets",
       {"hyperlink2012", "soc-sinaweibo", "twitter_rv", "com-friendster"});
 
-  bench::print_banner("Table 7: link prediction on large-scale analogs");
+  api::print_bench_banner("Table 7: link prediction on large-scale analogs");
   std::printf("dim=%u, device capped at %zu KiB (matrix exceeds it => the\n"
-              "Algorithm 5 partitioned path runs), tau=%u\n\n",
+              "auto policy picks the \"largegraph\" backend), tau=%u\n\n",
               dim, device_bytes >> 10, std::thread::hardware_concurrency());
 
   for (const auto& name : names) {
@@ -50,57 +65,81 @@ int main(int argc, char** argv) {
                 matrix_kib);
     std::printf("  %-16s %10s %10s\n", "algorithm", "time(s)", "AUCROC");
 
+    api::Options base;
+    base.train().dim = dim;
+    base.device.memory_bytes = device_bytes;
+
     // VERSE: the paper reports Timeout for all but soc-sinaweibo, where a
     // full (expensive) run slightly beats Gosh-slow — reproduced here by
     // giving VERSE its full budget while GOSH runs the e_large presets.
     if (verse_all || name == "soc-sinaweibo") {
-      baselines::VerseConfig config;
-      config.dim = dim;
-      config.epochs = 600;
-      config.learning_rate = 0.0025f;
-      WallTimer timer;
-      const auto matrix = baselines::verse_cpu_embed(split.train, config);
-      const double seconds = timer.seconds();
-      eval::LinkPredictionOptions options;
-      options.logreg.solver = eval::LogRegConfig::Solver::kSgd;
-      options.logreg.max_iterations = 10;
-      const auto report =
-          eval::evaluate_link_prediction(matrix, split, options);
-      std::printf("  %-16s %10.2f %9.2f%%\n", "Verse", seconds,
-                  100.0 * report.auc_roc);
+      api::Options options = base;
+      options.backend = "verse-cpu";
+      options.gosh.total_epochs = 600;  // paper PPR similarity is the default
+      auto embedded = api::embed(split.train, options);
+      if (embedded.ok()) {
+        const double seconds = embedded.value().total_seconds;
+        const auto report = eval::evaluate_link_prediction(
+            embedded.value().embedding, split, sgd_eval());
+        std::printf("  %-16s %10.2f %9.2f%%\n", "Verse", seconds,
+                    100.0 * report.auc_roc);
+      } else {
+        std::printf("  %-16s %10s %10s  (%s)\n", "Verse", "-", "FAILED",
+                    embedded.status().to_string().c_str());
+      }
     } else {
       std::printf("  %-16s %10s %10s  (as in the paper)\n", "Verse",
                   "Timeout", "-");
     }
 
-    // GraphVite-like: must OOM at this device size.
+    // GraphVite-like: must come back as an out_of_memory Status at this
+    // device size — the facade's translation of the paper's OOM row.
     {
-      simt::Device device(bench::device_config(device_bytes));
-      baselines::LineConfig config;
-      config.dim = dim;
-      config.epochs = 10;
-      try {
-        baselines::line_device_embed(split.train, device, config);
-        std::printf("  %-16s %10s %10s\n", "Graphvite-like", "?",
-                    "unexpectedly fit");
-      } catch (const simt::DeviceOutOfMemory&) {
+      api::Options options = base;
+      options.backend = "line-device";
+      options.gosh.total_epochs = 10;
+      auto embedded = api::embed(split.train, options);
+      if (!embedded.ok() &&
+          embedded.status().code() == api::StatusCode::kOutOfMemory) {
         std::printf("  %-16s %10s %10s  (single-GPU memory limit)\n",
                     "Graphvite-like", "OOM", "-");
+      } else if (embedded.ok()) {
+        std::printf("  %-16s %10s %10s\n", "Graphvite-like", "?",
+                    "unexpectedly fit");
+      } else {
+        std::printf("  %-16s %10s %10s  (%s)\n", "Graphvite-like", "-",
+                    "FAILED", embedded.status().to_string().c_str());
       }
     }
 
-    // GOSH presets with the e_large budgets.
-    for (const auto& [label, make_config] :
-         {std::pair{"Gosh-fast", &embedding::gosh_fast},
-          std::pair{"Gosh-normal", &embedding::gosh_normal},
-          std::pair{"Gosh-slow", &embedding::gosh_slow}}) {
-      embedding::GoshConfig config = make_config(/*large_scale=*/true);
-      config.train.dim = dim;
-      config.total_epochs = std::max(
-          10u, static_cast<unsigned>(config.total_epochs * epoch_scale));
-      const auto run = bench::measure_gosh(split, config, device_bytes);
-      std::printf("  %-16s %10.2f %9.2f%%\n", label, run.seconds,
-                  100.0 * run.auc_roc);
+    // GOSH presets with the e_large budgets; "auto" resolves to the
+    // partitioned backend because the matrix exceeds the device budget.
+    for (const char* preset : {"fast", "normal", "slow"}) {
+      api::Options options = base;
+      if (api::Status status = options.set("preset", preset);
+          !status.is_ok()) {
+        std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+        return 1;
+      }
+      if (api::Status status = options.set("large-scale", "true");
+          !status.is_ok()) {
+        std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+        return 1;
+      }
+      options.train().dim = dim;
+      options.gosh.total_epochs = std::max(
+          10u, static_cast<unsigned>(options.gosh.total_epochs * epoch_scale));
+      auto embedded = api::embed(split.train, options);
+      if (!embedded.ok()) {
+        std::printf("  Gosh-%-11s %10s %10s  (%s)\n", preset, "-", "FAILED",
+                    embedded.status().to_string().c_str());
+        continue;
+      }
+      const double seconds = embedded.value().total_seconds;
+      const auto report = eval::evaluate_link_prediction(
+          embedded.value().embedding, split, sgd_eval());
+      std::printf("  Gosh-%-11s %10.2f %9.2f%%\n", preset, seconds,
+                  100.0 * report.auc_roc);
     }
     std::printf("\n");
   }

@@ -2,15 +2,14 @@
 //
 //   ./large_graph [rmat_scale] [device_mib]
 //
-// The embedding matrix is sized to exceed the device memory cap, so GOSH
-// partitions it and trains in rotations with host-side sample pools —
-// exactly what the paper does for 65M-vertex graphs on a 12 GB card.
+// The embedding matrix is sized to exceed the device memory cap, so the
+// facade's auto policy routes the run to the "largegraph" backend — the
+// partitioned rotations with host-side sample pools the paper uses for
+// 65M-vertex graphs on a 12 GB card.
 #include <cstdio>
 #include <cstdlib>
 
-#include "gosh/embedding/gosh.hpp"
-#include "gosh/graph/generators.hpp"
-#include "gosh/largegraph/partition.hpp"
+#include "gosh/api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
@@ -26,21 +25,30 @@ int main(int argc, char** argv) {
   const std::size_t matrix_bytes =
       embedding::EmbeddingMatrix::bytes_for(g.num_vertices(), dim);
 
+  api::Options options;
+  // set() re-derives the preset epoch budgets for the large-scale regime.
+  if (api::Status status = options.set("large-scale", "true");
+      !status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  options.train().dim = dim;
+  options.device.memory_bytes = device_mib << 20;
+
+  const std::string selected = api::select_backend(options, g);
   std::printf("graph: |V|=%u |E|=%llu\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges_undirected()));
-  std::printf("matrix: %zu KiB, device: %zu KiB => %s\n", matrix_bytes >> 10,
-              (device_mib << 20) >> 10,
-              matrix_bytes > (device_mib << 20) ? "PARTITIONED PATH"
-                                                : "fits (increase scale)");
+  std::printf("matrix: %zu KiB, device: %zu KiB => backend \"%s\"%s\n",
+              matrix_bytes >> 10, (device_mib << 20) >> 10, selected.c_str(),
+              selected == "largegraph" ? "" : " (increase scale)");
 
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = device_mib << 20;
-  simt::Device device(device_config);
-
-  embedding::GoshConfig config = embedding::gosh_normal(/*large_scale=*/true);
-  config.train.dim = dim;
-
-  const auto result = embedding::gosh_embed(g, device, config);
+  auto embedded = api::embed(g, options);
+  if (!embedded.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 embedded.status().to_string().c_str());
+    return 1;
+  }
+  const api::EmbedResult& result = embedded.value();
 
   std::printf("\nlevels:\n");
   for (std::size_t i = 0; i < result.levels.size(); ++i) {
@@ -49,11 +57,8 @@ int main(int argc, char** argv) {
                 level.vertices, level.epochs, level.train_seconds,
                 level.used_large_graph_path ? "[Algorithm 5]" : "[resident]");
   }
-  const auto metrics = device.metrics().snapshot();
-  std::printf("\ndevice traffic: H2D %.1f MiB, D2H %.1f MiB, %llu kernels\n",
-              metrics.h2d_bytes / 1048576.0, metrics.d2h_bytes / 1048576.0,
-              static_cast<unsigned long long>(metrics.kernels_launched));
-  std::printf("total: %.2f s (coarsening %.2f s)\n", result.total_seconds,
-              result.coarsening_seconds);
+  std::printf("\ntotal: %.2f s (coarsening %.2f s) via backend %s\n",
+              result.total_seconds, result.coarsening_seconds,
+              result.backend.c_str());
   return 0;
 }

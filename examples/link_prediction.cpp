@@ -1,17 +1,16 @@
-// Link prediction — the paper's evaluation task, end to end (Section 4.1).
+// Link prediction — the paper's evaluation task, end to end (Section 4.1),
+// driven through the gosh::api facade.
 //
 //   ./link_prediction [dataset_name] [medium_scale]
 //
 // Picks a Table 2 synthetic analog (default com-dblp), splits 80/20,
-// embeds the train graph with the three GOSH presets, and reports AUCROC
-// for each — a single-dataset slice of Table 6.
+// embeds the train graph with the three GOSH presets plus the NoCoarse
+// ablation — the presets are just Options::preset values — and reports
+// AUCROC for each: a single-dataset slice of Table 6.
 #include <cstdio>
 #include <cstring>
 
-#include "gosh/embedding/gosh.hpp"
-#include "gosh/eval/pipeline.hpp"
-#include "gosh/graph/datasets.hpp"
-#include "gosh/graph/split.hpp"
+#include "gosh/api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
@@ -33,30 +32,37 @@ int main(int argc, char** argv) {
                   split.train.num_edges_undirected()),
               split.test_edges.size());
 
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = 512u << 20;
-  simt::Device device(device_config);
-
-  struct Row {
+  const struct {
     const char* label;
-    embedding::GoshConfig config;
-  };
-  const Row rows[] = {
-      {"Gosh-fast", embedding::gosh_fast()},
-      {"Gosh-normal", embedding::gosh_normal()},
-      {"Gosh-slow", embedding::gosh_slow()},
-      {"Gosh-NoCoarse", embedding::gosh_no_coarsening()},
+    const char* preset;
+  } rows[] = {
+      {"Gosh-fast", "fast"},
+      {"Gosh-normal", "normal"},
+      {"Gosh-slow", "slow"},
+      {"Gosh-NoCoarse", "nocoarse"},
   };
 
   std::printf("\n%-14s %10s %10s\n", "config", "time(s)", "AUCROC");
-  for (const Row& row : rows) {
-    embedding::GoshConfig config = row.config;
-    config.train.dim = 64;
-    const auto result = embedding::gosh_embed(split.train, device, config);
+  for (const auto& row : rows) {
+    api::Options options;
+    if (api::Status status = options.set("preset", row.preset);
+        !status.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    options.train().dim = 64;
+    options.device.memory_bytes = 512u << 20;
+
+    auto embedded = api::embed(split.train, options);
+    if (!embedded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   embedded.status().to_string().c_str());
+      return 1;
+    }
     const auto report =
-        eval::evaluate_link_prediction(result.embedding, split);
-    std::printf("%-14s %10.2f %9.2f%%\n", row.label, result.total_seconds,
-                100.0 * report.auc_roc);
+        eval::evaluate_link_prediction(embedded.value().embedding, split);
+    std::printf("%-14s %10.2f %9.2f%%\n", row.label,
+                embedded.value().total_seconds, 100.0 * report.auc_roc);
   }
   return 0;
 }

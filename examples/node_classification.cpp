@@ -1,16 +1,14 @@
 // Node classification — the paper's future-work ML task, implemented as an
-// extension: embed a planted-community graph, then classify community
-// membership from the embedding with one-vs-rest logistic regression.
+// extension on the gosh::api facade: embed a planted-community graph, then
+// classify community membership from the embedding with one-vs-rest
+// logistic regression.
 //
 //   ./node_classification [communities] [per_community]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
-#include "gosh/common/rng.hpp"
-#include "gosh/embedding/gosh.hpp"
-#include "gosh/eval/pipeline.hpp"
-#include "gosh/graph/builder.hpp"
+#include "gosh/api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
@@ -38,17 +36,23 @@ int main(int argc, char** argv) {
               communities, per_community,
               static_cast<unsigned long long>(g.num_edges_undirected()));
 
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = 256u << 20;
-  simt::Device device(device_config);
-  embedding::GoshConfig config = embedding::gosh_normal();
-  config.train.dim = 32;
-  config.total_epochs = 400;
-  const auto result = embedding::gosh_embed(g, device, config);
-  std::printf("embedding took %.2f s\n", result.total_seconds);
+  api::Options options;
+  options.device.memory_bytes = 256u << 20;
+  options.train().dim = 32;
+  options.gosh.total_epochs = 400;
 
-  const auto report =
-      eval::evaluate_node_classification(result.embedding, labels);
+  auto embedded = api::embed(g, options);
+  if (!embedded.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 embedded.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("embedding took %.2f s (backend %s)\n",
+              embedded.value().total_seconds,
+              embedded.value().backend.c_str());
+
+  const auto report = eval::evaluate_node_classification(
+      embedded.value().embedding, labels);
   std::printf("node classification: %zu classes, accuracy %.2f%%, "
               "micro-F1 %.2f%%\n",
               report.classes, 100.0 * report.accuracy,

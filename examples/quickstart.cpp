@@ -1,15 +1,15 @@
-// Quickstart: generate a graph, embed it with GOSH, inspect the result.
+// Quickstart: generate a graph, embed it through the gosh::api facade,
+// inspect the result.
 //
 //   ./quickstart [rmat_scale] [edges]
 //
-// Demonstrates the minimal public API surface: a generator, a Device, a
-// GoshConfig preset, and gosh_embed().
+// Demonstrates the minimal public surface: one include, an Options struct,
+// and gosh::api::embed() — the backend (resident device vs partitioned
+// large-graph engine) is auto-selected by the fits-in-memory policy.
 #include <cstdio>
 #include <cstdlib>
 
-#include "gosh/embedding/gosh.hpp"
-#include "gosh/embedding/update.hpp"
-#include "gosh/graph/generators.hpp"
+#include "gosh/api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
@@ -25,18 +25,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g.num_edges_undirected()),
               g.average_degree());
 
-  // The emulated device stands in for the paper's GPU; see DESIGN.md.
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = 256u << 20;
-  simt::Device device(device_config);
+  api::Options options;
+  options.device.memory_bytes = 256u << 20;  // the emulated "GPU"
+  options.train().dim = 64;
+  options.gosh.total_epochs = 200;
 
-  embedding::GoshConfig config = embedding::gosh_normal();
-  config.train.dim = 64;
-  config.total_epochs = 200;
+  auto embedded = api::embed(g, options);
+  if (!embedded.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 embedded.status().to_string().c_str());
+    return 1;
+  }
+  const api::EmbedResult result = std::move(embedded).value();
 
-  const embedding::GoshResult result = embedding::gosh_embed(g, device, config);
-
-  std::printf("\ncoarsening: %.3f s, %zu levels\n", result.coarsening_seconds,
+  std::printf("\nbackend %s, coarsening: %.3f s, %zu levels\n",
+              result.backend.c_str(), result.coarsening_seconds,
               result.levels.size());
   for (std::size_t i = 0; i < result.levels.size(); ++i) {
     const auto& level = result.levels[i];

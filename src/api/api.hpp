@@ -1,0 +1,30 @@
+// gosh/api/api.hpp — the library's one public include.
+//
+//   #include "gosh/api/api.hpp"
+//
+//   gosh::api::Options options;            // or Options::from_args(...)
+//   options.backend = "auto";              // fits-in-device policy
+//   auto result = gosh::api::embed(graph, options);
+//   if (!result.ok()) { /* result.status() says why */ }
+//
+// Everything a tool, example or bench needs rides along: graph
+// construction and datasets (gosh/api/graph.hpp), the evaluation pipelines
+// (gosh/api/eval.hpp), embedding persistence (gosh/api/io.hpp), and the
+// small common utilities (timer, rng, logging) the drivers lean on.
+#pragma once
+
+#include "gosh/api/cli.hpp"
+#include "gosh/api/embedder.hpp"
+#include "gosh/api/eval.hpp"
+#include "gosh/api/graph.hpp"
+#include "gosh/api/io.hpp"
+#include "gosh/api/options.hpp"
+#include "gosh/api/progress.hpp"
+#include "gosh/api/registry.hpp"
+#include "gosh/api/status.hpp"
+
+#include "gosh/common/logging.hpp"
+#include "gosh/common/rng.hpp"
+#include "gosh/common/timer.hpp"
+#include "gosh/embedding/schedule.hpp"
+#include "gosh/embedding/update.hpp"

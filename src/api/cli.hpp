@@ -1,0 +1,55 @@
+// CLI conveniences for drivers that keep bespoke flags alongside (or
+// instead of) Options::from_args — the bench harnesses. Exit-on-error
+// lookups over the strict parsers, so a typo'd or negative flag value is a
+// diagnosed failure rather than a silent wrap, plus the shared
+// synthetic-analog banner the table/figure harnesses print.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "gosh/api/options.hpp"
+
+namespace gosh::api {
+
+/// Integer "--name value" lookup; prints the Status and exits(1) on a
+/// malformed value. Absent flags yield `fallback`.
+inline long long require_flag_integer(int argc, char** argv,
+                                      std::string_view name,
+                                      long long fallback) {
+  auto parsed = flag_integer(argc, argv, name, fallback);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().to_string().c_str());
+    std::exit(1);
+  }
+  return parsed.value();
+}
+
+/// Like require_flag_integer but additionally rejects negative values
+/// (scales, dimensions, budgets — nothing a bench flag wants to wrap).
+inline unsigned long long require_flag_unsigned(int argc, char** argv,
+                                                std::string_view name,
+                                                unsigned long long fallback) {
+  const long long value = require_flag_integer(
+      argc, argv, name, static_cast<long long>(fallback));
+  if (value < 0) {
+    std::fprintf(stderr,
+                 "error: invalid_argument: %.*s: expected a non-negative "
+                 "value, got %lld\n",
+                 static_cast<int>(name.size()), name.data(), value);
+    std::exit(1);
+  }
+  return static_cast<unsigned long long>(value);
+}
+
+/// Header banner shared by the table/figure harnesses.
+inline void print_bench_banner(const char* title) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(synthetic analogs; shapes comparable to the paper, absolute\n");
+  std::printf(" numbers are not — see EXPERIMENTS.md)\n");
+  std::printf("==========================================================\n");
+}
+
+}  // namespace gosh::api

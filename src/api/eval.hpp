@@ -1,0 +1,5 @@
+// Facade forwarding header: the link-prediction and node-classification
+// evaluation pipelines (paper Section 4.1), reachable from gosh/api/ alone.
+#pragma once
+
+#include "gosh/eval/pipeline.hpp"

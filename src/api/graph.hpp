@@ -1,0 +1,12 @@
+// Facade forwarding header: graph construction, generators, datasets,
+// file io, ops and the link-prediction split — everything a tool needs to
+// get a `graph::Graph` into the Embedder, reachable from gosh/api/ alone.
+#pragma once
+
+#include "gosh/graph/builder.hpp"
+#include "gosh/graph/datasets.hpp"
+#include "gosh/graph/generators.hpp"
+#include "gosh/graph/graph.hpp"
+#include "gosh/graph/io.hpp"
+#include "gosh/graph/ops.hpp"
+#include "gosh/graph/split.hpp"

@@ -1,0 +1,41 @@
+#include "gosh/api/io.hpp"
+
+#include <exception>
+#include <fstream>
+
+namespace gosh::api {
+
+Status write_embedding(const embedding::EmbeddingMatrix& matrix,
+                       const std::string& path, const std::string& format) {
+  try {
+    if (format == "text") {
+      embedding::write_matrix_text(matrix, path);
+    } else if (format == "binary") {
+      embedding::write_matrix_binary(matrix, path);
+    } else {
+      return Status::invalid_argument("unknown embedding format '" + format +
+                                      "' (expected binary|text)");
+    }
+  } catch (const std::exception& error) {
+    return Status::io_error(path + ": " + error.what());
+  }
+  return Status::ok();
+}
+
+Result<embedding::EmbeddingMatrix> read_embedding(const std::string& path) {
+  char magic[4] = {};
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return Status::io_error("cannot open " + path);
+    probe.read(magic, sizeof(magic));
+  }
+  try {
+    if (std::string_view(magic, 4) == "GSHE")
+      return embedding::read_matrix_binary(path);
+    return embedding::read_matrix_text(path);
+  } catch (const std::exception& error) {
+    return Status::io_error(path + ": " + error.what());
+  }
+}
+
+}  // namespace gosh::api

@@ -1,0 +1,23 @@
+// Facade forwarding header: embedding persistence (word2vec-style text and
+// the GSHE binary format) plus Status-returning wrappers so tools need no
+// try/catch of their own.
+#pragma once
+
+#include <string>
+
+#include "gosh/api/status.hpp"
+#include "gosh/embedding/io.hpp"
+#include "gosh/embedding/matrix.hpp"
+
+namespace gosh::api {
+
+/// Writes `matrix` to `path` in "text" or "binary" `format`; io and
+/// unknown-format failures come back as a Status instead of an exception.
+Status write_embedding(const embedding::EmbeddingMatrix& matrix,
+                       const std::string& path, const std::string& format);
+
+/// Reads an embedding written by write_embedding (format auto-detected by
+/// the GSHE magic).
+Result<embedding::EmbeddingMatrix> read_embedding(const std::string& path);
+
+}  // namespace gosh::api

@@ -1,0 +1,113 @@
+// Options — the facade's one configuration struct.
+//
+// Subsumes the per-engine configs (GoshConfig, TrainConfig,
+// CoarseningConfig, LargeGraphConfig, DeviceConfig) by composition, adds
+// the facade-level knobs (backend, preset, io paths), and owns all three
+// ways of populating them:
+//   * programmatic — mutate the nested structs directly;
+//   * command line  — Options::from_args(argc, argv), strict parsing
+//     (no atol: `--dim abc` and `--seed -3` are rejected with a Status);
+//   * config file   — Options::from_file(path), one key=value per line,
+//     '#' comments; the keys are the CLI flag names without the "--".
+// `--options FILE` on the command line loads the file first and lets the
+// remaining flags override it.
+//
+// `preset` / `large-scale` are applied before every other key regardless of
+// where they appear, so flag order never changes the result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gosh/api/status.hpp"
+#include "gosh/embedding/gosh.hpp"
+#include "gosh/simt/device.hpp"
+
+namespace gosh::api {
+
+// ---- Strict scalar parsing (shared by from_args/from_file and reusable
+// ---- by tools that keep bespoke flags, e.g. the bench harnesses). -------
+
+/// Whole-string signed integer; rejects trailing junk, overflow, empty.
+Result<long long> parse_integer(std::string_view text);
+/// Whole-string non-negative integer; additionally rejects a leading '-'
+/// (so "-3" cannot wrap through an unsigned cast).
+Result<unsigned long long> parse_unsigned(std::string_view text);
+/// Whole-string finite double.
+Result<double> parse_real(std::string_view text);
+/// "true"/"false"/"1"/"0" (case-sensitive).
+Result<bool> parse_bool(std::string_view text);
+
+// ---- Strict "--name value" argv lookups, for drivers that keep bespoke
+// ---- flags alongside (or instead of) Options::from_args — the bench
+// ---- harnesses. First occurrence wins; absent flags yield the fallback.
+
+/// Integer flag; an unparsable value is an error, not a silent fallback.
+Result<long long> flag_integer(int argc, char** argv, std::string_view name,
+                               long long fallback);
+bool flag_present(int argc, char** argv, std::string_view name);
+/// Comma-separated list flag; absent => `fallback`.
+std::vector<std::string> flag_list(int argc, char** argv,
+                                   std::string_view name,
+                                   std::vector<std::string> fallback);
+
+struct Options {
+  // ---- Facade-level selection. ------------------------------------------
+  /// Registry key ("device", "largegraph", "multidevice", "verse-cpu",
+  /// "line-device", "mile") or "auto" = the fits-in-device-memory policy.
+  std::string backend = "auto";
+  /// Table 3 preset seeding `gosh`: fast | normal | slow | nocoarse.
+  std::string preset = "normal";
+  /// Selects the e_large epoch budgets of the preset.
+  bool large_scale = false;
+
+  // ---- Engine configuration (subsumed structs). -------------------------
+  /// Full pipeline config: train, coarsening, large_graph, epoch budget.
+  embedding::GoshConfig gosh = embedding::gosh_normal();
+  /// Emulated device shape; `memory_bytes` drives the fits-check.
+  simt::DeviceConfig device;
+  /// Replica count for the "multidevice" backend.
+  unsigned num_devices = 2;
+  /// Passes between replica averagings ("multidevice" backend).
+  unsigned sync_interval = 32;
+  /// "mile" backend tuning (paper Table 5 defaults; benches lower them at
+  /// small synthetic scales).
+  unsigned mile_levels = 8;
+  unsigned mile_refinement_rounds = 2;
+
+  // ---- Tool-facing io. --------------------------------------------------
+  std::string input_path;
+  bool demo = false;                        ///< generated graph, no input
+  std::string output_path = "embedding.bin";
+  std::string output_format = "binary";     ///< "binary" | "text"
+  bool run_eval = false;                    ///< link-prediction evaluation
+  bool verbose = false;                     ///< narrate progress (Info log)
+  bool show_help = false;                   ///< --help seen; caller prints
+
+  // Convenience accessors into the subsumed structs.
+  embedding::TrainConfig& train() noexcept { return gosh.train; }
+  const embedding::TrainConfig& train() const noexcept { return gosh.train; }
+
+  /// Range/consistency checks over every field; first violation wins.
+  Status validate() const;
+
+  /// Applies one key=value knob (the CLI flag name without "--").
+  /// Unknown keys and unparsable values return kInvalidArgument.
+  Status set(std::string_view key, std::string_view value);
+
+  /// Parses a full command line. Boolean flags (--demo, --eval,
+  /// --large-scale, --help) take no value; everything else requires one.
+  /// The result has already passed validate().
+  static Result<Options> from_args(int argc, char** argv);
+
+  /// Parses a key=value file ('#' comments, blank lines ignored) on top of
+  /// `base` (defaults when omitted). The result has already passed
+  /// validate().
+  static Result<Options> from_file(const std::string& path);
+  static Result<Options> from_file(const std::string& path,
+                                   const Options& base);
+};
+
+}  // namespace gosh::api

@@ -1,0 +1,25 @@
+#include "gosh/api/status.hpp"
+
+namespace gosh::api {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kOutOfMemory: return "out_of_memory";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string text(status_code_name(code_));
+  text += ": ";
+  text += message_;
+  return text;
+}
+
+}  // namespace gosh::api

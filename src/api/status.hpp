@@ -1,0 +1,100 @@
+// Status / Result<T> — the facade's error model.
+//
+// The pre-facade layers signal failure three different ways: exceptions
+// (graph/embedding io, DeviceOutOfMemory), fprintf+return 1 (tools), and
+// silent defaults (CLI parsing). The `gosh::api` surface normalizes all of
+// them: every fallible facade call returns a Status or a Result<T>, and the
+// facade implementation is the only place that catches the internal
+// exceptions and translates them.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gosh::api {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< bad option value, malformed flag, failed validate()
+  kNotFound,         ///< unknown backend, missing file, unknown dataset
+  kOutOfMemory,      ///< device or host allocation failure
+  kIoError,          ///< read/write failure on graph or embedding files
+  kInternal,         ///< escaped internal exception — a bug, report it
+};
+
+/// Stable lowercase name for a code ("ok", "invalid_argument", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string message) {
+    return {StatusCode::kInvalidArgument, std::move(message)};
+  }
+  static Status not_found(std::string message) {
+    return {StatusCode::kNotFound, std::move(message)};
+  }
+  static Status out_of_memory(std::string message) {
+    return {StatusCode::kOutOfMemory, std::move(message)};
+  }
+  static Status io_error(std::string message) {
+    return {StatusCode::kIoError, std::move(message)};
+  }
+  static Status internal(std::string message) {
+    return {StatusCode::kInternal, std::move(message)};
+  }
+
+  bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "invalid_argument: --dim expects a positive integer, got 'abc'".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. `value()` may only be called when `ok()`; callers
+/// branch on ok() first (the tests and tools show the idiom).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.is_ok() && "Result from ok-Status carries no value");
+  }
+  Result(StatusCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  bool ok() const noexcept { return value_.has_value(); }
+  const Status& status() const noexcept { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gosh::api

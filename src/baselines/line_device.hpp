@@ -11,6 +11,10 @@
 //     device memory — so, exactly like GraphVite on a single GPU, this
 //     baseline throws DeviceOutOfMemory for matrices beyond capacity
 //     instead of falling back to partitioning.
+//
+// NOTE: pre-facade surface — new code selects this engine through the
+// `gosh::api` facade (backend "line-device", OOM becomes a Status); this
+// header remains as a compatibility shim for one release.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,10 @@
 // paper uses: adjacency (uniform neighbour — what GOSH itself trains) and
 // PPR with restart probability alpha = 0.85 (what the paper configures for
 // the VERSE baseline rows).
+//
+// NOTE: pre-facade surface — new code selects this engine through the
+// `gosh::api` facade (backend "verse-cpu"); this header remains as a
+// compatibility shim for one release.
 #pragma once
 
 #include <cstdint>

@@ -24,6 +24,14 @@ GoshConfig preset(double p, float lr, unsigned e_normal, unsigned e_large,
 
 }  // namespace
 
+bool fits_on_device(const graph::Graph& graph, unsigned dim,
+                    std::size_t budget_bytes) noexcept {
+  const std::size_t needed =
+      DeviceGraph::required_bytes(graph) +
+      EmbeddingMatrix::bytes_for(graph.num_vertices(), dim);
+  return needed <= budget_bytes;
+}
+
 // Table 3 of the paper.
 GoshConfig gosh_fast(bool large_scale) {
   return preset(0.1, 0.050f, 600, 100, large_scale, true);
@@ -85,11 +93,18 @@ GoshResult gosh_embed(const graph::Graph& graph, simt::Device& device,
             : epochs[level];
 
     // Fits-check (line 5): G_i + M_i within the planned device budget.
-    const std::size_t needed =
-        DeviceGraph::required_bytes(level_graph) +
-        EmbeddingMatrix::bytes_for(level_graph.num_vertices(),
-                                   config.train.dim);
-    const bool fits = needed <= device_budget;
+    const bool fits =
+        !(config.force_large_graph && level == 0) &&
+        fits_on_device(level_graph, config.train.dim, device_budget);
+
+    LevelEvent event;
+    event.level = level;
+    event.vertices = report.vertices;
+    event.arcs = report.arcs;
+    event.epochs = report.epochs;
+    event.passes = report.passes;
+    event.used_large_graph_path = !fits;
+    if (config.on_level) config.on_level(event);
 
     WallTimer level_timer;
     if (fits) {
@@ -104,6 +119,11 @@ GoshResult gosh_embed(const graph::Graph& graph, simt::Device& device,
       trainer.train(matrix, report.passes);
     }
     report.train_seconds = level_timer.seconds();
+    if (config.on_level) {
+      event.finished = true;
+      event.seconds = report.train_seconds;
+      config.on_level(event);
+    }
     log_debug("gosh: level " + std::to_string(level) + " |V|=" +
               std::to_string(report.vertices) + " epochs=" +
               std::to_string(report.epochs) +

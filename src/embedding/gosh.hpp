@@ -6,9 +6,14 @@
 //      when G_i and M_i fit (TrainInGPU), otherwise through the partitioned
 //      large-graph engine (LargeGraphGPU) — then project M_i to level i-1;
 //   4. return M_0.
+//
+// NOTE: this header is part of the pre-facade surface. New code should go
+// through the `gosh::api` facade (gosh/api/api.hpp); this header remains as
+// a compatibility shim for one release so internal tests keep compiling.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "gosh/coarsening/multi_edge_collapse.hpp"
@@ -20,10 +25,33 @@
 
 namespace gosh::embedding {
 
+/// One per-level notification from the pipeline; fired twice per level
+/// (begin with finished=false, end with finished=true and seconds set).
+struct LevelEvent {
+  std::size_t level = 0;
+  vid_t vertices = 0;
+  eid_t arcs = 0;
+  unsigned epochs = 0;
+  unsigned passes = 0;
+  bool used_large_graph_path = false;
+  bool finished = false;
+  double seconds = 0.0;
+};
+
 struct GoshConfig {
   TrainConfig train;
   coarsen::CoarseningConfig coarsening;
   largegraph::LargeGraphConfig large_graph;
+
+  /// Optional per-level progress hook (see LevelEvent). The `gosh::api`
+  /// ProgressObserver adapts onto this; leave empty for silence.
+  std::function<void(const LevelEvent&)> on_level;
+  /// Route level 0 (the original graph) through the Algorithm 5
+  /// partitioned engine even when it would fit on the device (the api
+  /// "largegraph" backend). Coarser levels keep the per-level fits-check,
+  /// exactly as Algorithm 2 line 5 specifies — forcing tiny coarse levels
+  /// through rotations would only lose the resident fast path.
+  bool force_large_graph = false;
 
   /// Total epoch budget e, distributed over levels by `smoothing_ratio`.
   unsigned total_epochs = 1000;
@@ -39,6 +67,13 @@ struct GoshConfig {
   /// headroom for the trainer's transient buffers.
   double device_memory_fraction = 0.9;
 };
+
+/// Algorithm 2's line-5 fits-check: true when `graph`'s device CSR plus a
+/// |V| x dim embedding matrix fit within `budget_bytes`. One formula,
+/// shared by the per-level routing in gosh_embed and the api facade's
+/// auto-selection policy, so the two can never drift apart.
+bool fits_on_device(const graph::Graph& graph, unsigned dim,
+                    std::size_t budget_bytes) noexcept;
 
 /// Table 3 presets. `large_scale` selects the e_large epoch budgets.
 GoshConfig gosh_fast(bool large_scale = false);

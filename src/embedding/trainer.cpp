@@ -61,6 +61,7 @@ void DeviceTrainer::train(EmbeddingMatrix& matrix, unsigned epochs,
       device_.metrics().add_shared_accesses(
           n * 2ull * (1 + config_.negative_samples) * d);
     }
+    if (config_.on_epoch) config_.on_epoch(lr_offset + epoch, lr_total);
   }
 
   matrix_device.copy_to_host(std::span<emb_t>(matrix.data(), matrix.size()));

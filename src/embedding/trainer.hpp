@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "gosh/embedding/matrix.hpp"
 #include "gosh/embedding/samplers.hpp"
@@ -49,6 +50,9 @@ struct TrainConfig {
   /// Disables shared-memory staging and packing (Figure 4 "naive GPU").
   bool naive_kernel = false;
   std::uint64_t seed = 42;
+  /// Optional per-epoch tick `(epoch, total_epochs)`, fired after each
+  /// synchronized launch — the hook behind api::ProgressObserver::on_epoch.
+  std::function<void(unsigned, unsigned)> on_epoch;
 };
 
 /// Lanes serving one source vertex: smallest multiple of 8 covering d,

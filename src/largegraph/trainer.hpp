@@ -13,6 +13,10 @@
 //
 // One rotation runs B positive (and B*ns negative) updates per vertex per
 // partner part, so e_i epochs shrink to ceil(e_i / (B * K_i)) rotations.
+//
+// NOTE: pre-facade surface — new code selects this engine through the
+// `gosh::api` facade (backend "largegraph"); this header remains as a
+// compatibility shim for one release.
 #pragma once
 
 #include <cstdint>

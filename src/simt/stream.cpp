@@ -22,7 +22,7 @@ void Event::signal() const {
   state_->cv.notify_all();
 }
 
-Stream::Stream() : thread_([this] { worker_loop(); }) {}
+Stream::Stream() { thread_ = std::thread([this] { worker_loop(); }); }
 
 Stream::~Stream() {
   {

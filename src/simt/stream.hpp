@@ -63,13 +63,15 @@ class Stream {
  private:
   void worker_loop();
 
-  std::thread thread_;
   std::deque<std::function<void()>> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;        // queue became non-empty / stopping
   std::condition_variable drained_;   // queue empty and worker idle
   bool stopping_ = false;
   bool busy_ = false;
+  /// Declared last (and started in the constructor body): the worker locks
+  /// mutex_ immediately, so every other member must be built before it.
+  std::thread thread_;
 };
 
 }  // namespace gosh::simt

@@ -1,0 +1,59 @@
+// gosh::api embedding persistence — Status-based write + format
+// auto-detecting read.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "gosh/api/io.hpp"
+
+namespace gosh::api {
+namespace {
+
+embedding::EmbeddingMatrix sample_matrix() {
+  embedding::EmbeddingMatrix matrix(7, 5);
+  matrix.initialize_random(3);
+  return matrix;
+}
+
+void expect_equal(const embedding::EmbeddingMatrix& a,
+                  const embedding::EmbeddingMatrix& b, float tolerance) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], tolerance) << "element " << i;
+  }
+}
+
+TEST(ApiIo, BinaryRoundTripAutoDetects) {
+  const std::string path = testing::TempDir() + "api_io_roundtrip.bin";
+  const auto matrix = sample_matrix();
+  ASSERT_TRUE(write_embedding(matrix, path, "binary").is_ok());
+  auto loaded = read_embedding(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  expect_equal(matrix, loaded.value(), 0.0f);  // binary is exact
+  std::remove(path.c_str());
+}
+
+TEST(ApiIo, TextRoundTripAutoDetects) {
+  const std::string path = testing::TempDir() + "api_io_roundtrip.txt";
+  const auto matrix = sample_matrix();
+  ASSERT_TRUE(write_embedding(matrix, path, "text").is_ok());
+  auto loaded = read_embedding(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  expect_equal(matrix, loaded.value(), 1e-4f);  // text is rounded
+  std::remove(path.c_str());
+}
+
+TEST(ApiIo, ErrorsAreStatuses) {
+  const auto matrix = sample_matrix();
+  EXPECT_EQ(write_embedding(matrix, "/tmp/x.bin", "yaml").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(write_embedding(matrix, "/nonexistent/dir/x.bin", "binary").code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(read_embedding("/nonexistent/x.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace gosh::api

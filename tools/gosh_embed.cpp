@@ -1,64 +1,49 @@
-// gosh_embed — the command-line interface of the library.
+// gosh_embed — the command-line interface of the library, built entirely on
+// the `gosh::api` facade.
 //
 //   gosh_embed --input edges.txt --output emb.bin [options]
 //
 // Reads a whitespace edge list (SNAP format, '#' comments), embeds it with
-// GOSH on the emulated device, and writes the embedding. Optionally runs
-// the link-prediction evaluation pipeline on a held-out split first, which
-// is the fastest way to sanity-check quality on a new graph.
+// the selected backend (default: the fits-in-device-memory auto policy),
+// and writes the embedding. With --eval, ONE pipeline runs on the 80/20
+// train split and is reused for both the link-prediction metric and the
+// written output (the output then covers the train split's compacted ids).
 //
-// Options:
+// Options (also accepted as key=value lines in an --options file):
 //   --input PATH        edge-list file (required unless --demo)
 //   --demo              use a generated LFR demo graph instead of a file
 //   --output PATH       embedding output (default: embedding.bin)
 //   --format text|binary  output format (default: binary)
+//   --backend NAME      auto|device|largegraph|multidevice|verse-cpu|
+//                       line-device|mile (default: auto)
 //   --preset fast|normal|slow|nocoarse   Table 3 preset (default: normal)
 //   --dim D             embedding dimension (default: 128)
 //   --epochs E          override the preset's epoch budget
 //   --device-mib M      emulated device memory (default: 512)
 //   --seed S            RNG seed (default: 42)
+//   --options FILE      load key=value options; flags override the file
 //   --eval              run the 80/20 link-prediction evaluation
+//   --verbose           narrate per-level progress
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <exception>
 #include <string>
 
-#include "gosh/embedding/gosh.hpp"
-#include "gosh/embedding/io.hpp"
-#include "gosh/eval/pipeline.hpp"
-#include "gosh/graph/generators.hpp"
-#include "gosh/graph/io.hpp"
-#include "gosh/graph/split.hpp"
+#include "gosh/api/api.hpp"
 
 namespace {
-
-const char* flag_string(int argc, char** argv, const char* name,
-                        const char* fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return fallback;
-}
-
-long flag_long(int argc, char** argv, const char* name, long fallback) {
-  const char* raw = flag_string(argc, argv, name, nullptr);
-  return raw == nullptr ? fallback : std::atol(raw);
-}
-
-bool flag_present(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
 
 void usage() {
   std::puts(
       "usage: gosh_embed --input edges.txt [--output emb.bin]\n"
-      "                  [--format text|binary] [--preset "
-      "fast|normal|slow|nocoarse]\n"
+      "                  [--format text|binary] [--backend NAME]\n"
+      "                  [--preset fast|normal|slow|nocoarse]\n"
       "                  [--dim D] [--epochs E] [--device-mib M] [--seed S]\n"
-      "                  [--eval] | --demo");
+      "                  [--options FILE] [--eval] [--verbose] | --demo");
+}
+
+int fail(const gosh::api::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
 }
 
 }  // namespace
@@ -66,20 +51,25 @@ void usage() {
 int main(int argc, char** argv) {
   using namespace gosh;
 
-  if (flag_present(argc, argv, "--help")) {
-    usage();
-    return 0;
-  }
-
-  const char* input = flag_string(argc, argv, "--input", nullptr);
-  const bool demo = flag_present(argc, argv, "--demo");
-  if (input == nullptr && !demo) {
+  auto parsed = api::Options::from_args(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().to_string().c_str());
     usage();
     return 1;
   }
+  api::Options options = std::move(parsed).value();
+  if (options.show_help) {
+    usage();
+    return 0;
+  }
+  if (options.input_path.empty() && !options.demo) {
+    usage();
+    return 1;
+  }
+  if (options.verbose) set_log_level(LogLevel::Info);
 
   graph::Graph g;
-  if (demo) {
+  if (options.demo) {
     graph::LfrParams params;
     params.average_degree = 12.0;
     params.communities = 64;
@@ -88,72 +78,52 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(g.num_edges_undirected()));
   } else {
     try {
-      g = graph::read_edge_list(input);
+      g = graph::read_edge_list(options.input_path);
     } catch (const std::exception& error) {
-      std::fprintf(stderr, "error: %s\n", error.what());
-      return 1;
+      return fail(api::Status::io_error(options.input_path + ": " +
+                                        error.what()));
     }
-    std::printf("loaded %s: |V|=%u |E|=%llu\n", input, g.num_vertices(),
+    std::printf("loaded %s: |V|=%u |E|=%llu\n", options.input_path.c_str(),
+                g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges_undirected()));
   }
 
-  const std::string preset = flag_string(argc, argv, "--preset", "normal");
-  embedding::GoshConfig config;
-  if (preset == "fast") config = embedding::gosh_fast();
-  else if (preset == "normal") config = embedding::gosh_normal();
-  else if (preset == "slow") config = embedding::gosh_slow();
-  else if (preset == "nocoarse") config = embedding::gosh_no_coarsening();
-  else {
-    std::fprintf(stderr, "error: unknown preset '%s'\n", preset.c_str());
-    return 1;
-  }
-  config.train.dim =
-      static_cast<unsigned>(flag_long(argc, argv, "--dim", 128));
-  config.train.seed =
-      static_cast<std::uint64_t>(flag_long(argc, argv, "--seed", 42));
-  const long epochs_override = flag_long(argc, argv, "--epochs", -1);
-  if (epochs_override > 0) {
-    config.total_epochs = static_cast<unsigned>(epochs_override);
-  }
+  api::LoggingProgressObserver logger;
+  api::ProgressObserver* observer = options.verbose ? &logger : nullptr;
 
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes =
-      static_cast<std::size_t>(flag_long(argc, argv, "--device-mib", 512))
-      << 20;
-  simt::Device device(device_config);
-
-  if (flag_present(argc, argv, "--eval")) {
+  // One pipeline run, whatever the mode: with --eval it embeds the train
+  // split and that same embedding is evaluated AND written (the seed tool
+  // used to train twice — once for the metric, once for the output).
+  api::EmbedResult result;
+  if (options.run_eval) {
     const auto split = graph::split_for_link_prediction(g, {.seed = 1});
-    const auto result =
-        embedding::gosh_embed(split.train, device, config);
+    auto embedded = api::embed(split.train, options, observer);
+    if (!embedded.ok()) return fail(embedded.status());
+    result = std::move(embedded).value();
     const auto report =
         eval::evaluate_link_prediction(result.embedding, split);
     std::printf("link prediction: AUCROC %.2f%% (embedding %.2f s)\n",
                 100.0 * report.auc_roc, result.total_seconds);
+    std::printf("note: output embeds the 80%% train split "
+                "(compacted vertex ids)\n");
+  } else {
+    auto embedded = api::embed(g, options, observer);
+    if (!embedded.ok()) return fail(embedded.status());
+    result = std::move(embedded).value();
   }
 
-  const auto result = embedding::gosh_embed(g, device, config);
-  std::printf("embedded in %.2f s (coarsening %.2f s, %zu levels)\n",
-              result.total_seconds, result.coarsening_seconds,
-              result.levels.size());
+  std::printf("backend %s: embedded in %.2f s (coarsening %.2f s, "
+              "%zu levels)\n",
+              result.backend.c_str(), result.total_seconds,
+              result.coarsening_seconds, result.levels.size());
 
-  const std::string output =
-      flag_string(argc, argv, "--output", "embedding.bin");
-  const std::string format = flag_string(argc, argv, "--format", "binary");
-  try {
-    if (format == "text") {
-      embedding::write_matrix_text(result.embedding, output);
-    } else if (format == "binary") {
-      embedding::write_matrix_binary(result.embedding, output);
-    } else {
-      std::fprintf(stderr, "error: unknown format '%s'\n", format.c_str());
-      return 1;
-    }
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
-    return 1;
+  if (api::Status status = api::write_embedding(
+          result.embedding, options.output_path, options.output_format);
+      !status.is_ok()) {
+    return fail(status);
   }
-  std::printf("wrote %s (%s, %u x %u)\n", output.c_str(), format.c_str(),
-              result.embedding.rows(), result.embedding.dim());
+  std::printf("wrote %s (%s, %u x %u)\n", options.output_path.c_str(),
+              options.output_format.c_str(), result.embedding.rows(),
+              result.embedding.dim());
   return 0;
 }
