@@ -2,23 +2,23 @@
 // Section 3): p = 1 spreads the budget uniformly, p -> 0 concentrates it
 // geometrically on the coarse levels. The paper exposes p as the main
 // speed/quality knob (Table 3 presets use 0.1 / 0.3 / 0.5); this harness
-// sweeps it at a fixed total budget.
+// sweeps it at a fixed total budget through the gosh::api facade.
 //
 //   bench_ablation_smoothing [--medium-scale N] [--dim D] [--epochs E]
-#include "bench_common.hpp"
+#include <cstdio>
 
-#include "gosh/common/timer.hpp"
+#include "gosh/api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
-  const unsigned scale =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--medium-scale", 12));
-  const unsigned dim =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--dim", 32));
-  const unsigned epochs =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--epochs", 400));
+  const unsigned scale = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--medium-scale", 12));
+  const unsigned dim = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--dim", 32));
+  const unsigned epochs = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--epochs", 400));
 
-  bench::print_banner("Ablation: smoothing ratio p (epoch distribution)");
+  api::print_bench_banner("Ablation: smoothing ratio p (epoch distribution)");
   const auto spec = graph::find_dataset("youtube", scale, scale + 3);
   const graph::Graph g = graph::generate_dataset(spec);
   const auto split = graph::split_for_link_prediction(g, {.seed = 1});
@@ -31,23 +31,28 @@ int main(int argc, char** argv) {
   std::printf("%8s %10s %10s %26s\n", "p", "time(s)", "AUCROC",
               "level-0 share of budget");
   for (const double p : {0.0, 0.1, 0.3, 0.5, 0.8, 1.0}) {
-    embedding::GoshConfig config = embedding::gosh_normal();
-    config.smoothing_ratio = p;
-    config.train.dim = dim;
-    config.total_epochs = epochs;
+    api::Options options;
+    options.backend = "device";
+    options.train().dim = dim;
+    options.gosh.smoothing_ratio = p;
+    options.gosh.total_epochs = epochs;
+    options.device.memory_bytes = 512u << 20;
 
-    simt::Device device(bench::device_config(512u << 20));
-    WallTimer timer;
-    const auto result = embedding::gosh_embed(split.train, device, config);
-    const double seconds = timer.seconds();
+    auto embedded = api::embed(split.train, options);
+    if (!embedded.ok()) {
+      std::fprintf(stderr, "p=%.1f: %s\n", p,
+                   embedded.status().to_string().c_str());
+      return 1;
+    }
     const auto report =
-        eval::evaluate_link_prediction(result.embedding, split);
+        eval::evaluate_link_prediction(embedded.value().embedding, split);
 
     const double level0_share =
-        static_cast<double>(result.levels.front().epochs) /
+        static_cast<double>(embedded.value().levels.front().epochs) /
         static_cast<double>(epochs);
-    std::printf("%8.1f %10.2f %9.2f%% %25.0f%%\n", p, seconds,
-                100.0 * report.auc_roc, 100.0 * level0_share);
+    std::printf("%8.1f %10.2f %9.2f%% %25.0f%%\n", p,
+                embedded.value().total_seconds, 100.0 * report.auc_roc,
+                100.0 * level0_share);
   }
   std::printf("\n(the trade-off the paper's presets exploit: small p is\n"
               " fastest — most epochs land on tiny coarse graphs — while\n"

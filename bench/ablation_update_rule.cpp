@@ -2,23 +2,24 @@
 //   1. Algorithm 1 update rule: simultaneous (released implementations)
 //      vs paper-literal sequential;
 //   2. sigmoid evaluation: 1024-knot LUT vs exact expf.
-// Both are measured for wall time and link-prediction AUCROC.
+// Both are measured for wall time and link-prediction AUCROC through the
+// gosh::api facade.
 //
 //   bench_ablation_update_rule [--medium-scale N] [--dim D] [--epochs E]
-#include "bench_common.hpp"
+#include <cstdio>
 
-#include "gosh/common/timer.hpp"
+#include "gosh/api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
-  const unsigned scale =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--medium-scale", 12));
-  const unsigned dim =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--dim", 32));
-  const unsigned epochs =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--epochs", 250));
+  const unsigned scale = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--medium-scale", 12));
+  const unsigned dim = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--dim", 32));
+  const unsigned epochs = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--epochs", 250));
 
-  bench::print_banner("Ablation: update rule and sigmoid evaluation");
+  api::print_bench_banner("Ablation: update rule and sigmoid evaluation");
   const auto spec = graph::find_dataset("com-lj", scale, scale + 3);
   const graph::Graph g = graph::generate_dataset(spec);
   const auto split = graph::split_for_link_prediction(g, {.seed = 1});
@@ -42,14 +43,25 @@ int main(int argc, char** argv) {
 
   std::printf("%-24s %10s %10s\n", "variant", "time(s)", "AUCROC");
   for (const Variant& variant : variants) {
-    embedding::GoshConfig config = embedding::gosh_normal();
-    config.train.dim = dim;
-    config.train.update_rule = variant.rule;
-    config.train.use_sigmoid_lut = variant.lut;
-    config.total_epochs = epochs;
-    const auto run = bench::measure_gosh(split, config, 512u << 20);
-    std::printf("%-24s %10.2f %9.2f%%\n", variant.label, run.seconds,
-                100.0 * run.auc_roc);
+    api::Options options;
+    options.backend = "device";
+    options.train().dim = dim;
+    options.train().update_rule = variant.rule;
+    options.train().use_sigmoid_lut = variant.lut;
+    options.gosh.total_epochs = epochs;
+    options.device.memory_bytes = 512u << 20;
+
+    auto embedded = api::embed(split.train, options);
+    if (!embedded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", variant.label,
+                   embedded.status().to_string().c_str());
+      return 1;
+    }
+    const auto report = eval::evaluate_link_prediction(
+        embedded.value().embedding, split,
+        api::bench_eval_options(split.train.num_edges_undirected()));
+    std::printf("%-24s %10.2f %9.2f%%\n", variant.label,
+                embedded.value().total_seconds, 100.0 * report.auc_roc);
   }
   std::printf("\n(the shape to check: all four variants land in the same\n"
               " AUCROC band — the rule difference is second-order — while\n"

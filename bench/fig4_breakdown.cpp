@@ -1,35 +1,48 @@
 // Figure 4 — speedup breakdown over the multi-core CPU baseline:
-//   CPU (tau threads)            : VERSE-CPU, adjacency similarity
-//   Naive GPU                    : device trainer, no staging, no coarsening
-//   Optimized GPU                : device trainer, staging, no coarsening
+//   CPU (tau threads)            : verse-cpu backend, adjacency similarity
+//   Naive GPU                    : device backend, no staging, no coarsening
+//   Optimized GPU                : device backend, staging, no coarsening
 //   + Sequential Coarsening      : full GOSH, tau=1 coarsening
 //   + Parallel Coarsening (GOSH) : full GOSH, parallel coarsening
 //
 //   bench_fig4_breakdown [--medium-scale N] [--dim D] [--epochs E]
 //                        [--datasets a,b,...]
-#include "bench_common.hpp"
-
+//
+// Every rung is one gosh::api backend plus an Options tweak; the modeled
+// device traffic comes back in EmbedResult::device_metrics.
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
-#include "gosh/baselines/verse_cpu.hpp"
-#include "gosh/common/timer.hpp"
+#include "gosh/api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
-  const unsigned scale =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--medium-scale", 13));
-  const unsigned dim =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--dim", 32));
-  const unsigned epochs =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--epochs", 200));
-  const auto names = bench::flag_list(
+  const unsigned scale = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--medium-scale", 13));
+  const unsigned dim = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--dim", 32));
+  const unsigned epochs = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--epochs", 200));
+  const auto names = api::flag_list(
       argc, argv, "--datasets",
       {"com-dblp", "youtube", "soc-LiveJournal"});
   const std::size_t device_bytes = std::size_t{512} << 20;
 
-  bench::print_banner("Figure 4: speedup breakdown vs multi-core CPU");
+  api::print_bench_banner("Figure 4: speedup breakdown vs multi-core CPU");
   std::printf("dim=%u, %u epochs, tau=%u\n\n", dim, epochs,
               std::thread::hardware_concurrency());
+
+  const auto must_embed = [](const graph::Graph& graph,
+                             const api::Options& options) {
+    auto embedded = api::embed(graph, options);
+    if (!embedded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   embedded.status().to_string().c_str());
+      std::exit(1);
+    }
+    return std::move(embedded).value();
+  };
 
   for (const auto& name : names) {
     const auto spec = graph::find_dataset(name, scale, scale + 3);
@@ -38,35 +51,41 @@ int main(int argc, char** argv) {
                 g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges_undirected()));
 
-    // CPU reference.
+    // CPU reference: the VERSE baseline trained on what GOSH trains
+    // (adjacency similarity), full thread team.
     double cpu_seconds;
     {
-      baselines::VerseConfig config;
-      config.dim = dim;
-      config.epochs = epochs;
-      config.similarity = baselines::VerseConfig::Similarity::kAdjacency;
-      WallTimer timer;
-      baselines::verse_cpu_embed(g, config);
-      cpu_seconds = timer.seconds();
+      api::Options options;
+      options.backend = "verse-cpu";
+      options.train().dim = dim;
+      options.gosh.total_epochs = epochs;
+      options.verse_similarity = "adjacency";
+      cpu_seconds = must_embed(g, options).total_seconds;
     }
 
     auto gosh_variant = [&](bool coarsen, bool naive, unsigned coarsen_threads,
                             simt::MetricsSnapshot* metrics,
                             double* coarsen_seconds) {
-      simt::Device device(bench::device_config(device_bytes));
-      embedding::GoshConfig config =
-          coarsen ? embedding::gosh_normal() : embedding::gosh_no_coarsening();
-      config.train.dim = dim;
-      config.train.naive_kernel = naive;
-      config.total_epochs = epochs;
-      config.coarsening.threads = coarsen_threads;
-      WallTimer timer;
-      const auto result = embedding::gosh_embed(g, device, config);
-      if (metrics != nullptr) *metrics = device.metrics().snapshot();
+      api::Options options;
+      options.backend = "device";
+      if (!coarsen) {
+        if (api::Status status = options.set("preset", "nocoarse");
+            !status.is_ok()) {
+          std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+          std::exit(1);
+        }
+      }
+      options.train().dim = dim;
+      options.train().naive_kernel = naive;
+      options.gosh.total_epochs = epochs;
+      options.gosh.coarsening.threads = coarsen_threads;
+      options.device.memory_bytes = device_bytes;
+      const api::EmbedResult result = must_embed(g, options);
+      if (metrics != nullptr) *metrics = result.device_metrics;
       if (coarsen_seconds != nullptr) {
         *coarsen_seconds = result.coarsening_seconds;
       }
-      return timer.seconds();
+      return result.total_seconds;
     };
 
     simt::MetricsSnapshot naive_metrics, optimized_metrics;

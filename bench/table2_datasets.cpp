@@ -1,18 +1,18 @@
 // Table 2 — dataset inventory: paper graphs and their synthetic analogs.
 //
 //   bench_table2_datasets [--medium-scale N] [--large-scale N]
-#include "bench_common.hpp"
+#include <cstdio>
 
-#include "gosh/graph/ops.hpp"
+#include "gosh/api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
-  const unsigned medium =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--medium-scale", 13));
-  const unsigned large =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--large-scale", 15));
+  const unsigned medium = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--medium-scale", 13));
+  const unsigned large = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--large-scale", 15));
 
-  bench::print_banner("Table 2: graphs used in the experiments");
+  api::print_bench_banner("Table 2: graphs used in the experiments");
   std::printf("%-16s %12s %13s %8s | %9s %11s %8s %7s\n", "graph",
               "paper |V|", "paper |E|", "density", "analog|V|", "analog|E|",
               "density", "maxdeg");

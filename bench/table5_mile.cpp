@@ -2,25 +2,28 @@
 // time and |V_i| for the same number of levels.
 //
 //   bench_table5_mile [--medium-scale N] [--levels L] [--threads T]
-#include "bench_common.hpp"
-
+//
+// Coarsening-only comparison (no training), so the two coarsening
+// algorithms are driven directly; flags and the banner come from gosh::api.
 #include <algorithm>
+#include <cstdio>
 #include <thread>
+#include <vector>
 
-#include "gosh/common/timer.hpp"
+#include "gosh/api/api.hpp"
 #include "gosh/coarsening/mile_matching.hpp"
 #include "gosh/coarsening/multi_edge_collapse.hpp"
 
 int main(int argc, char** argv) {
   using namespace gosh;
-  const unsigned scale =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--medium-scale", 14));
-  const unsigned levels =
-      static_cast<unsigned>(bench::flag_value(argc, argv, "--levels", 8));
-  const unsigned threads = static_cast<unsigned>(bench::flag_value(
+  const unsigned scale = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--medium-scale", 14));
+  const unsigned levels = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--levels", 8));
+  const unsigned threads = static_cast<unsigned>(api::require_flag_unsigned(
       argc, argv, "--threads", std::thread::hardware_concurrency()));
 
-  bench::print_banner("Table 5: MILE vs GOSH coarsening (com-orkut analog)");
+  api::print_bench_banner("Table 5: MILE vs GOSH coarsening (com-orkut analog)");
   const auto spec = graph::find_dataset("com-orkut", scale, scale + 2);
   const graph::Graph g = graph::generate_dataset(spec);
   std::printf("analog: |V|=%u |E|=%llu, %u levels for both\n\n",

@@ -66,14 +66,9 @@ Row measure(const std::string& label, const api::Options& options,
     return {label, 0.0, 0.0, true};
   }
   const double seconds = embedded.value().total_seconds;
-  eval::LinkPredictionOptions eval_options;
-  // Large feature sets use the SGD solver, as the paper does.
-  if (split.train.num_edges_undirected() > 200000) {
-    eval_options.logreg.solver = eval::LogRegConfig::Solver::kSgd;
-    eval_options.logreg.max_iterations = 10;
-  }
   const auto report = eval::evaluate_link_prediction(
-      embedded.value().embedding, split, eval_options);
+      embedded.value().embedding, split,
+      api::bench_eval_options(split.train.num_edges_undirected()));
   return {label, seconds, report.auc_roc};
 }
 

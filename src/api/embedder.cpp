@@ -137,6 +137,11 @@ class GoshBackend final : public Embedder {
                                                            unsigned total) {
           observer->on_epoch(current_level, epoch, total);
         };
+        config.large_graph.on_pair =
+            [observer, &current_level](unsigned rotation, std::size_t pair,
+                                       std::size_t num_pairs) {
+              observer->on_pair(current_level, rotation, pair, num_pairs);
+            };
       }
 
       // Deliver on_pipeline_end even when gosh_embed throws (guarded()
@@ -152,6 +157,9 @@ class GoshBackend final : public Embedder {
         }
       } end_guard{observer, &announced};
 
+      // Per-embed traffic accounting: the device is owned by this backend
+      // instance, so a reset here scopes the counters to this run.
+      device_.metrics().reset();
       embedding::GoshResult pipeline =
           embedding::gosh_embed(graph, device_, config);
       if (observer != nullptr) {
@@ -166,6 +174,7 @@ class GoshBackend final : public Embedder {
       result.coarsening_seconds = pipeline.coarsening_seconds;
       result.training_seconds = pipeline.training_seconds;
       result.levels = std::move(pipeline.levels);
+      result.device_metrics = device_.metrics().snapshot();
       return result;
     });
   }
@@ -222,6 +231,12 @@ class MultiDeviceBackend final : public Embedder {
       trainer.train(result.embedding, passes);
       result.training_seconds = train_timer.seconds();
 
+      // Devices are constructed fresh per embed, so their counters cover
+      // exactly this run; the replicas' traffic sums into one snapshot.
+      for (const auto& device : owned) {
+        result.device_metrics += device->metrics().snapshot();
+      }
+
       result.backend = std::string(name());
       result.total_seconds = total_timer.seconds();
       result.levels.push_back(
@@ -250,16 +265,17 @@ class VerseBackend final : public Embedder {
       baselines::VerseConfig config;
       config.dim = train.dim;
       config.negative_samples = train.negative_samples;
-      // VERSE converges at its own, much lower rate (paper setting); the
-      // GOSH learning-rate knob deliberately does not leak into it.
+      // VERSE keeps its own rate and similarity (paper settings by
+      // default); the GOSH training knobs deliberately do not leak into
+      // it. Options::verse_lr / verse_similarity are the baseline's own
+      // dials — the Figure 4 CPU reference selects "adjacency" there.
+      config.learning_rate = options_.verse_learning_rate;
+      config.similarity = options_.verse_similarity == "adjacency"
+                              ? baselines::VerseConfig::Similarity::kAdjacency
+                              : baselines::VerseConfig::Similarity::kPpr;
       config.epochs = options_.gosh.total_epochs;
       config.edge_epochs = options_.gosh.edge_epochs;
       config.threads = options_.device.workers;
-      // VerseConfig's own default similarity (PPR, the paper's setting for
-      // the VERSE baseline rows) stays in force: the GOSH-oriented
-      // positive-sampling knob (default adjacency) deliberately does not
-      // leak into this baseline. Adjacency-VERSE remains available through
-      // baselines::verse_cpu_embed directly.
       config.ppr_alpha = train.ppr_alpha;
       config.update_rule = train.update_rule;
       config.seed = train.seed;
@@ -312,12 +328,14 @@ class LineBackend final : public Embedder {
 
       FlatProgress progress(observer, name(), graph, config.epochs);
       WallTimer timer;
+      device_.metrics().reset();
       EmbedResult result;
       result.embedding = baselines::line_device_embed(graph, device_, config);
       result.backend = std::string(name());
       result.total_seconds = result.training_seconds = timer.seconds();
       result.levels.push_back(flat_report(graph, config.epochs, config.epochs,
                                           result.total_seconds));
+      result.device_metrics = device_.metrics().snapshot();
       progress.finish(result.total_seconds);
       return result;
     });

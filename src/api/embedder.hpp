@@ -18,6 +18,7 @@
 #include "gosh/api/status.hpp"
 #include "gosh/embedding/gosh.hpp"
 #include "gosh/graph/graph.hpp"
+#include "gosh/simt/metrics.hpp"
 
 namespace gosh::api {
 
@@ -30,6 +31,10 @@ struct EmbedResult {
   /// Per-level reports for the multilevel pipeline; one entry (level 0)
   /// for flat backends.
   std::vector<embedding::LevelReport> levels;
+  /// Traffic accounting of the backend's device for this run (all zeros
+  /// for CPU-only backends) — what the Figure 4 breakdown reports next to
+  /// wall time.
+  simt::MetricsSnapshot device_metrics;
 };
 
 /// A constructed execution engine. Implementations own their device(s) and

@@ -2,4 +2,22 @@
 // evaluation pipelines (paper Section 4.1), reachable from gosh/api/ alone.
 #pragma once
 
+#include "gosh/common/types.hpp"
 #include "gosh/eval/pipeline.hpp"
+
+namespace gosh::api {
+
+/// The table harnesses' shared link-prediction eval policy: large feature
+/// sets switch to the SGD solver with a short iteration budget, as the
+/// paper does. One definition so the threshold cannot drift between
+/// benches.
+inline eval::LinkPredictionOptions bench_eval_options(eid_t undirected_edges) {
+  eval::LinkPredictionOptions options;
+  if (undirected_edges > 200000) {
+    options.logreg.solver = eval::LogRegConfig::Solver::kSgd;
+    options.logreg.max_iterations = 10;
+  }
+  return options;
+}
+
+}  // namespace gosh::api

@@ -318,6 +318,18 @@ Status Options::set(std::string_view key, std::string_view value) {
   if (key == "mile-refinement")
     return set_scalar(mile_refinement_rounds, key, value, parse_unsigned);
 
+  // VERSE baseline.
+  if (key == "verse-similarity") {
+    const std::string_view mode = trim(value);
+    if (mode != "ppr" && mode != "adjacency")
+      return Status::invalid_argument(
+          "verse-similarity: expected ppr|adjacency, got " + quoted(mode));
+    verse_similarity = std::string(mode);
+    return Status::ok();
+  }
+  if (key == "verse-lr")
+    return set_scalar(verse_learning_rate, key, value, parse_real);
+
   // Coarsening.
   if (key == "coarsening")
     return set_scalar(gosh.enable_coarsening, key, value, parse_bool);
@@ -372,8 +384,10 @@ Status Options::validate() const {
   if (!(gosh.train.learning_rate > 0.0f) || gosh.train.learning_rate > 10.0f)
     return bad("learning-rate: must be in (0, 10]");
   if (gosh.total_epochs < 1) return bad("epochs: must be >= 1");
-  if (!(gosh.smoothing_ratio > 0.0) || gosh.smoothing_ratio > 1.0)
-    return bad("smoothing: must be in (0, 1]");
+  // p = 0 is meaningful: the fully geometric split (all weight on the
+  // coarse levels) the smoothing ablation sweeps down to.
+  if (gosh.smoothing_ratio < 0.0 || gosh.smoothing_ratio > 1.0)
+    return bad("smoothing: must be in [0, 1]");
   if (!(gosh.device_memory_fraction > 0.0) ||
       gosh.device_memory_fraction > 1.0)
     return bad("memory-fraction: must be in (0, 1]");
@@ -394,6 +408,11 @@ Status Options::validate() const {
     return bad("devices: must be in [1, 64]");
   if (sync_interval < 1) return bad("sync-interval: must be >= 1");
   if (mile_levels < 1) return bad("mile-levels: must be >= 1");
+  if (verse_similarity != "ppr" && verse_similarity != "adjacency")
+    return bad("verse-similarity: expected ppr|adjacency, got " +
+               quoted(verse_similarity));
+  if (!(verse_learning_rate > 0.0f) || verse_learning_rate > 10.0f)
+    return bad("verse-lr: must be in (0, 10]");
   if (gosh.coarsening.threshold < 2)
     return bad("coarsening-threshold: must be >= 2");
   if (gosh.coarsening.max_levels < 1)

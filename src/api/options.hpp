@@ -76,6 +76,12 @@ struct Options {
   /// small synthetic scales).
   unsigned mile_levels = 8;
   unsigned mile_refinement_rounds = 2;
+  /// "verse-cpu" baseline knobs. VERSE keeps its own paper settings (PPR
+  /// similarity, lr 0.0025) rather than inheriting the GOSH training
+  /// knobs; these two let harnesses select the adjacency variant (the
+  /// Figure 4 CPU reference) without bypassing the facade.
+  std::string verse_similarity = "ppr";  ///< "ppr" | "adjacency"
+  float verse_learning_rate = 0.0025f;
 
   // ---- Tool-facing io. --------------------------------------------------
   std::string input_path;

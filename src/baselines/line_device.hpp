@@ -12,9 +12,8 @@
 //     baseline throws DeviceOutOfMemory for matrices beyond capacity
 //     instead of falling back to partitioning.
 //
-// NOTE: pre-facade surface — new code selects this engine through the
-// `gosh::api` facade (backend "line-device", OOM becomes a Status); this
-// header remains as a compatibility shim for one release.
+// Selected through the `gosh::api` facade as backend "line-device"
+// (DeviceOutOfMemory becomes a Status there).
 #pragma once
 
 #include <cstdint>

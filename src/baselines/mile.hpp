@@ -10,9 +10,7 @@
 // graphs, Table 5/6) come from the matching coarsening and the lossy
 // refinement, both of which are present.
 //
-// NOTE: pre-facade surface — new code selects this engine through the
-// `gosh::api` facade (backend "mile"); this header remains as a
-// compatibility shim for one release.
+// Selected through the `gosh::api` facade as backend "mile".
 #pragma once
 
 #include <cstdint>

@@ -8,9 +8,9 @@
 // PPR with restart probability alpha = 0.85 (what the paper configures for
 // the VERSE baseline rows).
 //
-// NOTE: pre-facade surface — new code selects this engine through the
-// `gosh::api` facade (backend "verse-cpu"); this header remains as a
-// compatibility shim for one release.
+// Selected through the `gosh::api` facade as backend "verse-cpu"
+// (similarity and learning rate ride Options::verse_similarity /
+// verse_learning_rate).
 #pragma once
 
 #include <cstdint>

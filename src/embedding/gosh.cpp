@@ -116,7 +116,13 @@ GoshResult gosh_embed(const graph::Graph& graph, simt::Device& device,
       if (lg.device_budget_bytes == 0) lg.device_budget_bytes = device_budget;
       largegraph::LargeGraphTrainer trainer(device, level_graph, config.train,
                                             lg);
-      trainer.train(matrix, report.passes);
+      const largegraph::LargeGraphStats stats =
+          trainer.train(matrix, report.passes);
+      report.partitions = stats.num_parts;
+      report.rotations = stats.rotations;
+      report.pair_kernels = stats.kernels;
+      report.submatrix_switches = stats.submatrix_switches;
+      report.pools_consumed = stats.pools_consumed;
     }
     report.train_seconds = level_timer.seconds();
     if (config.on_level) {

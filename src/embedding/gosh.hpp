@@ -7,9 +7,9 @@
 //      large-graph engine (LargeGraphGPU) — then project M_i to level i-1;
 //   4. return M_0.
 //
-// NOTE: this header is part of the pre-facade surface. New code should go
-// through the `gosh::api` facade (gosh/api/api.hpp); this header remains as
-// a compatibility shim for one release so internal tests keep compiling.
+// This is the engine layer behind the `gosh::api` facade (backends
+// "device" and "largegraph"); tools, examples, benches and tests drive it
+// through gosh/api/api.hpp.
 #pragma once
 
 #include <cstdint>
@@ -88,6 +88,12 @@ struct LevelReport {
   unsigned passes = 0;  ///< Algorithm 3 passes actually run (see edge_epochs)
   bool used_large_graph_path = false;
   double train_seconds = 0.0;
+  // Algorithm 5 detail, zero when the level trained resident.
+  unsigned partitions = 0;               ///< K_i of the partition plan
+  unsigned rotations = 0;                ///< ceil(passes / (B * K_i))
+  std::uint64_t pair_kernels = 0;        ///< one per (rotation, part pair)
+  std::uint64_t submatrix_switches = 0;  ///< host<->device part swaps
+  std::uint64_t pools_consumed = 0;      ///< sample pools trained through
 };
 
 struct GoshResult {

@@ -53,14 +53,26 @@ std::vector<unsigned> distribute_epochs(unsigned total_epochs,
   const unsigned leftover = total_epochs - floored;  // < d by construction
   for (unsigned j = 0; j < leftover; ++j) epochs[order[j]]++;
 
-  // Lift empty levels to one epoch, stealing from the largest level.
+  // Lift empty levels to one epoch, stealing from the richest level that
+  // can spare one (epochs > 1). The donor is re-scanned per lift: when the
+  // budget barely exceeds the level count, a fixed donor found once could
+  // itself be drained to 1 and then stolen to 0 after the scan passed it,
+  // emitting a zero-epoch level. total_epochs > d guarantees a >= 2 donor
+  // exists while any level sits at zero (pigeonhole).
   for (std::size_t i = 0; i < d; ++i) {
     if (epochs[i] != 0) continue;
-    const std::size_t richest =
-        std::max_element(epochs.begin(), epochs.end()) - epochs.begin();
-    assert(epochs[richest] > 1);
-    epochs[richest]--;
+    std::size_t donor = d;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (epochs[j] > 1 && (donor == d || epochs[j] > epochs[donor]))
+        donor = j;
+    }
+    assert(donor != d);
+    if (donor != d) epochs[donor]--;
     epochs[i] = 1;
+  }
+  // Postcondition: every level trains at least once.
+  for ([[maybe_unused]] const unsigned per_level : epochs) {
+    assert(per_level >= 1);
   }
   return epochs;
 }
@@ -76,6 +88,9 @@ unsigned epochs_to_passes(unsigned epochs, eid_t undirected_edges,
 
 float decayed_learning_rate(float base_lr, unsigned epoch,
                             unsigned level_epochs) noexcept {
+  // A zero-length schedule has no decay to apply; the division below
+  // would be 0/0 and max(NaN, floor) propagates the NaN into training.
+  if (level_epochs == 0) return base_lr;
   const float progress =
       1.0f - static_cast<float>(epoch) / static_cast<float>(level_epochs);
   return base_lr * std::max(progress, 1e-4f);

@@ -29,7 +29,8 @@ std::vector<unsigned> distribute_epochs(unsigned total_epochs,
                                         double smoothing_ratio);
 
 /// Decayed learning rate for epoch j (0-based) of a level trained for
-/// `level_epochs` epochs.
+/// `level_epochs` epochs. A zero-epoch schedule falls back to `base_lr`
+/// (never NaN); callers that mean to train should validate epochs > 0.
 float decayed_learning_rate(float base_lr, unsigned epoch,
                             unsigned level_epochs) noexcept;
 

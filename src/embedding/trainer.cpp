@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 #include "gosh/common/sigmoid.hpp"
 #include "gosh/embedding/schedule.hpp"
@@ -28,6 +29,20 @@ void DeviceTrainer::train(EmbeddingMatrix& matrix, unsigned epochs) {
 
 void DeviceTrainer::train(EmbeddingMatrix& matrix, unsigned epochs,
                           unsigned lr_offset, unsigned lr_total) {
+  if (matrix.rows() != graph_.num_vertices() ||
+      matrix.dim() != config_.dim) {
+    throw std::invalid_argument(
+        "DeviceTrainer: matrix shape does not match graph/config");
+  }
+  if (epochs == 0) {
+    throw std::invalid_argument("DeviceTrainer: epochs must be >= 1");
+  }
+  if (lr_total == 0) {
+    // A zero-length decay schedule would divide 0/0 in
+    // decayed_learning_rate and train every epoch on NaN.
+    throw std::invalid_argument(
+        "DeviceTrainer: lr_total must be >= 1 when epochs > 0");
+  }
   const vid_t n = graph_.num_vertices();
   const unsigned d = config_.dim;
 
@@ -144,9 +159,14 @@ void launch_train_epoch(simt::Device& device, const DeviceGraph& graph,
         update_embedding(staged, sample_row, d, 1.0f, lr, sigmoid, rule);
         lane_sink = burn_idle_lanes(idle, lane_sink);
       }
-      // ... then ns negatives from the uniform noise distribution.
+      // ... then ns negatives from the uniform noise distribution. A
+      // negative equal to the source carries no signal, and in the staged
+      // kernel it would update the stale global row underneath the
+      // shared-memory copy only for the closing writeback to clobber it —
+      // skip it, mirroring the positive != src guard above.
       for (unsigned k = 0; k < ns; ++k) {
         const vid_t negative = negative_sample(num_vertices, rng);
+        if (negative == src) continue;
         emb_t* sample_row =
             matrix_device + static_cast<std::size_t>(negative) * d;
         update_embedding(staged, sample_row, d, 0.0f, lr, sigmoid, rule);

@@ -83,7 +83,8 @@ void run_pair_kernel(simt::Device& device, const PairKernelArgs& args,
     for (unsigned i = 0; i < args.batch_B; ++i) {
       const vid_t positive = positives[static_cast<std::size_t>(local) *
                                            args.batch_B + i];
-      if (positive != kInvalidVertex) {
+      if (positive != kInvalidVertex &&
+          (!diagonal || positive != global_id)) {
         emb_t* sample = partner_slot +
                         static_cast<std::size_t>(positive - partner_begin) * d;
         embedding::update_embedding(staged, sample, d, 1.0f, args.lr, sigmoid,
@@ -91,10 +92,14 @@ void run_pair_kernel(simt::Device& device, const PairKernelArgs& args,
       }
       // Negatives come from the partner part, generated on device
       // (Section 3.3: "the kernel for the parts draws the negative samples
-      // ... randomly from V_k").
+      // ... randomly from V_k"). On the diagonal the partner is this part:
+      // a self-negative would update the stale global source row while it
+      // is staged in shared memory, only for the closing writeback to
+      // clobber it — skip it, as the resident kernel does.
       for (unsigned k = 0; k < args.ns; ++k) {
         const vid_t negative =
             static_cast<vid_t>(rng.next_bounded(partner_size));
+        if (diagonal && negative == local) continue;
         emb_t* sample = partner_slot + static_cast<std::size_t>(negative) * d;
         embedding::update_embedding(staged, sample, d, 0.0f, args.lr, sigmoid,
                                     args.rule);
@@ -358,6 +363,7 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
       }
       stats.kernels++;
       stats.pools_consumed++;
+      if (config_.on_pair) config_.on_pair(r, pair_index, pairs.size());
 
       {
         std::lock_guard lock(pool_mutex);
@@ -365,6 +371,9 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
       }
       pool_freed.notify_one();
     }
+    // One progress tick per rotation — the partitioned path's analog of
+    // the resident trainer's per-epoch tick, through the same hook.
+    if (train_config_.on_epoch) train_config_.on_epoch(r, rotations);
   }
 
   commit_pending();

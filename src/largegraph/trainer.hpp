@@ -14,12 +14,14 @@
 // One rotation runs B positive (and B*ns negative) updates per vertex per
 // partner part, so e_i epochs shrink to ceil(e_i / (B * K_i)) rotations.
 //
-// NOTE: pre-facade surface — new code selects this engine through the
-// `gosh::api` facade (backend "largegraph"); this header remains as a
-// compatibility shim for one release.
+// Selected through the `gosh::api` facade as backend "largegraph";
+// progress is reported through TrainConfig::on_epoch (one tick per
+// rotation) and LargeGraphConfig::on_pair (one tick per pair kernel).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "gosh/embedding/matrix.hpp"
 #include "gosh/embedding/trainer.hpp"
@@ -37,6 +39,11 @@ struct LargeGraphConfig {
   /// Device bytes the planner may use; 0 = the device's free memory at
   /// trainer construction (minus nothing — the caller budgets headroom).
   std::size_t device_budget_bytes = 0;
+  /// Optional per-pair tick `(rotation, pair_index, num_pairs)`, fired
+  /// after each pair kernel of a rotation — the hook behind
+  /// api::ProgressObserver::on_pair. Rotation-level ticks ride
+  /// TrainConfig::on_epoch as `(rotation, total_rotations)`.
+  std::function<void(unsigned, std::size_t, std::size_t)> on_pair;
 };
 
 struct LargeGraphStats {

@@ -12,9 +12,7 @@
 // Devices are the library's emulated simt::Device instances; on real
 // hardware the same structure maps to one CUDA device per replica.
 //
-// NOTE: pre-facade surface — new code selects this engine through the
-// `gosh::api` facade (backend "multidevice"); this header remains as a
-// compatibility shim for one release.
+// Selected through the `gosh::api` facade as backend "multidevice".
 #pragma once
 
 #include <span>

@@ -154,8 +154,14 @@ TEST(Options, ValidateRejectsOutOfRangeValues) {
     EXPECT_FALSE(options.validate().is_ok());
   }
   {
+    // p = 0 (fully geometric) is legal — the smoothing ablation sweeps
+    // down to it; only values outside [0, 1] are rejected.
     Options options;
     options.gosh.smoothing_ratio = 0.0;
+    EXPECT_TRUE(options.validate().is_ok());
+    options.gosh.smoothing_ratio = -0.1;
+    EXPECT_FALSE(options.validate().is_ok());
+    options.gosh.smoothing_ratio = 1.1;
     EXPECT_FALSE(options.validate().is_ok());
   }
   {

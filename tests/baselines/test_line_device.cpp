@@ -1,26 +1,32 @@
-// LINE-on-device (GraphVite stand-in): learning and the single-GPU
-// memory limitation.
+// LINE-on-device (GraphVite stand-in) through the gosh::api facade
+// ("line-device" backend): learning and the single-GPU memory limitation
+// surfacing as an out_of_memory Status.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <vector>
 
-#include "gosh/baselines/line_device.hpp"
-#include "gosh/graph/builder.hpp"
-#include "gosh/graph/generators.hpp"
+#include "gosh/api/api.hpp"
 
-namespace gosh::baselines {
+namespace gosh {
 namespace {
 
+api::Options line_options(std::size_t device_bytes, unsigned dim,
+                          unsigned epochs) {
+  api::Options options;
+  options.backend = "line-device";
+  options.train().dim = dim;
+  options.gosh.total_epochs = epochs;
+  options.device.memory_bytes = device_bytes;
+  options.device.workers = 2;
+  return options;
+}
+
 TEST(LineDevice, ProducesFiniteEmbedding) {
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = 32u << 20;
-  device_config.workers = 2;
-  simt::Device device(device_config);
-  LineConfig config;
-  config.dim = 16;
-  config.epochs = 10;
-  const auto m = line_device_embed(graph::rmat(9, 2000, 81), device, config);
+  auto result =
+      api::embed(graph::rmat(9, 2000, 81), line_options(32u << 20, 16, 10));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const embedding::EmbeddingMatrix& m = result.value().embedding;
   for (std::size_t i = 0; i < m.size(); ++i) {
     EXPECT_TRUE(std::isfinite(m.data()[i]));
   }
@@ -38,15 +44,11 @@ TEST(LineDevice, LearnsCommunities) {
   edges.emplace_back(0, clique);
   const auto g = graph::build_csr(2 * clique, std::move(edges));
 
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = 16u << 20;
-  device_config.workers = 2;
-  simt::Device device(device_config);
-  LineConfig config;
-  config.dim = 16;
-  config.epochs = 600;
-  config.learning_rate = 0.05f;
-  const auto m = line_device_embed(g, device, config);
+  api::Options options = line_options(16u << 20, 16, 600);
+  options.train().learning_rate = 0.05f;
+  auto result = api::embed(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const embedding::EmbeddingMatrix& m = result.value().embedding;
 
   float intra = 0.0f, inter = 0.0f;
   int intra_n = 0, inter_n = 0;
@@ -68,17 +70,14 @@ TEST(LineDevice, LearnsCommunities) {
 
 TEST(LineDevice, OutOfMemoryLikeGraphvite) {
   // The Table 7 behaviour: when matrix+graph exceed device memory the
-  // tool fails instead of partitioning.
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = 64u << 10;  // 64 KiB device
-  device_config.workers = 1;
-  simt::Device device(device_config);
+  // backend fails with an out_of_memory Status instead of partitioning.
   const auto g = graph::rmat(11, 10000, 82);
-  LineConfig config;
-  config.dim = 64;
-  EXPECT_THROW(line_device_embed(g, device, config),
-               simt::DeviceOutOfMemory);
+  api::Options options = line_options(64u << 10, 64, 10);  // 64 KiB device
+  options.device.workers = 1;
+  auto result = api::embed(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), api::StatusCode::kOutOfMemory);
 }
 
 }  // namespace
-}  // namespace gosh::baselines
+}  // namespace gosh

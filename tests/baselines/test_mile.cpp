@@ -1,21 +1,35 @@
-// MILE baseline: hierarchy shape and end-to-end embedding.
+// MILE baseline through the gosh::api facade ("mile" backend): hierarchy
+// depth knob and end-to-end embedding. (Per-level matching detail is
+// covered by tests/coarsening/test_mile_matching.cpp.)
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "gosh/baselines/mile.hpp"
-#include "gosh/graph/generators.hpp"
+#include "gosh/api/api.hpp"
 
-namespace gosh::baselines {
+namespace gosh {
 namespace {
+
+api::Options mile_options(unsigned levels, unsigned dim, unsigned epochs) {
+  api::Options options;
+  options.backend = "mile";
+  options.mile_levels = levels;
+  options.train().dim = dim;
+  options.gosh.total_epochs = epochs;
+  return options;
+}
+
+api::EmbedResult must_embed(const graph::Graph& g,
+                            const api::Options& options) {
+  auto result = api::embed(g, options);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value();
+}
 
 TEST(Mile, EndToEndProducesOriginalSizeEmbedding) {
   const auto g = graph::rmat(10, 4000, 71);
-  MileConfig config;
-  config.coarsening_levels = 4;
-  config.base.dim = 16;
-  config.base.epochs = 50;
-  const auto result = mile_embed(g, config);
+  const auto result = must_embed(g, mile_options(4, 16, 50));
+  EXPECT_EQ(result.backend, "mile");
   EXPECT_EQ(result.embedding.rows(), g.num_vertices());
   EXPECT_EQ(result.embedding.dim(), 16u);
   for (std::size_t i = 0; i < result.embedding.size(); ++i) {
@@ -23,28 +37,23 @@ TEST(Mile, EndToEndProducesOriginalSizeEmbedding) {
   }
 }
 
-TEST(Mile, HierarchyTimingsReported) {
+TEST(Mile, TimingsReported) {
   const auto g = graph::rmat(9, 2000, 72);
-  MileConfig config;
-  config.coarsening_levels = 3;
-  config.base.dim = 8;
-  config.base.epochs = 10;
-  const auto result = mile_embed(g, config);
-  EXPECT_EQ(result.hierarchy.level_seconds.size(),
-            result.hierarchy.maps.size());
+  const auto result = must_embed(g, mile_options(3, 8, 10));
+  // coarsening_seconds is the matching hierarchy; training_seconds folds
+  // base embedding + refinement, and everything is inside total.
   EXPECT_GE(result.coarsening_seconds, 0.0);
-  EXPECT_GT(result.base_embed_seconds, 0.0);
-  EXPECT_GT(result.refinement_seconds, 0.0);
+  EXPECT_GT(result.training_seconds, 0.0);
+  EXPECT_GE(result.total_seconds,
+            result.coarsening_seconds + result.training_seconds - 1e-6);
+  ASSERT_EQ(result.levels.size(), 1u);
+  EXPECT_EQ(result.levels[0].vertices, g.num_vertices());
 }
 
 TEST(Mile, RefinementPreservesScale) {
   // Propagation must not blow up or zero out the embedding.
   const auto g = graph::rmat(9, 2000, 73);
-  MileConfig config;
-  config.coarsening_levels = 3;
-  config.base.dim = 8;
-  config.base.epochs = 30;
-  const auto result = mile_embed(g, config);
+  const auto result = must_embed(g, mile_options(3, 8, 30));
   double norm = 0.0;
   for (std::size_t i = 0; i < result.embedding.size(); ++i) {
     norm += std::abs(result.embedding.data()[i]);
@@ -54,4 +63,4 @@ TEST(Mile, RefinementPreservesScale) {
 }
 
 }  // namespace
-}  // namespace gosh::baselines
+}  // namespace gosh

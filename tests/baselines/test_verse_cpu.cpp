@@ -1,15 +1,13 @@
-// VERSE-CPU baseline: runs, learns, both similarity modes.
+// VERSE-CPU baseline through the gosh::api facade ("verse-cpu" backend):
+// runs, learns, both similarity modes, deterministic single-threaded.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <vector>
 
-#include "gosh/baselines/verse_cpu.hpp"
-#include "gosh/embedding/update.hpp"
-#include "gosh/graph/builder.hpp"
-#include "gosh/graph/generators.hpp"
+#include "gosh/api/api.hpp"
 
-namespace gosh::baselines {
+namespace gosh {
 namespace {
 
 graph::Graph two_cliques(vid_t clique = 8) {
@@ -43,11 +41,23 @@ float separation(const embedding::EmbeddingMatrix& m, vid_t clique) {
   return intra / intra_n - inter / inter_n;
 }
 
+api::Options verse_options(unsigned dim, unsigned epochs) {
+  api::Options options;
+  options.backend = "verse-cpu";
+  options.train().dim = dim;
+  options.gosh.total_epochs = epochs;
+  return options;
+}
+
+embedding::EmbeddingMatrix must_embed(const graph::Graph& g,
+                                      const api::Options& options) {
+  auto result = api::embed(g, options);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value().embedding;
+}
+
 TEST(VerseCpu, ProducesFiniteEmbedding) {
-  VerseConfig config;
-  config.dim = 16;
-  config.epochs = 20;
-  const auto m = verse_cpu_embed(graph::rmat(9, 2000, 61), config);
+  const auto m = must_embed(graph::rmat(9, 2000, 61), verse_options(16, 20));
   EXPECT_EQ(m.dim(), 16u);
   for (std::size_t i = 0; i < m.size(); ++i) {
     EXPECT_TRUE(std::isfinite(m.data()[i]));
@@ -55,48 +65,49 @@ TEST(VerseCpu, ProducesFiniteEmbedding) {
 }
 
 TEST(VerseCpu, AdjacencyModeLearnsCommunities) {
-  VerseConfig config;
-  config.dim = 16;
-  config.epochs = 400;
-  config.learning_rate = 0.05f;
-  config.similarity = VerseConfig::Similarity::kAdjacency;
-  const auto m = verse_cpu_embed(two_cliques(), config);
+  api::Options options = verse_options(16, 400);
+  options.verse_similarity = "adjacency";
+  options.verse_learning_rate = 0.05f;
+  const auto m = must_embed(two_cliques(), options);
   EXPECT_GT(separation(m, 8), 0.1f);
 }
 
 TEST(VerseCpu, PprModeLearnsCommunities) {
-  VerseConfig config;
-  config.dim = 16;
-  config.epochs = 400;
-  config.learning_rate = 0.05f;
-  config.similarity = VerseConfig::Similarity::kPpr;
-  const auto m = verse_cpu_embed(two_cliques(), config);
+  api::Options options = verse_options(16, 400);
+  options.verse_similarity = "ppr";  // the backend's paper default
+  options.verse_learning_rate = 0.05f;
+  const auto m = must_embed(two_cliques(), options);
   EXPECT_GT(separation(m, 8), 0.05f);
 }
 
 TEST(VerseCpu, SingleThreadDeterministic) {
-  VerseConfig config;
-  config.dim = 8;
-  config.epochs = 10;
-  config.threads = 1;
+  api::Options options = verse_options(8, 10);
+  options.device.workers = 1;  // the backend's HOGWILD team size
   const auto g = graph::rmat(8, 1000, 62);
-  const auto a = verse_cpu_embed(g, config);
-  const auto b = verse_cpu_embed(g, config);
+  const auto a = must_embed(g, options);
+  const auto b = must_embed(g, options);
+  ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.data()[i], b.data()[i]);
   }
 }
 
+TEST(VerseCpu, RejectsUnknownSimilarity) {
+  api::Options options = verse_options(8, 10);
+  EXPECT_FALSE(options.set("verse-similarity", "cosine").is_ok());
+  options.verse_similarity = "cosine";
+  auto result = api::embed(two_cliques(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), api::StatusCode::kInvalidArgument);
+}
+
 TEST(VerseCpu, HandlesIsolatedVertices) {
   graph::Graph g = graph::build_csr(20, {{0, 1}, {2, 3}});
-  VerseConfig config;
-  config.dim = 8;
-  config.epochs = 10;
-  const auto m = verse_cpu_embed(g, config);
+  const auto m = must_embed(g, verse_options(8, 10));
   for (std::size_t i = 0; i < m.size(); ++i) {
     EXPECT_TRUE(std::isfinite(m.data()[i]));
   }
 }
 
 }  // namespace
-}  // namespace gosh::baselines
+}  // namespace gosh

@@ -1,50 +1,64 @@
-// The Algorithm 2 driver: presets, level reports, both training paths.
+// The Algorithm 2 driver behind the gosh::api facade: presets, level
+// reports, both training paths.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
-#include "gosh/embedding/gosh.hpp"
-#include "gosh/embedding/schedule.hpp"
-#include "gosh/graph/builder.hpp"
-#include "gosh/graph/generators.hpp"
+#include "gosh/api/api.hpp"
 
-namespace gosh::embedding {
+namespace gosh {
 namespace {
 
-simt::DeviceConfig device_config(std::size_t bytes = 64u << 20) {
-  simt::DeviceConfig config;
-  config.memory_bytes = bytes;
-  config.workers = 2;
-  return config;
+api::Options device_options(std::size_t bytes = 64u << 20) {
+  api::Options options;
+  options.backend = "device";
+  options.device.memory_bytes = bytes;
+  options.device.workers = 2;
+  return options;
+}
+
+api::EmbedResult must_embed(const graph::Graph& g,
+                            const api::Options& options) {
+  auto result = api::embed(g, options);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value();
 }
 
 TEST(Presets, MatchTable3) {
-  EXPECT_DOUBLE_EQ(gosh_fast().smoothing_ratio, 0.1);
-  EXPECT_FLOAT_EQ(gosh_fast().train.learning_rate, 0.050f);
-  EXPECT_EQ(gosh_fast().total_epochs, 600u);
-  EXPECT_EQ(gosh_fast(true).total_epochs, 100u);
+  const auto preset = [](const char* name, bool large_scale = false) {
+    api::Options options;
+    if (large_scale) EXPECT_TRUE(options.set("large-scale", "true").is_ok());
+    EXPECT_TRUE(options.set("preset", name).is_ok());
+    return options;
+  };
 
-  EXPECT_DOUBLE_EQ(gosh_normal().smoothing_ratio, 0.3);
-  EXPECT_FLOAT_EQ(gosh_normal().train.learning_rate, 0.035f);
-  EXPECT_EQ(gosh_normal().total_epochs, 1000u);
-  EXPECT_EQ(gosh_normal(true).total_epochs, 200u);
+  EXPECT_DOUBLE_EQ(preset("fast").gosh.smoothing_ratio, 0.1);
+  EXPECT_FLOAT_EQ(preset("fast").train().learning_rate, 0.050f);
+  EXPECT_EQ(preset("fast").gosh.total_epochs, 600u);
+  EXPECT_EQ(preset("fast", true).gosh.total_epochs, 100u);
 
-  EXPECT_DOUBLE_EQ(gosh_slow().smoothing_ratio, 0.5);
-  EXPECT_FLOAT_EQ(gosh_slow().train.learning_rate, 0.025f);
-  EXPECT_EQ(gosh_slow().total_epochs, 1400u);
-  EXPECT_EQ(gosh_slow(true).total_epochs, 300u);
+  EXPECT_DOUBLE_EQ(preset("normal").gosh.smoothing_ratio, 0.3);
+  EXPECT_FLOAT_EQ(preset("normal").train().learning_rate, 0.035f);
+  EXPECT_EQ(preset("normal").gosh.total_epochs, 1000u);
+  EXPECT_EQ(preset("normal", true).gosh.total_epochs, 200u);
 
-  EXPECT_FALSE(gosh_no_coarsening().enable_coarsening);
-  EXPECT_FLOAT_EQ(gosh_no_coarsening().train.learning_rate, 0.045f);
+  EXPECT_DOUBLE_EQ(preset("slow").gosh.smoothing_ratio, 0.5);
+  EXPECT_FLOAT_EQ(preset("slow").train().learning_rate, 0.025f);
+  EXPECT_EQ(preset("slow").gosh.total_epochs, 1400u);
+  EXPECT_EQ(preset("slow", true).gosh.total_epochs, 300u);
+
+  EXPECT_FALSE(preset("nocoarse").gosh.enable_coarsening);
+  EXPECT_FLOAT_EQ(preset("nocoarse").train().learning_rate, 0.045f);
 }
 
 TEST(GoshEmbed, ProducesFullSizeEmbedding) {
-  simt::Device device(device_config());
   const auto g = graph::rmat(10, 4000, 21);
-  GoshConfig config = gosh_fast();
-  config.train.dim = 16;
-  config.total_epochs = 50;
-  const auto result = gosh_embed(g, device, config);
+  api::Options options = device_options();
+  ASSERT_TRUE(options.set("preset", "fast").is_ok());
+  options.train().dim = 16;
+  options.gosh.total_epochs = 50;
+  const auto result = must_embed(g, options);
   EXPECT_EQ(result.embedding.rows(), g.num_vertices());
   EXPECT_EQ(result.embedding.dim(), 16u);
   for (std::size_t i = 0; i < result.embedding.size(); ++i) {
@@ -53,12 +67,11 @@ TEST(GoshEmbed, ProducesFullSizeEmbedding) {
 }
 
 TEST(GoshEmbed, ReportsLevels) {
-  simt::Device device(device_config());
   const auto g = graph::rmat(11, 8000, 22);
-  GoshConfig config = gosh_normal();
-  config.train.dim = 16;
-  config.total_epochs = 60;
-  const auto result = gosh_embed(g, device, config);
+  api::Options options = device_options();
+  options.train().dim = 16;
+  options.gosh.total_epochs = 60;
+  const auto result = must_embed(g, options);
   ASSERT_GT(result.levels.size(), 1u);
   // Level 0 is the original graph; deeper levels shrink.
   EXPECT_EQ(result.levels[0].vertices, g.num_vertices());
@@ -71,29 +84,29 @@ TEST(GoshEmbed, ReportsLevels) {
 }
 
 TEST(GoshEmbed, NoCoarseningUsesSingleLevel) {
-  simt::Device device(device_config());
   const auto g = graph::rmat(9, 2000, 23);
-  GoshConfig config = gosh_no_coarsening();
-  config.train.dim = 8;
-  config.total_epochs = 20;
-  const auto result = gosh_embed(g, device, config);
+  api::Options options = device_options();
+  ASSERT_TRUE(options.set("preset", "nocoarse").is_ok());
+  options.train().dim = 8;
+  options.gosh.total_epochs = 20;
+  const auto result = must_embed(g, options);
   EXPECT_EQ(result.levels.size(), 1u);
   EXPECT_EQ(result.levels[0].epochs, 20u);
 }
 
 TEST(GoshEmbed, EdgeEpochsConvertToDensityScaledPasses) {
-  simt::Device device(device_config());
   const auto g = graph::rmat(9, 2000, 25);
-  GoshConfig config = gosh_no_coarsening();
-  config.train.dim = 8;
-  config.total_epochs = 10;
-  const auto with_conversion = gosh_embed(g, device, config);
-  const unsigned expected = epochs_to_passes(
+  api::Options options = device_options();
+  ASSERT_TRUE(options.set("preset", "nocoarse").is_ok());
+  options.train().dim = 8;
+  options.gosh.total_epochs = 10;
+  const auto with_conversion = must_embed(g, options);
+  const unsigned expected = embedding::epochs_to_passes(
       10, g.num_edges_undirected(), g.num_vertices());
   EXPECT_EQ(with_conversion.levels[0].passes, expected);
 
-  config.edge_epochs = false;
-  const auto raw = gosh_embed(g, device, config);
+  options.gosh.edge_epochs = false;
+  const auto raw = must_embed(g, options);
   EXPECT_EQ(raw.levels[0].passes, 10u);
 }
 
@@ -101,17 +114,20 @@ TEST(GoshEmbed, FallsBackToLargeGraphPath) {
   // A device too small for graph+matrix must route through Algorithm 5 —
   // at least for the original (largest) level, while the deep-coarsened
   // levels fit and use the resident path.
-  simt::Device device(device_config(192u << 10));
   graph::LfrParams params;
   params.average_degree = 10.0;
   params.communities = 32;
   const auto g = graph::lfr_like(2048, params, 24);
-  GoshConfig config = gosh_fast();
-  config.train.dim = 32;  // matrix = 2048*32*4 = 256 KiB > device
-  config.total_epochs = 30;
-  const auto result = gosh_embed(g, device, config);
+  api::Options options = device_options(192u << 10);
+  ASSERT_TRUE(options.set("preset", "fast").is_ok());
+  options.train().dim = 32;  // matrix = 2048*32*4 = 256 KiB > device
+  options.gosh.total_epochs = 30;
+  const auto result = must_embed(g, options);
   EXPECT_TRUE(result.levels[0].used_large_graph_path);
+  EXPECT_GT(result.levels[0].partitions, 1u);
+  EXPECT_GT(result.levels[0].rotations, 0u);
   EXPECT_FALSE(result.levels.back().used_large_graph_path);
+  EXPECT_EQ(result.levels.back().partitions, 0u);
   for (std::size_t i = 0; i < result.embedding.size(); ++i) {
     EXPECT_TRUE(std::isfinite(result.embedding.data()[i]));
   }
@@ -134,19 +150,19 @@ TEST(GoshEmbed, CoarseningImprovesSmallBudgetQuality) {
   const auto g = graph::build_csr(2 * clique, std::move(edges));
 
   auto separation = [&](bool coarsen) {
-    simt::Device device(device_config());
-    GoshConfig config = coarsen ? gosh_normal() : gosh_no_coarsening();
-    config.train.dim = 16;
-    config.train.learning_rate = 0.05f;
-    config.total_epochs = 400;
-    config.coarsening.threshold = 4;
-    const auto result = gosh_embed(g, device, config);
+    api::Options options = device_options();
+    if (!coarsen) EXPECT_TRUE(options.set("preset", "nocoarse").is_ok());
+    options.train().dim = 16;
+    options.train().learning_rate = 0.05f;
+    options.gosh.total_epochs = 400;
+    options.gosh.coarsening.threshold = 4;
+    const auto result = must_embed(g, options);
     float intra = 0.0f, inter = 0.0f;
     int intra_n = 0, inter_n = 0;
     for (vid_t u = 0; u < 2 * clique; ++u) {
       for (vid_t v = u + 1; v < 2 * clique; ++v) {
-        const float d = dot(result.embedding.row(u).data(),
-                            result.embedding.row(v).data(), 16);
+        const float d = embedding::dot(result.embedding.row(u).data(),
+                                       result.embedding.row(v).data(), 16);
         if ((u < clique) == (v < clique)) {
           intra += d;
           intra_n++;
@@ -163,4 +179,4 @@ TEST(GoshEmbed, CoarseningImprovesSmallBudgetQuality) {
 }
 
 }  // namespace
-}  // namespace gosh::embedding
+}  // namespace gosh

@@ -1,6 +1,7 @@
 // Epoch distribution (smoothing ratio p) and learning-rate decay.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 #include <tuple>
 
@@ -73,6 +74,25 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<std::size_t>(1, 2, 5, 8, 12),
                        ::testing::Values(0.0, 0.1, 0.3, 0.5, 1.0)));
 
+TEST(Schedule, TightBudgetsNeverEmitZeroEpochLevels) {
+  // Budgets barely above the level count are where the lift-empty-levels
+  // pass used to steal a donor down to zero; every (e, d, p) cell must
+  // still give each level >= 1 epoch and conserve the budget.
+  for (std::size_t d = 2; d <= 12; ++d) {
+    for (unsigned e = static_cast<unsigned>(d) + 1;
+         e <= static_cast<unsigned>(d) + 8; ++e) {
+      for (const double p : {0.0, 0.1, 0.3, 1.0}) {
+        const auto epochs = distribute_epochs(e, d, p);
+        ASSERT_EQ(epochs.size(), d);
+        EXPECT_EQ(sum(epochs), e) << "e=" << e << " d=" << d << " p=" << p;
+        for (unsigned per_level : epochs) {
+          EXPECT_GE(per_level, 1u) << "e=" << e << " d=" << d << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
 TEST(EpochsToPasses, ScalesByDensity) {
   // One epoch = |E| samples = |E|/|V| passes (Section 4.3).
   EXPECT_EQ(epochs_to_passes(100, 1000, 100), 1000u);  // density 10
@@ -101,6 +121,13 @@ TEST(LearningRate, StartsAtBaseAndDecays) {
 TEST(LearningRate, FloorsAtTenThousandth) {
   EXPECT_FLOAT_EQ(decayed_learning_rate(0.05f, 100, 100), 0.05f * 1e-4f);
   EXPECT_FLOAT_EQ(decayed_learning_rate(0.05f, 1000, 100), 0.05f * 1e-4f);
+}
+
+TEST(LearningRate, ZeroEpochScheduleFallsBackToBase) {
+  // level_epochs = 0 used to divide 0/0 and return NaN through max().
+  EXPECT_FLOAT_EQ(decayed_learning_rate(0.05f, 0, 0), 0.05f);
+  EXPECT_FLOAT_EQ(decayed_learning_rate(0.05f, 7, 0), 0.05f);
+  EXPECT_TRUE(std::isfinite(decayed_learning_rate(0.05f, 0, 0)));
 }
 
 TEST(LearningRate, MonotoneNonincreasing) {

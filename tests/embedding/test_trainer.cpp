@@ -1,6 +1,7 @@
 // DeviceTrainer (Algorithm 3): structural behaviour and embedding quality.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "gosh/embedding/trainer.hpp"
@@ -186,6 +187,79 @@ TEST(Trainer, ExactSigmoidPathWorks) {
   DeviceTrainer trainer(device, g, config);
   trainer.train(m, 300);
   EXPECT_GT(mean_intra_minus_inter(m, 8), 0.1f);
+}
+
+TEST(Trainer, SelfNegativesLeaveLoneVertexUntouched) {
+  // A one-vertex graph has no positives and every negative is the source
+  // itself. Self-negatives must be skipped: in the staged kernel they
+  // would update the stale global row only for the writeback to clobber
+  // it, so the row must come back bit-identical in both kernel variants.
+  graph::Graph g = graph::build_csr(1, std::vector<graph::Edge>{});
+  for (const bool naive : {false, true}) {
+    simt::Device device(test_device_config());
+    TrainConfig config;
+    config.dim = 8;
+    config.naive_kernel = naive;
+    EmbeddingMatrix m(1, 8);
+    m.initialize_random(10);
+    const std::vector<emb_t> before(m.data(), m.data() + m.size());
+    DeviceTrainer trainer(device, g, config);
+    trainer.train(m, 20);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      EXPECT_EQ(m.data()[i], before[i]) << (naive ? "naive" : "staged");
+    }
+  }
+}
+
+TEST(Trainer, StagedKernelMatchesNaiveKernelExactly) {
+  // With one worker the two kernel variants walk identical update
+  // sequences; the only historical divergence was the self-negative whose
+  // sample-side update the staged writeback silently dropped. 16 vertices
+  // x 3 negatives x 50 epochs makes such draws certain.
+  simt::DeviceConfig device_config = test_device_config();
+  device_config.workers = 1;
+  const auto g = two_cliques();
+  auto run = [&](bool naive) {
+    simt::Device device(device_config);
+    TrainConfig config;
+    config.dim = 32;  // one vertex per warp in both variants
+    config.naive_kernel = naive;
+    EmbeddingMatrix m(g.num_vertices(), config.dim);
+    m.initialize_random(12);
+    DeviceTrainer trainer(device, g, config);
+    trainer.train(m, 50);
+    return std::vector<emb_t>(m.data(), m.data() + m.size());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Trainer, RejectsMismatchedMatrixShape) {
+  simt::Device device(test_device_config());
+  const auto g = two_cliques();
+  TrainConfig config;
+  config.dim = 16;
+  DeviceTrainer trainer(device, g, config);
+  EmbeddingMatrix wrong_rows(g.num_vertices() + 1, 16);
+  wrong_rows.initialize_random(13);
+  EXPECT_THROW(trainer.train(wrong_rows, 5), std::invalid_argument);
+  EmbeddingMatrix wrong_dim(g.num_vertices(), 8);
+  wrong_dim.initialize_random(14);
+  EXPECT_THROW(trainer.train(wrong_dim, 5), std::invalid_argument);
+}
+
+TEST(Trainer, RejectsZeroEpochSchedules) {
+  // epochs = 0 and lr_total = 0 used to reach decayed_learning_rate as
+  // 0/0 and train on NaN; both are invalid arguments now.
+  simt::Device device(test_device_config());
+  const auto g = two_cliques();
+  TrainConfig config;
+  config.dim = 16;
+  DeviceTrainer trainer(device, g, config);
+  EmbeddingMatrix m(g.num_vertices(), 16);
+  m.initialize_random(15);
+  EXPECT_THROW(trainer.train(m, 0), std::invalid_argument);
+  EXPECT_THROW(trainer.train(m, 5, /*lr_offset=*/0, /*lr_total=*/0),
+               std::invalid_argument);
 }
 
 TEST(Trainer, AccountsDeviceTraffic) {

@@ -1,11 +1,7 @@
 // Link-prediction and node-classification pipelines end to end.
 #include <gtest/gtest.h>
 
-#include "gosh/embedding/gosh.hpp"
-#include "gosh/eval/pipeline.hpp"
-#include "gosh/graph/generators.hpp"
-#include "gosh/graph/ops.hpp"
-#include "gosh/graph/split.hpp"
+#include "gosh/api/api.hpp"
 
 namespace gosh::eval {
 namespace {
@@ -59,16 +55,17 @@ TEST(LinkPrediction, GoodEmbeddingScoresHighAuc) {
   const auto g = graph::lfr_like(2048, params, 53);
   const auto split = graph::split_for_link_prediction(g, {.seed = 3});
 
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = 64u << 20;
-  device_config.workers = 2;
-  simt::Device device(device_config);
-  embedding::GoshConfig config = embedding::gosh_normal();
-  config.train.dim = 32;
-  config.total_epochs = 300;
-  const auto result = embedding::gosh_embed(split.train, device, config);
+  api::Options options;
+  options.backend = "device";
+  options.device.memory_bytes = 64u << 20;
+  options.device.workers = 2;
+  options.train().dim = 32;
+  options.gosh.total_epochs = 300;
+  auto result = api::embed(split.train, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
 
-  const auto report = evaluate_link_prediction(result.embedding, split);
+  const auto report =
+      evaluate_link_prediction(result.value().embedding, split);
   EXPECT_GT(report.auc_roc, 0.8);
   EXPECT_GT(report.train_samples, 0u);
   EXPECT_GT(report.test_samples, 0u);
@@ -108,20 +105,21 @@ TEST(NodeClassification, SeparableCommunities) {
   edges.emplace_back(0, clique);
   const auto g = graph::build_csr(2 * clique, std::move(edges));
 
-  simt::DeviceConfig device_config;
-  device_config.memory_bytes = 16u << 20;
-  device_config.workers = 2;
-  simt::Device device(device_config);
-  embedding::GoshConfig config = embedding::gosh_normal();
-  config.train.dim = 16;
-  config.train.learning_rate = 0.05f;
-  config.total_epochs = 300;
-  config.coarsening.threshold = 4;
-  const auto result = embedding::gosh_embed(g, device, config);
+  api::Options options;
+  options.backend = "device";
+  options.device.memory_bytes = 16u << 20;
+  options.device.workers = 2;
+  options.train().dim = 16;
+  options.train().learning_rate = 0.05f;
+  options.gosh.total_epochs = 300;
+  options.gosh.coarsening.threshold = 4;
+  auto result = api::embed(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
 
   std::vector<unsigned> labels(2 * clique);
   for (vid_t v = 0; v < 2 * clique; ++v) labels[v] = v < clique ? 0 : 1;
-  const auto report = evaluate_node_classification(result.embedding, labels);
+  const auto report =
+      evaluate_node_classification(result.value().embedding, labels);
   EXPECT_EQ(report.classes, 2u);
   EXPECT_GT(report.accuracy, 0.8);
 }

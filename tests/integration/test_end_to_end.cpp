@@ -1,23 +1,26 @@
-// Cross-module integration: the full paper pipeline at miniature scale.
+// Cross-module integration: the full paper pipeline at miniature scale,
+// driven end to end through the gosh::api facade.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "gosh/baselines/verse_cpu.hpp"
-#include "gosh/embedding/gosh.hpp"
-#include "gosh/eval/pipeline.hpp"
-#include "gosh/graph/datasets.hpp"
-#include "gosh/graph/generators.hpp"
-#include "gosh/graph/split.hpp"
+#include "gosh/api/api.hpp"
 
 namespace gosh {
 namespace {
 
-simt::DeviceConfig device_config(std::size_t bytes) {
-  simt::DeviceConfig config;
-  config.memory_bytes = bytes;
-  config.workers = 2;
-  return config;
+api::Options device_options(std::size_t bytes) {
+  api::Options options;
+  options.device.memory_bytes = bytes;
+  options.device.workers = 2;
+  return options;
+}
+
+api::EmbedResult must_embed(const graph::Graph& g,
+                            const api::Options& options) {
+  auto result = api::embed(g, options);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value();
 }
 
 TEST(EndToEnd, DatasetRegistryCoversTable2) {
@@ -46,22 +49,23 @@ TEST(EndToEnd, GoshBeatsRandomAndApproachesVerse) {
   const auto g = graph::lfr_like(2048, params, 91);
   const auto split = graph::split_for_link_prediction(g, {.seed = 7});
 
-  simt::Device device(device_config(64u << 20));
-  embedding::GoshConfig gosh_config = embedding::gosh_normal();
-  gosh_config.train.dim = 32;
-  gosh_config.total_epochs = 300;
-  const auto gosh_result =
-      embedding::gosh_embed(split.train, device, gosh_config);
+  api::Options gosh_options = device_options(64u << 20);
+  gosh_options.backend = "device";
+  gosh_options.train().dim = 32;
+  gosh_options.gosh.total_epochs = 300;
+  const auto gosh_result = must_embed(split.train, gosh_options);
   const auto gosh_report =
       eval::evaluate_link_prediction(gosh_result.embedding, split);
 
-  baselines::VerseConfig verse_config;
-  verse_config.dim = 32;
-  verse_config.epochs = 300;
-  verse_config.learning_rate = 0.025f;
-  verse_config.similarity = baselines::VerseConfig::Similarity::kAdjacency;
-  const auto verse_matrix = baselines::verse_cpu_embed(split.train, verse_config);
-  const auto verse_report = eval::evaluate_link_prediction(verse_matrix, split);
+  api::Options verse_options = device_options(64u << 20);
+  verse_options.backend = "verse-cpu";
+  verse_options.train().dim = 32;
+  verse_options.gosh.total_epochs = 300;
+  verse_options.verse_similarity = "adjacency";
+  verse_options.verse_learning_rate = 0.025f;
+  const auto verse_result = must_embed(split.train, verse_options);
+  const auto verse_report =
+      eval::evaluate_link_prediction(verse_result.embedding, split);
 
   EXPECT_GT(gosh_report.auc_roc, 0.8);
   EXPECT_GT(verse_report.auc_roc, 0.8);
@@ -69,9 +73,9 @@ TEST(EndToEnd, GoshBeatsRandomAndApproachesVerse) {
 }
 
 TEST(EndToEnd, LargeGraphPathMatchesResidentQuality) {
-  // Same graph, two devices: one fits everything, one forces Algorithm 5.
-  // AUCROC must land in the same band (the paper's claim that partitioned
-  // training is "almost equivalent").
+  // Same graph, two device sizes: one fits everything, one forces
+  // Algorithm 5. AUCROC must land in the same band (the paper's claim
+  // that partitioned training is "almost equivalent").
   graph::LfrParams params;
   params.average_degree = 14.0;
   params.communities = 32;
@@ -79,11 +83,11 @@ TEST(EndToEnd, LargeGraphPathMatchesResidentQuality) {
   const auto split = graph::split_for_link_prediction(g, {.seed = 8});
 
   auto run = [&](std::size_t device_bytes) {
-    simt::Device device(device_config(device_bytes));
-    embedding::GoshConfig config = embedding::gosh_normal();
-    config.train.dim = 32;
-    config.total_epochs = 300;
-    const auto result = embedding::gosh_embed(split.train, device, config);
+    api::Options options = device_options(device_bytes);
+    options.backend = "auto";  // the fits-check picks the engine
+    options.train().dim = 32;
+    options.gosh.total_epochs = 300;
+    const auto result = must_embed(split.train, options);
     return eval::evaluate_link_prediction(result.embedding, split).auc_roc;
   };
 
@@ -104,12 +108,12 @@ TEST(EndToEnd, CoarseningSpeedsUpAtSimilarQuality) {
   const auto split = graph::split_for_link_prediction(g, {.seed = 9});
 
   auto run = [&](bool coarsen, double* auc) {
-    simt::Device device(device_config(128u << 20));
-    embedding::GoshConfig config =
-        coarsen ? embedding::gosh_normal() : embedding::gosh_no_coarsening();
-    config.train.dim = 32;
-    config.total_epochs = 200;
-    const auto result = embedding::gosh_embed(split.train, device, config);
+    api::Options options = device_options(128u << 20);
+    options.backend = "device";
+    if (!coarsen) EXPECT_TRUE(options.set("preset", "nocoarse").is_ok());
+    options.train().dim = 32;
+    options.gosh.total_epochs = 200;
+    const auto result = must_embed(split.train, options);
     *auc = eval::evaluate_link_prediction(result.embedding, split).auc_roc;
     return result.total_seconds;
   };

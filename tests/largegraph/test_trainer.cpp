@@ -1,81 +1,117 @@
-// Algorithm 5 orchestration: out-of-memory training end to end.
+// Algorithm 5 orchestration through the gosh::api facade: out-of-memory
+// training end to end, partitioned-path reporting, rotation progress.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <vector>
 
-#include "gosh/embedding/update.hpp"
-#include "gosh/graph/builder.hpp"
-#include "gosh/graph/generators.hpp"
-#include "gosh/largegraph/trainer.hpp"
+#include "gosh/api/api.hpp"
 
-namespace gosh::largegraph {
+namespace gosh {
 namespace {
 
-simt::DeviceConfig tiny_device(std::size_t bytes) {
-  simt::DeviceConfig config;
-  config.memory_bytes = bytes;
-  config.workers = 2;
-  return config;
+/// A flat (no-coarsening) partitioned run: backend "largegraph" forces
+/// level 0 — the only level — through Algorithm 5, and edge_epochs off
+/// makes total_epochs the exact pass count the rotation formula sees.
+api::Options partitioned_options(std::size_t device_bytes, unsigned dim,
+                                 unsigned passes) {
+  api::Options options;
+  options.backend = "largegraph";
+  options.train().dim = dim;
+  options.train().learning_rate = 0.05f;
+  options.gosh.enable_coarsening = false;
+  options.gosh.edge_epochs = false;
+  options.gosh.total_epochs = passes;
+  options.device.memory_bytes = device_bytes;
+  options.device.workers = 2;
+  return options;
 }
 
-embedding::TrainConfig train_config(unsigned dim) {
-  embedding::TrainConfig config;
-  config.dim = dim;
-  config.learning_rate = 0.05f;
-  return config;
+api::EmbedResult must_embed(const graph::Graph& g,
+                            const api::Options& options,
+                            api::ProgressObserver* observer = nullptr) {
+  auto result = api::embed(g, options, observer);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value();
 }
 
 TEST(LargeTrainer, PlansMultipleParts) {
   // 4096 vertices x 32 dims x 4B = 512 KiB of matrix; 160 KiB device.
-  simt::Device device(tiny_device(160u << 10));
   const auto g = graph::rmat(12, 20000, 41);
-  LargeGraphConfig config;
-  LargeGraphTrainer trainer(device, g, train_config(32), config);
-  EXPECT_GE(trainer.plan().num_parts(), 3u);
+  const auto result =
+      must_embed(g, partitioned_options(160u << 10, 32, 4));
+  ASSERT_EQ(result.levels.size(), 1u);
+  EXPECT_TRUE(result.levels[0].used_large_graph_path);
+  EXPECT_GE(result.levels[0].partitions, 3u);
 }
 
 TEST(LargeTrainer, TrainsAndReportsStats) {
-  simt::Device device(tiny_device(160u << 10));
   const auto g = graph::rmat(12, 20000, 42);
-  embedding::EmbeddingMatrix m(g.num_vertices(), 32);
-  m.initialize_random(1);
-  const std::vector<emb_t> before(m.data(), m.data() + m.size());
+  const auto result =
+      must_embed(g, partitioned_options(160u << 10, 32, 40));
+  const embedding::LevelReport& level = result.levels.front();
 
-  LargeGraphConfig config;
-  config.sampler_threads = 2;
-  LargeGraphTrainer trainer(device, g, train_config(32), config);
-  const auto stats = trainer.train(m, 40);
+  EXPECT_GT(level.rotations, 0u);
+  const auto pairs = static_cast<std::uint64_t>(level.partitions) *
+                     (level.partitions + 1) / 2;
+  EXPECT_EQ(level.pair_kernels, level.rotations * pairs);
+  EXPECT_EQ(level.pools_consumed, level.pair_kernels);
+  EXPECT_GT(level.submatrix_switches, 0u);
 
-  EXPECT_GT(stats.rotations, 0u);
-  const auto pairs = static_cast<std::uint64_t>(stats.num_parts) *
-                     (stats.num_parts + 1) / 2;
-  EXPECT_EQ(stats.kernels, stats.rotations * pairs);
-  EXPECT_EQ(stats.pools_consumed, stats.kernels);
-  EXPECT_GT(stats.submatrix_switches, 0u);
-
-  bool changed = false;
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    EXPECT_TRUE(std::isfinite(m.data()[i]));
-    changed |= m.data()[i] != before[i];
+  EXPECT_EQ(result.embedding.rows(), g.num_vertices());
+  for (std::size_t i = 0; i < result.embedding.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.embedding.data()[i]));
   }
-  EXPECT_TRUE(changed);
 }
 
 TEST(LargeTrainer, RotationCountMatchesFormula) {
-  simt::Device device(tiny_device(160u << 10));
   const auto g = graph::rmat(12, 20000, 43);
-  embedding::EmbeddingMatrix m(g.num_vertices(), 32);
-  m.initialize_random(2);
-  LargeGraphConfig config;
-  config.batch_B = 5;
-  LargeGraphTrainer trainer(device, g, train_config(32), config);
-  const unsigned epochs = 60;
-  const auto stats = trainer.train(m, epochs);
+  api::Options options = partitioned_options(160u << 10, 32, 60);
+  options.gosh.large_graph.batch_B = 5;
+  const auto result = must_embed(g, options);
+  const embedding::LevelReport& level = result.levels.front();
   const unsigned expected = std::max(
-      1u, (epochs + config.batch_B * stats.num_parts - 1) /
-              (config.batch_B * stats.num_parts));
-  EXPECT_EQ(stats.rotations, expected);
+      1u, (60 + 5 * level.partitions - 1) / (5 * level.partitions));
+  EXPECT_EQ(level.rotations, expected);
+}
+
+TEST(LargeTrainer, FiresOneEpochTickPerRotationInOrder) {
+  // The acceptance contract of the partitioned path: an observer attached
+  // through the facade sees on_epoch once per rotation with
+  // total = rotations, plus per-pair detail inside each rotation.
+  struct RotationObserver : api::ProgressObserver {
+    std::vector<unsigned> ticks;
+    std::vector<unsigned> totals;
+    std::size_t pair_ticks = 0;
+    std::size_t last_num_pairs = 0;
+    void on_epoch(std::size_t, unsigned epoch, unsigned total) override {
+      ticks.push_back(epoch);
+      totals.push_back(total);
+    }
+    void on_pair(std::size_t, unsigned, std::size_t,
+                 std::size_t num_pairs) override {
+      ++pair_ticks;
+      last_num_pairs = num_pairs;
+    }
+  };
+
+  const auto g = graph::rmat(12, 20000, 46);
+  api::Options options = partitioned_options(160u << 10, 32, 60);
+  options.gosh.large_graph.batch_B = 2;
+  RotationObserver observer;
+  const auto result = must_embed(g, options, &observer);
+  const embedding::LevelReport& level = result.levels.front();
+
+  ASSERT_GT(level.rotations, 1u);
+  ASSERT_EQ(observer.ticks.size(), level.rotations);
+  for (unsigned r = 0; r < level.rotations; ++r) {
+    EXPECT_EQ(observer.ticks[r], r);
+    EXPECT_EQ(observer.totals[r], level.rotations);
+  }
+  EXPECT_EQ(observer.pair_ticks, level.pair_kernels);
+  EXPECT_EQ(observer.last_num_pairs,
+            static_cast<std::size_t>(level.partitions) *
+                (level.partitions + 1) / 2);
 }
 
 TEST(LargeTrainer, LearnsCommunityStructureAcrossParts) {
@@ -91,16 +127,14 @@ TEST(LargeTrainer, LearnsCommunityStructureAcrossParts) {
   edges.emplace_back(0, clique);
   const auto g = graph::build_csr(2 * clique, std::move(edges));
 
-  // Budget forces >= 4 parts of 16 vertices.
-  simt::Device device(tiny_device(24u << 10));
-  embedding::EmbeddingMatrix m(g.num_vertices(), 16);
-  m.initialize_random(3);
-  LargeGraphConfig config;
-  config.batch_B = 2;
-  config.device_budget_bytes = 20u << 10;
-  LargeGraphTrainer trainer(device, g, train_config(16), config);
-  ASSERT_GE(trainer.plan().num_parts(), 2u);
-  trainer.train(m, 600);
+  // Budget forces >= 2 parts of 16 vertices.
+  api::Options options = partitioned_options(24u << 10, 16, 600);
+  options.train().seed = 3;
+  options.gosh.large_graph.batch_B = 2;
+  options.gosh.large_graph.device_budget_bytes = 20u << 10;
+  const auto result = must_embed(g, options);
+  ASSERT_GE(result.levels.front().partitions, 2u);
+  const embedding::EmbeddingMatrix& m = result.embedding;
 
   float intra = 0.0f, inter = 0.0f;
   int intra_n = 0, inter_n = 0;
@@ -123,17 +157,13 @@ TEST(LargeTrainer, LearnsCommunityStructureAcrossParts) {
 class LargeTrainerPgpuTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(LargeTrainerPgpuTest, WorksAcrossSlotCounts) {
-  simt::Device device(tiny_device(256u << 10));
   const auto g = graph::rmat(11, 8000, 44);
-  embedding::EmbeddingMatrix m(g.num_vertices(), 32);
-  m.initialize_random(4);
-  LargeGraphConfig config;
-  config.pgpu = GetParam();
-  config.device_budget_bytes = 128u << 10;
-  LargeGraphTrainer trainer(device, g, train_config(32), config);
-  trainer.train(m, 20);
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    ASSERT_TRUE(std::isfinite(m.data()[i]));
+  api::Options options = partitioned_options(256u << 10, 32, 20);
+  options.gosh.large_graph.pgpu = GetParam();
+  options.gosh.large_graph.device_budget_bytes = 128u << 10;
+  const auto result = must_embed(g, options);
+  for (std::size_t i = 0; i < result.embedding.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.embedding.data()[i]));
   }
 }
 
@@ -143,22 +173,19 @@ INSTANTIATE_TEST_SUITE_P(Slots, LargeTrainerPgpuTest,
 class LargeTrainerBatchTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(LargeTrainerBatchTest, LargerBMeansFewerRotations) {
-  simt::Device device(tiny_device(256u << 10));
   const auto g = graph::rmat(11, 8000, 45);
-  embedding::EmbeddingMatrix m(g.num_vertices(), 32);
-  m.initialize_random(5);
-  LargeGraphConfig config;
-  config.batch_B = GetParam();
-  config.device_budget_bytes = 128u << 10;
-  LargeGraphTrainer trainer(device, g, train_config(32), config);
-  const auto stats = trainer.train(m, 64);
+  api::Options options = partitioned_options(256u << 10, 32, 64);
+  options.gosh.large_graph.batch_B = GetParam();
+  options.gosh.large_graph.device_budget_bytes = 128u << 10;
+  const auto result = must_embed(g, options);
+  const embedding::LevelReport& level = result.levels.front();
   // rotations ~ epochs / (B*K): monotone nonincreasing in B given fixed K.
-  EXPECT_LE(stats.rotations,
-            std::max(1u, 64u / (GetParam() * stats.num_parts) + 1));
+  EXPECT_LE(level.rotations,
+            std::max(1u, 64u / (GetParam() * level.partitions) + 1));
 }
 
 INSTANTIATE_TEST_SUITE_P(Batches, LargeTrainerBatchTest,
                          ::testing::Values(1, 2, 5, 10));
 
 }  // namespace
-}  // namespace gosh::largegraph
+}  // namespace gosh

@@ -1,16 +1,16 @@
-// Multi-device (data-parallel replica) training.
+// Multi-device (data-parallel replica) training through the gosh::api
+// facade ("multidevice" backend). The single-replica equivalence check
+// still drives the embedding-layer DeviceTrainer directly as its
+// reference, which is the engine the replicas wrap.
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <memory>
 #include <vector>
 
-#include "gosh/embedding/update.hpp"
-#include "gosh/graph/builder.hpp"
-#include "gosh/graph/generators.hpp"
-#include "gosh/multidevice/trainer.hpp"
+#include "gosh/api/api.hpp"
+#include "gosh/embedding/trainer.hpp"
 
-namespace gosh::multidevice {
+namespace gosh {
 namespace {
 
 graph::Graph two_cliques(vid_t clique = 8) {
@@ -44,69 +44,63 @@ float separation(const embedding::EmbeddingMatrix& m, vid_t clique) {
   return intra / intra_n - inter / inter_n;
 }
 
-simt::DeviceConfig one_worker_device() {
-  simt::DeviceConfig config;
-  config.memory_bytes = 32u << 20;
-  config.workers = 1;
-  return config;
+/// One-worker emulated devices and raw per-|V| passes, so replica runs are
+/// deterministic and the pass count is exactly total_epochs.
+api::Options multidevice_options(unsigned replicas, unsigned dim,
+                                 unsigned passes) {
+  api::Options options;
+  options.backend = "multidevice";
+  options.num_devices = replicas;
+  options.train().dim = dim;
+  options.gosh.edge_epochs = false;
+  options.gosh.total_epochs = passes;
+  options.device.memory_bytes = 32u << 20;
+  options.device.workers = 1;
+  return options;
 }
 
 TEST(MultiDevice, RequiresAtLeastOneDevice) {
-  const auto g = two_cliques();
-  embedding::TrainConfig config;
-  config.dim = 8;
-  std::vector<simt::Device*> none;
-  EXPECT_THROW(MultiDeviceTrainer(none, g, config), std::invalid_argument);
+  api::Options options = multidevice_options(1, 8, 10);
+  options.num_devices = 0;
+  auto result = api::embed(two_cliques(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), api::StatusCode::kInvalidArgument);
 }
 
 TEST(MultiDevice, SingleDeviceMatchesDeviceTrainer) {
   const auto g = two_cliques();
-  embedding::TrainConfig config;
-  config.dim = 8;
-  config.seed = 3;
+  api::Options options = multidevice_options(1, 8, 20);
+  options.train().seed = 3;
+  auto multi = api::embed(g, options);
+  ASSERT_TRUE(multi.ok()) << multi.status().to_string();
 
-  simt::Device direct_device(one_worker_device());
+  // Reference: the facade initializes from train.seed and the multi-device
+  // wrapper derives replica seeds as hash(seed, r) — replicate both.
+  simt::Device device(options.device);
   embedding::EmbeddingMatrix direct(g.num_vertices(), 8);
-  direct.initialize_random(1);
-  {
-    // The multi-device wrapper derives replica seeds as hash(seed, r), so
-    // replicate that for the reference run.
-    embedding::TrainConfig reference = config;
-    reference.seed = hash_combine(config.seed, 0);
-    embedding::DeviceTrainer trainer(direct_device, g, reference);
-    trainer.train(direct, 20);
-  }
+  direct.initialize_random(3);
+  embedding::TrainConfig reference = options.train();
+  reference.seed = hash_combine(options.train().seed, 0);
+  embedding::DeviceTrainer trainer(device, g, reference);
+  trainer.train(direct, 20);
 
-  simt::Device multi_device(one_worker_device());
-  std::vector<simt::Device*> devices = {&multi_device};
-  MultiDeviceTrainer trainer(devices, g, config);
-  embedding::EmbeddingMatrix multi(g.num_vertices(), 8);
-  multi.initialize_random(1);
-  trainer.train(multi, 20);
-
+  const embedding::EmbeddingMatrix& replicated = multi.value().embedding;
+  ASSERT_EQ(replicated.size(), direct.size());
   for (std::size_t i = 0; i < direct.size(); ++i) {
-    EXPECT_EQ(direct.data()[i], multi.data()[i]);
+    EXPECT_EQ(direct.data()[i], replicated.data()[i]);
   }
 }
 
 TEST(MultiDevice, TwoReplicasLearnCommunities) {
-  const auto g = two_cliques();
-  simt::Device a(one_worker_device()), b(one_worker_device());
-  std::vector<simt::Device*> devices = {&a, &b};
-
-  embedding::TrainConfig config;
-  config.dim = 16;
-  config.learning_rate = 0.05f;
-  MultiDeviceConfig multi;
-  multi.sync_interval = 10;
-  MultiDeviceTrainer trainer(devices, g, config, multi);
-
-  embedding::EmbeddingMatrix m(g.num_vertices(), 16);
-  m.initialize_random(2);
-  trainer.train(m, 300);
-  EXPECT_GT(separation(m, 8), 0.1f);
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    EXPECT_TRUE(std::isfinite(m.data()[i]));
+  api::Options options = multidevice_options(2, 16, 300);
+  options.train().learning_rate = 0.05f;
+  options.train().seed = 2;
+  options.sync_interval = 10;
+  auto result = api::embed(two_cliques(), options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_GT(separation(result.value().embedding, 8), 0.1f);
+  for (std::size_t i = 0; i < result.value().embedding.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.value().embedding.data()[i]));
   }
 }
 
@@ -114,22 +108,13 @@ class MultiDeviceReplicaTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(MultiDeviceReplicaTest, AnyReplicaCountTrains) {
   const auto g = graph::rmat(9, 2000, 31);
-  std::vector<std::unique_ptr<simt::Device>> owned;
-  std::vector<simt::Device*> devices;
-  for (unsigned r = 0; r < GetParam(); ++r) {
-    owned.push_back(std::make_unique<simt::Device>(one_worker_device()));
-    devices.push_back(owned.back().get());
-  }
-  embedding::TrainConfig config;
-  config.dim = 8;
-  MultiDeviceTrainer trainer(devices, g, config);
-  EXPECT_EQ(trainer.replicas(), GetParam());
-
-  embedding::EmbeddingMatrix m(g.num_vertices(), 8);
-  m.initialize_random(4);
-  trainer.train(m, 25);
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    ASSERT_TRUE(std::isfinite(m.data()[i]));
+  api::Options options = multidevice_options(GetParam(), 8, 25);
+  options.train().seed = 4;
+  auto result = api::embed(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().backend, "multidevice");
+  for (std::size_t i = 0; i < result.value().embedding.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.value().embedding.data()[i]));
   }
 }
 
@@ -137,21 +122,15 @@ INSTANTIATE_TEST_SUITE_P(Replicas, MultiDeviceReplicaTest,
                          ::testing::Values(1, 2, 3, 4));
 
 TEST(MultiDevice, SyncIntervalLargerThanPassesIsOneBlock) {
-  const auto g = two_cliques();
-  simt::Device a(one_worker_device()), b(one_worker_device());
-  std::vector<simt::Device*> devices = {&a, &b};
-  embedding::TrainConfig config;
-  config.dim = 8;
-  MultiDeviceConfig multi;
-  multi.sync_interval = 1000;  // > passes
-  MultiDeviceTrainer trainer(devices, g, config, multi);
-  embedding::EmbeddingMatrix m(g.num_vertices(), 8);
-  m.initialize_random(5);
-  trainer.train(m, 10);
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    ASSERT_TRUE(std::isfinite(m.data()[i]));
+  api::Options options = multidevice_options(2, 8, 10);
+  options.train().seed = 5;
+  options.sync_interval = 1000;  // > passes
+  auto result = api::embed(two_cliques(), options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  for (std::size_t i = 0; i < result.value().embedding.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.value().embedding.data()[i]));
   }
 }
 
 }  // namespace
-}  // namespace gosh::multidevice
+}  // namespace gosh
