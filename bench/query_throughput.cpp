@@ -1,0 +1,179 @@
+// Query serving throughput: exact blocked scan vs HNSW over a GSHS store.
+//
+// Makes the serving path measurable the way the table/figure harnesses
+// measure the training paths: writes a synthetic embedding matrix as an
+// mmap-served store, builds the HNSW index beside it, then reports
+// queries/sec and mean latency for both strategies at every requested
+// thread count, plus the BatchQueue coalescing profile.
+//
+//   bench_query_throughput [--rows N] [--dim D] [--queries Q] [--k K]
+//                          [--threads t1,t2,...] [--batch B] [--seed S]
+//
+// Defaults: 20000 rows, dim 64, 512 queries, k 10, threads 1,4, batch 64.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gosh/api/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gosh;
+
+  api::print_bench_banner("Query serving throughput (exact scan vs HNSW)");
+
+  const auto rows = static_cast<vid_t>(
+      api::require_flag_unsigned(argc, argv, "--rows", 20000));
+  const auto dim = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--dim", 64));
+  const auto num_queries = static_cast<std::size_t>(
+      api::require_flag_unsigned(argc, argv, "--queries", 512));
+  const auto k =
+      static_cast<unsigned>(api::require_flag_unsigned(argc, argv, "--k", 10));
+  const auto batch = static_cast<std::size_t>(
+      api::require_flag_unsigned(argc, argv, "--batch", 64));
+  const auto seed = api::require_flag_unsigned(argc, argv, "--seed", 1);
+  const std::vector<std::string> thread_flags =
+      api::flag_list(argc, argv, "--threads", {"1", "4"});
+
+  std::vector<unsigned> thread_counts;
+  for (const std::string& t : thread_flags) {
+    auto parsed = api::parse_unsigned(t);
+    if (!parsed.ok() || parsed.value() == 0) {
+      std::fprintf(stderr, "error: --threads wants positive integers\n");
+      return 1;
+    }
+    thread_counts.push_back(static_cast<unsigned>(parsed.value()));
+  }
+
+  // A synthetic matrix stands in for a trained embedding: throughput only
+  // depends on shape, not on training quality.
+  embedding::EmbeddingMatrix matrix(rows, dim);
+  matrix.initialize_random(seed);
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() / "gosh_bench_query.store")
+          .string();
+  if (api::Status status = store::EmbeddingStore::write(
+          matrix, store_path, {.rows_per_shard = rows / 4 + 1});
+      !status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  WallTimer timer;
+  auto opened = store::EmbeddingStore::open(store_path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("store: %u rows x %u dim, %zu shards, opened in %.3f s\n", rows,
+              dim, opened.value().num_shards(), timer.seconds());
+
+  timer.reset();
+  query::HnswOptions hnsw;
+  hnsw.M = 16;
+  hnsw.ef_construction = 128;
+  hnsw.seed = seed;
+  const query::HnswIndex index =
+      query::HnswIndex::build(opened.value(), hnsw);
+  std::printf("hnsw build: %.2f s (M=%u, ef_construction=%u, max level %d)\n",
+              timer.seconds(), index.M(), index.ef_construction(),
+              index.max_level());
+
+  // Queries = stored rows sampled with replacement (realistic: most
+  // serving traffic asks "more like this node").
+  Rng rng(seed + 7);
+  std::vector<float> queries(num_queries * dim);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const auto row = opened.value().row(rng.next_vertex(rows));
+    std::copy(row.begin(), row.end(), queries.begin() + q * dim);
+  }
+
+  // Re-opening the store per engine is the point of the format: an open
+  // is one header read + mmap, so every serving process gets its own
+  // zero-copy view.
+  const auto open_engine =
+      [&store_path](unsigned threads) -> api::Result<query::QueryEngine> {
+    auto reopened = store::EmbeddingStore::open(store_path,
+                                                {.verify_checksums = false});
+    if (!reopened.ok()) return reopened.status();
+    query::QueryEngineOptions options;
+    options.metric = query::Metric::kCosine;
+    options.threads = threads;
+    return query::QueryEngine(std::move(reopened).value(), options);
+  };
+
+  std::printf("\n%-8s %8s %12s %14s\n", "strategy", "threads", "queries/s",
+              "mean ms/query");
+  for (const unsigned threads : thread_counts) {
+    auto engine = open_engine(threads);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   engine.status().to_string().c_str());
+      return 1;
+    }
+    if (api::Status status = engine.value().attach_index(index);
+        !status.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+      return 1;
+    }
+
+    for (const auto strategy :
+         {query::Strategy::kExact, query::Strategy::kHnsw}) {
+      timer.reset();
+      auto results =
+          engine.value().top_k_batch(queries, num_queries, k, strategy);
+      const double seconds = timer.seconds();
+      if (!results.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     results.status().to_string().c_str());
+        return 1;
+      }
+      std::printf("%-8s %8u %12.1f %14.4f\n",
+                  std::string(query::strategy_name(strategy)).c_str(), threads,
+                  num_queries / seconds, 1e3 * seconds / num_queries);
+    }
+  }
+
+  // BatchQueue profile at the last thread count: concurrent submitters,
+  // coalesced scans.
+  {
+    auto reopened = open_engine(thread_counts.back());
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   reopened.status().to_string().c_str());
+      return 1;
+    }
+    query::QueryEngine engine = std::move(reopened).value();
+    query::QueryCounters counters;
+    query::BatchQueue queue(
+        engine, {.max_batch = batch, .k = k, .strategy = query::Strategy::kExact},
+        &counters);
+    timer.reset();
+    std::vector<std::future<std::vector<query::Neighbor>>> futures;
+    futures.reserve(num_queries);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      futures.push_back(queue.submit(std::vector<float>(
+          queries.begin() + q * dim, queries.begin() + (q + 1) * dim)));
+    }
+    for (auto& f : futures) f.get();
+    const double seconds = timer.seconds();
+    std::printf(
+        "\nbatch queue (max_batch %zu): %.1f queries/s, %llu batches "
+        "(mean %.1f/scan), latency mean %.3f ms / max %.3f ms\n",
+        batch, num_queries / seconds,
+        static_cast<unsigned long long>(counters.batches()),
+        counters.mean_batch_size(), 1e3 * counters.mean_latency_seconds(),
+        1e3 * counters.max_latency_seconds());
+  }
+
+  const std::uint64_t per_shard = rows / 4 + 1;
+  const auto shard_count =
+      static_cast<std::uint32_t>((rows + per_shard - 1) / per_shard);
+  std::filesystem::remove(store_path);
+  for (std::uint32_t s = 1; s < shard_count; ++s) {
+    std::filesystem::remove(
+        store::EmbeddingStore::shard_path(store_path, s, shard_count));
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Similarity search: train an embedding through the gosh::api facade,
+// persist it into an mmap-served GSHS store, then answer KNN queries with
+// both serving strategies — the full train -> store -> serve pipeline in
+// one file.
+//
+//   ./similarity_search [vertices] [store_path]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gosh/api/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gosh;
+
+  const vid_t n = argc > 1 ? static_cast<vid_t>(std::atoi(argv[1])) : 2000;
+  const std::string store_path =
+      argc > 2 ? argv[2] : "similarity_search.store";
+
+  // 1. Train. An LFR graph has planted communities, so nearest neighbors
+  // in embedding space should land in the query vertex's own community.
+  graph::LfrParams params;
+  params.communities = 24;
+  const graph::Graph g = graph::lfr_like(n, params, /*seed=*/5);
+  std::printf("graph: |V|=%u |E|=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges_undirected()));
+
+  api::Options options;
+  options.preset = "fast";
+  options.train().dim = 48;
+  options.gosh.total_epochs = 300;
+  auto embedded = api::embed(g, options);
+  if (!embedded.ok()) {
+    std::fprintf(stderr, "error: %s\n", embedded.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("embedded in %.2f s (backend %s)\n",
+              embedded.value().total_seconds,
+              embedded.value().backend.c_str());
+
+  // 2. Persist into a sharded store and reopen it via mmap — from here on
+  // nothing touches the in-memory matrix.
+  if (api::Status status = store::EmbeddingStore::write(
+          embedded.value().embedding, store_path, {.rows_per_shard = n / 3});
+      !status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  auto opened = store::EmbeddingStore::open(store_path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("store %s: %u x %u in %zu shards\n", store_path.c_str(),
+              opened.value().rows(), opened.value().dim(),
+              opened.value().num_shards());
+
+  // 3. Serve: exact scan vs the HNSW index, side by side.
+  query::QueryEngine engine(std::move(opened).value(), {});
+  if (api::Status status = engine.build_index({.ef_construction = 128});
+      !status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  Rng rng(11);
+  for (int i = 0; i < 3; ++i) {
+    const vid_t v = rng.next_vertex(engine.rows());
+    for (const auto strategy :
+         {query::Strategy::kExact, query::Strategy::kHnsw}) {
+      auto top = engine.top_k_vertex(v, 5, strategy);
+      if (!top.ok()) {
+        std::fprintf(stderr, "error: %s\n", top.status().to_string().c_str());
+        return 1;
+      }
+      std::printf("vertex %5u (%5s):", v,
+                  std::string(query::strategy_name(strategy)).c_str());
+      // How many of the returned neighbors are actual graph neighbors?
+      const auto adjacent = g.neighbors(v);
+      unsigned direct = 0;
+      for (const query::Neighbor& nb : top.value()) {
+        for (const vid_t u : adjacent) direct += (u == nb.id);
+        std::printf(" %u:%.3f", nb.id, nb.score);
+      }
+      std::printf("   [%u/5 are graph neighbors]\n", direct);
+    }
+  }
+  return 0;
+}

@@ -9,7 +9,8 @@
 //
 // Everything a tool, example or bench needs rides along: graph
 // construction and datasets (gosh/api/graph.hpp), the evaluation pipelines
-// (gosh/api/eval.hpp), embedding persistence (gosh/api/io.hpp), and the
+// (gosh/api/eval.hpp), embedding persistence (gosh/api/io.hpp), the
+// serving-side store + KNN query engine (gosh/api/serving.hpp), and the
 // small common utilities (timer, rng, logging) the drivers lean on.
 #pragma once
 
@@ -21,6 +22,7 @@
 #include "gosh/api/options.hpp"
 #include "gosh/api/progress.hpp"
 #include "gosh/api/registry.hpp"
+#include "gosh/api/serving.hpp"
 #include "gosh/api/status.hpp"
 
 #include "gosh/common/logging.hpp"

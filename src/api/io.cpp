@@ -3,6 +3,8 @@
 #include <exception>
 #include <fstream>
 
+#include "gosh/store/embedding_store.hpp"
+
 namespace gosh::api {
 
 Status write_embedding(const embedding::EmbeddingMatrix& matrix,
@@ -12,9 +14,11 @@ Status write_embedding(const embedding::EmbeddingMatrix& matrix,
       embedding::write_matrix_text(matrix, path);
     } else if (format == "binary") {
       embedding::write_matrix_binary(matrix, path);
+    } else if (format == "store") {
+      return store::EmbeddingStore::write(matrix, path);
     } else {
       return Status::invalid_argument("unknown embedding format '" + format +
-                                      "' (expected binary|text)");
+                                      "' (expected binary|text|store)");
     }
   } catch (const std::exception& error) {
     return Status::io_error(path + ": " + error.what());
@@ -30,6 +34,14 @@ Result<embedding::EmbeddingMatrix> read_embedding(const std::string& path) {
     probe.read(magic, sizeof(magic));
   }
   try {
+    if (std::string_view(magic, 4) == "GSHS") {
+      auto opened = store::EmbeddingStore::open(path);
+      if (!opened.ok()) return opened.status();
+      // to_matrix materializes the whole store; a bad_alloc on a
+      // larger-than-RAM store must surface as a Status like every other
+      // failure here.
+      return opened.value().to_matrix();
+    }
     if (std::string_view(magic, 4) == "GSHE")
       return embedding::read_matrix_binary(path);
     return embedding::read_matrix_text(path);

@@ -1,6 +1,6 @@
-// Facade forwarding header: embedding persistence (word2vec-style text and
-// the GSHE binary format) plus Status-returning wrappers so tools need no
-// try/catch of their own.
+// Facade forwarding header: embedding persistence (word2vec-style text,
+// the GSHE binary format, and the mmap-served GSHS store) plus
+// Status-returning wrappers so tools need no try/catch of their own.
 #pragma once
 
 #include <string>
@@ -11,13 +11,16 @@
 
 namespace gosh::api {
 
-/// Writes `matrix` to `path` in "text" or "binary" `format`; io and
-/// unknown-format failures come back as a Status instead of an exception.
+/// Writes `matrix` to `path` in "text", "binary" or "store" `format`
+/// ("store" = the shard-capable GSHS layout gosh::store serves via mmap);
+/// io and unknown-format failures come back as a Status instead of an
+/// exception.
 Status write_embedding(const embedding::EmbeddingMatrix& matrix,
                        const std::string& path, const std::string& format);
 
 /// Reads an embedding written by write_embedding (format auto-detected by
-/// the GSHE magic).
+/// the GSHE/GSHS magic). A store is materialized into memory — open it
+/// with store::EmbeddingStore::open instead to serve it out-of-core.
 Result<embedding::EmbeddingMatrix> read_embedding(const std::string& path);
 
 }  // namespace gosh::api

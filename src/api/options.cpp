@@ -421,8 +421,10 @@ Status Options::validate() const {
     return bad("pgpu: the rotation needs at least 2 sub-matrix slots");
   if (gosh.large_graph.sgpu < 1) return bad("sgpu: must be >= 1");
   if (gosh.large_graph.batch_B < 1) return bad("batch: must be >= 1");
-  if (output_format != "binary" && output_format != "text")
-    return bad("format: expected binary|text, got " + quoted(output_format));
+  if (output_format != "binary" && output_format != "text" &&
+      output_format != "store")
+    return bad("format: expected binary|text|store, got " +
+               quoted(output_format));
   return Status::ok();
 }
 

@@ -1,0 +1,13 @@
+// Facade forwarding header: the serving side of the library — the
+// mmap-backed embedding store (gosh/store/) and the KNN query engine
+// (gosh/query/): exact blocked scans, the HNSW index, and the
+// request-coalescing BatchQueue. Everything a serving tool needs after
+// training, reachable from gosh/api/ alone.
+#pragma once
+
+#include "gosh/query/batch_queue.hpp"
+#include "gosh/query/brute_force.hpp"
+#include "gosh/query/engine.hpp"
+#include "gosh/query/hnsw.hpp"
+#include "gosh/query/metric.hpp"
+#include "gosh/store/embedding_store.hpp"

@@ -3,8 +3,10 @@
 #include <array>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace gosh::embedding {
@@ -12,6 +14,10 @@ namespace {
 
 constexpr std::array<char, 4> kMagic = {'G', 'S', 'H', 'E'};
 constexpr std::uint64_t kVersion = 1;
+// Caps the header fields so rows * dim * sizeof(emb_t) can neither
+// overflow nor drive a giant allocation off a corrupt header (2^20 is far
+// beyond any trainable dim; rows is additionally bounded by vid_t).
+constexpr std::uint64_t kMaxDim = 1u << 20;
 
 }  // namespace
 
@@ -78,8 +84,33 @@ EmbeddingMatrix read_matrix_binary(const std::string& path) {
   if (!in || header[0] != kVersion) {
     throw std::runtime_error("gosh: unsupported version in " + path);
   }
-  EmbeddingMatrix matrix(static_cast<vid_t>(header[1]),
-                         static_cast<unsigned>(header[2]));
+  const std::uint64_t rows = header[1], dim = header[2];
+  // Validate the header against hard bounds and the actual file size
+  // BEFORE sizing the allocation: a truncated or corrupted header must be
+  // a clean error, not a multi-GiB bad_alloc or a matrix of garbage rows.
+  if (dim == 0 || dim > kMaxDim) {
+    throw std::runtime_error("gosh: implausible embedding dim " +
+                             std::to_string(dim) + " in " + path);
+  }
+  if (rows > std::numeric_limits<vid_t>::max()) {
+    throw std::runtime_error("gosh: implausible row count " +
+                             std::to_string(rows) + " in " + path);
+  }
+  const std::uint64_t payload_bytes = rows * dim * sizeof(emb_t);
+  const std::uint64_t data_begin = magic.size() + sizeof(header);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(in.tellg());
+  if (file_bytes != data_begin + payload_bytes) {
+    throw std::runtime_error(
+        "gosh: " + path + " holds " + std::to_string(file_bytes) +
+        " bytes but its header promises " +
+        std::to_string(data_begin + payload_bytes) +
+        (file_bytes < data_begin + payload_bytes ? " (truncated payload)"
+                                                 : " (trailing bytes)"));
+  }
+  in.seekg(static_cast<std::streamoff>(data_begin));
+  EmbeddingMatrix matrix(static_cast<vid_t>(rows),
+                         static_cast<unsigned>(dim));
   in.read(reinterpret_cast<char*>(matrix.data()),
           static_cast<std::streamsize>(matrix.bytes()));
   if (!in) throw std::runtime_error("gosh: truncated payload in " + path);

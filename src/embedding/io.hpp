@@ -24,6 +24,10 @@ EmbeddingMatrix read_matrix_text(const std::string& path);
 void write_matrix_binary(const EmbeddingMatrix& matrix,
                          const std::string& path);
 
+/// Reads a GSHE file written by write_matrix_binary. The header is
+/// validated against hard bounds AND the actual file size before any
+/// allocation, so truncated, oversized or corrupt files throw
+/// std::runtime_error instead of yielding garbage rows.
 EmbeddingMatrix read_matrix_binary(const std::string& path);
 
 }  // namespace gosh::embedding

@@ -1,0 +1,138 @@
+#include "gosh/query/batch_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace gosh::query {
+
+using Clock = std::chrono::steady_clock;
+
+void QueryCounters::on_batch(std::size_t queries, double) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(queries, std::memory_order_relaxed);
+}
+
+void QueryCounters::on_query(double latency_seconds) {
+  const auto us = static_cast<std::uint64_t>(latency_seconds * 1e6);
+  latency_us_total_.fetch_add(us, std::memory_order_relaxed);
+  std::uint64_t seen = latency_us_max_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !latency_us_max_.compare_exchange_weak(seen, us,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+double QueryCounters::mean_batch_size() const noexcept {
+  const std::uint64_t b = batches();
+  return b == 0 ? 0.0 : static_cast<double>(queries()) / b;
+}
+
+double QueryCounters::mean_latency_seconds() const noexcept {
+  const std::uint64_t q = queries();
+  return q == 0 ? 0.0 : latency_us_total_.load() * 1e-6 / q;
+}
+
+double QueryCounters::max_latency_seconds() const noexcept {
+  return latency_us_max_.load() * 1e-6;
+}
+
+BatchQueue::BatchQueue(const QueryEngine& engine, BatchQueueOptions options,
+                       QueryObserver* observer)
+    : engine_(engine), options_(options), observer_(observer) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+BatchQueue::~BatchQueue() { stop(); }
+
+std::future<std::vector<Neighbor>> BatchQueue::submit(
+    std::vector<float> query) {
+  Pending request;
+  request.enqueued = Clock::now();
+  auto future = request.promise.get_future();
+  if (query.size() != engine_.dim()) {
+    request.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "BatchQueue: query holds " + std::to_string(query.size()) +
+        " floats, engine dim is " + std::to_string(engine_.dim()))));
+    return future;
+  }
+  request.query = std::move(query);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      request.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("BatchQueue: submit after stop")));
+      return future;
+    }
+    pending_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void BatchQueue::stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    worker = std::move(dispatcher_);  // exactly one caller gets to join
+  }
+  cv_.notify_all();
+  if (worker.joinable()) worker.join();
+}
+
+std::size_t BatchQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void BatchQueue::dispatch_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping and drained
+      const std::size_t take =
+          std::min(options_.max_batch > 0 ? options_.max_batch : 1,
+                   pending_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+    }
+
+    const unsigned dim = engine_.dim();
+    std::vector<float> queries(batch.size() * dim);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      std::copy(batch[i].query.begin(), batch[i].query.end(),
+                queries.begin() + i * dim);
+    }
+
+    const auto scan_begin = Clock::now();
+    auto results = engine_.top_k_batch(queries, batch.size(), options_.k,
+                                       options_.strategy);
+    const auto done = Clock::now();
+
+    if (observer_ != nullptr) {
+      observer_->on_batch(
+          batch.size(),
+          std::chrono::duration<double>(done - scan_begin).count());
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results.ok()) {
+        batch[i].promise.set_value(std::move(results.value()[i]));
+      } else {
+        batch[i].promise.set_exception(std::make_exception_ptr(
+            std::runtime_error(results.status().to_string())));
+      }
+      if (observer_ != nullptr) {
+        observer_->on_query(
+            std::chrono::duration<double>(done - batch[i].enqueued).count());
+      }
+    }
+  }
+}
+
+}  // namespace gosh::query

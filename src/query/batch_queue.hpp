@@ -1,0 +1,108 @@
+// BatchQueue — coalesces concurrent KNN requests into batched scans.
+//
+// Serving traffic arrives one query at a time, but the exact strategy's
+// cost is dominated by streaming the store's rows: a scan that answers 64
+// pending queries costs barely more than one that answers 1 (each mmap'd
+// block is read once and scored against every query while hot). The queue
+// therefore parks incoming requests, and a single dispatcher thread drains
+// up to `max_batch` of them per engine call, fulfilling each caller's
+// future. Latency is measured enqueue -> fulfillment and reported through
+// a ProgressObserver-style callback (QueryObserver); QueryCounters is the
+// batteries-included accumulator the CLI and bench print.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gosh/query/engine.hpp"
+
+namespace gosh::query {
+
+/// Observer of the serving loop, in the style of api::ProgressObserver:
+/// the queue fires structured events, the owner decides how to render
+/// them. Callbacks come from the dispatcher thread and must be
+/// thread-safe against the owner's reads.
+class QueryObserver {
+ public:
+  virtual ~QueryObserver() = default;
+  /// One engine call serving `queries` coalesced requests.
+  virtual void on_batch(std::size_t queries, double seconds) {}
+  /// One request fulfilled; `latency_seconds` covers enqueue -> result.
+  virtual void on_query(double latency_seconds) {}
+};
+
+/// Default observer: lock-free running counters, readable while serving.
+class QueryCounters : public QueryObserver {
+ public:
+  void on_batch(std::size_t queries, double seconds) override;
+  void on_query(double latency_seconds) override;
+
+  std::uint64_t queries() const noexcept { return queries_.load(); }
+  std::uint64_t batches() const noexcept { return batches_.load(); }
+  /// Mean coalescing factor; 0 when nothing was served yet.
+  double mean_batch_size() const noexcept;
+  double mean_latency_seconds() const noexcept;
+  double max_latency_seconds() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> latency_us_total_{0};
+  std::atomic<std::uint64_t> latency_us_max_{0};
+};
+
+struct BatchQueueOptions {
+  /// Most requests coalesced into one engine call.
+  std::size_t max_batch = 64;
+  /// Neighbors returned per request.
+  unsigned k = 10;
+  Strategy strategy = Strategy::kExact;
+};
+
+class BatchQueue {
+ public:
+  /// `engine` and `observer` (optional) must outlive the queue.
+  BatchQueue(const QueryEngine& engine, BatchQueueOptions options = {},
+             QueryObserver* observer = nullptr);
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+  /// Drains pending requests, then joins the dispatcher.
+  ~BatchQueue();
+
+  /// Enqueues one query (must be engine dim() floats; a wrong size or a
+  /// stopped queue surfaces as a broken future carrying a runtime_error).
+  /// Thread-safe.
+  std::future<std::vector<Neighbor>> submit(std::vector<float> query);
+
+  /// Stops accepting, serves what is pending, joins. Idempotent.
+  void stop();
+
+  std::size_t pending() const;
+
+ private:
+  struct Pending {
+    std::vector<float> query;
+    std::promise<std::vector<Neighbor>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatch_loop();
+
+  const QueryEngine& engine_;
+  const BatchQueueOptions options_;
+  QueryObserver* observer_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace gosh::query

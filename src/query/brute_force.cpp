@@ -1,0 +1,97 @@
+#include "gosh/query/brute_force.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gosh/common/parallel_for.hpp"
+
+namespace gosh::query {
+namespace {
+
+// Bounded top-k kept as a heap whose front is the WORST retained neighbor
+// (std::push_heap with `better` as the ordering puts the minimum of the
+// `better` order at the front), so a candidate only costs a heap update
+// when it actually beats the current cut line.
+struct TopK {
+  std::vector<Neighbor> heap;
+
+  void offer(unsigned k, Neighbor candidate) {
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<Neighbor>> scan_top_k_batch(
+    const store::EmbeddingStore& store, std::span<const float> queries,
+    std::size_t count, unsigned k, Metric metric,
+    std::span<const float> inv_norms, const ScanOptions& options) {
+  const unsigned d = store.dim();
+  assert(queries.size() == count * d && "query buffer / dim mismatch");
+  std::vector<std::vector<Neighbor>> results(count);
+  if (count == 0 || k == 0 || store.rows() == 0) return results;
+
+  // Per-query inverse norms (cosine only).
+  std::vector<float> query_inv(metric == Metric::kCosine ? count : 0);
+  for (std::size_t q = 0; q < query_inv.size(); ++q) {
+    query_inv[q] = inverse_norm(queries.data() + q * d, d);
+  }
+
+  ParallelForOptions parallel;
+  parallel.threads = options.threads;
+  parallel.grain = options.block_rows > 0 ? options.block_rows : 1;
+
+  const unsigned workers = effective_threads(parallel);
+  // scratch[worker][query] — merged after the scan.
+  std::vector<std::vector<TopK>> scratch(workers);
+  for (auto& per_query : scratch) per_query.resize(count);
+
+  parallel_for_worker(
+      store.rows(),
+      [&](unsigned worker, std::size_t begin, std::size_t end) {
+        std::vector<TopK>& local = scratch[worker];
+        for (std::size_t v = begin; v < end; ++v) {
+          const float* row = store.row(static_cast<vid_t>(v)).data();
+          const float row_inv =
+              metric == Metric::kCosine ? inv_norms[v] : 0.0f;
+          for (std::size_t q = 0; q < count; ++q) {
+            const float score =
+                similarity(metric, queries.data() + q * d, row, d,
+                           metric == Metric::kCosine ? query_inv[q] : 0.0f,
+                           row_inv);
+            local[q].offer(k, {static_cast<vid_t>(v), score});
+          }
+        }
+      },
+      parallel);
+
+  for (std::size_t q = 0; q < count; ++q) {
+    std::vector<Neighbor>& merged = results[q];
+    for (unsigned w = 0; w < workers; ++w) {
+      merged.insert(merged.end(), scratch[w][q].heap.begin(),
+                    scratch[w][q].heap.end());
+    }
+    std::sort(merged.begin(), merged.end(), better);
+    if (merged.size() > k) merged.resize(k);
+  }
+  return results;
+}
+
+std::vector<Neighbor> scan_top_k(const store::EmbeddingStore& store,
+                                 std::span<const float> query, unsigned k,
+                                 Metric metric,
+                                 std::span<const float> inv_norms,
+                                 const ScanOptions& options) {
+  auto results = scan_top_k_batch(store, query, 1, k, metric, inv_norms,
+                                  options);
+  return std::move(results.front());
+}
+
+}  // namespace gosh::query

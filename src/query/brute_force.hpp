@@ -1,0 +1,46 @@
+// Exact top-k by blocked parallel scan over an EmbeddingStore.
+//
+// The scan is the ground truth the approximate index is measured against
+// and the fallback when no index has been built. Rows are traversed in
+// blocks (a few thousand rows per claim from the shared cursor of the
+// global thread_pool), which keeps the mmap access pattern sequential —
+// the page-cache-friendly direction for a store bigger than RAM — and, in
+// the batched variant, lets one pass over each block answer EVERY pending
+// query while the rows are hot in cache. That batched scan is what the
+// BatchQueue coalesces concurrent requests into.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gosh/query/metric.hpp"
+#include "gosh/store/embedding_store.hpp"
+
+namespace gosh::query {
+
+struct ScanOptions {
+  /// Worker count; 0 = every worker of the global pool.
+  unsigned threads = 0;
+  /// Rows claimed per pull; large enough to amortize the cursor, small
+  /// enough to balance skewless work.
+  std::size_t block_rows = 2048;
+};
+
+/// Exact top-k of `query` (length = store.dim()) under `metric`.
+/// `inv_norms` must be row_inverse_norms(store, metric). Returns
+/// min(k, rows) neighbors ordered by (score desc, id asc).
+std::vector<Neighbor> scan_top_k(const store::EmbeddingStore& store,
+                                 std::span<const float> query, unsigned k,
+                                 Metric metric,
+                                 std::span<const float> inv_norms,
+                                 const ScanOptions& options = {});
+
+/// Batched exact top-k: `queries` holds `count` back-to-back vectors of
+/// store.dim() floats; one blocked pass over the store serves all of them.
+std::vector<std::vector<Neighbor>> scan_top_k_batch(
+    const store::EmbeddingStore& store, std::span<const float> queries,
+    std::size_t count, unsigned k, Metric metric,
+    std::span<const float> inv_norms, const ScanOptions& options = {});
+
+}  // namespace gosh::query

@@ -1,0 +1,128 @@
+#include "gosh/query/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gosh/common/parallel_for.hpp"
+
+namespace gosh::query {
+
+std::string_view strategy_name(Strategy strategy) noexcept {
+  return strategy == Strategy::kExact ? "exact" : "hnsw";
+}
+
+api::Result<Strategy> parse_strategy(std::string_view name) {
+  if (name == "exact") return Strategy::kExact;
+  if (name == "hnsw") return Strategy::kHnsw;
+  return api::Status::invalid_argument("unknown strategy '" +
+                                       std::string(name) +
+                                       "' (expected exact|hnsw)");
+}
+
+QueryEngine::QueryEngine(store::EmbeddingStore store,
+                         QueryEngineOptions options)
+    : store_(std::move(store)),
+      options_(options),
+      inv_norms_(row_inverse_norms(store_, options.metric)) {}
+
+api::Status QueryEngine::attach_index(HnswIndex index) {
+  if (index.rows() != store_.rows() || index.dim() != store_.dim()) {
+    return api::Status::invalid_argument(
+        "hnsw index shape (" + std::to_string(index.rows()) + " x " +
+        std::to_string(index.dim()) + ") does not match the store (" +
+        std::to_string(store_.rows()) + " x " + std::to_string(store_.dim()) +
+        ")");
+  }
+  if (index.metric() != options_.metric) {
+    return api::Status::invalid_argument(
+        std::string("hnsw index was built for metric '") +
+        std::string(metric_name(index.metric())) + "', engine serves '" +
+        std::string(metric_name(options_.metric)) + "'");
+  }
+  index_ = std::move(index);
+  return api::Status::ok();
+}
+
+api::Status QueryEngine::build_index(HnswOptions options) {
+  options.metric = options_.metric;
+  // Reuse the engine's norm cache: skips a second full pass over a
+  // possibly SSD-resident store.
+  return attach_index(HnswIndex::build(store_, options, inv_norms_));
+}
+
+api::Status QueryEngine::load_index(const std::string& path) {
+  const std::string file =
+      path.empty() ? HnswIndex::default_path(store_.path()) : path;
+  auto loaded = HnswIndex::load(file);
+  if (!loaded.ok()) return loaded.status();
+  return attach_index(std::move(loaded).value());
+}
+
+api::Status QueryEngine::check_query(std::size_t floats, std::size_t count,
+                                     unsigned k, Strategy strategy) const {
+  if (k == 0) return api::Status::invalid_argument("k must be >= 1");
+  if (floats != count * dim()) {
+    return api::Status::invalid_argument(
+        "query buffer holds " + std::to_string(floats) + " floats, expected " +
+        std::to_string(count) + " x dim " + std::to_string(dim()));
+  }
+  if (strategy == Strategy::kHnsw && !has_index()) {
+    return api::Status::invalid_argument(
+        "hnsw strategy requested but no index is attached "
+        "(build_index/load_index first)");
+  }
+  return api::Status::ok();
+}
+
+api::Result<std::vector<Neighbor>> QueryEngine::top_k(
+    std::span<const float> query, unsigned k, Strategy strategy) const {
+  auto batched = top_k_batch(query, 1, k, strategy);
+  if (!batched.ok()) return batched.status();
+  return std::move(batched.value().front());
+}
+
+api::Result<std::vector<Neighbor>> QueryEngine::top_k_vertex(
+    vid_t v, unsigned k, Strategy strategy) const {
+  if (v >= rows()) {
+    return api::Status::invalid_argument(
+        "vertex " + std::to_string(v) + " out of range (store has " +
+        std::to_string(rows()) + " rows)");
+  }
+  // Ask for one extra so the row itself can be dropped.
+  auto result = top_k(store_.row(v), k + 1, strategy);
+  if (!result.ok()) return result.status();
+  std::vector<Neighbor> neighbors = std::move(result).value();
+  std::erase_if(neighbors, [v](const Neighbor& n) { return n.id == v; });
+  if (neighbors.size() > k) neighbors.resize(k);
+  return neighbors;
+}
+
+api::Result<std::vector<std::vector<Neighbor>>> QueryEngine::top_k_batch(
+    std::span<const float> queries, std::size_t count, unsigned k,
+    Strategy strategy) const {
+  if (api::Status status = check_query(queries.size(), count, k, strategy);
+      !status.is_ok()) {
+    return status;
+  }
+  if (strategy == Strategy::kExact) {
+    ScanOptions scan;
+    scan.threads = options_.threads;
+    scan.block_rows = options_.block_rows;
+    return scan_top_k_batch(store_, queries, count, k, options_.metric,
+                            inv_norms_, scan);
+  }
+  std::vector<std::vector<Neighbor>> results(count);
+  ParallelForOptions parallel;
+  parallel.threads = options_.threads;
+  parallel.grain = 1;
+  parallel_for(
+      count,
+      [&](std::size_t q) {
+        results[q] = index_.search(
+            store_, queries.subspan(q * dim(), dim()), k, options_.ef_search);
+      },
+      parallel);
+  return results;
+}
+
+}  // namespace gosh::query

@@ -1,0 +1,93 @@
+// QueryEngine — the serving facade over one EmbeddingStore.
+//
+// Owns the store, the cosine norm cache, and (optionally) an HNSW index;
+// answers top-k requests under either strategy through one Status-checked
+// entry point so tools never touch the scan/index internals directly.
+// Thread-safe for concurrent const queries: the store is an immutable
+// mapping and both strategies only read shared state.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gosh/api/status.hpp"
+#include "gosh/query/brute_force.hpp"
+#include "gosh/query/hnsw.hpp"
+#include "gosh/query/metric.hpp"
+#include "gosh/store/embedding_store.hpp"
+
+namespace gosh::query {
+
+enum class Strategy {
+  kExact,  ///< blocked parallel brute-force scan (ground truth)
+  kHnsw,   ///< approximate graph index (requires attach/build/load)
+};
+
+std::string_view strategy_name(Strategy strategy) noexcept;
+
+/// "exact" | "hnsw"; anything else is kInvalidArgument.
+api::Result<Strategy> parse_strategy(std::string_view name);
+
+struct QueryEngineOptions {
+  Metric metric = Metric::kCosine;
+  /// Scan parallelism; 0 = every worker of the global pool.
+  unsigned threads = 0;
+  /// Rows per scan block (see ScanOptions::block_rows).
+  std::size_t block_rows = 2048;
+  /// Default layer-0 beam width for the HNSW strategy.
+  unsigned ef_search = 64;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(store::EmbeddingStore store,
+                       QueryEngineOptions options = {});
+
+  const store::EmbeddingStore& store() const noexcept { return store_; }
+  unsigned dim() const noexcept { return store_.dim(); }
+  vid_t rows() const noexcept { return store_.rows(); }
+  Metric metric() const noexcept { return options_.metric; }
+  const QueryEngineOptions& options() const noexcept { return options_; }
+
+  bool has_index() const noexcept { return index_.max_level() >= 0; }
+  const HnswIndex& index() const noexcept { return index_; }
+
+  /// Attaches an already-built/loaded index; rejects one whose rows, dim
+  /// or metric disagree with the store/engine.
+  api::Status attach_index(HnswIndex index);
+  /// Builds an index over the store with the engine's metric and attaches
+  /// it (options.metric is overridden to the engine's).
+  api::Status build_index(HnswOptions options = {});
+  /// Loads an index from `path` (default_path(store) when empty) and
+  /// attaches it.
+  api::Status load_index(const std::string& path = {});
+
+  /// Top-k for a raw query vector (must be dim() floats). Returns
+  /// min(k, rows()) neighbors ordered by (score desc, id asc).
+  api::Result<std::vector<Neighbor>> top_k(
+      std::span<const float> query, unsigned k,
+      Strategy strategy = Strategy::kExact) const;
+
+  /// Top-k for a stored row, excluding the row itself.
+  api::Result<std::vector<Neighbor>> top_k_vertex(
+      vid_t v, unsigned k, Strategy strategy = Strategy::kExact) const;
+
+  /// Batched top-k: `queries` holds `count` back-to-back dim() vectors.
+  /// Exact batches share one blocked pass over the store; HNSW batches
+  /// fan the queries across the thread pool.
+  api::Result<std::vector<std::vector<Neighbor>>> top_k_batch(
+      std::span<const float> queries, std::size_t count, unsigned k,
+      Strategy strategy = Strategy::kExact) const;
+
+ private:
+  api::Status check_query(std::size_t floats, std::size_t count, unsigned k,
+                          Strategy strategy) const;
+
+  store::EmbeddingStore store_;
+  QueryEngineOptions options_;
+  std::vector<float> inv_norms_;  ///< cosine only, else empty
+  HnswIndex index_;
+};
+
+}  // namespace gosh::query

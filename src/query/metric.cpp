@@ -1,0 +1,41 @@
+#include "gosh/query/metric.hpp"
+
+#include "gosh/common/parallel_for.hpp"
+
+namespace gosh::query {
+
+std::string_view metric_name(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kDot:
+      return "dot";
+    case Metric::kL2:
+    default:
+      return "l2";
+  }
+}
+
+api::Result<Metric> parse_metric(std::string_view name) {
+  if (name == "cosine") return Metric::kCosine;
+  if (name == "dot") return Metric::kDot;
+  if (name == "l2") return Metric::kL2;
+  return api::Status::invalid_argument("unknown metric '" + std::string(name) +
+                                       "' (expected cosine|dot|l2)");
+}
+
+std::vector<float> row_inverse_norms(const store::EmbeddingStore& store,
+                                     Metric metric) {
+  if (metric != Metric::kCosine) return {};
+  std::vector<float> inv(store.rows());
+  const unsigned d = store.dim();
+  parallel_for(
+      store.rows(),
+      [&](std::size_t v) {
+        inv[v] = inverse_norm(store.row(static_cast<vid_t>(v)).data(), d);
+      },
+      {.grain = 1024, .static_partition = true});
+  return inv;
+}
+
+}  // namespace gosh::query

@@ -1,0 +1,88 @@
+// Similarity metrics for the KNN serving layer.
+//
+// Every metric is expressed as a *similarity* (larger = closer) so the
+// top-k machinery — heaps in the brute-force scan, the best-first frontier
+// in HNSW — is metric-agnostic: L2 reports the negated squared distance,
+// cosine the normalized dot product. Cosine needs per-row inverse norms;
+// they are precomputed once per store (one sequential pass) rather than
+// per query, since the stored rows are immutable.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "gosh/api/status.hpp"
+#include "gosh/common/types.hpp"
+#include "gosh/store/embedding_store.hpp"
+
+namespace gosh::query {
+
+enum class Metric {
+  kCosine,  ///< dot(a, b) / (|a| |b|); zero-norm rows score 0
+  kDot,     ///< raw inner product (maximum inner product search)
+  kL2,      ///< -(squared euclidean distance)
+};
+
+std::string_view metric_name(Metric metric) noexcept;
+
+/// "cosine" | "dot" | "l2"; anything else is kInvalidArgument.
+api::Result<Metric> parse_metric(std::string_view name);
+
+/// One ranked answer. Results are ordered by (score desc, id asc) so ties
+/// are deterministic across thread counts and strategies.
+struct Neighbor {
+  vid_t id = 0;
+  float score = 0.0f;
+};
+
+inline bool better(const Neighbor& a, const Neighbor& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+inline float dot(const float* a, const float* b, unsigned d) noexcept {
+  float sum = 0.0f;
+  for (unsigned i = 0; i < d; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline float l2_squared(const float* a, const float* b, unsigned d) noexcept {
+  float sum = 0.0f;
+  for (unsigned i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// 1 / |v|, or 0 for the zero vector (so cosine degrades to score 0
+/// instead of NaN).
+inline float inverse_norm(const float* v, unsigned d) noexcept {
+  const float sq = dot(v, v, d);
+  return sq > 0.0f ? 1.0f / std::sqrt(sq) : 0.0f;
+}
+
+/// Similarity of `a` and `b` under `metric`; the inverse norms are only
+/// read for kCosine (pass anything for the other metrics).
+inline float similarity(Metric metric, const float* a, const float* b,
+                        unsigned d, float inv_norm_a,
+                        float inv_norm_b) noexcept {
+  switch (metric) {
+    case Metric::kCosine:
+      return dot(a, b, d) * inv_norm_a * inv_norm_b;
+    case Metric::kDot:
+      return dot(a, b, d);
+    case Metric::kL2:
+    default:
+      return -l2_squared(a, b, d);
+  }
+}
+
+/// Inverse norm of every stored row (one parallel pass over the store).
+/// Returned vector is empty when `metric` does not need norms.
+std::vector<float> row_inverse_norms(const store::EmbeddingStore& store,
+                                     Metric metric);
+
+}  // namespace gosh::query

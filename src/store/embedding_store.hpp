@@ -1,0 +1,134 @@
+// EmbeddingStore — the serving-side persistence layer: a versioned,
+// checksummed, shard-capable binary layout opened with mmap for zero-copy
+// random row access.
+//
+// GOSH's niche is big graphs on small hardware, and that constraint does
+// not end when training does: an embedding matrix of a few hundred million
+// vertices at d=128 is tens of GiB — bigger than the RAM of the machines
+// the paper targets. The store therefore never loads the matrix: each
+// shard file is mapped read-only and rows are served straight from the
+// page cache, so the OS keeps only the hot working set resident and an
+// SSD-backed store can serve a matrix larger than memory.
+//
+// ## GSHS shard layout (little-endian, header padded to 4096 bytes)
+//
+//   offset  size  field
+//   0       4     magic "GSHS"
+//   4       4     header_bytes (u32, = 4096 so the payload is page-aligned)
+//   8       8     version (u64, = 1)
+//   16      8     total_rows (u64, rows across ALL shards)
+//   24      8     dim (u64)
+//   32      8     row_begin (u64, global index of this shard's first row)
+//   40      8     shard_rows (u64, rows stored in THIS shard)
+//   48      4     shard_index (u32)
+//   52      4     shard_count (u32)
+//   56      8     payload_checksum (u64, FNV-1a over the float payload)
+//   64      8     header_checksum (u64, FNV-1a over bytes [0, 64))
+//   72..4096      zero padding
+//   4096    shard_rows * dim * 4   row-major float payload
+//
+// ## Shard naming
+//
+// Shard 0 of n lives at `path` itself (so a store is always openable by
+// the name it was written under); shard i >= 1 lives at
+// `path + ".s<i:04>-of-<n:04>"`, e.g. "emb.store.s0002-of-0004". All
+// shards except the last hold the same number of rows, which makes the
+// row -> shard lookup a single division.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gosh/api/status.hpp"
+#include "gosh/common/types.hpp"
+#include "gosh/embedding/matrix.hpp"
+
+namespace gosh::store {
+
+struct StoreOptions {
+  /// Rows per shard file; 0 (or >= rows) writes a single shard.
+  std::uint64_t rows_per_shard = 0;
+};
+
+struct OpenOptions {
+  /// Stream every shard once at open to verify the payload checksums.
+  /// Costs one sequential read of the store; disable for very large
+  /// stores where open latency matters more than corruption detection.
+  bool verify_checksums = true;
+};
+
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+  EmbeddingStore(EmbeddingStore&& other) noexcept;
+  EmbeddingStore& operator=(EmbeddingStore&& other) noexcept;
+  EmbeddingStore(const EmbeddingStore&) = delete;
+  EmbeddingStore& operator=(const EmbeddingStore&) = delete;
+  ~EmbeddingStore();
+
+  /// Writes `matrix` as a GSHS store rooted at `path` (plus sibling shard
+  /// files when options.rows_per_shard splits it). Overwrites existing
+  /// files; stale shards from a previous wider layout are not removed.
+  static api::Status write(const embedding::EmbeddingMatrix& matrix,
+                           const std::string& path,
+                           const StoreOptions& options = {});
+
+  /// Maps every shard of the store rooted at `path`. Fails with a clear
+  /// Status on missing/truncated/corrupt shards or inconsistent headers.
+  static api::Result<EmbeddingStore> open(const std::string& path,
+                                          const OpenOptions& options = {});
+
+  /// File name of shard `index` of `count` for a store rooted at `base`.
+  static std::string shard_path(const std::string& base, std::uint32_t index,
+                                std::uint32_t count);
+
+  vid_t rows() const noexcept { return static_cast<vid_t>(rows_); }
+  unsigned dim() const noexcept { return dim_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Zero-copy view of row `v` straight out of the mapping. Valid while
+  /// the store is alive; `v` must be < rows().
+  std::span<const emb_t> row(vid_t v) const noexcept {
+    const std::uint64_t global = v;
+    std::size_t s = static_cast<std::size_t>(global / rows_per_shard_);
+    if (s >= shards_.size()) s = shards_.size() - 1;  // defensive clamp
+    const Shard& shard = shards_[s];
+    return {shard.payload +
+                static_cast<std::size_t>(global - shard.row_begin) * dim_,
+            dim_};
+  }
+
+  /// Materializes the whole store into an in-memory matrix (the bridge to
+  /// the training-side code paths; defeats the out-of-core purpose, so
+  /// tools only use it for small stores and tests).
+  embedding::EmbeddingMatrix to_matrix() const;
+
+ private:
+  struct Shard {
+    const emb_t* payload = nullptr;   ///< first row of this shard
+    void* map_base = nullptr;         ///< mmap base (or heap fallback)
+    std::size_t map_bytes = 0;        ///< 0 = heap-owned, not mapped
+    std::uint64_t row_begin = 0;
+    std::uint64_t rows = 0;
+  };
+
+  void release() noexcept;
+
+  std::vector<Shard> shards_;
+  std::uint64_t rows_ = 0;
+  std::uint64_t rows_per_shard_ = 1;  ///< shard 0's row count
+  unsigned dim_ = 0;
+  std::string path_;
+};
+
+/// FNV-1a 64-bit running checksum (seed with kFnvOffsetBasis; feed chunks
+/// by passing the previous result back in). Shared by the store and the
+/// HNSW index persistence.
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t state = kFnvOffsetBasis) noexcept;
+
+}  // namespace gosh::store

@@ -1,11 +1,15 @@
 // gosh::api embedding persistence — Status-based write + format
-// auto-detecting read.
+// auto-detecting read across text, GSHE binary and the GSHS store, plus
+// the hardened error paths (truncation, bad magic, oversized headers).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "gosh/api/io.hpp"
+#include "gosh/store/embedding_store.hpp"
 
 namespace gosh::api {
 namespace {
@@ -45,14 +49,115 @@ TEST(ApiIo, TextRoundTripAutoDetects) {
   std::remove(path.c_str());
 }
 
+TEST(ApiIo, StoreRoundTripAutoDetects) {
+  const std::string path = testing::TempDir() + "api_io_roundtrip.gshs";
+  const auto matrix = sample_matrix();
+  ASSERT_TRUE(write_embedding(matrix, path, "store").is_ok());
+  // read_embedding routes on the GSHS magic and materializes the store.
+  auto loaded = read_embedding(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  expect_equal(matrix, loaded.value(), 0.0f);  // store is exact
+  std::remove(path.c_str());
+}
+
 TEST(ApiIo, ErrorsAreStatuses) {
   const auto matrix = sample_matrix();
   EXPECT_EQ(write_embedding(matrix, "/tmp/x.bin", "yaml").code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(write_embedding(matrix, "/nonexistent/dir/x.bin", "binary").code(),
-            StatusCode::kIoError);
+  for (const char* format : {"binary", "text", "store"}) {
+    EXPECT_EQ(write_embedding(matrix, "/nonexistent/dir/x.bin", format).code(),
+              StatusCode::kIoError)
+        << format;
+  }
   EXPECT_EQ(read_embedding("/nonexistent/x.bin").status().code(),
             StatusCode::kIoError);
+}
+
+TEST(ApiIo, TruncatedBinaryPayloadRejected) {
+  const std::string path = testing::TempDir() + "api_io_truncated.bin";
+  ASSERT_TRUE(write_embedding(sample_matrix(), path, "binary").is_ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 3);  // mid-row truncation
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+
+  auto loaded = read_embedding(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ApiIo, TrailingBytesAfterBinaryPayloadRejected) {
+  const std::string path = testing::TempDir() + "api_io_trailing.bin";
+  ASSERT_TRUE(write_embedding(sample_matrix(), path, "binary").is_ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  auto loaded = read_embedding(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("trailing"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ApiIo, OversizedBinaryHeaderIsAnErrorNotAnAllocation) {
+  // Hand-craft a GSHE header whose rows/dim fields promise a matrix of
+  // petabytes; the reader must refuse before allocating.
+  const std::string path = testing::TempDir() + "api_io_oversized.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GSHE";
+    const std::uint64_t header[3] = {1, 0xFFFFFFFFFFULL, 0xFFFFFFULL};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    out << "tiny payload";
+  }
+  auto loaded = read_embedding(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("implausible"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ApiIo, BinaryZeroDimRejected) {
+  const std::string path = testing::TempDir() + "api_io_zerodim.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GSHE";
+    const std::uint64_t header[3] = {1, 4, 0};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  }
+  auto loaded = read_embedding(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(ApiIo, UnreadableTextFallbackIsAnError) {
+  // A file that matches no magic falls back to the text parser, whose
+  // malformed-header failure must surface as an io Status.
+  const std::string path = testing::TempDir() + "api_io_garbage.txt";
+  { std::ofstream(path) << "this is not an embedding at all\n"; }
+  auto loaded = read_embedding(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(ApiIo, CorruptStoreSurfacesCleanStatus) {
+  const std::string path = testing::TempDir() + "api_io_corrupt.gshs";
+  ASSERT_TRUE(write_embedding(sample_matrix(), path, "store").is_ok());
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(4200);  // inside the payload
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(4200);
+    byte = static_cast<char>(byte ^ 0x7f);
+    file.write(&byte, 1);
+  }
+  auto loaded = read_embedding(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Exact blocked scan — agreement with a naive reference under every
+// metric, batch/single consistency, determinism across thread counts and
+// block sizes, and edge cases (k > rows, tie ordering).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/query/brute_force.hpp"
+
+namespace gosh::query {
+namespace {
+
+struct Fixture {
+  store::EmbeddingStore store;
+  std::string path;
+  std::uint32_t shard_count = 1;
+
+  explicit Fixture(vid_t rows, unsigned dim, std::uint64_t seed = 17) {
+    embedding::EmbeddingMatrix matrix(rows, dim);
+    matrix.initialize_random(seed);
+    path = testing::TempDir() + "brute_force_" + std::to_string(rows) + "_" +
+           std::to_string(seed) + ".gshs";
+    const std::uint64_t per_shard = rows / 3 + 1;
+    shard_count = static_cast<std::uint32_t>((rows + per_shard - 1) / per_shard);
+    EXPECT_TRUE(store::EmbeddingStore::write(matrix, path,
+                                             {.rows_per_shard = per_shard})
+                    .is_ok());
+    auto opened = store::EmbeddingStore::open(path);
+    EXPECT_TRUE(opened.ok()) << opened.status().to_string();
+    store = std::move(opened).value();
+  }
+  ~Fixture() {
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+      std::remove(
+          store::EmbeddingStore::shard_path(path, s, shard_count).c_str());
+    }
+  }
+};
+
+// Naive reference: score every row, sort, truncate.
+std::vector<Neighbor> reference_top_k(const store::EmbeddingStore& store,
+                                      std::span<const float> query, unsigned k,
+                                      Metric metric) {
+  const auto inv = row_inverse_norms(store, metric);
+  const float query_inv =
+      metric == Metric::kCosine ? inverse_norm(query.data(), store.dim()) : 0.0f;
+  std::vector<Neighbor> all;
+  for (vid_t v = 0; v < store.rows(); ++v) {
+    all.push_back({v, similarity(metric, query.data(), store.row(v).data(),
+                                 store.dim(),
+                                 query_inv, metric == Metric::kCosine
+                                                ? inv[v]
+                                                : 0.0f)});
+  }
+  std::sort(all.begin(), all.end(), better);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(BruteForce, MatchesNaiveReferenceUnderEveryMetric) {
+  Fixture fx(97, 9);
+  const auto query = fx.store.row(13);
+  for (const Metric metric : {Metric::kCosine, Metric::kDot, Metric::kL2}) {
+    const auto inv = row_inverse_norms(fx.store, metric);
+    const auto got = scan_top_k(fx.store, query, 7, metric, inv);
+    const auto expected = reference_top_k(fx.store, query, 7, metric);
+    ASSERT_EQ(got.size(), expected.size()) << metric_name(metric);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id)
+          << metric_name(metric) << " rank " << i;
+      EXPECT_FLOAT_EQ(got[i].score, expected[i].score);
+    }
+  }
+}
+
+TEST(BruteForce, DeterministicAcrossThreadAndBlockShapes) {
+  Fixture fx(211, 6);
+  const auto query = fx.store.row(0);
+  const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
+  const auto baseline =
+      scan_top_k(fx.store, query, 10, Metric::kCosine, inv,
+                 {.threads = 1, .block_rows = 1024});
+  for (const ScanOptions options :
+       {ScanOptions{.threads = 4, .block_rows = 1},
+        ScanOptions{.threads = 3, .block_rows = 7},
+        ScanOptions{.threads = 0, .block_rows = 100000}}) {
+    const auto got =
+        scan_top_k(fx.store, query, 10, Metric::kCosine, inv, options);
+    ASSERT_EQ(got.size(), baseline.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, baseline[i].id) << "rank " << i;
+    }
+  }
+}
+
+TEST(BruteForce, BatchAgreesWithSingleQueries) {
+  Fixture fx(64, 8);
+  const unsigned d = fx.store.dim();
+  const auto inv = row_inverse_norms(fx.store, Metric::kL2);
+  std::vector<float> queries;
+  for (const vid_t v : {3u, 31u, 63u}) {
+    const auto row = fx.store.row(v);
+    queries.insert(queries.end(), row.begin(), row.end());
+  }
+  const auto batched =
+      scan_top_k_batch(fx.store, queries, 3, 5, Metric::kL2, inv);
+  ASSERT_EQ(batched.size(), 3u);
+  for (std::size_t q = 0; q < 3; ++q) {
+    const auto single = scan_top_k(
+        fx.store, std::span<const float>(queries).subspan(q * d, d), 5,
+        Metric::kL2, inv);
+    ASSERT_EQ(batched[q].size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batched[q][i].id, single[i].id);
+    }
+  }
+}
+
+TEST(BruteForce, SelfIsTheBestMatchForItsOwnRow) {
+  Fixture fx(50, 12);
+  for (const Metric metric : {Metric::kCosine, Metric::kL2}) {
+    const auto inv = row_inverse_norms(fx.store, metric);
+    const auto top = scan_top_k(fx.store, fx.store.row(21), 3, metric, inv);
+    ASSERT_FALSE(top.empty());
+    EXPECT_EQ(top[0].id, 21u) << metric_name(metric);
+  }
+}
+
+TEST(BruteForce, KBeyondRowsReturnsEveryRowRanked) {
+  Fixture fx(6, 4);
+  const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
+  const auto top =
+      scan_top_k(fx.store, fx.store.row(2), 100, Metric::kCosine, inv);
+  EXPECT_EQ(top.size(), 6u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_TRUE(better(top[i - 1], top[i]) || top[i - 1].score == top[i].score);
+  }
+}
+
+TEST(BruteForce, KZeroAndEmptyBatchAreEmpty) {
+  Fixture fx(10, 4);
+  const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
+  EXPECT_TRUE(
+      scan_top_k(fx.store, fx.store.row(0), 0, Metric::kCosine, inv).empty());
+  EXPECT_TRUE(scan_top_k_batch(fx.store, {}, 0, 5, Metric::kCosine, inv)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace gosh::query

@@ -1,0 +1,186 @@
+// gosh::store — GSHS write/open round trips, shard naming, mmap row
+// access, and the corruption / truncation error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gosh/store/embedding_store.hpp"
+
+namespace gosh::store {
+namespace {
+
+embedding::EmbeddingMatrix sample_matrix(vid_t rows, unsigned dim,
+                                         std::uint64_t seed = 9) {
+  embedding::EmbeddingMatrix matrix(rows, dim);
+  matrix.initialize_random(seed);
+  return matrix;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+void remove_store(const std::string& path, std::uint32_t count) {
+  for (std::uint32_t s = 0; s < count; ++s) {
+    std::remove(EmbeddingStore::shard_path(path, s, count).c_str());
+  }
+}
+
+void expect_rows_match(const embedding::EmbeddingMatrix& matrix,
+                       const EmbeddingStore& store) {
+  ASSERT_EQ(matrix.rows(), store.rows());
+  ASSERT_EQ(matrix.dim(), store.dim());
+  for (vid_t v = 0; v < matrix.rows(); ++v) {
+    const auto expected = matrix.row(v);
+    const auto got = store.row(v);
+    ASSERT_EQ(expected.size(), got.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], got[i]) << "row " << v << " element " << i;
+    }
+  }
+}
+
+TEST(EmbeddingStore, SingleShardRoundTrip) {
+  const std::string path = temp_path("store_single.gshs");
+  const auto matrix = sample_matrix(33, 7);
+  ASSERT_TRUE(EmbeddingStore::write(matrix, path).is_ok());
+
+  auto opened = EmbeddingStore::open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  EXPECT_EQ(opened.value().num_shards(), 1u);
+  expect_rows_match(matrix, opened.value());
+
+  const auto copy = opened.value().to_matrix();
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    EXPECT_EQ(matrix.data()[i], copy.data()[i]);
+  }
+  remove_store(path, 1);
+}
+
+TEST(EmbeddingStore, ShardedRoundTripCrossesShardBoundaries) {
+  const std::string path = temp_path("store_sharded.gshs");
+  const auto matrix = sample_matrix(33, 5);
+  ASSERT_TRUE(
+      EmbeddingStore::write(matrix, path, {.rows_per_shard = 8}).is_ok());
+
+  // 33 rows at 8 per shard = 5 shards, last one holding a single row.
+  auto opened = EmbeddingStore::open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  EXPECT_EQ(opened.value().num_shards(), 5u);
+  expect_rows_match(matrix, opened.value());
+
+  // Shard naming: root is shard 0, siblings carry the 4-digit suffix.
+  EXPECT_EQ(EmbeddingStore::shard_path(path, 0, 5), path);
+  std::ifstream sibling(EmbeddingStore::shard_path(path, 3, 5));
+  EXPECT_TRUE(sibling.good());
+  remove_store(path, 5);
+}
+
+TEST(EmbeddingStore, EmptyMatrixRoundTrips) {
+  const std::string path = temp_path("store_empty.gshs");
+  ASSERT_TRUE(
+      EmbeddingStore::write(embedding::EmbeddingMatrix(0, 4), path).is_ok());
+  auto opened = EmbeddingStore::open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  EXPECT_EQ(opened.value().rows(), 0u);
+  EXPECT_EQ(opened.value().dim(), 4u);
+  remove_store(path, 1);
+}
+
+TEST(EmbeddingStore, ZeroDimRejected) {
+  EXPECT_EQ(EmbeddingStore::write(embedding::EmbeddingMatrix(), "/tmp/x")
+                .code(),
+            api::StatusCode::kInvalidArgument);
+}
+
+TEST(EmbeddingStore, MissingFileIsIoError) {
+  auto opened = EmbeddingStore::open(temp_path("store_does_not_exist.gshs"));
+  EXPECT_EQ(opened.status().code(), api::StatusCode::kIoError);
+}
+
+TEST(EmbeddingStore, WrongMagicRejected) {
+  const std::string path = temp_path("store_not_a_store.gshs");
+  {
+    // Big enough to pass the header read, wrong magic ("GSHE" is the
+    // in-memory matrix format, not a store).
+    std::ofstream out(path, std::ios::binary);
+    out << "GSHE" << std::string(8192, 'x');
+  }
+  auto opened = EmbeddingStore::open(path);
+  EXPECT_EQ(opened.status().code(), api::StatusCode::kIoError);
+  EXPECT_NE(opened.status().message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStore, TruncatedPayloadRejected) {
+  const std::string path = temp_path("store_truncated.gshs");
+  ASSERT_TRUE(EmbeddingStore::write(sample_matrix(16, 8), path).is_ok());
+  // Chop the last row off the payload; the size check must catch it.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 8 * sizeof(float));
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+
+  auto opened = EmbeddingStore::open(path);
+  EXPECT_EQ(opened.status().code(), api::StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStore, CorruptPayloadCaughtByChecksum) {
+  const std::string path = temp_path("store_corrupt.gshs");
+  ASSERT_TRUE(EmbeddingStore::write(sample_matrix(16, 8), path).is_ok());
+  {
+    // Flip one payload byte without changing the file size.
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(4096 + 100);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(4096 + 100);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  auto verified = EmbeddingStore::open(path);
+  EXPECT_EQ(verified.status().code(), api::StatusCode::kIoError);
+  EXPECT_NE(verified.status().message().find("checksum"), std::string::npos);
+
+  // Opting out of verification maps the shard anyway (the out-of-core
+  // fast path for very large stores).
+  auto unverified = EmbeddingStore::open(path, {.verify_checksums = false});
+  EXPECT_TRUE(unverified.ok()) << unverified.status().to_string();
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStore, MissingShardRejected) {
+  const std::string path = temp_path("store_missing_shard.gshs");
+  ASSERT_TRUE(
+      EmbeddingStore::write(sample_matrix(30, 4), path, {.rows_per_shard = 10})
+          .is_ok());
+  std::remove(EmbeddingStore::shard_path(path, 1, 3).c_str());
+  auto opened = EmbeddingStore::open(path);
+  EXPECT_EQ(opened.status().code(), api::StatusCode::kIoError);
+  EXPECT_NE(opened.status().message().find("missing"), std::string::npos);
+  remove_store(path, 3);
+}
+
+TEST(EmbeddingStore, CorruptHeaderRejected) {
+  const std::string path = temp_path("store_bad_header.gshs");
+  ASSERT_TRUE(EmbeddingStore::write(sample_matrix(8, 4), path).is_ok());
+  {
+    // Inflate total_rows (offset 16) without fixing the header checksum.
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(16);
+    const std::uint64_t huge = 1ull << 40;
+    file.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  auto opened = EmbeddingStore::open(path);
+  EXPECT_EQ(opened.status().code(), api::StatusCode::kIoError);
+  EXPECT_NE(opened.status().message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gosh::store

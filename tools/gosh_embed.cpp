@@ -13,7 +13,8 @@
 //   --input PATH        edge-list file (required unless --demo)
 //   --demo              use a generated LFR demo graph instead of a file
 //   --output PATH       embedding output (default: embedding.bin)
-//   --format text|binary  output format (default: binary)
+//   --format text|binary|store  output format (default: binary; "store"
+//                       writes the mmap-served GSHS layout gosh_query reads)
 //   --backend NAME      auto|device|largegraph|multidevice|verse-cpu|
 //                       line-device|mile (default: auto)
 //   --preset fast|normal|slow|nocoarse   Table 3 preset (default: normal)
@@ -35,7 +36,7 @@ namespace {
 void usage() {
   std::puts(
       "usage: gosh_embed --input edges.txt [--output emb.bin]\n"
-      "                  [--format text|binary] [--backend NAME]\n"
+      "                  [--format text|binary|store] [--backend NAME]\n"
       "                  [--preset fast|normal|slow|nocoarse]\n"
       "                  [--dim D] [--epochs E] [--device-mib M] [--seed S]\n"
       "                  [--options FILE] [--eval] [--verbose] | --demo");

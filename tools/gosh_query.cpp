@@ -1,0 +1,373 @@
+// gosh_query — the serving-side CLI: top-k nearest neighbors out of a
+// GSHS embedding store written by gosh_embed (--format store).
+//
+//   gosh_query --store emb.store --build-index          # offline HNSW build
+//   gosh_query --store emb.store --queries q.txt --k 10 # serve from a file
+//   echo 17 | gosh_query --store emb.store --queries -  # ... or stdin
+//   gosh_query --store emb.store --eval 100 --k 10      # HNSW recall@k
+//
+// Query input: one query per line — either a single vertex id (the stored
+// row becomes the query, the row itself is excluded from its answer) or
+// dim() whitespace-separated floats (a raw vector).
+//
+// Modes (exactly one):
+//   --build-index       build the HNSW index and write it beside the store
+//   --queries FILE|-    answer top-k for each input line
+//   --eval N            recall@k of HNSW vs the exact scan on N sampled
+//                       rows, plus queries/sec for both strategies
+// Options:
+//   --index PATH        index file (default: STORE.hnsw)
+//   --k K               neighbors per query (default 10)
+//   --metric M          cosine|dot|l2 (default cosine)
+//   --strategy S        exact|hnsw (default exact; hnsw needs an index)
+//   --batch B           serve --queries through a BatchQueue coalescing up
+//                       to B requests per scan (default: direct calls)
+//   --threads T         scan parallelism (default: all workers)
+//   --M / --ef-construction   HNSW build shape (default 16 / 200)
+//   --ef                HNSW search beam width (default 64)
+//   --seed S            sampling seed for --eval (default 42)
+//   --recall-floor F    exit nonzero if --eval recall@k < F (CI hook)
+//   --no-verify         skip the store checksum pass at open
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gosh/api/api.hpp"
+
+namespace {
+
+using namespace gosh;
+
+void usage() {
+  std::puts(
+      "usage: gosh_query --store PATH (--build-index | --queries FILE|- |\n"
+      "                  --eval N) [--index PATH] [--k K]\n"
+      "                  [--metric cosine|dot|l2] [--strategy exact|hnsw]\n"
+      "                  [--batch B] [--threads T] [--M M]\n"
+      "                  [--ef-construction EC] [--ef EF] [--seed S]\n"
+      "                  [--recall-floor F] [--no-verify]");
+}
+
+int fail(const api::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+/// "--name value" string lookup; first occurrence wins.
+std::string flag_string(int argc, char** argv, std::string_view name,
+                        std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+void print_neighbors(const std::string& label,
+                     const std::vector<query::Neighbor>& neighbors) {
+  std::printf("%s:", label.c_str());
+  for (const query::Neighbor& n : neighbors) {
+    std::printf(" %u:%.4f", n.id, n.score);
+  }
+  std::printf("\n");
+}
+
+/// Parses one query line: a bare vertex id or dim floats. Returns false
+/// (with a message) on malformed lines so one typo doesn't kill a stream.
+/// A lone token is parsed as an exact integer (not through float, which
+/// would silently misroute ids above 2^24 on big stores).
+bool parse_query_line(const std::string& line, const query::QueryEngine& engine,
+                      std::vector<float>& vector, vid_t& vertex,
+                      bool& is_vertex) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  if (tokens.size() == 1) {
+    auto id = api::parse_unsigned(tokens[0]);
+    if (!id.ok() || id.value() > std::numeric_limits<vid_t>::max())
+      return false;
+    vertex = static_cast<vid_t>(id.value());
+    is_vertex = true;
+    return true;
+  }
+  if (tokens.size() != engine.dim()) return false;
+  std::vector<float> values;
+  values.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    auto value = api::parse_real(t);
+    if (!value.ok()) return false;
+    values.push_back(static_cast<float>(value.value()));
+  }
+  vector = std::move(values);
+  is_vertex = false;
+  return true;
+}
+
+int serve_queries(const query::QueryEngine& engine, const std::string& source,
+                  unsigned k, query::Strategy strategy, std::size_t batch) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (source != "-") {
+    file.open(source);
+    if (!file) return fail(api::Status::io_error("cannot open " + source));
+    in = &file;
+  }
+
+  query::QueryCounters counters;
+  std::unique_ptr<query::BatchQueue> queue;
+  if (batch > 0) {
+    // k+1 so vertex queries can drop the probe row itself, matching the
+    // direct top_k_vertex path.
+    queue = std::make_unique<query::BatchQueue>(
+        engine,
+        query::BatchQueueOptions{
+            .max_batch = batch, .k = k + 1, .strategy = strategy},
+        &counters);
+  }
+
+  // With a queue, submit everything first so requests actually coalesce;
+  // direct mode answers line by line.
+  struct InFlight {
+    std::string label;
+    bool is_vertex;
+    vid_t vertex;
+    std::future<std::vector<query::Neighbor>> future;
+  };
+  std::vector<InFlight> in_flight;
+  std::string line;
+  std::size_t line_number = 0;
+  int bad_lines = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<float> vector;
+    vid_t vertex = 0;
+    bool is_vertex = false;
+    if (!parse_query_line(line, engine, vector, vertex, is_vertex)) {
+      std::fprintf(stderr,
+                   "warning: line %zu: expected a vertex id or %u floats\n",
+                   line_number, engine.dim());
+      ++bad_lines;
+      continue;
+    }
+    std::string label;
+    if (is_vertex) {
+      if (vertex >= engine.rows()) {
+        std::fprintf(stderr, "warning: line %zu: vertex %u out of range\n",
+                     line_number, vertex);
+        ++bad_lines;
+        continue;
+      }
+      label = "vertex " + std::to_string(vertex);
+      const auto row = engine.store().row(vertex);
+      vector.assign(row.begin(), row.end());
+    } else {
+      label = "query " + std::to_string(line_number);
+    }
+
+    if (queue != nullptr) {
+      in_flight.push_back({std::move(label), is_vertex, vertex,
+                           queue->submit(std::move(vector))});
+    } else {
+      auto result =
+          is_vertex ? engine.top_k_vertex(vertex, k, strategy)
+                    : engine.top_k(vector, k, strategy);
+      if (!result.ok()) return fail(result.status());
+      print_neighbors(label, result.value());
+    }
+  }
+
+  for (InFlight& request : in_flight) {
+    try {
+      std::vector<query::Neighbor> neighbors = request.future.get();
+      if (request.is_vertex) {
+        std::erase_if(neighbors, [&request](const query::Neighbor& n) {
+          return n.id == request.vertex;
+        });
+      }
+      if (neighbors.size() > k) neighbors.resize(k);
+      print_neighbors(request.label, neighbors);
+    } catch (const std::exception& error) {
+      return fail(api::Status::internal(error.what()));
+    }
+  }
+  if (queue != nullptr) {
+    queue->stop();
+    std::printf(
+        "served %llu queries in %llu batches (mean batch %.1f, "
+        "latency mean %.3f ms / max %.3f ms)\n",
+        static_cast<unsigned long long>(counters.queries()),
+        static_cast<unsigned long long>(counters.batches()),
+        counters.mean_batch_size(), 1e3 * counters.mean_latency_seconds(),
+        1e3 * counters.max_latency_seconds());
+  }
+  return bad_lines > 0 ? 2 : 0;
+}
+
+int run_eval(const query::QueryEngine& engine, std::size_t samples,
+             unsigned k, std::uint64_t seed, double recall_floor) {
+  if (!engine.has_index()) {
+    return fail(api::Status::invalid_argument(
+        "--eval needs the HNSW index (run --build-index first)"));
+  }
+  if (engine.rows() == 0) {
+    return fail(api::Status::invalid_argument("store is empty"));
+  }
+  samples = std::min<std::size_t>(samples, engine.rows());
+
+  Rng rng(seed);
+  std::vector<vid_t> probes(samples);
+  for (vid_t& p : probes) p = rng.next_vertex(engine.rows());
+
+  double hits = 0.0, denom = 0.0;
+  WallTimer exact_timer, hnsw_timer;
+  double exact_seconds = 0.0, hnsw_seconds = 0.0;
+  for (const vid_t probe : probes) {
+    exact_timer.reset();
+    auto exact = engine.top_k_vertex(probe, k, query::Strategy::kExact);
+    exact_seconds += exact_timer.seconds();
+    if (!exact.ok()) return fail(exact.status());
+    // The ground truth may hold fewer than k rows (tiny store); recall is
+    // measured against what the exact scan can actually return.
+    denom += static_cast<double>(exact.value().size());
+
+    hnsw_timer.reset();
+    auto approx = engine.top_k_vertex(probe, k, query::Strategy::kHnsw);
+    hnsw_seconds += hnsw_timer.seconds();
+    if (!approx.ok()) return fail(approx.status());
+
+    for (const query::Neighbor& truth : exact.value()) {
+      for (const query::Neighbor& got : approx.value()) {
+        if (truth.id == got.id) {
+          hits += 1.0;
+          break;
+        }
+      }
+    }
+  }
+  const double recall = denom > 0 ? hits / denom : 0.0;
+  std::printf("recall@%u: %.4f over %zu sampled rows\n", k, recall, samples);
+  std::printf("exact: %.1f q/s   hnsw: %.1f q/s\n",
+              samples / (exact_seconds > 0 ? exact_seconds : 1e-9),
+              samples / (hnsw_seconds > 0 ? hnsw_seconds : 1e-9));
+  if (recall < recall_floor) {
+    std::fprintf(stderr, "error: recall %.4f below required floor %.4f\n",
+                 recall, recall_floor);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage();
+      return 0;
+    }
+  }
+
+  const std::string store_path = flag_string(argc, argv, "--store", "");
+  if (store_path.empty()) {
+    usage();
+    return 1;
+  }
+  const bool build_index = api::flag_present(argc, argv, "--build-index");
+  const std::string queries = flag_string(argc, argv, "--queries", "");
+  const auto eval_samples = static_cast<std::size_t>(
+      api::require_flag_unsigned(argc, argv, "--eval", 0));
+  const int modes = (build_index ? 1 : 0) + (queries.empty() ? 0 : 1) +
+                    (eval_samples > 0 ? 1 : 0);
+  if (modes != 1) {
+    std::fprintf(stderr,
+                 "error: pick exactly one of --build-index, --queries, "
+                 "--eval\n");
+    usage();
+    return 1;
+  }
+
+  auto metric =
+      query::parse_metric(flag_string(argc, argv, "--metric", "cosine"));
+  if (!metric.ok()) return fail(metric.status());
+  auto strategy =
+      query::parse_strategy(flag_string(argc, argv, "--strategy", "exact"));
+  if (!strategy.ok()) return fail(strategy.status());
+
+  const auto k = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--k", 10));
+  const auto threads = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--threads", 0));
+  const auto batch = static_cast<std::size_t>(
+      api::require_flag_unsigned(argc, argv, "--batch", 0));
+  const auto hnsw_m =
+      static_cast<unsigned>(api::require_flag_unsigned(argc, argv, "--M", 16));
+  const auto ef_construction = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--ef-construction", 200));
+  const auto ef = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--ef", 64));
+  const auto seed = api::require_flag_unsigned(argc, argv, "--seed", 42);
+  const std::string index_path = flag_string(
+      argc, argv, "--index", query::HnswIndex::default_path(store_path));
+
+  store::OpenOptions open_options;
+  open_options.verify_checksums = !api::flag_present(argc, argv, "--no-verify");
+  auto opened = store::EmbeddingStore::open(store_path, open_options);
+  if (!opened.ok()) return fail(opened.status());
+
+  query::QueryEngineOptions engine_options;
+  engine_options.metric = metric.value();
+  engine_options.threads = threads;
+  engine_options.ef_search = ef;
+  query::QueryEngine engine(std::move(opened).value(), engine_options);
+  std::printf("store %s: %u rows x %u dim, %zu shard%s, metric %s\n",
+              store_path.c_str(), engine.rows(), engine.dim(),
+              engine.store().num_shards(),
+              engine.store().num_shards() == 1 ? "" : "s",
+              std::string(query::metric_name(engine.metric())).c_str());
+
+  if (build_index) {
+    query::HnswOptions build;
+    build.M = hnsw_m;
+    build.ef_construction = ef_construction;
+    build.seed = seed;
+    WallTimer timer;
+    // Through the engine so the build reuses its cosine norm cache
+    // instead of re-scanning the store.
+    if (api::Status status = engine.build_index(build); !status.is_ok()) {
+      return fail(status);
+    }
+    const query::HnswIndex& index = engine.index();
+    std::printf("built HNSW (M=%u, ef_construction=%u, max level %d) "
+                "in %.2f s\n",
+                index.M(), index.ef_construction(), index.max_level(),
+                timer.seconds());
+    if (api::Status status = index.save(index_path); !status.is_ok()) {
+      return fail(status);
+    }
+    std::printf("wrote %s\n", index_path.c_str());
+    return 0;
+  }
+
+  // Serving / eval: load the index when the mode needs it.
+  if (eval_samples > 0 || strategy.value() == query::Strategy::kHnsw) {
+    if (api::Status status = engine.load_index(index_path); !status.is_ok()) {
+      return fail(status);
+    }
+  }
+
+  if (eval_samples > 0) {
+    auto floor_text = flag_string(argc, argv, "--recall-floor", "0");
+    auto floor = api::parse_real(floor_text);
+    if (!floor.ok()) return fail(floor.status());
+    return run_eval(engine, eval_samples, k, seed, floor.value());
+  }
+  return serve_queries(engine, queries, k, strategy.value(), batch);
+}
