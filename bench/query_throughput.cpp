@@ -1,10 +1,12 @@
-// Query serving throughput: exact blocked scan vs HNSW over a GSHS store.
+// Query serving throughput through the gosh::serving service API.
 //
 // Makes the serving path measurable the way the table/figure harnesses
-// measure the training paths: writes a synthetic embedding matrix as an
-// mmap-served store, builds the HNSW index beside it, then reports
-// queries/sec and mean latency for both strategies at every requested
-// thread count, plus the BatchQueue coalescing profile.
+// measure the training paths: writes a synthetic embedding matrix as a
+// sharded mmap-served store, builds the HNSW index beside it, then drives
+// ServiceRegistry-created QueryService objects ("exact", "hnsw", the
+// sharded "router", and the coalescing "batched" strategy) and reports
+// queries/sec plus p50/p99 latency from MetricsRegistry histograms — not
+// ad-hoc averages.
 //
 //   bench_query_throughput [--rows N] [--dim D] [--queries Q] [--k K]
 //                          [--threads t1,t2,...] [--batch B] [--seed S]
@@ -17,10 +19,20 @@
 
 #include "gosh/api/api.hpp"
 
-int main(int argc, char** argv) {
-  using namespace gosh;
+namespace {
 
-  api::print_bench_banner("Query serving throughput (exact scan vs HNSW)");
+using namespace gosh;
+
+int fail(const api::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  api::print_bench_banner(
+      "Query serving throughput (QueryService strategies)");
 
   const auto rows = static_cast<vid_t>(
       api::require_flag_unsigned(argc, argv, "--rows", 20000));
@@ -47,130 +59,107 @@ int main(int argc, char** argv) {
   }
 
   // A synthetic matrix stands in for a trained embedding: throughput only
-  // depends on shape, not on training quality.
+  // depends on shape, not on training quality. Four shards so the router
+  // strategy has real groups to scatter over.
   embedding::EmbeddingMatrix matrix(rows, dim);
   matrix.initialize_random(seed);
   const std::string store_path =
       (std::filesystem::temp_directory_path() / "gosh_bench_query.store")
           .string();
+  const std::uint64_t per_shard = rows / 4 + 1;
   if (api::Status status = store::EmbeddingStore::write(
-          matrix, store_path, {.rows_per_shard = rows / 4 + 1});
+          matrix, store_path, {.rows_per_shard = per_shard});
       !status.is_ok()) {
-    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
-    return 1;
+    return fail(status);
   }
+
+  serving::ServeOptions base;
+  base.store_path = store_path;
+  base.k = k;
+  base.max_batch = batch;
+  base.seed = seed;
+  base.ef_construction = 128;
+  base.verify_checksums = false;
 
   WallTimer timer;
-  auto opened = store::EmbeddingStore::open(store_path);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "error: %s\n", opened.status().to_string().c_str());
-    return 1;
-  }
-  std::printf("store: %u rows x %u dim, %zu shards, opened in %.3f s\n", rows,
-              dim, opened.value().num_shards(), timer.seconds());
-
-  timer.reset();
-  query::HnswOptions hnsw;
-  hnsw.M = 16;
-  hnsw.ef_construction = 128;
-  hnsw.seed = seed;
-  const query::HnswIndex index =
-      query::HnswIndex::build(opened.value(), hnsw);
-  std::printf("hnsw build: %.2f s (M=%u, ef_construction=%u, max level %d)\n",
-              timer.seconds(), index.M(), index.ef_construction(),
-              index.max_level());
+  auto built = serving::build_index(base);
+  if (!built.ok()) return fail(built.status());
+  std::printf("store: %u rows x %u dim (4 shards); hnsw build %.2f s "
+              "(M=%u, ef_construction=%u, max level %d)\n",
+              rows, dim, built.value().seconds, built.value().M,
+              built.value().ef_construction, built.value().max_level);
 
   // Queries = stored rows sampled with replacement (realistic: most
   // serving traffic asks "more like this node").
   Rng rng(seed + 7);
-  std::vector<float> queries(num_queries * dim);
-  for (std::size_t q = 0; q < num_queries; ++q) {
-    const auto row = opened.value().row(rng.next_vertex(rows));
-    std::copy(row.begin(), row.end(), queries.begin() + q * dim);
-  }
+  std::vector<vid_t> probes(num_queries);
+  for (vid_t& p : probes) p = rng.next_vertex(rows);
 
-  // Re-opening the store per engine is the point of the format: an open
-  // is one header read + mmap, so every serving process gets its own
-  // zero-copy view.
-  const auto open_engine =
-      [&store_path](unsigned threads) -> api::Result<query::QueryEngine> {
-    auto reopened = store::EmbeddingStore::open(store_path,
-                                                {.verify_checksums = false});
-    if (!reopened.ok()) return reopened.status();
-    query::QueryEngineOptions options;
-    options.metric = query::Metric::kCosine;
-    options.threads = threads;
-    return query::QueryEngine(std::move(reopened).value(), options);
-  };
-
-  std::printf("\n%-8s %8s %12s %14s\n", "strategy", "threads", "queries/s",
-              "mean ms/query");
+  serving::MetricsRegistry metrics;
+  std::printf("\n%-8s %8s %12s %12s %12s\n", "strategy", "threads",
+              "queries/s", "p50 ms", "p99 ms");
   for (const unsigned threads : thread_counts) {
-    auto engine = open_engine(threads);
-    if (!engine.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   engine.status().to_string().c_str());
-      return 1;
-    }
-    if (api::Status status = engine.value().attach_index(index);
-        !status.is_ok()) {
-      std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
-      return 1;
-    }
+    for (const char* strategy : {"exact", "hnsw", "router"}) {
+      serving::ServeOptions options = base;
+      options.strategy = strategy;
+      options.threads = threads;
+      auto service = serving::make_service(options, &metrics);
+      if (!service.ok()) return fail(service.status());
 
-    for (const auto strategy :
-         {query::Strategy::kExact, query::Strategy::kHnsw}) {
+      // Each request timing lands in its own histogram so p50/p99 come
+      // straight out of the MetricsRegistry, per strategy and shape.
+      serving::Histogram& latency = metrics.histogram(
+          std::string("bench_latency_seconds_") + strategy + "_t" +
+          std::to_string(threads));
       timer.reset();
-      auto results =
-          engine.value().top_k_batch(queries, num_queries, k, strategy);
-      const double seconds = timer.seconds();
-      if (!results.ok()) {
-        std::fprintf(stderr, "error: %s\n",
-                     results.status().to_string().c_str());
-        return 1;
+      for (const vid_t probe : probes) {
+        auto response = service.value()->serve(
+            serving::QueryRequest::for_vertex(probe, k));
+        if (!response.ok()) return fail(response.status());
+        latency.observe(response.value().seconds);
       }
-      std::printf("%-8s %8u %12.1f %14.4f\n",
-                  std::string(query::strategy_name(strategy)).c_str(), threads,
-                  num_queries / seconds, 1e3 * seconds / num_queries);
+      const double seconds = timer.seconds();
+      std::printf("%-8s %8u %12.1f %12.4f %12.4f\n", strategy, threads,
+                  num_queries / (seconds > 0 ? seconds : 1e-9),
+                  1e3 * latency.quantile(0.5), 1e3 * latency.quantile(0.99));
     }
   }
 
-  // BatchQueue profile at the last thread count: concurrent submitters,
-  // coalesced scans.
+  // Batched strategy at the last thread count: concurrent submitters,
+  // coalesced scans; latency profile from the registry's serving
+  // histograms (enqueue -> fulfillment, the number a caller feels).
   {
-    auto reopened = open_engine(thread_counts.back());
-    if (!reopened.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   reopened.status().to_string().c_str());
-      return 1;
+    serving::ServeOptions options = base;
+    options.strategy = "batched";
+    options.threads = thread_counts.back();
+    auto service = serving::make_service(options, &metrics);
+    if (!service.ok()) return fail(service.status());
+
+    serving::QueryRequest request;
+    request.queries.reserve(num_queries);
+    for (const vid_t probe : probes) {
+      request.queries.push_back(serving::Query::vertex(probe));
     }
-    query::QueryEngine engine = std::move(reopened).value();
-    query::QueryCounters counters;
-    query::BatchQueue queue(
-        engine, {.max_batch = batch, .k = k, .strategy = query::Strategy::kExact},
-        &counters);
     timer.reset();
-    std::vector<std::future<std::vector<query::Neighbor>>> futures;
-    futures.reserve(num_queries);
-    for (std::size_t q = 0; q < num_queries; ++q) {
-      futures.push_back(queue.submit(std::vector<float>(
-          queries.begin() + q * dim, queries.begin() + (q + 1) * dim)));
-    }
-    for (auto& f : futures) f.get();
+    auto response = service.value()->serve(request);
+    if (!response.ok()) return fail(response.status());
     const double seconds = timer.seconds();
+
+    const serving::Histogram& latency =
+        metrics.histogram("gosh_serving_request_latency_seconds");
     std::printf(
-        "\nbatch queue (max_batch %zu): %.1f queries/s, %llu batches "
-        "(mean %.1f/scan), latency mean %.3f ms / max %.3f ms\n",
-        batch, num_queries / seconds,
-        static_cast<unsigned long long>(counters.batches()),
-        counters.mean_batch_size(), 1e3 * counters.mean_latency_seconds(),
-        1e3 * counters.max_latency_seconds());
+        "\nbatched (max_batch %zu, %u threads): %.1f queries/s, "
+        "request latency p50 %.3f ms / p99 %.3f ms over %llu served\n",
+        batch, thread_counts.back(),
+        num_queries / (seconds > 0 ? seconds : 1e-9),
+        1e3 * latency.quantile(0.5), 1e3 * latency.quantile(0.99),
+        static_cast<unsigned long long>(latency.count()));
   }
 
-  const std::uint64_t per_shard = rows / 4 + 1;
   const auto shard_count =
       static_cast<std::uint32_t>((rows + per_shard - 1) / per_shard);
   std::filesystem::remove(store_path);
+  std::filesystem::remove(store_path + ".hnsw");
   for (std::uint32_t s = 1; s < shard_count; ++s) {
     std::filesystem::remove(
         store::EmbeddingStore::shard_path(store_path, s, shard_count));

@@ -1,8 +1,10 @@
 # End-to-end tool smoke test (driven by ctest, see CMakeLists.txt):
 #   1. write a small community-structured edge list,
-#   2. gosh_embed trains it and persists a GSHS store,
+#   2. gosh_embed trains it and persists a SHARDED GSHS store,
 #   3. gosh_query builds the HNSW index beside the store,
-#   4. gosh_query serves vertex + raw-vector queries from a file,
+#   4. gosh_query serves vertex + raw-vector + multi-vector + filtered
+#      queries through every ServiceRegistry strategy (exact, hnsw,
+#      batched, the sharded router, auto) and dumps a metrics exposition,
 #   5. gosh_query --eval checks HNSW recall against the exact scan.
 #
 # Expects -DGOSH_EMBED=..., -DGOSH_QUERY=..., -DWORK_DIR=...
@@ -48,24 +50,37 @@ function(run_step label)
   message(STATUS "${label}:\n${out}")
 endfunction()
 
-run_step("gosh_embed -> store"
+# 20 rows per shard -> a 4-shard store, so the router strategy scatters
+# over real groups.
+run_step("gosh_embed -> sharded store"
          ${GOSH_EMBED} --input ${edge_file} --output ${store_file}
-         --format store --preset fast --dim 16 --epochs 60 --seed 3)
+         --format store --rows-per-shard 20 --preset fast --dim 16
+         --epochs 60 --seed 3)
 
 run_step("gosh_query --build-index"
          ${GOSH_QUERY} --store ${store_file} --build-index --M 8
          --ef-construction 64 --seed 3)
 
-# Vertex queries and one raw 16-float vector query.
-file(WRITE ${query_file} "0\n17\n40\n0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8 0.9 1.0 1.1 1.2 1.3 1.4 1.5 1.6\n")
-run_step("gosh_query --queries (exact)"
-         ${GOSH_QUERY} --store ${store_file} --queries ${query_file} --k 5)
-run_step("gosh_query --queries (hnsw, batched)"
+# Vertex queries, one raw 16-float vector query, and one multi-vector
+# query (';'-separated segments: two stored rows scored jointly).
+file(WRITE ${query_file} "0\n17\n40\n0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8 0.9 1.0 1.1 1.2 1.3 1.4 1.5 1.6\n40; 41\n")
+run_step("gosh_query --queries (exact + metrics)"
          ${GOSH_QUERY} --store ${store_file} --queries ${query_file} --k 5
-         --strategy hnsw --batch 4)
+         --strategy exact --metrics)
+run_step("gosh_query --queries (hnsw)"
+         ${GOSH_QUERY} --store ${store_file} --queries ${query_file} --k 5
+         --strategy hnsw)
+run_step("gosh_query --queries (batched)"
+         ${GOSH_QUERY} --store ${store_file} --queries ${query_file} --k 5
+         --strategy batched --batch 4)
+run_step("gosh_query --queries (router, filtered)"
+         ${GOSH_QUERY} --store ${store_file} --queries ${query_file} --k 5
+         --strategy router --filter 16:48)
+run_step("gosh_query --queries (auto)"
+         ${GOSH_QUERY} --store ${store_file} --queries ${query_file} --k 5)
 
 # With ef far above |V| the HNSW beam covers the whole layer-0 graph, so
 # recall vs the exact scan must be essentially perfect.
 run_step("gosh_query --eval"
          ${GOSH_QUERY} --store ${store_file} --eval 32 --k 5 --ef 128
-         --recall-floor 0.9)
+         --strategy hnsw --recall-floor 0.9)

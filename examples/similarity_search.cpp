@@ -1,7 +1,9 @@
 // Similarity search: train an embedding through the gosh::api facade,
-// persist it into an mmap-served GSHS store, then answer KNN queries with
-// both serving strategies — the full train -> store -> serve pipeline in
-// one file.
+// persist it into a sharded mmap-served GSHS store, then answer KNN
+// queries through the gosh::serving service API — the full
+// train -> store -> serve pipeline in one file, with every strategy
+// created from the ServiceRegistry ("exact", "hnsw", the sharded
+// "router") answering the same QueryRequest model.
 //
 //   ./similarity_search [vertices] [store_path]
 #include <cstdio>
@@ -39,43 +41,49 @@ int main(int argc, char** argv) {
               embedded.value().total_seconds,
               embedded.value().backend.c_str());
 
-  // 2. Persist into a sharded store and reopen it via mmap — from here on
-  // nothing touches the in-memory matrix.
-  if (api::Status status = store::EmbeddingStore::write(
-          embedded.value().embedding, store_path, {.rows_per_shard = n / 3});
-      !status.is_ok()) {
-    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
-    return 1;
-  }
-  auto opened = store::EmbeddingStore::open(store_path);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "error: %s\n", opened.status().to_string().c_str());
-    return 1;
-  }
-  std::printf("store %s: %u x %u in %zu shards\n", store_path.c_str(),
-              opened.value().rows(), opened.value().dim(),
-              opened.value().num_shards());
-
-  // 3. Serve: exact scan vs the HNSW index, side by side.
-  query::QueryEngine engine(std::move(opened).value(), {});
-  if (api::Status status = engine.build_index({.ef_construction = 128});
+  // 2. Persist into a 3-shard store — the layout the router strategy
+  // opens as one engine per shard — and build the HNSW index beside it.
+  if (api::Status status = api::write_embedding(
+          embedded.value().embedding, store_path, "store",
+          /*rows_per_shard=*/n / 3 + 1);
       !status.is_ok()) {
     std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
     return 1;
   }
 
+  serving::ServeOptions serve;
+  serve.store_path = store_path;
+  serve.k = 5;
+  serve.ef_construction = 128;
+  auto built = serving::build_index(serve);
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 built.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("store %s + index %s (max level %d)\n", store_path.c_str(),
+              built.value().path.c_str(), built.value().max_level);
+
+  // 3. Serve: every strategy is a registry key answering the same request
+  // model, with per-request metrics flowing into one registry.
+  serving::MetricsRegistry metrics;
   Rng rng(11);
   for (int i = 0; i < 3; ++i) {
-    const vid_t v = rng.next_vertex(engine.rows());
-    for (const auto strategy :
-         {query::Strategy::kExact, query::Strategy::kHnsw}) {
-      auto top = engine.top_k_vertex(v, 5, strategy);
+    const vid_t v = rng.next_vertex(n);
+    for (const char* strategy : {"exact", "hnsw", "router"}) {
+      serve.strategy = strategy;
+      auto service = serving::make_service(serve, &metrics);
+      if (!service.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     service.status().to_string().c_str());
+        return 1;
+      }
+      auto top = service.value()->top_k_vertex(v, 5);
       if (!top.ok()) {
         std::fprintf(stderr, "error: %s\n", top.status().to_string().c_str());
         return 1;
       }
-      std::printf("vertex %5u (%5s):", v,
-                  std::string(query::strategy_name(strategy)).c_str());
+      std::printf("vertex %5u (%7s):", v, strategy);
       // How many of the returned neighbors are actual graph neighbors?
       const auto adjacent = g.neighbors(v);
       unsigned direct = 0;
@@ -86,5 +94,37 @@ int main(int argc, char** argv) {
       std::printf("   [%u/5 are graph neighbors]\n", direct);
     }
   }
+
+  // 4. One multi-vector, filtered request: "similar to BOTH of these
+  // vertices, answered only from the first half of the id space".
+  serve.strategy = "exact";
+  auto service = serving::make_service(serve, &metrics);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().to_string().c_str());
+    return 1;
+  }
+  const vid_t a = rng.next_vertex(n), b = rng.next_vertex(n);
+  auto va = service.value()->row_vector(a);
+  auto vb = service.value()->row_vector(b);
+  if (!va.ok() || !vb.ok()) return 1;
+  std::vector<float> joint = std::move(va).value();
+  const std::vector<float> second = std::move(vb).value();
+  joint.insert(joint.end(), second.begin(), second.end());
+
+  serving::QueryRequest request;
+  request.queries.push_back(serving::Query::multi(std::move(joint), 2));
+  request.aggregate = serving::Aggregate::kMean;
+  request.filter = [n](vid_t id) { return id < n / 2; };
+  auto response = service.value()->serve(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 response.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("multi-vector mean(%u, %u), ids < %u:", a, b, n / 2);
+  for (const query::Neighbor& nb : response.value().results.front()) {
+    std::printf(" %u:%.3f", nb.id, nb.score);
+  }
+  std::printf("\n");
   return 0;
 }

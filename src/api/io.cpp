@@ -8,14 +8,16 @@
 namespace gosh::api {
 
 Status write_embedding(const embedding::EmbeddingMatrix& matrix,
-                       const std::string& path, const std::string& format) {
+                       const std::string& path, const std::string& format,
+                       std::uint64_t rows_per_shard) {
   try {
     if (format == "text") {
       embedding::write_matrix_text(matrix, path);
     } else if (format == "binary") {
       embedding::write_matrix_binary(matrix, path);
     } else if (format == "store") {
-      return store::EmbeddingStore::write(matrix, path);
+      return store::EmbeddingStore::write(matrix, path,
+                                          {.rows_per_shard = rows_per_shard});
     } else {
       return Status::invalid_argument("unknown embedding format '" + format +
                                       "' (expected binary|text|store)");

@@ -3,6 +3,7 @@
 // Status-returning wrappers so tools need no try/catch of their own.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "gosh/api/status.hpp"
@@ -14,9 +15,12 @@ namespace gosh::api {
 /// Writes `matrix` to `path` in "text", "binary" or "store" `format`
 /// ("store" = the shard-capable GSHS layout gosh::store serves via mmap);
 /// io and unknown-format failures come back as a Status instead of an
-/// exception.
+/// exception. `rows_per_shard` (store format only) splits the store into
+/// `<path>.sNNNN-of-NNNN` shard files — the layout the serving Router
+/// opens as one engine per shard; 0 writes a single shard.
 Status write_embedding(const embedding::EmbeddingMatrix& matrix,
-                       const std::string& path, const std::string& format);
+                       const std::string& path, const std::string& format,
+                       std::uint64_t rows_per_shard = 0);
 
 /// Reads an embedding written by write_embedding (format auto-detected by
 /// the GSHE/GSHS magic). A store is materialized into memory — open it

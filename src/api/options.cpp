@@ -54,38 +54,6 @@ std::string_view trim(std::string_view text) {
 
 using KeyValue = std::pair<std::string, std::string>;
 
-/// Parses one key=value file into pairs (no application yet, so file and
-/// CLI sources can be merged before the preset reordering below).
-Status read_file_pairs(const std::string& path, std::vector<KeyValue>& pairs) {
-  std::ifstream file(path);
-  if (!file)
-    return Status::io_error("cannot open options file " + quoted(path));
-
-  std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(file, line)) {
-    ++line_number;
-    std::string_view text = line;
-    if (const std::size_t hash = text.find('#'); hash != std::string::npos)
-      text = text.substr(0, hash);
-    text = trim(text);
-    if (text.empty()) continue;
-    const std::size_t equals = text.find('=');
-    if (equals == std::string_view::npos)
-      return Status::invalid_argument(
-          path + ":" + std::to_string(line_number) +
-          ": expected key=value, got " + quoted(text));
-    const std::string_view key = trim(text.substr(0, equals));
-    const std::string_view value = trim(text.substr(equals + 1));
-    if (key.empty())
-      return Status::invalid_argument(path + ":" +
-                                      std::to_string(line_number) +
-                                      ": empty key");
-    pairs.emplace_back(std::string(key), std::string(value));
-  }
-  return Status::ok();
-}
-
 /// Applies pairs with `large-scale` first, `preset` second, the rest in
 /// order — so the preset seeds the config no matter where it was written,
 /// and explicit knobs (from any source) land after it.
@@ -132,6 +100,38 @@ Status set_scalar(T& field, std::string_view key, std::string_view value,
 }
 
 }  // namespace
+
+// Parses one key=value file into pairs (no application yet, so file and
+// CLI sources can be merged before any reordering the caller needs).
+Status read_options_file(const std::string& path, KeyValuePairs& pairs) {
+  std::ifstream file(path);
+  if (!file)
+    return Status::io_error("cannot open options file " + quoted(path));
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    std::string_view text = line;
+    if (const std::size_t hash = text.find('#'); hash != std::string::npos)
+      text = text.substr(0, hash);
+    text = trim(text);
+    if (text.empty()) continue;
+    const std::size_t equals = text.find('=');
+    if (equals == std::string_view::npos)
+      return Status::invalid_argument(
+          path + ":" + std::to_string(line_number) +
+          ": expected key=value, got " + quoted(text));
+    const std::string_view key = trim(text.substr(0, equals));
+    const std::string_view value = trim(text.substr(equals + 1));
+    if (key.empty())
+      return Status::invalid_argument(path + ":" +
+                                      std::to_string(line_number) +
+                                      ": empty key");
+    pairs.emplace_back(std::string(key), std::string(value));
+  }
+  return Status::ok();
+}
 
 Result<long long> parse_integer(std::string_view text) {
   text = trim(text);
@@ -362,6 +362,8 @@ Status Options::set(std::string_view key, std::string_view value) {
     output_format = std::string(trim(value));
     return Status::ok();
   }
+  if (key == "rows-per-shard")
+    return set_scalar(rows_per_shard, key, value, parse_unsigned);
   if (key == "demo") return set_scalar(demo, key, value, parse_bool);
   if (key == "eval") return set_scalar(run_eval, key, value, parse_bool);
   if (key == "verbose") return set_scalar(verbose, key, value, parse_bool);
@@ -425,6 +427,8 @@ Status Options::validate() const {
       output_format != "store")
     return bad("format: expected binary|text|store, got " +
                quoted(output_format));
+  if (rows_per_shard != 0 && output_format != "store")
+    return bad("rows-per-shard: only meaningful with --format store");
   return Status::ok();
 }
 
@@ -464,7 +468,7 @@ Result<Options> Options::from_args(int argc, char** argv) {
   // knobs — "flags override the file" holds even against preset resets.
   if (!options_file.empty()) {
     std::vector<KeyValue> merged;
-    if (Status status = read_file_pairs(options_file, merged);
+    if (Status status = read_options_file(options_file, merged);
         !status.is_ok())
       return status;
     merged.insert(merged.end(), pairs.begin(), pairs.end());
@@ -483,7 +487,7 @@ Result<Options> Options::from_file(const std::string& path) {
 Result<Options> Options::from_file(const std::string& path,
                                    const Options& base) {
   std::vector<KeyValue> pairs;
-  if (Status status = read_file_pairs(path, pairs); !status.is_ok())
+  if (Status status = read_options_file(path, pairs); !status.is_ok())
     return status;
 
   Options options = base;

@@ -53,6 +53,13 @@ std::vector<std::string> flag_list(int argc, char** argv,
                                    std::string_view name,
                                    std::vector<std::string> fallback);
 
+/// Ordered key=value pairs of an options file ('#' comments and blank
+/// lines ignored; line-numbered kInvalidArgument on malformed lines).
+/// Shared by Options::from_file and serving::ServeOptions::from_file so
+/// both facades parse the identical dialect.
+using KeyValuePairs = std::vector<std::pair<std::string, std::string>>;
+Status read_options_file(const std::string& path, KeyValuePairs& pairs);
+
 struct Options {
   // ---- Facade-level selection. ------------------------------------------
   /// Registry key ("device", "largegraph", "multidevice", "verse-cpu",
@@ -87,7 +94,10 @@ struct Options {
   std::string input_path;
   bool demo = false;                        ///< generated graph, no input
   std::string output_path = "embedding.bin";
-  std::string output_format = "binary";     ///< "binary" | "text"
+  std::string output_format = "binary";     ///< "binary" | "text" | "store"
+  /// Store format only: rows per GSHS shard file (0 = single shard). The
+  /// serving Router opens each shard as its own engine.
+  std::uint64_t rows_per_shard = 0;
   bool run_eval = false;                    ///< link-prediction evaluation
   bool verbose = false;                     ///< narrate progress (Info log)
   bool show_help = false;                   ///< --help seen; caller prints

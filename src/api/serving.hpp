@@ -1,9 +1,19 @@
-// Facade forwarding header: the serving side of the library — the
-// mmap-backed embedding store (gosh/store/) and the KNN query engine
-// (gosh/query/): exact blocked scans, the HNSW index, and the
-// request-coalescing BatchQueue. Everything a serving tool needs after
-// training, reachable from gosh/api/ alone.
+// Facade forwarding header: the serving side of the library.
+//
+// The public surface is gosh::serving — the QueryService interface with
+// its QueryRequest/QueryResponse model, the string-keyed ServiceRegistry
+// ("exact", "hnsw", "batched", "router", "auto"), structured ServeOptions,
+// the sharded-store Router, and the MetricsRegistry sink. The engine
+// internals it is built from (gosh/store/ mmap store, gosh/query/ scans +
+// HNSW + BatchQueue) ride along for programmatic composition, but tools,
+// benches and examples should speak QueryService only.
 #pragma once
+
+#include "gosh/serving/metrics.hpp"
+#include "gosh/serving/options.hpp"
+#include "gosh/serving/registry.hpp"
+#include "gosh/serving/router.hpp"
+#include "gosh/serving/service.hpp"
 
 #include "gosh/query/batch_queue.hpp"
 #include "gosh/query/brute_force.hpp"

@@ -121,15 +121,17 @@ void BatchQueue::dispatch_loop() {
           std::chrono::duration<double>(done - scan_begin).count());
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Observe BEFORE fulfilling: a caller joining on the future must see
+      // its own request already accounted in the observer's counters.
+      if (observer_ != nullptr) {
+        observer_->on_query(
+            std::chrono::duration<double>(done - batch[i].enqueued).count());
+      }
       if (results.ok()) {
         batch[i].promise.set_value(std::move(results.value()[i]));
       } else {
         batch[i].promise.set_exception(std::make_exception_ptr(
             std::runtime_error(results.status().to_string())));
-      }
-      if (observer_ != nullptr) {
-        observer_->on_query(
-            std::chrono::duration<double>(done - batch[i].enqueued).count());
       }
     }
   }

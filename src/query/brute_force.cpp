@@ -29,19 +29,28 @@ struct TopK {
 
 }  // namespace
 
-std::vector<std::vector<Neighbor>> scan_top_k_batch(
-    const store::EmbeddingStore& store, std::span<const float> queries,
-    std::size_t count, unsigned k, Metric metric,
-    std::span<const float> inv_norms, const ScanOptions& options) {
+std::vector<std::vector<Neighbor>> scan_top_k_multi(
+    const store::EmbeddingStore& store, std::span<const float> vectors,
+    std::span<const std::size_t> vector_counts, unsigned k, Metric metric,
+    std::span<const float> inv_norms, Aggregate aggregate,
+    const RowFilter& filter, const ScanOptions& options) {
   const unsigned d = store.dim();
-  assert(queries.size() == count * d && "query buffer / dim mismatch");
+  const std::size_t count = vector_counts.size();
+  std::size_t total_vectors = 0;
+  for (const std::size_t c : vector_counts) total_vectors += c;
+  assert(vectors.size() == total_vectors * d && "query buffer / dim mismatch");
   std::vector<std::vector<Neighbor>> results(count);
   if (count == 0 || k == 0 || store.rows() == 0) return results;
 
-  // Per-query inverse norms (cosine only).
-  std::vector<float> query_inv(metric == Metric::kCosine ? count : 0);
-  for (std::size_t q = 0; q < query_inv.size(); ++q) {
-    query_inv[q] = inverse_norm(queries.data() + q * d, d);
+  // Per-vector inverse norms (cosine only) and each query's offset into the
+  // flat vector buffer, both computed once up front.
+  std::vector<float> vector_inv(metric == Metric::kCosine ? total_vectors : 0);
+  for (std::size_t i = 0; i < vector_inv.size(); ++i) {
+    vector_inv[i] = inverse_norm(vectors.data() + i * d, d);
+  }
+  std::vector<std::size_t> first_vector(count, 0);
+  for (std::size_t q = 1; q < count; ++q) {
+    first_vector[q] = first_vector[q - 1] + vector_counts[q - 1];
   }
 
   ParallelForOptions parallel;
@@ -58,14 +67,27 @@ std::vector<std::vector<Neighbor>> scan_top_k_batch(
       [&](unsigned worker, std::size_t begin, std::size_t end) {
         std::vector<TopK>& local = scratch[worker];
         for (std::size_t v = begin; v < end; ++v) {
+          if (filter && !filter(static_cast<vid_t>(v))) continue;
           const float* row = store.row(static_cast<vid_t>(v)).data();
           const float row_inv =
               metric == Metric::kCosine ? inv_norms[v] : 0.0f;
           for (std::size_t q = 0; q < count; ++q) {
-            const float score =
-                similarity(metric, queries.data() + q * d, row, d,
-                           metric == Metric::kCosine ? query_inv[q] : 0.0f,
-                           row_inv);
+            const std::size_t base = first_vector[q];
+            float score = 0.0f;
+            for (std::size_t i = 0; i < vector_counts[q]; ++i) {
+              const float sim = similarity(
+                  metric, vectors.data() + (base + i) * d, row, d,
+                  metric == Metric::kCosine ? vector_inv[base + i] : 0.0f,
+                  row_inv);
+              if (aggregate == Aggregate::kMean) {
+                score += sim;
+              } else if (i == 0 || sim > score) {
+                score = sim;
+              }
+            }
+            if (aggregate == Aggregate::kMean && vector_counts[q] > 0) {
+              score /= static_cast<float>(vector_counts[q]);
+            }
             local[q].offer(k, {static_cast<vid_t>(v), score});
           }
         }
@@ -82,6 +104,15 @@ std::vector<std::vector<Neighbor>> scan_top_k_batch(
     if (merged.size() > k) merged.resize(k);
   }
   return results;
+}
+
+std::vector<std::vector<Neighbor>> scan_top_k_batch(
+    const store::EmbeddingStore& store, std::span<const float> queries,
+    std::size_t count, unsigned k, Metric metric,
+    std::span<const float> inv_norms, const ScanOptions& options) {
+  const std::vector<std::size_t> ones(count, 1);
+  return scan_top_k_multi(store, queries, ones, k, metric, inv_norms,
+                          Aggregate::kMax, RowFilter{}, options);
 }
 
 std::vector<Neighbor> scan_top_k(const store::EmbeddingStore& store,

@@ -43,4 +43,17 @@ std::vector<std::vector<Neighbor>> scan_top_k_batch(
     std::size_t count, unsigned k, Metric metric,
     std::span<const float> inv_norms, const ScanOptions& options = {});
 
+/// The fully general exact scan underneath the serving layer: query q owns
+/// `vector_counts[q]` vectors (laid back-to-back in `vectors`, after the
+/// previous query's vectors) and a candidate's score is the Aggregate of
+/// its similarity to each of them; rows failing `filter` (when non-empty)
+/// never enter an answer. Still one blocked pass over the store for the
+/// whole batch. scan_top_k / scan_top_k_batch are the all-counts-1,
+/// unfiltered special case.
+std::vector<std::vector<Neighbor>> scan_top_k_multi(
+    const store::EmbeddingStore& store, std::span<const float> vectors,
+    std::span<const std::size_t> vector_counts, unsigned k, Metric metric,
+    std::span<const float> inv_norms, Aggregate aggregate,
+    const RowFilter& filter, const ScanOptions& options = {});
+
 }  // namespace gosh::query

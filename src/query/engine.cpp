@@ -14,9 +14,33 @@ std::string_view strategy_name(Strategy strategy) noexcept {
 api::Result<Strategy> parse_strategy(std::string_view name) {
   if (name == "exact") return Strategy::kExact;
   if (name == "hnsw") return Strategy::kHnsw;
+  // Enumerate the valid names, BackendRegistry-style, so a typo is
+  // self-correcting from the message alone.
   return api::Status::invalid_argument("unknown strategy '" +
                                        std::string(name) +
-                                       "' (expected exact|hnsw)");
+                                       "' (valid: exact, hnsw)");
+}
+
+api::Status QueryEngineOptions::validate() const {
+  if (block_rows == 0) {
+    return api::Status::invalid_argument(
+        "query engine: block_rows must be >= 1 (0 would scan nothing)");
+  }
+  if (ef_search == 0) {
+    return api::Status::invalid_argument(
+        "query engine: ef_search must be >= 1 (0 would search nothing)");
+  }
+  if (threads > 1024) {
+    return api::Status::invalid_argument(
+        "query engine: threads must be <= 1024");
+  }
+  return api::Status::ok();
+}
+
+api::Result<QueryEngine> QueryEngine::create(store::EmbeddingStore store,
+                                             QueryEngineOptions options) {
+  if (api::Status status = options.validate(); !status.is_ok()) return status;
+  return QueryEngine(std::move(store), options);
 }
 
 QueryEngine::QueryEngine(store::EmbeddingStore store,

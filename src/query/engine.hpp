@@ -37,10 +37,20 @@ struct QueryEngineOptions {
   std::size_t block_rows = 2048;
   /// Default layer-0 beam width for the HNSW strategy.
   unsigned ef_search = 64;
+
+  /// Rejects degenerate shapes (block_rows == 0, ef_search == 0,
+  /// implausible thread counts) with kInvalidArgument.
+  api::Status validate() const;
 };
 
 class QueryEngine {
  public:
+  /// The checked construction path: validates `options` before spinning up
+  /// the engine (the raw constructor below asserts instead, for call sites
+  /// that already hold validated options).
+  static api::Result<QueryEngine> create(store::EmbeddingStore store,
+                                         QueryEngineOptions options = {});
+
   explicit QueryEngine(store::EmbeddingStore store,
                        QueryEngineOptions options = {});
 
@@ -52,6 +62,10 @@ class QueryEngine {
 
   bool has_index() const noexcept { return index_.max_level() >= 0; }
   const HnswIndex& index() const noexcept { return index_; }
+
+  /// Per-row inverse norms for the engine's metric (empty unless cosine).
+  /// Shared with the serving layer so it never re-scans the store.
+  std::span<const float> inv_norms() const noexcept { return inv_norms_; }
 
   /// Attaches an already-built/loaded index; rejects one whose rows, dim
   /// or metric disagree with the store/engine.

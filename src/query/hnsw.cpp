@@ -36,12 +36,16 @@ float HnswIndex::node_similarity(const store::EmbeddingStore& store,
 std::vector<Neighbor> HnswIndex::search_layer(
     const store::EmbeddingStore& store, const float* query, float query_inv,
     vid_t entry, unsigned ef, unsigned layer,
-    std::vector<std::uint32_t>& visited, std::uint32_t mark) const {
+    std::vector<std::uint32_t>& visited, std::uint32_t mark,
+    const RowFilter* filter) const {
+  const auto admits = [filter](vid_t node) {
+    return filter == nullptr || (*filter)(node);
+  };
   BestFirst frontier;
   WorstFirst results;
   const float entry_sim = node_similarity(store, query, query_inv, entry);
   frontier.emplace(entry_sim, entry);
-  results.emplace(entry_sim, entry);
+  if (admits(entry)) results.emplace(entry_sim, entry);
   visited[entry] = mark;
 
   while (!frontier.empty()) {
@@ -53,9 +57,13 @@ std::vector<Neighbor> HnswIndex::search_layer(
       visited[next] = mark;
       const float next_sim = node_similarity(store, query, query_inv, next);
       if (results.size() < ef || next_sim > results.top().first) {
+        // Filtered-out nodes stay in the frontier — they still route the
+        // beam toward their neighborhoods — but never enter the results.
         frontier.emplace(next_sim, next);
-        results.emplace(next_sim, next);
-        if (results.size() > ef) results.pop();
+        if (admits(next)) {
+          results.emplace(next_sim, next);
+          if (results.size() > ef) results.pop();
+        }
       }
     }
   }
@@ -187,7 +195,8 @@ HnswIndex HnswIndex::build(const store::EmbeddingStore& store,
 
 std::vector<Neighbor> HnswIndex::search(const store::EmbeddingStore& store,
                                         std::span<const float> query,
-                                        unsigned k, unsigned ef) const {
+                                        unsigned k, unsigned ef,
+                                        const RowFilter& filter) const {
   std::vector<Neighbor> out;
   if (rows_ == 0 || k == 0) return out;
   const float query_inv = metric_ == Metric::kCosine
@@ -226,7 +235,7 @@ std::vector<Neighbor> HnswIndex::search(const store::EmbeddingStore& store,
     mark = 1;
   }
   out = search_layer(store, query.data(), query_inv, cur, std::max(ef, k), 0,
-                     visited, mark);
+                     visited, mark, filter ? &filter : nullptr);
   std::sort(out.begin(), out.end(), better);
   if (out.size() > k) out.resize(k);
   return out;

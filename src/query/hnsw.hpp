@@ -52,10 +52,14 @@ class HnswIndex {
   /// Approximate top-k of `query` (length = store.dim()). `ef` is the
   /// layer-0 beam width; it is clamped up to `k`. `store` must be the
   /// store the index was built over (rows/dim are validated by the
-  /// QueryEngine before calling).
+  /// QueryEngine before calling). A non-empty `filter` keeps filtered-out
+  /// nodes navigable (the graph stays connected) but bars them from the
+  /// result set; callers wanting exact-strategy-like coverage under a
+  /// selective filter should widen `ef`.
   std::vector<Neighbor> search(const store::EmbeddingStore& store,
                                std::span<const float> query, unsigned k,
-                               unsigned ef = 64) const;
+                               unsigned ef = 64,
+                               const RowFilter& filter = {}) const;
 
   /// Serializes to `path` ("GSHH" format, FNV-checksummed).
   api::Status save(const std::string& path) const;
@@ -82,12 +86,14 @@ class HnswIndex {
 
   /// Best-first beam search on one layer; returns up to `ef` candidates
   /// (unsorted). `visited` is an epoch-stamped scratch array of
-  /// rows() entries.
+  /// rows() entries. `filter` (may be null) bars nodes from the result
+  /// set without removing them from the frontier.
   std::vector<Neighbor> search_layer(const store::EmbeddingStore& store,
                                      const float* query, float query_inv,
                                      vid_t entry, unsigned ef, unsigned layer,
                                      std::vector<std::uint32_t>& visited,
-                                     std::uint32_t mark) const;
+                                     std::uint32_t mark,
+                                     const RowFilter* filter = nullptr) const;
 
   Metric metric_ = Metric::kCosine;
   unsigned M_ = 16;

@@ -21,7 +21,19 @@ api::Result<Metric> parse_metric(std::string_view name) {
   if (name == "dot") return Metric::kDot;
   if (name == "l2") return Metric::kL2;
   return api::Status::invalid_argument("unknown metric '" + std::string(name) +
-                                       "' (expected cosine|dot|l2)");
+                                       "' (valid: cosine, dot, l2)");
+}
+
+std::string_view aggregate_name(Aggregate aggregate) noexcept {
+  return aggregate == Aggregate::kMax ? "max" : "mean";
+}
+
+api::Result<Aggregate> parse_aggregate(std::string_view name) {
+  if (name == "max") return Aggregate::kMax;
+  if (name == "mean") return Aggregate::kMean;
+  return api::Status::invalid_argument("unknown aggregate '" +
+                                       std::string(name) +
+                                       "' (valid: max, mean)");
 }
 
 std::vector<float> row_inverse_norms(const store::EmbeddingStore& store,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cmath>
+#include <functional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -29,6 +30,24 @@ std::string_view metric_name(Metric metric) noexcept;
 
 /// "cosine" | "dot" | "l2"; anything else is kInvalidArgument.
 api::Result<Metric> parse_metric(std::string_view name);
+
+/// How a multi-vector query combines its per-vector similarities into one
+/// candidate score: the best single vector (kMax, "similar to ANY of
+/// these") or the average over all vectors (kMean, "similar to the set").
+enum class Aggregate {
+  kMax,
+  kMean,
+};
+
+std::string_view aggregate_name(Aggregate aggregate) noexcept;
+
+/// "max" | "mean"; anything else is kInvalidArgument listing the valid
+/// names.
+api::Result<Aggregate> parse_aggregate(std::string_view name);
+
+/// Per-row predicate for filtered top-k: only rows for which it returns
+/// true may appear in an answer. An empty function means "no filter".
+using RowFilter = std::function<bool(vid_t)>;
 
 /// One ranked answer. Results are ordered by (score desc, id asc) so ties
 /// are deterministic across thread counts and strategies.

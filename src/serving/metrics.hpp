@@ -1,0 +1,150 @@
+// MetricsRegistry — the unified Prometheus-style metrics sink.
+//
+// The training side reports through api::ProgressObserver and the serving
+// side through query::QueryObserver; both used to end at ad-hoc printf
+// accumulators (QueryCounters, bench averages). The registry closes that
+// gap: named monotonic Counters and fixed-bucket latency Histograms
+// (p50/p99 readable at any time), exposed in the text format scrapers
+// expect. MetricsQueryObserver / MetricsProgressObserver are the adapters
+// that stream the two observer callback surfaces into one registry, so a
+// deployment that trains and serves in the same process scrapes a single
+// endpoint.
+//
+// Concurrency: Counter::increment and Histogram::observe are lock-free
+// (relaxed atomics — the counters are statistics, not synchronization);
+// registry lookups take a mutex but return stable references, so hot paths
+// resolve their instruments once and never touch the map again.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gosh/api/progress.hpp"
+#include "gosh/query/batch_queue.hpp"
+
+namespace gosh::serving {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void increment(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: observations land in the first bucket whose
+/// upper bound is >= the value (the last bucket is +Inf). Quantiles are
+/// read back by linear interpolation inside the winning bucket — exact
+/// enough for latency reporting without storing samples.
+class Histogram {
+ public:
+  /// `bounds` are the finite bucket upper bounds, ascending; empty picks
+  /// the default latency ladder (10 us .. 10 s).
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept;
+  /// Value at quantile `q` in [0, 1]; 0 when nothing was observed.
+  /// quantile(0.5) is p50, quantile(0.99) is p99.
+  double quantile(double q) const noexcept;
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i].
+  std::uint64_t cumulative(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + 1 (+Inf)
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< double bits, CAS-accumulated
+};
+
+/// Named instrument table with text exposition. Constructible per test;
+/// global() is the process-wide instance the tools scrape.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+
+  /// Finds or creates the named counter. The reference stays valid for the
+  /// registry's lifetime, so callers resolve once and increment lock-free.
+  Counter& counter(std::string_view name, std::string_view help = {});
+  /// Finds or creates the named histogram (`bounds` only applies on
+  /// creation; empty = the default latency ladder).
+  Histogram& histogram(std::string_view name, std::string_view help = {},
+                       std::vector<double> bounds = {});
+
+  /// Prometheus text exposition: # HELP / # TYPE lines, counter samples,
+  /// histogram _bucket/_sum/_count series plus p50/p99 gauge series
+  /// (<name>_p50 / <name>_p99) for humans reading the dump directly.
+  std::string expose() const;
+
+ private:
+  struct CounterEntry {
+    std::string name, help;
+    Counter counter;
+  };
+  struct HistogramEntry {
+    std::string name, help;
+    Histogram histogram;
+    HistogramEntry(std::vector<double> bounds) : histogram(std::move(bounds)) {}
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<CounterEntry>> counters_;
+  std::vector<std::unique_ptr<HistogramEntry>> histograms_;
+};
+
+/// Streams the BatchQueue/QueryService serving events into a registry:
+/// gosh_serving_batches_total, gosh_serving_batch_queries_total,
+/// gosh_serving_batch_seconds, gosh_serving_request_latency_seconds.
+class MetricsQueryObserver : public query::QueryObserver {
+ public:
+  explicit MetricsQueryObserver(MetricsRegistry& registry);
+  void on_batch(std::size_t queries, double seconds) override;
+  void on_query(double latency_seconds) override;
+
+ private:
+  Counter& batches_;
+  Counter& batch_queries_;
+  Histogram& batch_seconds_;
+  Histogram& latency_seconds_;
+};
+
+/// Streams the training pipeline events into a registry:
+/// gosh_train_epochs_total, gosh_train_pair_kernels_total,
+/// gosh_train_level_seconds, gosh_train_pipeline_seconds.
+class MetricsProgressObserver : public api::ProgressObserver {
+ public:
+  explicit MetricsProgressObserver(MetricsRegistry& registry);
+  void on_epoch(std::size_t level, unsigned epoch, unsigned total) override;
+  void on_pair(std::size_t level, unsigned rotation, std::size_t pair,
+               std::size_t num_pairs) override;
+  void on_level_end(const api::LevelInfo& level, double seconds) override;
+  void on_pipeline_end(double total_seconds) override;
+
+ private:
+  Counter& epochs_;
+  Counter& pair_kernels_;
+  Histogram& level_seconds_;
+  Histogram& pipeline_seconds_;
+};
+
+}  // namespace gosh::serving

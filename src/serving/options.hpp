@@ -1,0 +1,108 @@
+// ServeOptions — the serving twin of api::Options.
+//
+// Subsumes the scattered per-component knobs (QueryEngineOptions,
+// BatchQueueOptions, the HNSW build/search parameters, OpenOptions) plus
+// the service-level selection (strategy key, default k, multi-vector
+// aggregate, id-range filter) and the gosh_query tool modes, with the same
+// three population paths as the training facade:
+//   * programmatic — mutate the fields directly;
+//   * command line  — ServeOptions::from_args(argc, argv), strict parsing;
+//   * config file   — ServeOptions::from_file(path), key=value lines,
+//     '#' comments; keys are the CLI flag names without the "--".
+// `--options FILE` loads the file first and lets the remaining flags
+// override it, exactly like gosh_embed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "gosh/api/status.hpp"
+#include "gosh/common/types.hpp"
+#include "gosh/query/batch_queue.hpp"
+#include "gosh/query/engine.hpp"
+#include "gosh/query/hnsw.hpp"
+#include "gosh/store/embedding_store.hpp"
+
+namespace gosh::serving {
+
+struct ServeOptions {
+  // ---- Service selection. ----------------------------------------------
+  /// ServiceRegistry key ("exact", "hnsw", "batched", "router") or "auto"
+  /// = the index-present policy (hnsw when the index file exists beside
+  /// the store, exact otherwise).
+  std::string strategy = "auto";
+  /// Store root path ("--store"); every service opens it (the Router opens
+  /// each shard of it separately).
+  std::string store_path;
+  /// HNSW index path; empty = "<store>.hnsw" beside the store.
+  std::string index_path;
+
+  // ---- Query defaults (overridable per QueryRequest). -------------------
+  query::Metric metric = query::Metric::kCosine;
+  unsigned k = 10;
+  /// Multi-vector combine rule: "max" | "mean".
+  std::string aggregate = "max";
+  /// Restrict answers to global ids in [filter_begin, filter_end);
+  /// both 0 = no filter ("--filter LO:HI").
+  vid_t filter_begin = 0;
+  vid_t filter_end = 0;
+
+  // ---- Engine shape (subsumes QueryEngineOptions). ----------------------
+  unsigned threads = 0;         ///< scan parallelism; 0 = every worker
+  std::uint64_t block_rows = 2048;
+  unsigned ef_search = 64;      ///< "--ef"
+
+  // ---- HNSW build shape (subsumes HnswOptions). -------------------------
+  unsigned hnsw_m = 16;         ///< "--M"
+  unsigned ef_construction = 200;
+  std::uint64_t seed = 42;
+
+  // ---- Batched strategy (subsumes BatchQueueOptions). -------------------
+  std::uint64_t max_batch = 64;
+
+  // ---- Store opening. ---------------------------------------------------
+  bool verify_checksums = true;  ///< CLI "--no-verify" clears it
+
+  // ---- Tool-facing modes (gosh_query), api::Options precedent. ----------
+  bool build_index = false;     ///< offline index build + save
+  std::string queries_path;     ///< query file, or "-" for stdin
+  std::uint64_t eval_samples = 0;
+  double recall_floor = 0.0;
+  bool dump_metrics = false;    ///< print the metrics text exposition
+  bool show_help = false;       ///< --help seen; caller prints usage
+
+  /// The resolved index file ("<store>.hnsw" when index_path is empty).
+  std::string resolved_index_path() const;
+  /// The subsumed structs, for code layering onto the query internals.
+  query::QueryEngineOptions engine_options() const;
+  query::HnswOptions hnsw_options() const;
+  query::BatchQueueOptions batch_options() const;
+  store::OpenOptions open_options() const;
+  /// Parsed aggregate field; call only after validate().
+  query::Aggregate aggregate_mode() const;
+  /// The [filter_begin, filter_end) predicate, or an empty filter when the
+  /// range is unset.
+  query::RowFilter row_filter() const;
+
+  /// Range/consistency checks over every field; first violation wins.
+  api::Status validate() const;
+
+  /// Applies one key=value knob (the CLI flag name without "--").
+  /// Unknown keys and unparsable values return kInvalidArgument.
+  api::Status set(std::string_view key, std::string_view value);
+
+  /// Parses a full command line. Boolean flags (--build-index,
+  /// --no-verify, --metrics, --help) take no value; everything else
+  /// requires one. The result has already passed validate().
+  static api::Result<ServeOptions> from_args(int argc, char** argv);
+
+  /// Parses a key=value file ('#' comments, blank lines ignored) on top of
+  /// `base` (defaults when omitted). The result has already passed
+  /// validate().
+  static api::Result<ServeOptions> from_file(const std::string& path);
+  static api::Result<ServeOptions> from_file(const std::string& path,
+                                             const ServeOptions& base);
+};
+
+}  // namespace gosh::serving

@@ -1,0 +1,126 @@
+#include "gosh/serving/registry.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <new>
+
+#include "gosh/serving/router.hpp"
+
+namespace gosh::serving {
+
+namespace {
+
+void register_builtin_services(ServiceRegistry& registry) {
+  const auto engine_factory = [](query::Strategy strategy) {
+    return [strategy](const ServeOptions& options, MetricsRegistry* metrics)
+               -> api::Result<std::unique_ptr<QueryService>> {
+      auto service = EngineService::open(options, strategy, metrics);
+      if (!service.ok()) return service.status();
+      return std::unique_ptr<QueryService>(std::move(service).value());
+    };
+  };
+  (void)registry.add("exact", engine_factory(query::Strategy::kExact));
+  (void)registry.add("hnsw", engine_factory(query::Strategy::kHnsw));
+  (void)registry.add(
+      "batched",
+      [](const ServeOptions& options, MetricsRegistry* metrics)
+          -> api::Result<std::unique_ptr<QueryService>> {
+        auto service = BatchedService::open(options, metrics);
+        if (!service.ok()) return service.status();
+        return std::unique_ptr<QueryService>(std::move(service).value());
+      });
+  (void)registry.add(
+      "router",
+      [](const ServeOptions& options, MetricsRegistry* metrics)
+          -> api::Result<std::unique_ptr<QueryService>> {
+        auto service = Router::open(options, metrics);
+        if (!service.ok()) return service.status();
+        return std::unique_ptr<QueryService>(std::move(service).value());
+      });
+  // "auto" = the index-present policy: serve approximate when the offline
+  // build has been done, exact otherwise — the serving analog of the
+  // training facade's fits-in-memory backend policy.
+  (void)registry.add(
+      "auto",
+      [](const ServeOptions& options, MetricsRegistry* metrics)
+          -> api::Result<std::unique_ptr<QueryService>> {
+        const bool indexed =
+            std::filesystem::exists(options.resolved_index_path());
+        return ServiceRegistry::instance().create(indexed ? "hnsw" : "exact",
+                                                  options, metrics);
+      });
+}
+
+}  // namespace
+
+ServiceRegistry& ServiceRegistry::instance() {
+  // Leaked on purpose, like BackendRegistry: factories registered by other
+  // static objects stay valid through program exit.
+  static ServiceRegistry* registry = [] {
+    auto* storage = new ServiceRegistry();
+    register_builtin_services(*storage);
+    return storage;
+  }();
+  return *registry;
+}
+
+api::Status ServiceRegistry::add(std::string name, ServiceFactory factory) {
+  if (name.empty())
+    return api::Status::invalid_argument("strategy name must be non-empty");
+  if (factory == nullptr)
+    return api::Status::invalid_argument("strategy " + name + ": null factory");
+  if (contains(name))
+    return api::Status::invalid_argument("strategy " + name +
+                                         " is already registered");
+  entries_.push_back({std::move(name), std::move(factory)});
+  return api::Status::ok();
+}
+
+bool ServiceRegistry::contains(std::string_view name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [name](const Entry& entry) { return entry.name == name; });
+}
+
+std::vector<std::string> ServiceRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+api::Result<std::unique_ptr<QueryService>> ServiceRegistry::create(
+    std::string_view name, const ServeOptions& options,
+    MetricsRegistry* metrics) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name != name) continue;
+    // Factories open stores and spawn dispatcher threads; keep the
+    // facade's never-throws promise even when construction fails.
+    try {
+      return entry.factory(options, metrics);
+    } catch (const std::bad_alloc&) {
+      return api::Status::out_of_memory("strategy " + std::string(name) +
+                                        ": construction failed (allocation)");
+    } catch (const std::exception& error) {
+      return api::Status::internal("strategy " + std::string(name) +
+                                   ": construction failed: " + error.what());
+    }
+  }
+  std::string known;
+  for (const std::string& candidate : names()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  return api::Status::not_found("unknown serving strategy '" +
+                                std::string(name) + "' (registered: " + known +
+                                ")");
+}
+
+api::Result<std::unique_ptr<QueryService>> make_service(
+    const ServeOptions& options, MetricsRegistry* metrics) {
+  return ServiceRegistry::instance().create(options.strategy, options,
+                                            metrics);
+}
+
+}  // namespace gosh::serving

@@ -1,0 +1,198 @@
+#include "gosh/serving/router.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gosh/common/timer.hpp"
+
+namespace gosh::serving {
+
+namespace {
+
+/// K-way merge of per-child sorted partials into one global top-k. Child
+/// ids are local; `row_begin[c]` rebases them. Ties resolve by the global
+/// (score desc, id asc) order, so the merge is bit-identical to sorting
+/// one unsharded scan.
+std::vector<Neighbor> merge_top_k(
+    const std::vector<std::vector<Neighbor>>& partials,
+    const std::vector<vid_t>& row_begin, unsigned k) {
+  struct Cursor {
+    std::size_t child;
+    std::size_t pos;
+    Neighbor head;  ///< already rebased to global ids
+  };
+  const auto worse = [](const Cursor& a, const Cursor& b) {
+    return query::better(b.head, a.head);  // min-heap on `better`
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(partials.size());
+  for (std::size_t c = 0; c < partials.size(); ++c) {
+    if (partials[c].empty()) continue;
+    Neighbor head = partials[c][0];
+    head.id += row_begin[c];
+    heap.push_back({c, 0, head});
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+
+  std::vector<Neighbor> merged;
+  merged.reserve(k);
+  while (!heap.empty() && merged.size() < k) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    Cursor cursor = heap.back();
+    heap.pop_back();
+    merged.push_back(cursor.head);
+    if (++cursor.pos < partials[cursor.child].size()) {
+      cursor.head = partials[cursor.child][cursor.pos];
+      cursor.head.id += row_begin[cursor.child];
+      heap.push_back(cursor);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+api::Result<std::unique_ptr<Router>> Router::open(const ServeOptions& options,
+                                                  MetricsRegistry* metrics) {
+  auto info = store::EmbeddingStore::probe(options.store_path);
+  if (!info.ok()) return info.status();
+
+  std::unique_ptr<Router> router(new Router());
+  router->rows_ = static_cast<vid_t>(info.value().rows);
+  router->dim_ = info.value().dim;
+  router->metric_ = options.metric;
+  router->default_k_ = options.k;
+  if (metrics != nullptr) {
+    router->requests_ = &metrics->counter("gosh_serving_requests_total",
+                                          "QueryService requests served");
+    router->scattered_ =
+        &metrics->counter("gosh_serving_router_scatters_total",
+                          "Per-shard engine calls the Router fanned out");
+    router->seconds_ = &metrics->histogram(
+        "gosh_serving_request_seconds", "Wall time per QueryService request");
+  }
+
+  for (std::uint32_t s = 0; s < info.value().shard_count; ++s) {
+    auto shard = store::EmbeddingStore::open_shard(
+        options.store_path, s, info.value().shard_count,
+        options.open_options());
+    if (!shard.ok()) return shard.status();
+    Child child;
+    child.row_begin = static_cast<vid_t>(shard.value().row_begin());
+    child.rows = shard.value().rows();
+    auto engine = query::QueryEngine::create(std::move(shard).value(),
+                                             options.engine_options());
+    if (!engine.ok()) return engine.status();
+    // Children skip the metrics registry: the Router reports the request
+    // once, not once per shard.
+    child.service = std::make_unique<EngineService>(
+        std::move(engine).value(), query::Strategy::kExact, options,
+        /*metrics=*/nullptr);
+    router->children_.push_back(std::move(child));
+  }
+  return router;
+}
+
+const Router::Child& Router::owner(vid_t v) const noexcept {
+  // Equal-split layout: every child but the last holds children_[0].rows.
+  const vid_t per_child = children_.front().rows > 0 ? children_.front().rows
+                                                     : 1;
+  std::size_t c = static_cast<std::size_t>(v / per_child);
+  if (c >= children_.size()) c = children_.size() - 1;
+  return children_[c];
+}
+
+api::Result<std::vector<float>> Router::row_vector(vid_t v) const {
+  if (v >= rows_) {
+    return api::Status::invalid_argument(
+        "vertex " + std::to_string(v) + " out of range (store has " +
+        std::to_string(rows_) + " rows)");
+  }
+  const Child& child = owner(v);
+  return child.service->row_vector(v - child.row_begin);
+}
+
+api::Result<QueryResponse> Router::serve(const QueryRequest& request) {
+  WallTimer timer;
+  const unsigned k = request.k > 0 ? request.k : default_k_;
+  if (api::Status status = check_request(request, rows_, dim_, k);
+      !status.is_ok())
+    return status;
+
+  const bool any_vertex =
+      std::any_of(request.queries.begin(), request.queries.end(),
+                  [](const Query& q) { return q.is_vertex; });
+  const unsigned fetch_k = any_vertex ? k + 1 : k;
+
+  // Scatter shape shared by every child: vertex queries become raw-vector
+  // queries (a child only holds its own slice, but the probe row must
+  // score against EVERY shard), resolved once from the owning child.
+  QueryRequest scattered;
+  scattered.k = fetch_k;
+  scattered.ef = request.ef;
+  scattered.metric = request.metric;
+  scattered.aggregate = request.aggregate;
+  scattered.queries.reserve(request.queries.size());
+  for (const Query& query : request.queries) {
+    if (!query.is_vertex) {
+      scattered.queries.push_back(query);
+      continue;
+    }
+    auto row = row_vector(query.vertex_id);
+    if (!row.ok()) return row.status();
+    scattered.queries.push_back(Query::vector(std::move(row).value()));
+  }
+
+  // One pass per child; each child's scan already spans the thread pool,
+  // so the fan-out is sequential-by-shard, parallel-within-shard — the
+  // page-cache-friendly order for shards sharing one SSD. Only the filter
+  // differs per child (it must be rebased from global to local ids), so
+  // the shared request is reused, not copied per shard.
+  std::vector<vid_t> row_begins;
+  std::vector<std::vector<std::vector<Neighbor>>> partials;
+  row_begins.reserve(children_.size());
+  partials.reserve(children_.size());
+  for (const Child& child : children_) {
+    if (request.filter) {
+      const vid_t begin = child.row_begin;
+      const RowFilter& filter = request.filter;
+      scattered.filter = [begin, filter](vid_t local) {
+        return filter(local + begin);
+      };
+    }
+    auto partial = child.service->serve(scattered);
+    if (!partial.ok()) return partial.status();
+    row_begins.push_back(child.row_begin);
+    partials.push_back(std::move(partial.value().results));
+  }
+
+  QueryResponse response;
+  response.results.resize(request.queries.size());
+  for (std::size_t q = 0; q < request.queries.size(); ++q) {
+    std::vector<std::vector<Neighbor>> per_child;
+    per_child.reserve(children_.size());
+    for (auto& child_results : partials) {
+      per_child.push_back(std::move(child_results[q]));
+    }
+    std::vector<Neighbor> merged = merge_top_k(
+        per_child, row_begins, any_vertex ? fetch_k : k);
+    if (request.queries[q].is_vertex) {
+      const vid_t self = request.queries[q].vertex_id;
+      std::erase_if(merged,
+                    [self](const Neighbor& n) { return n.id == self; });
+    }
+    if (merged.size() > k) merged.resize(k);
+    response.results[q] = std::move(merged);
+  }
+
+  response.seconds = timer.seconds();
+  if (requests_ != nullptr) {
+    requests_->increment();
+    scattered_->increment(children_.size());
+    seconds_->observe(response.seconds);
+  }
+  return response;
+}
+
+}  // namespace gosh::serving

@@ -1,0 +1,61 @@
+// Router — one QueryService over N vertex-range-sharded store groups.
+//
+// A GSHS store is already split into `<path>.sNNNN-of-NNNN` shard files so
+// a matrix bigger than RAM can stream from SSD; the Router takes the next
+// step for serving scale and opens EACH shard group as its own engine
+// (its own mmap, norm cache and scan threads — the same layout a
+// multi-process deployment would pin one shard per machine). A request is
+// scattered to every child over shard-local ids, and the partial top-k
+// lists come back k-way-merged under the global (score desc, id asc)
+// order, so a Router answer is bit-identical to a single engine over the
+// unsharded matrix.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gosh/serving/service.hpp"
+
+namespace gosh::serving {
+
+class Router final : public QueryService {
+ public:
+  /// Probes the store rooted at options.store_path, opens every shard as
+  /// its own exact-strategy child engine, and serves the union. (Children
+  /// run the exact scan: per-shard HNSW indexes are a follow-up — the
+  /// Router is the process-level sharding seam, not an ANN strategy.)
+  static api::Result<std::unique_ptr<Router>> open(
+      const ServeOptions& options, MetricsRegistry* metrics = nullptr);
+
+  api::Result<QueryResponse> serve(const QueryRequest& request) override;
+  vid_t rows() const noexcept override { return rows_; }
+  unsigned dim() const noexcept override { return dim_; }
+  Metric default_metric() const noexcept override { return metric_; }
+  std::string_view strategy_name() const noexcept override { return "router"; }
+  api::Result<std::vector<float>> row_vector(vid_t v) const override;
+
+  std::size_t num_children() const noexcept { return children_.size(); }
+
+ private:
+  struct Child {
+    std::unique_ptr<EngineService> service;
+    vid_t row_begin = 0;  ///< global id of the child's local row 0
+    vid_t rows = 0;
+  };
+
+  Router() = default;
+
+  /// The child owning global row `v`.
+  const Child& owner(vid_t v) const noexcept;
+
+  std::vector<Child> children_;
+  vid_t rows_ = 0;
+  unsigned dim_ = 0;
+  Metric metric_ = Metric::kCosine;
+  unsigned default_k_ = 10;
+  Counter* requests_ = nullptr;
+  Counter* scattered_ = nullptr;
+  Histogram* seconds_ = nullptr;
+};
+
+}  // namespace gosh::serving

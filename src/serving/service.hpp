@@ -1,0 +1,212 @@
+// QueryService — the serving facade's one interface, the query-side twin
+// of api::Embedder.
+//
+// PR 3 left serving as a pile of concrete classes (QueryEngine,
+// BatchQueue, HnswIndex) that every tool wired by hand; this layer folds
+// them behind one request/response model the way the training side folded
+// its engines behind Embedder. A QueryRequest carries a batch of logical
+// queries — each a stored vertex (self-excluded from its own answer) or
+// one-or-more raw vectors scored jointly — plus per-request overrides
+// (k, ef, metric) and an optional vertex-filter predicate; every strategy
+// ("exact", "hnsw", "batched", the sharded Router) answers the same model,
+// so callers pick a strategy by registry key, not by API shape.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gosh/api/status.hpp"
+#include "gosh/common/types.hpp"
+#include "gosh/query/batch_queue.hpp"
+#include "gosh/query/engine.hpp"
+#include "gosh/serving/metrics.hpp"
+#include "gosh/serving/options.hpp"
+
+namespace gosh::serving {
+
+using query::Aggregate;
+using query::Metric;
+using query::Neighbor;
+using query::RowFilter;
+
+/// One logical query. Exactly one of the two shapes:
+///   * vertex — the stored row becomes the query vector and the vertex is
+///     excluded from its own answer;
+///   * vectors — `vector_count` raw dim-float vectors laid back-to-back,
+///     scored jointly under the request's Aggregate rule (1 vector = the
+///     plain single-query case).
+struct Query {
+  static Query vertex(vid_t v) {
+    Query query;
+    query.is_vertex = true;
+    query.vertex_id = v;
+    return query;
+  }
+  static Query vector(std::vector<float> values) {
+    return multi(std::move(values), 1);
+  }
+  static Query multi(std::vector<float> values, std::size_t count) {
+    Query query;
+    query.vectors = std::move(values);
+    query.vector_count = count;
+    return query;
+  }
+
+  bool is_vertex = false;
+  vid_t vertex_id = 0;
+  std::vector<float> vectors;     ///< vector_count * dim floats
+  std::size_t vector_count = 0;   ///< 0 for vertex queries
+};
+
+struct QueryRequest {
+  std::vector<Query> queries;     ///< the batch; serve() answers each
+  unsigned k = 0;                 ///< 0 = the service's default
+  unsigned ef = 0;                ///< hnsw beam width; 0 = service default
+  /// Per-request metric override. The exact strategy honors any metric;
+  /// index-backed strategies reject a metric their index was not built
+  /// for (kInvalidArgument).
+  std::optional<Metric> metric;
+  Aggregate aggregate = Aggregate::kMax;  ///< multi-vector combine rule
+  /// Only ids passing the predicate may appear in answers (global ids,
+  /// also under the sharded Router). Empty = no filter.
+  RowFilter filter;
+
+  // Single-query conveniences.
+  static QueryRequest for_vertex(vid_t v, unsigned k = 0);
+  static QueryRequest for_vector(std::vector<float> values, unsigned k = 0);
+};
+
+struct QueryResponse {
+  /// One ranked (score desc, id asc) list per request query.
+  std::vector<std::vector<Neighbor>> results;
+  double seconds = 0.0;  ///< service-side wall time for the whole request
+};
+
+/// Shape-checks every query of a request against a service's store (k
+/// positive, vertices in range, vector buffers = vector_count * dim).
+/// Shared by the concrete services so every strategy rejects the same
+/// malformed requests with the same messages.
+api::Status check_request(const QueryRequest& request, vid_t rows,
+                          unsigned dim, unsigned k);
+
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+
+  /// Answers every query of the request or fails as a whole — a malformed
+  /// query (bad dim, vertex out of range, unsupported override) rejects
+  /// the request without partial results.
+  virtual api::Result<QueryResponse> serve(const QueryRequest& request) = 0;
+
+  virtual vid_t rows() const noexcept = 0;
+  virtual unsigned dim() const noexcept = 0;
+  virtual Metric default_metric() const noexcept = 0;
+  /// The registry key this service answers as ("exact", "hnsw", ...).
+  virtual std::string_view strategy_name() const noexcept = 0;
+
+  /// The stored embedding of vertex `v` — how tools turn ids into raw
+  /// vectors (e.g. to build multi-vector queries) without a store handle.
+  virtual api::Result<std::vector<float>> row_vector(vid_t v) const = 0;
+
+  // Convenience single-query entry points over serve().
+  api::Result<std::vector<Neighbor>> top_k(std::span<const float> query,
+                                           unsigned k = 0);
+  api::Result<std::vector<Neighbor>> top_k_vertex(vid_t v, unsigned k = 0);
+};
+
+/// QueryService over one QueryEngine, answering with a fixed strategy
+/// (the "exact" and "hnsw" registry entries). Thread-safe for concurrent
+/// serve() calls: every query path only reads shared state.
+class EngineService final : public QueryService {
+ public:
+  /// Opens the store named by `options` and builds the engine; the "hnsw"
+  /// strategy additionally loads options.resolved_index_path(). `metrics`
+  /// (optional) receives request counters and latency histograms.
+  static api::Result<std::unique_ptr<EngineService>> open(
+      const ServeOptions& options, query::Strategy strategy,
+      MetricsRegistry* metrics = nullptr);
+
+  EngineService(query::QueryEngine engine, query::Strategy strategy,
+                const ServeOptions& defaults, MetricsRegistry* metrics);
+
+  api::Result<QueryResponse> serve(const QueryRequest& request) override;
+  vid_t rows() const noexcept override { return engine_.rows(); }
+  unsigned dim() const noexcept override { return engine_.dim(); }
+  Metric default_metric() const noexcept override { return engine_.metric(); }
+  std::string_view strategy_name() const noexcept override {
+    return query::strategy_name(strategy_);
+  }
+  api::Result<std::vector<float>> row_vector(vid_t v) const override;
+
+  const query::QueryEngine& engine() const noexcept { return engine_; }
+
+ private:
+  std::span<const float> norms_for(Metric metric) const noexcept;
+
+  query::QueryEngine engine_;
+  query::Strategy strategy_;
+  unsigned default_k_;
+  unsigned default_ef_;
+  /// Cosine norms for exact-path metric overrides when the engine's own
+  /// metric is not cosine (computed once at construction, one store pass).
+  std::vector<float> override_cosine_norms_;
+  Counter* requests_ = nullptr;
+  Counter* queries_ = nullptr;
+  Histogram* seconds_ = nullptr;
+};
+
+/// The "batched" registry entry: an EngineService plus a BatchQueue that
+/// coalesces the plain single-vector traffic into shared scans. Requests
+/// the queue cannot express (filters, metric overrides, multi-vector
+/// queries, non-default k) transparently fall through to the direct
+/// engine path, so the service honors the full request model either way.
+class BatchedService final : public QueryService {
+ public:
+  static api::Result<std::unique_ptr<BatchedService>> open(
+      const ServeOptions& options, MetricsRegistry* metrics = nullptr);
+
+  BatchedService(std::unique_ptr<EngineService> inner,
+                 const ServeOptions& defaults, MetricsRegistry* metrics);
+  ~BatchedService() override;
+
+  api::Result<QueryResponse> serve(const QueryRequest& request) override;
+  vid_t rows() const noexcept override { return inner_->rows(); }
+  unsigned dim() const noexcept override { return inner_->dim(); }
+  Metric default_metric() const noexcept override {
+    return inner_->default_metric();
+  }
+  std::string_view strategy_name() const noexcept override {
+    return "batched";
+  }
+  api::Result<std::vector<float>> row_vector(vid_t v) const override {
+    return inner_->row_vector(v);
+  }
+
+ private:
+  bool queueable(const QueryRequest& request) const noexcept;
+
+  std::unique_ptr<EngineService> inner_;
+  unsigned default_k_;
+  std::unique_ptr<MetricsQueryObserver> observer_;  ///< null w/o metrics
+  std::unique_ptr<query::BatchQueue> queue_;
+};
+
+/// What an offline index build produced (gosh_query --build-index).
+struct IndexBuildReport {
+  std::string path;
+  unsigned M = 0;
+  unsigned ef_construction = 0;
+  int max_level = -1;
+  double seconds = 0.0;
+};
+
+/// Builds the HNSW index over the store named by `options` and saves it to
+/// options.resolved_index_path() — the offline step that turns the "hnsw"
+/// and "auto" strategies on.
+api::Result<IndexBuildReport> build_index(const ServeOptions& options);
+
+}  // namespace gosh::serving

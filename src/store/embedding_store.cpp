@@ -75,10 +75,12 @@ EmbeddingStore::EmbeddingStore(EmbeddingStore&& other) noexcept
     : shards_(std::move(other.shards_)),
       rows_(other.rows_),
       rows_per_shard_(other.rows_per_shard_),
+      row_begin_(other.row_begin_),
       dim_(other.dim_),
       path_(std::move(other.path_)) {
   other.shards_.clear();
   other.rows_ = 0;
+  other.row_begin_ = 0;
   other.dim_ = 0;
 }
 
@@ -88,10 +90,12 @@ EmbeddingStore& EmbeddingStore::operator=(EmbeddingStore&& other) noexcept {
     shards_ = std::move(other.shards_);
     rows_ = other.rows_;
     rows_per_shard_ = other.rows_per_shard_;
+    row_begin_ = other.row_begin_;
     dim_ = other.dim_;
     path_ = std::move(other.path_);
     other.shards_.clear();
     other.rows_ = 0;
+    other.row_begin_ = 0;
     other.dim_ = 0;
   }
   return *this;
@@ -204,6 +208,73 @@ api::Status read_header(std::ifstream& in, const std::string& file,
   return api::Status::ok();
 }
 
+// One shard file's payload, mapped (or heap-read) and checksum-verified —
+// the unit shared by open() and open_shard().
+struct MappedPayload {
+  void* base = nullptr;
+  std::size_t map_bytes = 0;  ///< 0 = heap-owned, not mapped
+  const emb_t* payload = nullptr;
+};
+
+api::Status map_payload(const std::string& file, std::size_t payload_bytes,
+                        std::uint64_t expected_checksum, bool verify,
+                        MappedPayload& out) {
+  const std::size_t expected_file = kHeaderBytes + payload_bytes;
+#ifdef GOSH_STORE_HAS_MMAP
+  const int fd = ::open(file.c_str(), O_RDONLY);
+  if (fd < 0) return io_fail(file, "cannot reopen store shard");
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return io_fail(file, "cannot stat store shard");
+  }
+  if (static_cast<std::uint64_t>(st.st_size) != expected_file) {
+    ::close(fd);
+    return io_fail(file, "store shard is " + std::to_string(st.st_size) +
+                             " bytes, header promises " +
+                             std::to_string(expected_file));
+  }
+  void* base = ::mmap(nullptr, expected_file, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return io_fail(file, "mmap failed");
+  out.base = base;
+  out.map_bytes = expected_file;
+  out.payload = reinterpret_cast<const emb_t*>(static_cast<const char*>(base) +
+                                               kHeaderBytes);
+#else
+  std::ifstream again(file, std::ios::binary);
+  again.seekg(0, std::ios::end);
+  if (static_cast<std::uint64_t>(again.tellg()) != expected_file)
+    return io_fail(file, "store shard size mismatch");
+  again.seekg(kHeaderBytes);
+  void* heap = ::operator new(payload_bytes > 0 ? payload_bytes : 1);
+  again.read(static_cast<char*>(heap),
+             static_cast<std::streamsize>(payload_bytes));
+  if (!again) {
+    ::operator delete(heap);
+    return io_fail(file, "truncated store payload");
+  }
+  out.base = heap;
+  out.map_bytes = 0;
+  out.payload = static_cast<const emb_t*>(heap);
+#endif
+
+  if (verify && fnv1a64(out.payload, payload_bytes) != expected_checksum) {
+#ifdef GOSH_STORE_HAS_MMAP
+    if (out.map_bytes > 0) {
+      ::munmap(out.base, out.map_bytes);
+    } else {
+      ::operator delete(out.base);
+    }
+#else
+    ::operator delete(out.base);
+#endif
+    out = {};
+    return io_fail(file, "corrupt store payload (checksum mismatch)");
+  }
+  return api::Status::ok();
+}
+
 }  // namespace
 
 api::Result<EmbeddingStore> EmbeddingStore::open(const std::string& path,
@@ -244,62 +315,20 @@ api::Result<EmbeddingStore> EmbeddingStore::open(const std::string& path,
     const std::size_t payload_bytes =
         static_cast<std::size_t>(header.shard_rows) * store.dim_ *
         sizeof(emb_t);
-    const std::size_t expected_file = kHeaderBytes + payload_bytes;
 
+    MappedPayload mapped;
+    if (api::Status status =
+            map_payload(file, payload_bytes, header.payload_checksum,
+                        options.verify_checksums, mapped);
+        !status.is_ok()) {
+      return status;
+    }
     Shard shard;
     shard.row_begin = header.row_begin;
     shard.rows = header.shard_rows;
-
-#ifdef GOSH_STORE_HAS_MMAP
-    const int fd = ::open(file.c_str(), O_RDONLY);
-    if (fd < 0) return io_fail(file, "cannot reopen store shard");
-    struct stat st = {};
-    if (::fstat(fd, &st) != 0) {
-      ::close(fd);
-      return io_fail(file, "cannot stat store shard");
-    }
-    if (static_cast<std::uint64_t>(st.st_size) != expected_file) {
-      ::close(fd);
-      return io_fail(file, "store shard is " + std::to_string(st.st_size) +
-                               " bytes, header promises " +
-                               std::to_string(expected_file));
-    }
-    void* base = ::mmap(nullptr, expected_file, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);
-    if (base == MAP_FAILED) return io_fail(file, "mmap failed");
-    shard.map_base = base;
-    shard.map_bytes = expected_file;
-    shard.payload = reinterpret_cast<const emb_t*>(
-        static_cast<const char*>(base) + kHeaderBytes);
-#else
-    std::ifstream again(file, std::ios::binary);
-    again.seekg(0, std::ios::end);
-    if (static_cast<std::uint64_t>(again.tellg()) != expected_file)
-      return io_fail(file, "store shard size mismatch");
-    again.seekg(kHeaderBytes);
-    void* heap = ::operator new(payload_bytes > 0 ? payload_bytes : 1);
-    again.read(static_cast<char*>(heap),
-               static_cast<std::streamsize>(payload_bytes));
-    if (!again) {
-      ::operator delete(heap);
-      return io_fail(file, "truncated store payload");
-    }
-    shard.map_base = heap;
-    shard.map_bytes = 0;
-    shard.payload = static_cast<const emb_t*>(heap);
-#endif
-
-    if (options.verify_checksums &&
-        fnv1a64(shard.payload, payload_bytes) != header.payload_checksum) {
-      // The shard is already owned by `store` semantics below only after
-      // push_back; release this mapping explicitly.
-#ifdef GOSH_STORE_HAS_MMAP
-      ::munmap(shard.map_base, shard.map_bytes);
-#else
-      ::operator delete(shard.map_base);
-#endif
-      return io_fail(file, "corrupt store payload (checksum mismatch)");
-    }
+    shard.map_base = mapped.base;
+    shard.map_bytes = mapped.map_bytes;
+    shard.payload = mapped.payload;
     store.shards_.push_back(shard);
   }
 
@@ -309,6 +338,69 @@ api::Result<EmbeddingStore> EmbeddingStore::open(const std::string& path,
     return io_fail(path, "shards cover " + std::to_string(covered) +
                              " rows, header promises " +
                              std::to_string(store.rows_));
+  return store;
+}
+
+api::Result<StoreInfo> EmbeddingStore::probe(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return io_fail(path, "cannot open store");
+  Header header = {};
+  if (api::Status status = read_header(in, path, header); !status.is_ok())
+    return status;
+  if (header.shard_index != 0)
+    return io_fail(path, "store root is not shard 0 of its set");
+  StoreInfo info;
+  info.rows = header.total_rows;
+  info.dim = static_cast<unsigned>(header.dim);
+  info.shard_count = header.shard_count;
+  return info;
+}
+
+api::Result<EmbeddingStore> EmbeddingStore::open_shard(
+    const std::string& base, std::uint32_t index, std::uint32_t count,
+    const OpenOptions& options) {
+  const std::string file = shard_path(base, index, count);
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return io_fail(file, index == 0 ? "cannot open store"
+                                    : "missing store shard");
+  }
+  Header header = {};
+  if (api::Status status = read_header(in, file, header); !status.is_ok())
+    return status;
+  in.close();
+  if (header.shard_index != index || header.shard_count != count) {
+    return io_fail(file, "shard claims to be " +
+                             std::to_string(header.shard_index) + " of " +
+                             std::to_string(header.shard_count) +
+                             ", expected " + std::to_string(index) + " of " +
+                             std::to_string(count));
+  }
+
+  EmbeddingStore store;
+  store.path_ = file;
+  store.dim_ = static_cast<unsigned>(header.dim);
+  // The view covers exactly this shard's rows, re-based at 0.
+  store.rows_ = header.shard_rows;
+  store.rows_per_shard_ = header.shard_rows > 0 ? header.shard_rows : 1;
+  store.row_begin_ = header.row_begin;
+
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(header.shard_rows) * store.dim_ * sizeof(emb_t);
+  MappedPayload mapped;
+  if (api::Status status =
+          map_payload(file, payload_bytes, header.payload_checksum,
+                      options.verify_checksums, mapped);
+      !status.is_ok()) {
+    return status;
+  }
+  Shard shard;
+  shard.row_begin = 0;  // local addressing: row(0) is global row row_begin()
+  shard.rows = header.shard_rows;
+  shard.map_base = mapped.base;
+  shard.map_bytes = mapped.map_bytes;
+  shard.payload = mapped.payload;
+  store.shards_.push_back(shard);
   return store;
 }
 

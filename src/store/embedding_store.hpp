@@ -59,6 +59,15 @@ struct OpenOptions {
   bool verify_checksums = true;
 };
 
+/// Header-only facts about a store, readable without mapping any payload
+/// (one 4 KiB read of shard 0). The serving Router uses it to discover the
+/// shard layout before opening each shard as its own engine.
+struct StoreInfo {
+  std::uint64_t rows = 0;
+  unsigned dim = 0;
+  std::uint32_t shard_count = 1;
+};
+
 class EmbeddingStore {
  public:
   EmbeddingStore() = default;
@@ -80,6 +89,20 @@ class EmbeddingStore {
   static api::Result<EmbeddingStore> open(const std::string& path,
                                           const OpenOptions& options = {});
 
+  /// Reads shard 0's header without mapping any payload: total rows, dim
+  /// and the shard count of the store rooted at `path`.
+  static api::Result<StoreInfo> probe(const std::string& path);
+
+  /// Maps ONE shard (`index` of `count`, as probe() reported) of the store
+  /// rooted at `base` as its own single-shard store: rows() is that
+  /// shard's row count, row(0) is global row row_begin(). This is the
+  /// Router's unit — each shard group becomes an independent engine whose
+  /// local ids the caller maps back by adding row_begin().
+  static api::Result<EmbeddingStore> open_shard(const std::string& base,
+                                                std::uint32_t index,
+                                                std::uint32_t count,
+                                                const OpenOptions& options = {});
+
   /// File name of shard `index` of `count` for a store rooted at `base`.
   static std::string shard_path(const std::string& base, std::uint32_t index,
                                 std::uint32_t count);
@@ -87,6 +110,8 @@ class EmbeddingStore {
   vid_t rows() const noexcept { return static_cast<vid_t>(rows_); }
   unsigned dim() const noexcept { return dim_; }
   std::size_t num_shards() const noexcept { return shards_.size(); }
+  /// Global index of row 0 — nonzero only for open_shard() views.
+  std::uint64_t row_begin() const noexcept { return row_begin_; }
   const std::string& path() const noexcept { return path_; }
 
   /// Zero-copy view of row `v` straight out of the mapping. Valid while
@@ -120,6 +145,7 @@ class EmbeddingStore {
   std::vector<Shard> shards_;
   std::uint64_t rows_ = 0;
   std::uint64_t rows_per_shard_ = 1;  ///< shard 0's row count
+  std::uint64_t row_begin_ = 0;       ///< global offset (open_shard views)
   unsigned dim_ = 0;
   std::string path_;
 };

@@ -150,5 +150,136 @@ TEST(BruteForce, KZeroAndEmptyBatchAreEmpty) {
                   .empty());
 }
 
+TEST(BruteForce, FilteredScanOnlyReturnsPassingRows) {
+  Fixture fx(80, 6);
+  const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
+  const auto query = fx.store.row(5);
+  const std::vector<std::size_t> counts = {1};
+  const RowFilter even = [](vid_t v) { return v % 2 == 0; };
+  const auto filtered = scan_top_k_multi(fx.store, query, counts, 10,
+                                         Metric::kCosine, inv,
+                                         Aggregate::kMax, even);
+  ASSERT_EQ(filtered.size(), 1u);
+  ASSERT_EQ(filtered[0].size(), 10u);
+  for (const Neighbor& n : filtered[0]) EXPECT_EQ(n.id % 2, 0u);
+
+  // Equivalent to scanning only the allowed rows: the top filtered answer
+  // must rank at least as high as any even row of the unfiltered order.
+  const auto all = reference_top_k(fx.store, query, 80, Metric::kCosine);
+  std::vector<Neighbor> expected;
+  for (const Neighbor& n : all) {
+    if (n.id % 2 == 0) expected.push_back(n);
+  }
+  expected.resize(10);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(filtered[0][i].id, expected[i].id) << "rank " << i;
+  }
+}
+
+TEST(BruteForce, MultiVectorMaxTakesTheBestPerCandidate) {
+  Fixture fx(60, 5);
+  const unsigned d = fx.store.dim();
+  const auto inv = row_inverse_norms(fx.store, Metric::kDot);
+  // One query made of rows 2 and 40: under kMax each candidate scores its
+  // better similarity, so both probes must rank themselves on top.
+  std::vector<float> vectors;
+  for (const vid_t v : {2u, 40u}) {
+    const auto row = fx.store.row(v);
+    vectors.insert(vectors.end(), row.begin(), row.end());
+  }
+  const std::vector<std::size_t> counts = {2};
+  const auto got = scan_top_k_multi(fx.store, vectors, counts, 60,
+                                    Metric::kDot, inv, Aggregate::kMax, {});
+  ASSERT_EQ(got.size(), 1u);
+
+  // Naive reference.
+  std::vector<Neighbor> expected;
+  for (vid_t v = 0; v < 60; ++v) {
+    const float* row = fx.store.row(v).data();
+    const float a = dot(vectors.data(), row, d);
+    const float b = dot(vectors.data() + d, row, d);
+    expected.push_back({v, std::max(a, b)});
+  }
+  std::sort(expected.begin(), expected.end(), better);
+  ASSERT_EQ(got[0].size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[0][i].id, expected[i].id) << "rank " << i;
+    EXPECT_FLOAT_EQ(got[0][i].score, expected[i].score);
+  }
+}
+
+TEST(BruteForce, MultiVectorMeanAveragesPerCandidate) {
+  Fixture fx(40, 7);
+  const unsigned d = fx.store.dim();
+  const auto inv = row_inverse_norms(fx.store, Metric::kL2);
+  std::vector<float> vectors;
+  for (const vid_t v : {1u, 17u, 33u}) {
+    const auto row = fx.store.row(v);
+    vectors.insert(vectors.end(), row.begin(), row.end());
+  }
+  const std::vector<std::size_t> counts = {3};
+  const auto got = scan_top_k_multi(fx.store, vectors, counts, 8, Metric::kL2,
+                                    inv, Aggregate::kMean, {});
+  ASSERT_EQ(got[0].size(), 8u);
+
+  std::vector<Neighbor> expected;
+  for (vid_t v = 0; v < 40; ++v) {
+    const float* row = fx.store.row(v).data();
+    float sum = 0.0f;
+    for (int i = 0; i < 3; ++i) sum += -l2_squared(vectors.data() + i * d, row, d);
+    expected.push_back({v, sum / 3.0f});
+  }
+  std::sort(expected.begin(), expected.end(), better);
+  for (std::size_t i = 0; i < got[0].size(); ++i) {
+    EXPECT_EQ(got[0][i].id, expected[i].id) << "rank " << i;
+    EXPECT_FLOAT_EQ(got[0][i].score, expected[i].score);
+  }
+}
+
+TEST(BruteForce, MixedCountsBatchAgreesWithSeparateScans) {
+  Fixture fx(50, 6);
+  const unsigned d = fx.store.dim();
+  const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
+  // Query 0: single vector (row 4); query 1: two vectors (rows 9, 30).
+  std::vector<float> vectors;
+  for (const vid_t v : {4u, 9u, 30u}) {
+    const auto row = fx.store.row(v);
+    vectors.insert(vectors.end(), row.begin(), row.end());
+  }
+  const std::vector<std::size_t> counts = {1, 2};
+  const auto batched = scan_top_k_multi(fx.store, vectors, counts, 6,
+                                        Metric::kCosine, inv, Aggregate::kMax,
+                                        {});
+  ASSERT_EQ(batched.size(), 2u);
+
+  const auto single = scan_top_k(
+      fx.store, std::span<const float>(vectors).subspan(0, d), 6,
+      Metric::kCosine, inv);
+  const std::vector<std::size_t> pair_count = {2};
+  const auto pair = scan_top_k_multi(
+      fx.store, std::span<const float>(vectors).subspan(d, 2 * d), pair_count,
+      6, Metric::kCosine, inv, Aggregate::kMax, {});
+  ASSERT_EQ(batched[0].size(), single.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(batched[0][i].id, single[i].id);
+  }
+  ASSERT_EQ(batched[1].size(), pair[0].size());
+  for (std::size_t i = 0; i < pair[0].size(); ++i) {
+    EXPECT_EQ(batched[1][i].id, pair[0][i].id);
+  }
+}
+
+TEST(BruteForce, FilterRejectingEverythingYieldsEmptyAnswers) {
+  Fixture fx(30, 4);
+  const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
+  const auto query = fx.store.row(0);
+  const std::vector<std::size_t> counts = {1};
+  const auto got = scan_top_k_multi(fx.store, query, counts, 5,
+                                    Metric::kCosine, inv, Aggregate::kMax,
+                                    [](vid_t) { return false; });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].empty());
+}
+
 }  // namespace
 }  // namespace gosh::query

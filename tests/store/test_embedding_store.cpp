@@ -182,5 +182,56 @@ TEST(EmbeddingStore, CorruptHeaderRejected) {
   std::remove(path.c_str());
 }
 
+TEST(EmbeddingStore, ProbeReadsTheLayoutWithoutMapping) {
+  const std::string path = temp_path("store_probe.gshs");
+  const auto matrix = sample_matrix(33, 5);
+  ASSERT_TRUE(
+      EmbeddingStore::write(matrix, path, {.rows_per_shard = 8}).is_ok());
+
+  auto info = EmbeddingStore::probe(path);
+  ASSERT_TRUE(info.ok()) << info.status().to_string();
+  EXPECT_EQ(info.value().rows, 33u);
+  EXPECT_EQ(info.value().dim, 5u);
+  EXPECT_EQ(info.value().shard_count, 5u);
+
+  EXPECT_FALSE(EmbeddingStore::probe(temp_path("no_such.gshs")).ok());
+  // Probing a non-root shard is rejected: the root carries the layout.
+  EXPECT_FALSE(
+      EmbeddingStore::probe(EmbeddingStore::shard_path(path, 1, 5)).ok());
+  remove_store(path, 5);
+}
+
+TEST(EmbeddingStore, OpenShardServesOneRebasedGroup) {
+  const std::string path = temp_path("store_open_shard.gshs");
+  const auto matrix = sample_matrix(33, 5);
+  ASSERT_TRUE(
+      EmbeddingStore::write(matrix, path, {.rows_per_shard = 8}).is_ok());
+
+  // Middle shard: rows [16, 24) of the matrix, re-based to local [0, 8).
+  auto shard = EmbeddingStore::open_shard(path, 2, 5);
+  ASSERT_TRUE(shard.ok()) << shard.status().to_string();
+  EXPECT_EQ(shard.value().rows(), 8u);
+  EXPECT_EQ(shard.value().row_begin(), 16u);
+  EXPECT_EQ(shard.value().num_shards(), 1u);
+  for (vid_t local = 0; local < 8; ++local) {
+    const auto expected = matrix.row(16 + local);
+    const auto got = shard.value().row(local);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], got[i]) << "local row " << local;
+    }
+  }
+
+  // The last, short shard.
+  auto tail = EmbeddingStore::open_shard(path, 4, 5);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value().rows(), 1u);
+  EXPECT_EQ(tail.value().row_begin(), 32u);
+
+  // Wrong count in the name/header pairing is rejected.
+  EXPECT_FALSE(EmbeddingStore::open_shard(path, 2, 4).ok());
+  EXPECT_FALSE(EmbeddingStore::open_shard(path, 9, 5).ok());
+  remove_store(path, 5);
+}
+
 }  // namespace
 }  // namespace gosh::store

@@ -36,7 +36,8 @@ namespace {
 void usage() {
   std::puts(
       "usage: gosh_embed --input edges.txt [--output emb.bin]\n"
-      "                  [--format text|binary|store] [--backend NAME]\n"
+      "                  [--format text|binary|store] [--rows-per-shard N]\n"
+      "                  [--backend NAME]\n"
       "                  [--preset fast|normal|slow|nocoarse]\n"
       "                  [--dim D] [--epochs E] [--device-mib M] [--seed S]\n"
       "                  [--options FILE] [--eval] [--verbose] | --demo");
@@ -118,8 +119,9 @@ int main(int argc, char** argv) {
               result.backend.c_str(), result.total_seconds,
               result.coarsening_seconds, result.levels.size());
 
-  if (api::Status status = api::write_embedding(
-          result.embedding, options.output_path, options.output_format);
+  if (api::Status status =
+          api::write_embedding(result.embedding, options.output_path,
+                               options.output_format, options.rows_per_shard);
       !status.is_ok()) {
     return fail(status);
   }

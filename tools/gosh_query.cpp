@@ -1,33 +1,45 @@
 // gosh_query — the serving-side CLI: top-k nearest neighbors out of a
-// GSHS embedding store written by gosh_embed (--format store).
+// GSHS embedding store written by gosh_embed (--format store), driven
+// entirely through the gosh::serving service API.
 //
-//   gosh_query --store emb.store --build-index          # offline HNSW build
-//   gosh_query --store emb.store --queries q.txt --k 10 # serve from a file
-//   echo 17 | gosh_query --store emb.store --queries -  # ... or stdin
-//   gosh_query --store emb.store --eval 100 --k 10      # HNSW recall@k
+//   gosh_query --store emb.store --build-index             # offline HNSW
+//   gosh_query --store emb.store --queries q.txt --k 10    # serve a file
+//   echo 17 | gosh_query --store emb.store --queries -     # ... or stdin
+//   gosh_query --store emb.store --strategy router --queries q.txt
+//   gosh_query --store emb.store --eval 100 --k 10         # recall@k
 //
-// Query input: one query per line — either a single vertex id (the stored
-// row becomes the query, the row itself is excluded from its answer) or
-// dim() whitespace-separated floats (a raw vector).
+// Query input: one query per line. A line is one or more ';'-separated
+// segments; each segment is either a single vertex id (the stored row
+// becomes the query vector) or dim() whitespace-separated floats. One
+// segment = a plain query (a vertex query excludes its own row from the
+// answer); several segments = ONE multi-vector query whose candidate
+// scores combine under --aggregate (max|mean).
 //
 // Modes (exactly one):
 //   --build-index       build the HNSW index and write it beside the store
-//   --queries FILE|-    answer top-k for each input line
-//   --eval N            recall@k of HNSW vs the exact scan on N sampled
-//                       rows, plus queries/sec for both strategies
-// Options:
-//   --index PATH        index file (default: STORE.hnsw)
+//   --queries FILE|-    answer top-k for each input line (a FILE is served
+//                       as one batched request; stdin streams per line)
+//   --eval N            recall@k of --strategy vs the exact scan on N
+//                       sampled rows, plus q/s and p50/p99 latency
+// Strategy & request shape:
+//   --strategy S        exact|hnsw|batched|router|auto (default auto =
+//                       hnsw when the index file exists, else exact)
 //   --k K               neighbors per query (default 10)
 //   --metric M          cosine|dot|l2 (default cosine)
-//   --strategy S        exact|hnsw (default exact; hnsw needs an index)
-//   --batch B           serve --queries through a BatchQueue coalescing up
-//                       to B requests per scan (default: direct calls)
+//   --aggregate A       multi-vector combine rule: max|mean (default max)
+//   --filter LO:HI      only ids in [LO, HI) may appear in answers
+//   --batch B           max requests coalesced per scan (batched strategy)
+//   --ef EF             HNSW search beam width (default 64)
 //   --threads T         scan parallelism (default: all workers)
+//   --block-rows N      rows per scan block (default 2048)
+// Build / files / io:
+//   --index PATH        index file (default: STORE.hnsw)
 //   --M / --ef-construction   HNSW build shape (default 16 / 200)
-//   --ef                HNSW search beam width (default 64)
-//   --seed S            sampling seed for --eval (default 42)
+//   --seed S            build + --eval sampling seed (default 42)
 //   --recall-floor F    exit nonzero if --eval recall@k < F (CI hook)
 //   --no-verify         skip the store checksum pass at open
+//   --options FILE      key=value ServeOptions file; flags override it
+//   --metrics           dump the MetricsRegistry text exposition at exit
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,25 +59,17 @@ using namespace gosh;
 void usage() {
   std::puts(
       "usage: gosh_query --store PATH (--build-index | --queries FILE|- |\n"
-      "                  --eval N) [--index PATH] [--k K]\n"
-      "                  [--metric cosine|dot|l2] [--strategy exact|hnsw]\n"
-      "                  [--batch B] [--threads T] [--M M]\n"
-      "                  [--ef-construction EC] [--ef EF] [--seed S]\n"
-      "                  [--recall-floor F] [--no-verify]");
+      "                  --eval N) [--strategy exact|hnsw|batched|router|auto]\n"
+      "                  [--index PATH] [--k K] [--metric cosine|dot|l2]\n"
+      "                  [--aggregate max|mean] [--filter LO:HI] [--batch B]\n"
+      "                  [--ef EF] [--threads T] [--block-rows N] [--M M]\n"
+      "                  [--ef-construction EC] [--seed S] [--recall-floor F]\n"
+      "                  [--no-verify] [--options FILE] [--metrics]");
 }
 
 int fail(const api::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
   return 1;
-}
-
-/// "--name value" string lookup; first occurrence wins.
-std::string flag_string(int argc, char** argv, std::string_view name,
-                        std::string fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (name == argv[i]) return argv[i + 1];
-  }
-  return fallback;
 }
 
 void print_neighbors(const std::string& label,
@@ -77,14 +81,13 @@ void print_neighbors(const std::string& label,
   std::printf("\n");
 }
 
-/// Parses one query line: a bare vertex id or dim floats. Returns false
-/// (with a message) on malformed lines so one typo doesn't kill a stream.
-/// A lone token is parsed as an exact integer (not through float, which
+/// Parses one ';'-separated segment: a bare vertex id or dim floats. A
+/// lone token is parsed as an exact integer (not through float, which
 /// would silently misroute ids above 2^24 on big stores).
-bool parse_query_line(const std::string& line, const query::QueryEngine& engine,
-                      std::vector<float>& vector, vid_t& vertex,
-                      bool& is_vertex) {
-  std::istringstream in(line);
+bool parse_segment(const std::string& segment, serving::QueryService& service,
+                   std::vector<float>& vector, vid_t& vertex,
+                   bool& is_vertex) {
+  std::istringstream in(segment);
   std::vector<std::string> tokens;
   std::string token;
   while (in >> token) tokens.push_back(token);
@@ -96,7 +99,7 @@ bool parse_query_line(const std::string& line, const query::QueryEngine& engine,
     is_vertex = true;
     return true;
   }
-  if (tokens.size() != engine.dim()) return false;
+  if (tokens.size() != service.dim()) return false;
   std::vector<float> values;
   values.reserve(tokens.size());
   for (const std::string& t : tokens) {
@@ -109,142 +112,184 @@ bool parse_query_line(const std::string& line, const query::QueryEngine& engine,
   return true;
 }
 
-int serve_queries(const query::QueryEngine& engine, const std::string& source,
-                  unsigned k, query::Strategy strategy, std::size_t batch) {
+/// Parses one query line into a serving::Query (resolving vertex segments
+/// of multi-vector lines through the service). Returns false with a
+/// warning on malformed lines so one typo doesn't kill a stream.
+bool parse_query_line(const std::string& line, std::size_t line_number,
+                      serving::QueryService& service, serving::Query& out,
+                      std::string& label) {
+  std::vector<std::string> segments;
+  std::size_t begin = 0;
+  while (begin <= line.size()) {
+    const std::size_t semi = line.find(';', begin);
+    const std::size_t end = semi == std::string::npos ? line.size() : semi;
+    segments.push_back(line.substr(begin, end - begin));
+    if (semi == std::string::npos) break;
+    begin = semi + 1;
+  }
+
+  const auto warn = [&line_number, &service](const char* what) {
+    std::fprintf(stderr,
+                 "warning: line %zu: %s (expected a vertex id or %u floats "
+                 "per ';' segment)\n",
+                 line_number, what, service.dim());
+    return false;
+  };
+
+  if (segments.size() == 1) {
+    std::vector<float> vector;
+    vid_t vertex = 0;
+    bool is_vertex = false;
+    if (!parse_segment(segments[0], service, vector, vertex, is_vertex))
+      return warn("malformed query");
+    if (is_vertex) {
+      if (vertex >= service.rows()) return warn("vertex out of range");
+      out = serving::Query::vertex(vertex);
+      label = "vertex " + std::to_string(vertex);
+    } else {
+      out = serving::Query::vector(std::move(vector));
+      label = "query " + std::to_string(line_number);
+    }
+    return true;
+  }
+
+  // Multi-vector: every segment becomes one vector of the joint query.
+  std::vector<float> flat;
+  for (const std::string& segment : segments) {
+    std::vector<float> vector;
+    vid_t vertex = 0;
+    bool is_vertex = false;
+    if (!parse_segment(segment, service, vector, vertex, is_vertex))
+      return warn("malformed multi-vector segment");
+    if (is_vertex) {
+      auto row = service.row_vector(vertex);
+      if (!row.ok()) return warn("vertex out of range");
+      vector = std::move(row).value();
+    }
+    flat.insert(flat.end(), vector.begin(), vector.end());
+  }
+  out = serving::Query::multi(std::move(flat), segments.size());
+  label = "multi " + std::to_string(line_number) + " (" +
+          std::to_string(segments.size()) + " vectors)";
+  return true;
+}
+
+int serve_queries(serving::QueryService& service,
+                  const serving::ServeOptions& options) {
+  // A file is batched into ONE request (the shape the batched strategy
+  // coalesces and every strategy answers in one pass); stdin streams —
+  // each line is answered as it arrives, so a long-lived pipe sees its
+  // results immediately.
+  const bool streaming = options.queries_path == "-";
   std::ifstream file;
   std::istream* in = &std::cin;
-  if (source != "-") {
-    file.open(source);
-    if (!file) return fail(api::Status::io_error("cannot open " + source));
+  if (!streaming) {
+    file.open(options.queries_path);
+    if (!file)
+      return fail(api::Status::io_error("cannot open " + options.queries_path));
     in = &file;
   }
 
-  query::QueryCounters counters;
-  std::unique_ptr<query::BatchQueue> queue;
-  if (batch > 0) {
-    // k+1 so vertex queries can drop the probe row itself, matching the
-    // direct top_k_vertex path.
-    queue = std::make_unique<query::BatchQueue>(
-        engine,
-        query::BatchQueueOptions{
-            .max_batch = batch, .k = k + 1, .strategy = strategy},
-        &counters);
-  }
-
-  // With a queue, submit everything first so requests actually coalesce;
-  // direct mode answers line by line.
-  struct InFlight {
-    std::string label;
-    bool is_vertex;
-    vid_t vertex;
-    std::future<std::vector<query::Neighbor>> future;
-  };
-  std::vector<InFlight> in_flight;
+  serving::QueryRequest request;
+  request.k = options.k;
+  request.aggregate = options.aggregate_mode();
+  request.filter = options.row_filter();
+  std::vector<std::string> labels;
+  std::size_t served = 0;
+  double seconds = 0.0;
   std::string line;
   std::size_t line_number = 0;
   int bad_lines = 0;
   while (std::getline(*in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
-    std::vector<float> vector;
-    vid_t vertex = 0;
-    bool is_vertex = false;
-    if (!parse_query_line(line, engine, vector, vertex, is_vertex)) {
-      std::fprintf(stderr,
-                   "warning: line %zu: expected a vertex id or %u floats\n",
-                   line_number, engine.dim());
+    serving::Query query;
+    std::string label;
+    if (!parse_query_line(line, line_number, service, query, label)) {
       ++bad_lines;
       continue;
     }
-    std::string label;
-    if (is_vertex) {
-      if (vertex >= engine.rows()) {
-        std::fprintf(stderr, "warning: line %zu: vertex %u out of range\n",
-                     line_number, vertex);
-        ++bad_lines;
-        continue;
-      }
-      label = "vertex " + std::to_string(vertex);
-      const auto row = engine.store().row(vertex);
-      vector.assign(row.begin(), row.end());
-    } else {
-      label = "query " + std::to_string(line_number);
-    }
-
-    if (queue != nullptr) {
-      in_flight.push_back({std::move(label), is_vertex, vertex,
-                           queue->submit(std::move(vector))});
-    } else {
-      auto result =
-          is_vertex ? engine.top_k_vertex(vertex, k, strategy)
-                    : engine.top_k(vector, k, strategy);
-      if (!result.ok()) return fail(result.status());
-      print_neighbors(label, result.value());
+    request.queries.push_back(std::move(query));
+    labels.push_back(std::move(label));
+    if (streaming) {
+      auto response = service.serve(request);
+      if (!response.ok()) return fail(response.status());
+      print_neighbors(labels.front(), response.value().results.front());
+      seconds += response.value().seconds;
+      ++served;
+      request.queries.clear();
+      labels.clear();
     }
   }
 
-  for (InFlight& request : in_flight) {
-    try {
-      std::vector<query::Neighbor> neighbors = request.future.get();
-      if (request.is_vertex) {
-        std::erase_if(neighbors, [&request](const query::Neighbor& n) {
-          return n.id == request.vertex;
-        });
-      }
-      if (neighbors.size() > k) neighbors.resize(k);
-      print_neighbors(request.label, neighbors);
-    } catch (const std::exception& error) {
-      return fail(api::Status::internal(error.what()));
+  if (!streaming) {
+    auto response = service.serve(request);
+    if (!response.ok()) return fail(response.status());
+    for (std::size_t q = 0; q < labels.size(); ++q) {
+      print_neighbors(labels[q], response.value().results[q]);
     }
+    seconds = response.value().seconds;
+    served = labels.size();
   }
-  if (queue != nullptr) {
-    queue->stop();
-    std::printf(
-        "served %llu queries in %llu batches (mean batch %.1f, "
-        "latency mean %.3f ms / max %.3f ms)\n",
-        static_cast<unsigned long long>(counters.queries()),
-        static_cast<unsigned long long>(counters.batches()),
-        counters.mean_batch_size(), 1e3 * counters.mean_latency_seconds(),
-        1e3 * counters.max_latency_seconds());
-  }
+  std::printf("served %zu queries in %.3f ms (strategy %s)\n", served,
+              1e3 * seconds, std::string(service.strategy_name()).c_str());
   return bad_lines > 0 ? 2 : 0;
 }
 
-int run_eval(const query::QueryEngine& engine, std::size_t samples,
-             unsigned k, std::uint64_t seed, double recall_floor) {
-  if (!engine.has_index()) {
-    return fail(api::Status::invalid_argument(
-        "--eval needs the HNSW index (run --build-index first)"));
-  }
-  if (engine.rows() == 0) {
+int run_eval(serving::QueryService& candidate,
+             const serving::ServeOptions& options,
+             serving::MetricsRegistry& metrics) {
+  if (candidate.rows() == 0) {
     return fail(api::Status::invalid_argument("store is empty"));
   }
-  samples = std::min<std::size_t>(samples, engine.rows());
+  if (candidate.strategy_name() == "exact") {
+    // Exact-vs-exact recall is vacuously 1.0 — refuse rather than let a
+    // CI recall gate pass without the index it meant to measure.
+    return fail(api::Status::invalid_argument(
+        "--eval measures an approximate strategy against the exact scan; "
+        "strategy resolved to 'exact' (run --build-index first, or pass "
+        "--strategy hnsw)"));
+  }
+  // Ground truth comes from the registry too — the exact scan over the
+  // same store and metric.
+  serving::ServeOptions exact_options = options;
+  exact_options.strategy = "exact";
+  auto truth = serving::make_service(exact_options, &metrics);
+  if (!truth.ok()) return fail(truth.status());
 
-  Rng rng(seed);
+  const std::size_t samples =
+      std::min<std::size_t>(options.eval_samples, candidate.rows());
+  Rng rng(options.seed);
   std::vector<vid_t> probes(samples);
-  for (vid_t& p : probes) p = rng.next_vertex(engine.rows());
+  for (vid_t& p : probes) p = rng.next_vertex(candidate.rows());
+
+  // One pass per service: recall compares the answers, the histograms
+  // collect per-request service-side timings for the p50/p99 report.
+  serving::Histogram& exact_timed = metrics.histogram(
+      "gosh_eval_exact_seconds", "Per-request exact latency during --eval");
+  serving::Histogram& candidate_timed =
+      metrics.histogram("gosh_eval_candidate_seconds",
+                        "Per-request candidate latency during --eval");
 
   double hits = 0.0, denom = 0.0;
-  WallTimer exact_timer, hnsw_timer;
-  double exact_seconds = 0.0, hnsw_seconds = 0.0;
   for (const vid_t probe : probes) {
-    exact_timer.reset();
-    auto exact = engine.top_k_vertex(probe, k, query::Strategy::kExact);
-    exact_seconds += exact_timer.seconds();
+    auto exact =
+        truth.value()->serve(serving::QueryRequest::for_vertex(probe, options.k));
     if (!exact.ok()) return fail(exact.status());
+    exact_timed.observe(exact.value().seconds);
+    auto approx =
+        candidate.serve(serving::QueryRequest::for_vertex(probe, options.k));
+    if (!approx.ok()) return fail(approx.status());
+    candidate_timed.observe(approx.value().seconds);
+
     // The ground truth may hold fewer than k rows (tiny store); recall is
     // measured against what the exact scan can actually return.
-    denom += static_cast<double>(exact.value().size());
-
-    hnsw_timer.reset();
-    auto approx = engine.top_k_vertex(probe, k, query::Strategy::kHnsw);
-    hnsw_seconds += hnsw_timer.seconds();
-    if (!approx.ok()) return fail(approx.status());
-
-    for (const query::Neighbor& truth : exact.value()) {
-      for (const query::Neighbor& got : approx.value()) {
-        if (truth.id == got.id) {
+    const auto& truth_list = exact.value().results.front();
+    const auto& approx_list = approx.value().results.front();
+    denom += static_cast<double>(truth_list.size());
+    for (const query::Neighbor& t : truth_list) {
+      for (const query::Neighbor& got : approx_list) {
+        if (t.id == got.id) {
           hits += 1.0;
           break;
         }
@@ -252,13 +297,21 @@ int run_eval(const query::QueryEngine& engine, std::size_t samples,
     }
   }
   const double recall = denom > 0 ? hits / denom : 0.0;
-  std::printf("recall@%u: %.4f over %zu sampled rows\n", k, recall, samples);
-  std::printf("exact: %.1f q/s   hnsw: %.1f q/s\n",
-              samples / (exact_seconds > 0 ? exact_seconds : 1e-9),
-              samples / (hnsw_seconds > 0 ? hnsw_seconds : 1e-9));
-  if (recall < recall_floor) {
+
+  std::printf("recall@%u: %.4f over %zu sampled rows\n", options.k, recall,
+              samples);
+  const auto report = [](const char* name, const serving::Histogram& h) {
+    const double total = h.sum();
+    std::printf("%s: %.1f q/s   p50 %.3f ms   p99 %.3f ms\n", name,
+                h.count() / (total > 0 ? total : 1e-9),
+                1e3 * h.quantile(0.5), 1e3 * h.quantile(0.99));
+  };
+  report("exact", exact_timed);
+  report("candidate", candidate_timed);
+
+  if (recall < options.recall_floor) {
     std::fprintf(stderr, "error: recall %.4f below required floor %.4f\n",
-                 recall, recall_floor);
+                 recall, options.recall_floor);
     return 1;
   }
   return 0;
@@ -267,25 +320,21 @@ int run_eval(const query::QueryEngine& engine, std::size_t samples,
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 ||
-        std::strcmp(argv[i], "-h") == 0) {
-      usage();
-      return 0;
-    }
-  }
-
-  const std::string store_path = flag_string(argc, argv, "--store", "");
-  if (store_path.empty()) {
+  auto parsed = serving::ServeOptions::from_args(argc, argv);
+  if (!parsed.ok()) {
+    fail(parsed.status());
     usage();
     return 1;
   }
-  const bool build_index = api::flag_present(argc, argv, "--build-index");
-  const std::string queries = flag_string(argc, argv, "--queries", "");
-  const auto eval_samples = static_cast<std::size_t>(
-      api::require_flag_unsigned(argc, argv, "--eval", 0));
-  const int modes = (build_index ? 1 : 0) + (queries.empty() ? 0 : 1) +
-                    (eval_samples > 0 ? 1 : 0);
+  serving::ServeOptions options = std::move(parsed).value();
+  if (options.show_help) {
+    usage();
+    return 0;
+  }
+
+  const int modes = (options.build_index ? 1 : 0) +
+                    (options.queries_path.empty() ? 0 : 1) +
+                    (options.eval_samples > 0 ? 1 : 0);
   if (modes != 1) {
     std::fprintf(stderr,
                  "error: pick exactly one of --build-index, --queries, "
@@ -294,80 +343,35 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto metric =
-      query::parse_metric(flag_string(argc, argv, "--metric", "cosine"));
-  if (!metric.ok()) return fail(metric.status());
-  auto strategy =
-      query::parse_strategy(flag_string(argc, argv, "--strategy", "exact"));
-  if (!strategy.ok()) return fail(strategy.status());
-
-  const auto k = static_cast<unsigned>(
-      api::require_flag_unsigned(argc, argv, "--k", 10));
-  const auto threads = static_cast<unsigned>(
-      api::require_flag_unsigned(argc, argv, "--threads", 0));
-  const auto batch = static_cast<std::size_t>(
-      api::require_flag_unsigned(argc, argv, "--batch", 0));
-  const auto hnsw_m =
-      static_cast<unsigned>(api::require_flag_unsigned(argc, argv, "--M", 16));
-  const auto ef_construction = static_cast<unsigned>(
-      api::require_flag_unsigned(argc, argv, "--ef-construction", 200));
-  const auto ef = static_cast<unsigned>(
-      api::require_flag_unsigned(argc, argv, "--ef", 64));
-  const auto seed = api::require_flag_unsigned(argc, argv, "--seed", 42);
-  const std::string index_path = flag_string(
-      argc, argv, "--index", query::HnswIndex::default_path(store_path));
-
-  store::OpenOptions open_options;
-  open_options.verify_checksums = !api::flag_present(argc, argv, "--no-verify");
-  auto opened = store::EmbeddingStore::open(store_path, open_options);
-  if (!opened.ok()) return fail(opened.status());
-
-  query::QueryEngineOptions engine_options;
-  engine_options.metric = metric.value();
-  engine_options.threads = threads;
-  engine_options.ef_search = ef;
-  query::QueryEngine engine(std::move(opened).value(), engine_options);
-  std::printf("store %s: %u rows x %u dim, %zu shard%s, metric %s\n",
-              store_path.c_str(), engine.rows(), engine.dim(),
-              engine.store().num_shards(),
-              engine.store().num_shards() == 1 ? "" : "s",
-              std::string(query::metric_name(engine.metric())).c_str());
-
-  if (build_index) {
-    query::HnswOptions build;
-    build.M = hnsw_m;
-    build.ef_construction = ef_construction;
-    build.seed = seed;
-    WallTimer timer;
-    // Through the engine so the build reuses its cosine norm cache
-    // instead of re-scanning the store.
-    if (api::Status status = engine.build_index(build); !status.is_ok()) {
-      return fail(status);
-    }
-    const query::HnswIndex& index = engine.index();
+  if (options.build_index) {
+    auto report = serving::build_index(options);
+    if (!report.ok()) return fail(report.status());
     std::printf("built HNSW (M=%u, ef_construction=%u, max level %d) "
                 "in %.2f s\n",
-                index.M(), index.ef_construction(), index.max_level(),
-                timer.seconds());
-    if (api::Status status = index.save(index_path); !status.is_ok()) {
-      return fail(status);
-    }
-    std::printf("wrote %s\n", index_path.c_str());
+                report.value().M, report.value().ef_construction,
+                report.value().max_level, report.value().seconds);
+    std::printf("wrote %s\n", report.value().path.c_str());
     return 0;
   }
 
-  // Serving / eval: load the index when the mode needs it.
-  if (eval_samples > 0 || strategy.value() == query::Strategy::kHnsw) {
-    if (api::Status status = engine.load_index(index_path); !status.is_ok()) {
-      return fail(status);
-    }
-  }
+  serving::MetricsRegistry& metrics = serving::MetricsRegistry::global();
+  auto service = serving::make_service(options, &metrics);
+  if (!service.ok()) return fail(service.status());
+  std::printf("store %s: %u rows x %u dim, strategy %s, metric %s\n",
+              options.store_path.c_str(), service.value()->rows(),
+              service.value()->dim(),
+              std::string(service.value()->strategy_name()).c_str(),
+              std::string(query::metric_name(service.value()->default_metric()))
+                  .c_str());
 
-  if (eval_samples > 0) {
-    auto floor_text = flag_string(argc, argv, "--recall-floor", "0");
-    auto floor = api::parse_real(floor_text);
-    if (!floor.ok()) return fail(floor.status());
-    return run_eval(engine, eval_samples, k, seed, floor.value());
+  int exit_code = 0;
+  if (options.eval_samples > 0) {
+    exit_code = run_eval(*service.value(), options, metrics);
+  } else {
+    exit_code = serve_queries(*service.value(), options);
   }
-  return serve_queries(engine, queries, k, strategy.value(), batch);
+  if (options.dump_metrics) {
+    std::printf("\n%s", metrics.expose().c_str());
+  }
+  return exit_code;
 }
