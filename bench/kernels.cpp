@@ -1,18 +1,28 @@
 // Kernel-level microbenchmarks (google-benchmark): the Algorithm 1 update
-// across dimensions, sigmoid LUT vs exact, samplers, counting sort, and a
-// single coarsening level. These are the primitives whose costs explain
-// the table-level results.
+// across dimensions, the gosh::simd kernel tables side by side at every
+// ISA this host supports, sigmoid LUT vs exact, samplers, counting sort,
+// and a single coarsening level. These are the primitives whose costs
+// explain the table-level results.
+//
+// Custom main: registers the per-ISA benchmarks dynamically (only the
+// tables the CPU can run), accepts `--json <file>` alongside the normal
+// --benchmark_* flags, and emits the shared bench/report.hpp record shape
+// — the BENCH_*.json perf trajectory's kernel half.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "gosh/common/counting_sort.hpp"
 #include "gosh/common/rng.hpp"
 #include "gosh/common/sigmoid.hpp"
+#include "gosh/common/simd.hpp"
 #include "gosh/coarsening/multi_edge_collapse.hpp"
 #include "gosh/embedding/samplers.hpp"
 #include "gosh/embedding/update.hpp"
 #include "gosh/graph/generators.hpp"
+#include "report.hpp"
 
 namespace {
 
@@ -136,4 +146,201 @@ void BM_PositiveSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_PositiveSampling);
 
+// ---- Per-ISA gosh::simd kernels, registered for every table this host
+// ---- can run: "simd_dot/avx2/128" vs "simd_dot/scalar/128" is the
+// ---- speedup the dispatch layer buys. -----------------------------------
+
+constexpr std::size_t kBlockQueries = 16;
+
+void register_isa_benchmarks() {
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2,
+                              simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    const simd::KernelTable* table = simd::kernel_table(isa);
+    if (table == nullptr) continue;
+    const std::string suffix = "/" + std::string(simd::isa_name(isa));
+
+    benchmark::RegisterBenchmark(
+        ("simd_dot" + suffix).c_str(),
+        [table](benchmark::State& state) {
+          const unsigned d = static_cast<unsigned>(state.range(0));
+          std::vector<float> a(d, 0.1f), b(d, -0.05f);
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(table->dot(a.data(), b.data(), d));
+          }
+          state.SetItemsProcessed(state.iterations());
+        })
+        ->Arg(32)
+        ->Arg(128);
+
+    benchmark::RegisterBenchmark(
+        ("simd_l2" + suffix).c_str(),
+        [table](benchmark::State& state) {
+          const unsigned d = static_cast<unsigned>(state.range(0));
+          std::vector<float> a(d, 0.1f), b(d, -0.05f);
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(table->l2_squared(a.data(), b.data(), d));
+          }
+          state.SetItemsProcessed(state.iterations());
+        })
+        ->Arg(128);
+
+    // The whole Algorithm 1 pair update: SIMD dot -> sigmoid -> fused
+    // dual-axpy, exactly what the trainers run per sample.
+    benchmark::RegisterBenchmark(
+        ("simd_fused_update" + suffix).c_str(),
+        [table](benchmark::State& state) {
+          const unsigned d = static_cast<unsigned>(state.range(0));
+          std::vector<float> source(d, 0.1f), sample(d, -0.05f);
+          const SigmoidTable& sigmoid = default_sigmoid_table();
+          for (auto _ : state) {
+            const float score =
+                (1.0f - sigmoid(table->dot(source.data(), sample.data(), d))) *
+                0.01f;
+            table->pair_update_simultaneous(source.data(), sample.data(), d,
+                                            score);
+            benchmark::DoNotOptimize(source.data());
+            benchmark::DoNotOptimize(sample.data());
+          }
+          state.SetItemsProcessed(state.iterations());
+          state.SetBytesProcessed(state.iterations() * d * 2 * sizeof(float));
+        })
+        ->Arg(32)
+        ->Arg(128);
+
+    // The serving scan's inner step: one stored row scored against a
+    // block of query vectors (items = query scores produced).
+    benchmark::RegisterBenchmark(
+        ("simd_dot_block" + suffix).c_str(),
+        [table](benchmark::State& state) {
+          const unsigned d = static_cast<unsigned>(state.range(0));
+          Rng rng(7);
+          std::vector<float> queries(kBlockQueries * d);
+          for (float& x : queries) x = rng.next_float() - 0.5f;
+          std::vector<float> row(d);
+          for (float& x : row) x = rng.next_float() - 0.5f;
+          std::vector<float> out(kBlockQueries);
+          for (auto _ : state) {
+            table->dot_block(queries.data(), kBlockQueries, row.data(), d,
+                             out.data());
+            benchmark::DoNotOptimize(out.data());
+          }
+          state.SetItemsProcessed(state.iterations() * kBlockQueries);
+        })
+        ->Arg(64)
+        ->Arg(128);
+  }
+}
+
+// Captures every finished run for the --json report while still printing
+// the normal console table.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double ns_per_op = 0.0;
+    unsigned threads = 1;
+  };
+
+  // Skipped/errored runs must not enter the perf trajectory as bogus
+  // measurements. Detected structurally: google-benchmark 1.8 replaced
+  // `bool error_occurred` with the `skipped` enum, and non-instantiated
+  // `if constexpr` branches keep both spellings compiling.
+  template <typename R>
+  static bool failed(const R& run) {
+    if constexpr (requires { run.skipped; }) {
+      return static_cast<int>(run.skipped) != 0;
+    } else if constexpr (requires { run.error_occurred; }) {
+      return run.error_occurred;
+    } else {
+      return false;
+    }
+  }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      // Aggregate rows (mean/stddev/cv under --benchmark_repetitions) are
+      // derived statistics, not measurements — and their "_mean" name
+      // suffix would corrupt the parsed params.
+      if (failed(run) || run.run_type != Run::RT_Iteration) continue;
+      captured.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                          static_cast<unsigned>(run.threads)});
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<Captured> captured;
+};
+
+// "simd_dot/avx2/128" -> name simd_dot, isa avx2, params {d: 128};
+// "BM_CountingSort/16384" -> name BM_CountingSort, params {arg: 16384},
+// isa = the active dispatch (those benches run through simd::kernels()).
+bench::Record to_record(const CaptureReporter::Captured& run) {
+  bench::Record record;
+  record.unit = "ns/op";
+  record.value = run.ns_per_op;
+  record.threads = run.threads;
+  record.isa = std::string(simd::isa_name(simd::active_isa()));
+  std::size_t start = 0;
+  bool first = true;
+  unsigned arg_index = 0;
+  const std::string& name = run.name;
+  while (start <= name.size()) {
+    const std::size_t slash = name.find('/', start);
+    const std::string token = name.substr(
+        start, slash == std::string::npos ? std::string::npos : slash - start);
+    if (first) {
+      record.name = token;
+      first = false;
+    } else if (simd::parse_isa(token).has_value()) {
+      record.isa = token;
+    } else if (!token.empty()) {
+      const bool is_dim =
+          record.name.rfind("simd_", 0) == 0 && arg_index == 0;
+      record.params.emplace_back(
+          is_dim ? "d" : "arg" + std::to_string(arg_index), token);
+      ++arg_index;
+    }
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  return record;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip "--json <file>" before google-benchmark sees (and rejects) it.
+  const std::string json_path = gosh::bench::json_flag(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      ++i;  // skip the value too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  register_isa_benchmarks();
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    std::vector<gosh::bench::Record> records;
+    records.reserve(reporter.captured.size());
+    for (const auto& run : reporter.captured) records.push_back(to_record(run));
+    if (!gosh::bench::write_report(json_path, "bench_kernels", records)) {
+      return 1;
+    }
+    std::printf("json report: %s (%zu records)\n", json_path.c_str(),
+                records.size());
+  }
+  return 0;
+}

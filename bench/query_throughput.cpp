@@ -8,8 +8,15 @@
 // queries/sec plus p50/p99 latency from MetricsRegistry histograms — not
 // ad-hoc averages.
 //
+// The strategy grid is swept once per SIMD ISA the host supports (forced
+// through gosh::simd::force_isa), so the exact-scan speedup of the vector
+// kernels over GOSH_SIMD=scalar is a single run's output; `--json <file>`
+// emits the bench/report.hpp records that feed the BENCH_*.json perf
+// trajectory.
+//
 //   bench_query_throughput [--rows N] [--dim D] [--queries Q] [--k K]
 //                          [--threads t1,t2,...] [--batch B] [--seed S]
+//                          [--json FILE]
 //
 // Defaults: 20000 rows, dim 64, 512 queries, k 10, threads 1,4, batch 64.
 #include <cstdio>
@@ -18,6 +25,8 @@
 #include <vector>
 
 #include "gosh/api/api.hpp"
+#include "gosh/common/simd.hpp"
+#include "report.hpp"
 
 namespace {
 
@@ -47,6 +56,7 @@ int main(int argc, char** argv) {
   const auto seed = api::require_flag_unsigned(argc, argv, "--seed", 1);
   const std::vector<std::string> thread_flags =
       api::flag_list(argc, argv, "--threads", {"1", "4"});
+  const std::string json_path = bench::json_flag(argc, argv);
 
   std::vector<unsigned> thread_counts;
   for (const std::string& t : thread_flags) {
@@ -95,39 +105,70 @@ int main(int argc, char** argv) {
   std::vector<vid_t> probes(num_queries);
   for (vid_t& p : probes) p = rng.next_vertex(rows);
 
-  serving::MetricsRegistry metrics;
-  std::printf("\n%-8s %8s %12s %12s %12s\n", "strategy", "threads",
-              "queries/s", "p50 ms", "p99 ms");
-  for (const unsigned threads : thread_counts) {
-    for (const char* strategy : {"exact", "hnsw", "router"}) {
-      serving::ServeOptions options = base;
-      options.strategy = strategy;
-      options.threads = threads;
-      auto service = serving::make_service(options, &metrics);
-      if (!service.ok()) return fail(service.status());
-
-      // Each request timing lands in its own histogram so p50/p99 come
-      // straight out of the MetricsRegistry, per strategy and shape.
-      serving::Histogram& latency = metrics.histogram(
-          std::string("bench_latency_seconds_") + strategy + "_t" +
-          std::to_string(threads));
-      timer.reset();
-      for (const vid_t probe : probes) {
-        auto response = service.value()->serve(
-            serving::QueryRequest::for_vertex(probe, k));
-        if (!response.ok()) return fail(response.status());
-        latency.observe(response.value().seconds);
-      }
-      const double seconds = timer.seconds();
-      std::printf("%-8s %8u %12.1f %12.4f %12.4f\n", strategy, threads,
-                  num_queries / (seconds > 0 ? seconds : 1e-9),
-                  1e3 * latency.quantile(0.5), 1e3 * latency.quantile(0.99));
-    }
+  // Sweep every ISA the dispatch layer can serve, scalar first: the gap
+  // between the scalar and the widest row is the SIMD layer's win. The
+  // guard restores the entry dispatch on every exit path, including the
+  // early fail() returns inside the sweep.
+  simd::ScopedIsa guard;
+  std::vector<simd::Isa> isas;
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kNeon,
+                              simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (simd::kernel_table(isa) != nullptr) isas.push_back(isa);
   }
 
-  // Batched strategy at the last thread count: concurrent submitters,
-  // coalesced scans; latency profile from the registry's serving
-  // histograms (enqueue -> fulfillment, the number a caller feels).
+  std::vector<bench::Record> records;
+  const auto shape_params = [&](const char* strategy) {
+    std::vector<std::pair<std::string, std::string>> params;
+    params.emplace_back("strategy", strategy);
+    params.emplace_back("rows", std::to_string(rows));
+    params.emplace_back("dim", std::to_string(dim));
+    params.emplace_back("queries", std::to_string(num_queries));
+    params.emplace_back("k", std::to_string(k));
+    return params;
+  };
+
+  serving::MetricsRegistry metrics;
+  std::printf("\n%-8s %-8s %8s %12s %12s %12s\n", "isa", "strategy",
+              "threads", "queries/s", "p50 ms", "p99 ms");
+  for (const simd::Isa isa : isas) {
+    simd::force_isa(isa);
+    const std::string isa_label(simd::isa_name(isa));
+    for (const unsigned threads : thread_counts) {
+      for (const char* strategy : {"exact", "hnsw", "router"}) {
+        serving::ServeOptions options = base;
+        options.strategy = strategy;
+        options.threads = threads;
+        auto service = serving::make_service(options, &metrics);
+        if (!service.ok()) return fail(service.status());
+
+        // Each request timing lands in its own histogram so p50/p99 come
+        // straight out of the MetricsRegistry, per strategy and shape.
+        serving::Histogram& latency = metrics.histogram(
+            std::string("bench_latency_seconds_") + strategy + "_" +
+            isa_label + "_t" + std::to_string(threads));
+        timer.reset();
+        for (const vid_t probe : probes) {
+          auto response = service.value()->serve(
+              serving::QueryRequest::for_vertex(probe, k));
+          if (!response.ok()) return fail(response.status());
+          latency.observe(response.value().seconds);
+        }
+        const double seconds = timer.seconds();
+        const double qps = num_queries / (seconds > 0 ? seconds : 1e-9);
+        std::printf("%-8s %-8s %8u %12.1f %12.4f %12.4f\n",
+                    isa_label.c_str(), strategy, threads, qps,
+                    1e3 * latency.quantile(0.5), 1e3 * latency.quantile(0.99));
+        records.push_back({"query_throughput", shape_params(strategy), qps,
+                           "queries/s", isa_label, threads});
+      }
+    }
+  }
+  simd::force_isa(guard.entry());
+
+  // Batched strategy at the last thread count and the entry ISA:
+  // concurrent submitters, coalesced scans; latency profile from the
+  // registry's serving histograms (enqueue -> fulfillment, the number a
+  // caller feels).
   {
     serving::ServeOptions options = base;
     options.strategy = "batched";
@@ -144,16 +185,29 @@ int main(int argc, char** argv) {
     auto response = service.value()->serve(request);
     if (!response.ok()) return fail(response.status());
     const double seconds = timer.seconds();
+    const double qps = num_queries / (seconds > 0 ? seconds : 1e-9);
 
     const serving::Histogram& latency =
         metrics.histogram("gosh_serving_request_latency_seconds");
     std::printf(
-        "\nbatched (max_batch %zu, %u threads): %.1f queries/s, "
+        "\nbatched (max_batch %zu, %u threads, %s): %.1f queries/s, "
         "request latency p50 %.3f ms / p99 %.3f ms over %llu served\n",
         batch, thread_counts.back(),
-        num_queries / (seconds > 0 ? seconds : 1e-9),
+        std::string(simd::isa_name(simd::active_isa())).c_str(), qps,
         1e3 * latency.quantile(0.5), 1e3 * latency.quantile(0.99),
         static_cast<unsigned long long>(latency.count()));
+    records.push_back({"query_throughput", shape_params("batched"), qps,
+                       "queries/s",
+                       std::string(simd::isa_name(simd::active_isa())),
+                       thread_counts.back()});
+  }
+
+  if (!json_path.empty()) {
+    if (!bench::write_report(json_path, "bench_query_throughput", records)) {
+      return 1;
+    }
+    std::printf("json report: %s (%zu records)\n", json_path.c_str(),
+                records.size());
   }
 
   const auto shard_count =

@@ -1,0 +1,109 @@
+// Machine-readable bench reporting — the BENCH_*.json perf trajectory.
+//
+// Both bench_kernels and bench_query_throughput accept `--json <file>` and
+// emit one JSON object: the bench name, the SIMD dispatch that was active,
+// and a flat list of records (bench name, string params, measured value +
+// unit, ISA, thread count). Committed snapshots (BENCH_5.json, ...) are an
+// array of these objects, one per harness, so successive PRs can diff
+// throughput without re-parsing console tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gosh/common/simd.hpp"
+
+namespace gosh::bench {
+
+/// One measurement. `params` are ordered key/value pairs ("d" -> "128");
+/// `value` is in `unit` (ns/op, queries/s, ...).
+struct Record {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  double value = 0.0;
+  std::string unit;
+  std::string isa;
+  unsigned threads = 1;
+};
+
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// "--json <file>" lookup; empty string when absent (no JSON written).
+inline std::string json_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Writes the report object; false (with a stderr diagnostic) on IO error.
+inline bool write_report(const std::string& path, std::string_view bench,
+                         const std::vector<Record>& records) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write bench report to '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n",
+               json_escape(bench).c_str());
+  std::fprintf(out, "  \"isa_active\": \"%s\",\n",
+               std::string(simd::isa_name(simd::active_isa())).c_str());
+  std::fprintf(out, "  \"records\": [");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(out, "%s\n    {\"name\": \"%s\", \"params\": {",
+                 i == 0 ? "" : ",", json_escape(r.name).c_str());
+    for (std::size_t p = 0; p < r.params.size(); ++p) {
+      std::fprintf(out, "%s\"%s\": \"%s\"", p == 0 ? "" : ", ",
+                   json_escape(r.params[p].first).c_str(),
+                   json_escape(r.params[p].second).c_str());
+    }
+    std::fprintf(out,
+                 "}, \"value\": %.6g, \"unit\": \"%s\", \"isa\": \"%s\", "
+                 "\"threads\": %u}",
+                 r.value, json_escape(r.unit).c_str(),
+                 json_escape(r.isa).c_str(), r.threads);
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  const bool ok = std::fclose(out) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "error: short write on bench report '%s'\n",
+                 path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace gosh::bench

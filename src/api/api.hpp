@@ -27,6 +27,7 @@
 
 #include "gosh/common/logging.hpp"
 #include "gosh/common/rng.hpp"
+#include "gosh/common/simd.hpp"
 #include "gosh/common/timer.hpp"
 #include "gosh/embedding/schedule.hpp"
 #include "gosh/embedding/update.hpp"

@@ -1,0 +1,148 @@
+// Runtime ISA dispatch for gosh::simd.
+//
+// Resolution happens once, the first time kernels() is consulted: detect
+// the widest ISA the CPU supports among those compiled in, apply the
+// GOSH_SIMD override if it names an available one (warning and falling
+// back otherwise), publish the table, and log the outcome. This file is
+// compiled WITHOUT vector flags — it may only call into the per-ISA tables
+// after the support check has passed.
+#include "gosh/common/simd.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "gosh/common/logging.hpp"
+
+namespace gosh::simd {
+namespace {
+
+bool cpu_supports(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architecturally guaranteed on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* compiled_table(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return detail::scalar_table();
+    case Isa::kAvx2:
+      return detail::avx2_table();
+    case Isa::kAvx512:
+      return detail::avx512_table();
+    case Isa::kNeon:
+      return detail::neon_table();
+  }
+  return nullptr;
+}
+
+std::atomic<Isa> g_active_isa{Isa::kScalar};
+std::once_flag g_resolve_once;
+
+void publish(Isa isa) noexcept {
+  g_active_isa.store(isa, std::memory_order_relaxed);
+  detail::g_active_table.store(compiled_table(isa), std::memory_order_release);
+}
+
+void resolve_once_body() {
+  Isa chosen = best_supported_isa();
+  std::string how = "auto-detected";
+  if (const char* env = std::getenv("GOSH_SIMD"); env != nullptr) {
+    if (const std::optional<Isa> requested = parse_isa(env); !requested) {
+      log_warn(std::string("GOSH_SIMD='") + env +
+               "' is not a known ISA (scalar|avx2|avx512|neon); using " +
+               std::string(isa_name(chosen)));
+    } else if (kernel_table(*requested) == nullptr) {
+      log_warn(std::string("GOSH_SIMD=") + env +
+               " is not available on this CPU/build; using " +
+               std::string(isa_name(chosen)));
+    } else {
+      chosen = *requested;
+      how = "forced via GOSH_SIMD";
+    }
+  }
+  publish(chosen);
+  log_debug("gosh::simd dispatch: " + std::string(isa_name(chosen)) + " (" +
+            how + ")");
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<const KernelTable*> g_active_table{nullptr};
+
+const KernelTable* resolve_active() noexcept {
+  std::call_once(g_resolve_once, resolve_once_body);
+  return g_active_table.load(std::memory_order_acquire);
+}
+
+}  // namespace detail
+
+std::string_view isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+std::optional<Isa> parse_isa(std::string_view name) noexcept {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
+  if (name == "neon") return Isa::kNeon;
+  return std::nullopt;
+}
+
+const KernelTable* kernel_table(Isa isa) noexcept {
+  return cpu_supports(isa) ? compiled_table(isa) : nullptr;
+}
+
+Isa best_supported_isa() noexcept {
+  for (const Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon}) {
+    if (kernel_table(isa) != nullptr) return isa;
+  }
+  return Isa::kScalar;
+}
+
+Isa active_isa() noexcept {
+  detail::resolve_active();  // ensure GOSH_SIMD has been applied
+  return g_active_isa.load(std::memory_order_relaxed);
+}
+
+bool force_isa(Isa isa) noexcept {
+  if (kernel_table(isa) == nullptr) return false;
+  detail::resolve_active();  // keep the one-time log ordered before the switch
+  publish(isa);
+  return true;
+}
+
+}  // namespace gosh::simd

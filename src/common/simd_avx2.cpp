@@ -1,0 +1,212 @@
+// AVX2 + FMA kernels (8 float lanes). This translation unit is the only
+// x86 one compiled with -mavx2 -mfma; nothing here may run before the
+// dispatcher has checked CPUID, which is why only the table accessor is
+// visible outside.
+//
+// Accumulation order is part of the contract (see simd.hpp): dot and the
+// per-query lanes of dot_block use one 8-wide accumulator advanced in
+// ascending j, the identical horizontal sum, and the identical ascending
+// scalar tail — so a query scored through either entry point gets the
+// bit-identical float.
+#include "gosh/common/simd.hpp"
+
+#if defined(GOSH_SIMD_ENABLE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace gosh::simd {
+namespace {
+
+inline float hsum(__m256 v) noexcept {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+float dot_avx2(const float* a, const float* b, unsigned d) {
+  __m256 acc = _mm256_setzero_ps();
+  unsigned j = 0;
+  for (; j + 8 <= d; j += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j), acc);
+  }
+  float sum = hsum(acc);
+  // std::fma, not a separate mul+add: pins the tail against the
+  // compiler's contraction choices so dot and dot_block stay bitwise
+  // interchangeable (and it is a single instruction at this ISA).
+  for (; j < d; ++j) sum = std::fma(a[j], b[j], sum);
+  return sum;
+}
+
+float l2_squared_avx2(const float* a, const float* b, unsigned d) {
+  __m256 acc = _mm256_setzero_ps();
+  unsigned j = 0;
+  for (; j + 8 <= d; j += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j));
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  float sum = hsum(acc);
+  for (; j < d; ++j) {
+    const float diff = a[j] - b[j];
+    sum = std::fma(diff, diff, sum);
+  }
+  return sum;
+}
+
+float inverse_norm_avx2(const float* v, unsigned d) {
+  const float sq = dot_avx2(v, v, d);
+  // Exact scalar sqrt, not a reciprocal approximation: cosine scores feed
+  // tie-broken rankings, a 12-bit rsqrt would reorder near-ties.
+  return sq > 0.0f ? 1.0f / std::sqrt(sq) : 0.0f;
+}
+
+void pair_update_simultaneous_avx2(float* source, float* sample, unsigned d,
+                                   float score) {
+  const __m256 sc = _mm256_set1_ps(score);
+  unsigned j = 0;
+  for (; j + 8 <= d; j += 8) {
+    const __m256 v = _mm256_loadu_ps(source + j);
+    const __m256 s = _mm256_loadu_ps(sample + j);
+    _mm256_storeu_ps(source + j, _mm256_fmadd_ps(s, sc, v));
+    _mm256_storeu_ps(sample + j, _mm256_fmadd_ps(v, sc, s));
+  }
+  for (; j < d; ++j) {
+    const float vj = source[j];
+    const float sj = sample[j];
+    source[j] = std::fma(sj, score, vj);
+    sample[j] = std::fma(vj, score, sj);
+  }
+}
+
+void pair_update_sequential_avx2(float* source, float* sample, unsigned d,
+                                 float score) {
+  const __m256 sc = _mm256_set1_ps(score);
+  unsigned j = 0;
+  for (; j + 8 <= d; j += 8) {
+    const __m256 s = _mm256_loadu_ps(sample + j);
+    const __m256 v =
+        _mm256_fmadd_ps(s, sc, _mm256_loadu_ps(source + j));
+    _mm256_storeu_ps(source + j, v);
+    _mm256_storeu_ps(sample + j, _mm256_fmadd_ps(v, sc, s));
+  }
+  for (; j < d; ++j) {
+    const float sj = sample[j];
+    const float vj = std::fma(sj, score, source[j]);
+    source[j] = vj;
+    sample[j] = std::fma(vj, score, sj);
+  }
+}
+
+void dot_block_avx2(const float* queries, std::size_t count, const float* row,
+                    unsigned d, float* out) {
+  std::size_t i = 0;
+  // Register tile: four queries share every row load, each keeping its own
+  // accumulator (four independent FMA chains also hide the FMA latency a
+  // single-query dot cannot).
+  for (; i + 4 <= count; i += 4) {
+    const float* q0 = queries + (i + 0) * d;
+    const float* q1 = queries + (i + 1) * d;
+    const float* q2 = queries + (i + 2) * d;
+    const float* q3 = queries + (i + 3) * d;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    unsigned j = 0;
+    for (; j + 8 <= d; j += 8) {
+      const __m256 r = _mm256_loadu_ps(row + j);
+      a0 = _mm256_fmadd_ps(_mm256_loadu_ps(q0 + j), r, a0);
+      a1 = _mm256_fmadd_ps(_mm256_loadu_ps(q1 + j), r, a1);
+      a2 = _mm256_fmadd_ps(_mm256_loadu_ps(q2 + j), r, a2);
+      a3 = _mm256_fmadd_ps(_mm256_loadu_ps(q3 + j), r, a3);
+    }
+    float s0 = hsum(a0), s1 = hsum(a1), s2 = hsum(a2), s3 = hsum(a3);
+    for (; j < d; ++j) {
+      const float rj = row[j];
+      s0 = std::fma(q0[j], rj, s0);
+      s1 = std::fma(q1[j], rj, s1);
+      s2 = std::fma(q2[j], rj, s2);
+      s3 = std::fma(q3[j], rj, s3);
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < count; ++i) out[i] = dot_avx2(queries + i * d, row, d);
+}
+
+void l2_block_avx2(const float* queries, std::size_t count, const float* row,
+                   unsigned d, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* q0 = queries + (i + 0) * d;
+    const float* q1 = queries + (i + 1) * d;
+    const float* q2 = queries + (i + 2) * d;
+    const float* q3 = queries + (i + 3) * d;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    unsigned j = 0;
+    for (; j + 8 <= d; j += 8) {
+      const __m256 r = _mm256_loadu_ps(row + j);
+      const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q0 + j), r);
+      const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(q1 + j), r);
+      const __m256 d2 = _mm256_sub_ps(_mm256_loadu_ps(q2 + j), r);
+      const __m256 d3 = _mm256_sub_ps(_mm256_loadu_ps(q3 + j), r);
+      a0 = _mm256_fmadd_ps(d0, d0, a0);
+      a1 = _mm256_fmadd_ps(d1, d1, a1);
+      a2 = _mm256_fmadd_ps(d2, d2, a2);
+      a3 = _mm256_fmadd_ps(d3, d3, a3);
+    }
+    float s0 = hsum(a0), s1 = hsum(a1), s2 = hsum(a2), s3 = hsum(a3);
+    for (; j < d; ++j) {
+      const float rj = row[j];
+      const float e0 = q0[j] - rj;
+      const float e1 = q1[j] - rj;
+      const float e2 = q2[j] - rj;
+      const float e3 = q3[j] - rj;
+      s0 = std::fma(e0, e0, s0);
+      s1 = std::fma(e1, e1, s1);
+      s2 = std::fma(e2, e2, s2);
+      s3 = std::fma(e3, e3, s3);
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < count; ++i) out[i] = l2_squared_avx2(queries + i * d, row, d);
+}
+
+constexpr KernelTable kAvx2Table = {
+    dot_avx2,
+    l2_squared_avx2,
+    inverse_norm_avx2,
+    pair_update_simultaneous_avx2,
+    pair_update_sequential_avx2,
+    dot_block_avx2,
+    l2_block_avx2,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx2_table() noexcept { return &kAvx2Table; }
+}  // namespace detail
+
+}  // namespace gosh::simd
+
+#else  // no -mavx2 -mfma from the build system: the ISA is not compiled in.
+
+namespace gosh::simd::detail {
+const KernelTable* avx2_table() noexcept { return nullptr; }
+}  // namespace gosh::simd::detail
+
+#endif

@@ -1,0 +1,208 @@
+// AVX-512F kernels (16 float lanes). Only x86 translation unit compiled
+// with -mavx512f; same accumulation-order contract as the AVX2 unit — one
+// 16-wide accumulator per query, a shared horizontal sum, an ascending
+// scalar tail — so dot and dot_block agree bitwise per query at this ISA.
+#include "gosh/common/simd.hpp"
+
+#if defined(GOSH_SIMD_ENABLE_AVX512)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace gosh::simd {
+namespace {
+
+inline float hsum(__m512 v) noexcept {
+  // extractf64x4 (AVX-512F) rather than extractf32x8 (needs AVX-512DQ):
+  // the dispatch only checks the F foundation.
+  const __m256 upper =
+      _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(v), 1));
+  __m256 half = _mm256_add_ps(_mm512_castps512_ps256(v), upper);
+  __m128 lo = _mm256_castps256_ps128(half);
+  const __m128 hi = _mm256_extractf128_ps(half, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+float dot_avx512(const float* a, const float* b, unsigned d) {
+  __m512 acc = _mm512_setzero_ps();
+  unsigned j = 0;
+  for (; j + 16 <= d; j += 16) {
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j), acc);
+  }
+  float sum = hsum(acc);
+  // std::fma, not a separate mul+add: pins the tail against the
+  // compiler's contraction choices so dot and dot_block stay bitwise
+  // interchangeable (and it is a single instruction at this ISA).
+  for (; j < d; ++j) sum = std::fma(a[j], b[j], sum);
+  return sum;
+}
+
+float l2_squared_avx512(const float* a, const float* b, unsigned d) {
+  __m512 acc = _mm512_setzero_ps();
+  unsigned j = 0;
+  for (; j + 16 <= d; j += 16) {
+    const __m512 diff =
+        _mm512_sub_ps(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j));
+    acc = _mm512_fmadd_ps(diff, diff, acc);
+  }
+  float sum = hsum(acc);
+  for (; j < d; ++j) {
+    const float diff = a[j] - b[j];
+    sum = std::fma(diff, diff, sum);
+  }
+  return sum;
+}
+
+float inverse_norm_avx512(const float* v, unsigned d) {
+  const float sq = dot_avx512(v, v, d);
+  return sq > 0.0f ? 1.0f / std::sqrt(sq) : 0.0f;
+}
+
+void pair_update_simultaneous_avx512(float* source, float* sample, unsigned d,
+                                     float score) {
+  const __m512 sc = _mm512_set1_ps(score);
+  unsigned j = 0;
+  for (; j + 16 <= d; j += 16) {
+    const __m512 v = _mm512_loadu_ps(source + j);
+    const __m512 s = _mm512_loadu_ps(sample + j);
+    _mm512_storeu_ps(source + j, _mm512_fmadd_ps(s, sc, v));
+    _mm512_storeu_ps(sample + j, _mm512_fmadd_ps(v, sc, s));
+  }
+  if (j < d) {
+    const __mmask16 tail = static_cast<__mmask16>((1u << (d - j)) - 1u);
+    const __m512 v = _mm512_maskz_loadu_ps(tail, source + j);
+    const __m512 s = _mm512_maskz_loadu_ps(tail, sample + j);
+    _mm512_mask_storeu_ps(source + j, tail, _mm512_fmadd_ps(s, sc, v));
+    _mm512_mask_storeu_ps(sample + j, tail, _mm512_fmadd_ps(v, sc, s));
+  }
+}
+
+void pair_update_sequential_avx512(float* source, float* sample, unsigned d,
+                                   float score) {
+  const __m512 sc = _mm512_set1_ps(score);
+  unsigned j = 0;
+  for (; j + 16 <= d; j += 16) {
+    const __m512 s = _mm512_loadu_ps(sample + j);
+    const __m512 v = _mm512_fmadd_ps(s, sc, _mm512_loadu_ps(source + j));
+    _mm512_storeu_ps(source + j, v);
+    _mm512_storeu_ps(sample + j, _mm512_fmadd_ps(v, sc, s));
+  }
+  if (j < d) {
+    const __mmask16 tail = static_cast<__mmask16>((1u << (d - j)) - 1u);
+    const __m512 s = _mm512_maskz_loadu_ps(tail, sample + j);
+    const __m512 v =
+        _mm512_fmadd_ps(s, sc, _mm512_maskz_loadu_ps(tail, source + j));
+    _mm512_mask_storeu_ps(source + j, tail, v);
+    _mm512_mask_storeu_ps(sample + j, tail, _mm512_fmadd_ps(v, sc, s));
+  }
+}
+
+void dot_block_avx512(const float* queries, std::size_t count,
+                      const float* row, unsigned d, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* q0 = queries + (i + 0) * d;
+    const float* q1 = queries + (i + 1) * d;
+    const float* q2 = queries + (i + 2) * d;
+    const float* q3 = queries + (i + 3) * d;
+    __m512 a0 = _mm512_setzero_ps();
+    __m512 a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps();
+    __m512 a3 = _mm512_setzero_ps();
+    unsigned j = 0;
+    for (; j + 16 <= d; j += 16) {
+      const __m512 r = _mm512_loadu_ps(row + j);
+      a0 = _mm512_fmadd_ps(_mm512_loadu_ps(q0 + j), r, a0);
+      a1 = _mm512_fmadd_ps(_mm512_loadu_ps(q1 + j), r, a1);
+      a2 = _mm512_fmadd_ps(_mm512_loadu_ps(q2 + j), r, a2);
+      a3 = _mm512_fmadd_ps(_mm512_loadu_ps(q3 + j), r, a3);
+    }
+    float s0 = hsum(a0), s1 = hsum(a1), s2 = hsum(a2), s3 = hsum(a3);
+    for (; j < d; ++j) {
+      const float rj = row[j];
+      s0 = std::fma(q0[j], rj, s0);
+      s1 = std::fma(q1[j], rj, s1);
+      s2 = std::fma(q2[j], rj, s2);
+      s3 = std::fma(q3[j], rj, s3);
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < count; ++i) out[i] = dot_avx512(queries + i * d, row, d);
+}
+
+void l2_block_avx512(const float* queries, std::size_t count,
+                     const float* row, unsigned d, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* q0 = queries + (i + 0) * d;
+    const float* q1 = queries + (i + 1) * d;
+    const float* q2 = queries + (i + 2) * d;
+    const float* q3 = queries + (i + 3) * d;
+    __m512 a0 = _mm512_setzero_ps();
+    __m512 a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps();
+    __m512 a3 = _mm512_setzero_ps();
+    unsigned j = 0;
+    for (; j + 16 <= d; j += 16) {
+      const __m512 r = _mm512_loadu_ps(row + j);
+      const __m512 d0 = _mm512_sub_ps(_mm512_loadu_ps(q0 + j), r);
+      const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(q1 + j), r);
+      const __m512 d2 = _mm512_sub_ps(_mm512_loadu_ps(q2 + j), r);
+      const __m512 d3 = _mm512_sub_ps(_mm512_loadu_ps(q3 + j), r);
+      a0 = _mm512_fmadd_ps(d0, d0, a0);
+      a1 = _mm512_fmadd_ps(d1, d1, a1);
+      a2 = _mm512_fmadd_ps(d2, d2, a2);
+      a3 = _mm512_fmadd_ps(d3, d3, a3);
+    }
+    float s0 = hsum(a0), s1 = hsum(a1), s2 = hsum(a2), s3 = hsum(a3);
+    for (; j < d; ++j) {
+      const float rj = row[j];
+      const float e0 = q0[j] - rj;
+      const float e1 = q1[j] - rj;
+      const float e2 = q2[j] - rj;
+      const float e3 = q3[j] - rj;
+      s0 = std::fma(e0, e0, s0);
+      s1 = std::fma(e1, e1, s1);
+      s2 = std::fma(e2, e2, s2);
+      s3 = std::fma(e3, e3, s3);
+    }
+    out[i + 0] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < count; ++i) out[i] = l2_squared_avx512(queries + i * d, row, d);
+}
+
+constexpr KernelTable kAvx512Table = {
+    dot_avx512,
+    l2_squared_avx512,
+    inverse_norm_avx512,
+    pair_update_simultaneous_avx512,
+    pair_update_sequential_avx512,
+    dot_block_avx512,
+    l2_block_avx512,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx512_table() noexcept { return &kAvx512Table; }
+}  // namespace detail
+
+}  // namespace gosh::simd
+
+#else  // no -mavx512f from the build system: the ISA is not compiled in.
+
+namespace gosh::simd::detail {
+const KernelTable* avx512_table() noexcept { return nullptr; }
+}  // namespace gosh::simd::detail
+
+#endif

@@ -19,6 +19,7 @@
 #include <span>
 
 #include "gosh/common/sigmoid.hpp"
+#include "gosh/common/simd.hpp"
 #include "gosh/common/types.hpp"
 
 namespace gosh::embedding {
@@ -37,32 +38,25 @@ struct ExactSigmoid {
 };
 
 /// Dot product of two d-length rows (float accumulate, like the kernels).
+/// Dispatches to the active gosh::simd ISA.
 inline float dot(const emb_t* a, const emb_t* b, unsigned d) noexcept {
-  float acc = 0.0f;
-  for (unsigned j = 0; j < d; ++j) acc += a[j] * b[j];
-  return acc;
+  return simd::kernels().dot(a, b, d);
 }
 
 /// One Algorithm 1 update. `b` is 1 for a positive sample, 0 for negative.
 /// `source` may alias shared-memory staging; `sample` is the global row.
+/// The dot and the dual axpy run on the active gosh::simd kernel table;
+/// only the sigmoid evaluation stays scalar (one call per pair).
 template <UpdateRule Rule, typename Sigmoid>
 inline void update_embedding(emb_t* source, emb_t* sample, unsigned d,
                              float b, float lr,
                              const Sigmoid& sigmoid) noexcept {
-  const float score = (b - sigmoid(dot(source, sample, d))) * lr;
+  const simd::KernelTable& kernels = simd::kernels();
+  const float score = (b - sigmoid(kernels.dot(source, sample, d))) * lr;
   if constexpr (Rule == UpdateRule::kSimultaneous) {
-    for (unsigned j = 0; j < d; ++j) {
-      const float vj = source[j];
-      const float sj = sample[j];
-      source[j] = vj + sj * score;
-      sample[j] = sj + vj * score;
-    }
+    kernels.pair_update_simultaneous(source, sample, d, score);
   } else {
-    for (unsigned j = 0; j < d; ++j) {
-      const float sj = sample[j];
-      source[j] += sj * score;
-      sample[j] = sj + source[j] * score;
-    }
+    kernels.pair_update_sequential(source, sample, d, score);
   }
 }
 

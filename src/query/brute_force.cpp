@@ -1,9 +1,10 @@
 #include "gosh/query/brute_force.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
 
 #include "gosh/common/parallel_for.hpp"
+#include "gosh/common/simd.hpp"
 
 namespace gosh::query {
 namespace {
@@ -29,7 +30,7 @@ struct TopK {
 
 }  // namespace
 
-std::vector<std::vector<Neighbor>> scan_top_k_multi(
+api::Result<std::vector<std::vector<Neighbor>>> scan_top_k_multi(
     const store::EmbeddingStore& store, std::span<const float> vectors,
     std::span<const std::size_t> vector_counts, unsigned k, Metric metric,
     std::span<const float> inv_norms, Aggregate aggregate,
@@ -38,7 +39,20 @@ std::vector<std::vector<Neighbor>> scan_top_k_multi(
   const std::size_t count = vector_counts.size();
   std::size_t total_vectors = 0;
   for (const std::size_t c : vector_counts) total_vectors += c;
-  assert(vectors.size() == total_vectors * d && "query buffer / dim mismatch");
+  // A malformed count table must be a clean error: in a release build the
+  // old assert compiled away and the scan read past the query buffer.
+  if (vectors.size() != total_vectors * d) {
+    return api::Status::invalid_argument(
+        "exact scan: query buffer holds " + std::to_string(vectors.size()) +
+        " floats, vector_counts sum to " + std::to_string(total_vectors) +
+        " x dim " + std::to_string(d));
+  }
+  if (metric == Metric::kCosine && inv_norms.size() != store.rows()) {
+    return api::Status::invalid_argument(
+        "exact scan: cosine needs one inverse norm per stored row (got " +
+        std::to_string(inv_norms.size()) + ", store has " +
+        std::to_string(store.rows()) + " rows)");
+  }
   std::vector<std::vector<Neighbor>> results(count);
   if (count == 0 || k == 0 || store.rows() == 0) return results;
 
@@ -58,27 +72,52 @@ std::vector<std::vector<Neighbor>> scan_top_k_multi(
   parallel.grain = options.block_rows > 0 ? options.block_rows : 1;
 
   const unsigned workers = effective_threads(parallel);
-  // scratch[worker][query] — merged after the scan.
+  // scratch[worker][query] — merged after the scan; scores[worker] holds
+  // one similarity per query vector for the row being scanned.
   std::vector<std::vector<TopK>> scratch(workers);
   for (auto& per_query : scratch) per_query.resize(count);
+  std::vector<std::vector<float>> block_scores(workers);
+
+  // The kernel table and the metric branch are resolved out here, once:
+  // the row loop scores every query vector through a single block-kernel
+  // call, then reads the branch-free similarity buffer.
+  const simd::KernelTable& kernels = simd::kernels();
+  const bool is_l2 = metric == Metric::kL2;
+  const bool is_cosine = metric == Metric::kCosine;
 
   parallel_for_worker(
       store.rows(),
       [&](unsigned worker, std::size_t begin, std::size_t end) {
         std::vector<TopK>& local = scratch[worker];
+        std::vector<float>& scores = block_scores[worker];
+        scores.resize(total_vectors);
         for (std::size_t v = begin; v < end; ++v) {
           if (filter && !filter(static_cast<vid_t>(v))) continue;
           const float* row = store.row(static_cast<vid_t>(v)).data();
-          const float row_inv =
-              metric == Metric::kCosine ? inv_norms[v] : 0.0f;
+          // One register-tiled pass over the row covers the whole query
+          // block — the row's cache lines are touched once per block, not
+          // once per query vector.
+          if (is_l2) {
+            kernels.l2_block(vectors.data(), total_vectors, row, d,
+                             scores.data());
+            for (std::size_t i = 0; i < total_vectors; ++i) {
+              scores[i] = -scores[i];
+            }
+          } else {
+            kernels.dot_block(vectors.data(), total_vectors, row, d,
+                              scores.data());
+            if (is_cosine) {
+              const float row_inv = inv_norms[v];
+              for (std::size_t i = 0; i < total_vectors; ++i) {
+                scores[i] = scores[i] * vector_inv[i] * row_inv;
+              }
+            }
+          }
           for (std::size_t q = 0; q < count; ++q) {
             const std::size_t base = first_vector[q];
             float score = 0.0f;
             for (std::size_t i = 0; i < vector_counts[q]; ++i) {
-              const float sim = similarity(
-                  metric, vectors.data() + (base + i) * d, row, d,
-                  metric == Metric::kCosine ? vector_inv[base + i] : 0.0f,
-                  row_inv);
+              const float sim = scores[base + i];
               if (aggregate == Aggregate::kMean) {
                 score += sim;
               } else if (i == 0 || sim > score) {
@@ -106,7 +145,7 @@ std::vector<std::vector<Neighbor>> scan_top_k_multi(
   return results;
 }
 
-std::vector<std::vector<Neighbor>> scan_top_k_batch(
+api::Result<std::vector<std::vector<Neighbor>>> scan_top_k_batch(
     const store::EmbeddingStore& store, std::span<const float> queries,
     std::size_t count, unsigned k, Metric metric,
     std::span<const float> inv_norms, const ScanOptions& options) {
@@ -115,14 +154,14 @@ std::vector<std::vector<Neighbor>> scan_top_k_batch(
                           Aggregate::kMax, RowFilter{}, options);
 }
 
-std::vector<Neighbor> scan_top_k(const store::EmbeddingStore& store,
-                                 std::span<const float> query, unsigned k,
-                                 Metric metric,
-                                 std::span<const float> inv_norms,
-                                 const ScanOptions& options) {
+api::Result<std::vector<Neighbor>> scan_top_k(
+    const store::EmbeddingStore& store, std::span<const float> query,
+    unsigned k, Metric metric, std::span<const float> inv_norms,
+    const ScanOptions& options) {
   auto results = scan_top_k_batch(store, query, 1, k, metric, inv_norms,
                                   options);
-  return std::move(results.front());
+  if (!results.ok()) return results.status();
+  return std::move(results.value().front());
 }
 
 }  // namespace gosh::query

@@ -8,12 +8,25 @@
 // the batched variant, lets one pass over each block answer EVERY pending
 // query while the rows are hot in cache. That batched scan is what the
 // BatchQueue coalesces concurrent requests into.
+//
+// Inside a block the scan is register-tiled: each stored row is scored
+// against the whole query block through one gosh::simd dot_block/l2_block
+// call (the metric branch is hoisted out of the row loop entirely), so the
+// row's cache lines are loaded once per query block instead of once per
+// query vector. Scores are bit-identical across thread counts and block
+// shapes at a fixed SIMD ISA.
+//
+// Malformed shapes (query buffer vs vector_counts/dim mismatch, missing
+// cosine norms) are kInvalidArgument — the scan is below the service
+// layer's own validation, but release builds must not turn a bad count
+// table into an out-of-bounds read.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "gosh/api/status.hpp"
 #include "gosh/query/metric.hpp"
 #include "gosh/store/embedding_store.hpp"
 
@@ -30,15 +43,14 @@ struct ScanOptions {
 /// Exact top-k of `query` (length = store.dim()) under `metric`.
 /// `inv_norms` must be row_inverse_norms(store, metric). Returns
 /// min(k, rows) neighbors ordered by (score desc, id asc).
-std::vector<Neighbor> scan_top_k(const store::EmbeddingStore& store,
-                                 std::span<const float> query, unsigned k,
-                                 Metric metric,
-                                 std::span<const float> inv_norms,
-                                 const ScanOptions& options = {});
+api::Result<std::vector<Neighbor>> scan_top_k(
+    const store::EmbeddingStore& store, std::span<const float> query,
+    unsigned k, Metric metric, std::span<const float> inv_norms,
+    const ScanOptions& options = {});
 
 /// Batched exact top-k: `queries` holds `count` back-to-back vectors of
 /// store.dim() floats; one blocked pass over the store serves all of them.
-std::vector<std::vector<Neighbor>> scan_top_k_batch(
+api::Result<std::vector<std::vector<Neighbor>>> scan_top_k_batch(
     const store::EmbeddingStore& store, std::span<const float> queries,
     std::size_t count, unsigned k, Metric metric,
     std::span<const float> inv_norms, const ScanOptions& options = {});
@@ -50,7 +62,7 @@ std::vector<std::vector<Neighbor>> scan_top_k_batch(
 /// never enter an answer. Still one blocked pass over the store for the
 /// whole batch. scan_top_k / scan_top_k_batch are the all-counts-1,
 /// unfiltered special case.
-std::vector<std::vector<Neighbor>> scan_top_k_multi(
+api::Result<std::vector<std::vector<Neighbor>>> scan_top_k_multi(
     const store::EmbeddingStore& store, std::span<const float> vectors,
     std::span<const std::size_t> vector_counts, unsigned k, Metric metric,
     std::span<const float> inv_norms, Aggregate aggregate,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gosh/api/status.hpp"
+#include "gosh/common/simd.hpp"
 #include "gosh/common/types.hpp"
 #include "gosh/store/embedding_store.hpp"
 
@@ -61,26 +62,21 @@ inline bool better(const Neighbor& a, const Neighbor& b) noexcept {
   return a.id < b.id;
 }
 
+// The elementwise kernels dispatch to the active gosh::simd ISA; the
+// brute-force scan and the HNSW beam both score through these, so one
+// dispatch decision covers every serving distance evaluation.
 inline float dot(const float* a, const float* b, unsigned d) noexcept {
-  float sum = 0.0f;
-  for (unsigned i = 0; i < d; ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::kernels().dot(a, b, d);
 }
 
 inline float l2_squared(const float* a, const float* b, unsigned d) noexcept {
-  float sum = 0.0f;
-  for (unsigned i = 0; i < d; ++i) {
-    const float diff = a[i] - b[i];
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::kernels().l2_squared(a, b, d);
 }
 
 /// 1 / |v|, or 0 for the zero vector (so cosine degrades to score 0
 /// instead of NaN).
 inline float inverse_norm(const float* v, unsigned d) noexcept {
-  const float sq = dot(v, v, d);
-  return sq > 0.0f ? 1.0f / std::sqrt(sq) : 0.0f;
+  return simd::kernels().inverse_norm(v, d);
 }
 
 /// Similarity of `a` and `b` under `metric`; the inverse norms are only

@@ -201,9 +201,14 @@ api::Result<QueryResponse> EngineService::serve(const QueryRequest& request) {
     query::ScanOptions scan;
     scan.threads = engine_.options().threads;
     scan.block_rows = engine_.options().block_rows;
-    response.results = query::scan_top_k_multi(
+    auto scanned = query::scan_top_k_multi(
         engine_.store(), vectors, counts, fetch_k, metric, norms_for(metric),
         request.aggregate, request.filter, scan);
+    // check_request vets the shapes first, but the scan's own validation
+    // (buffer/count mismatch, missing norms) must surface as a Status, not
+    // an out-of-bounds read.
+    if (!scanned.ok()) return scanned.status();
+    response.results = std::move(scanned).value();
   } else {
     // HNSW: one beam search per vector, fanned across the pool. A filter
     // narrows what the beam may keep, so widen it; multi-vector queries

@@ -3,6 +3,8 @@
 // (suite names BatchQueue* / QueryEngine* are in the TSan filter).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -20,8 +22,8 @@ struct Fixture {
   explicit Fixture(vid_t rows = 128, unsigned dim = 8) {
     embedding::EmbeddingMatrix matrix(rows, dim);
     matrix.initialize_random(23);
-    path = testing::TempDir() + "batch_queue_" + std::to_string(rows) +
-           ".gshs";
+    path = testing::TempDir() + "batch_queue_" +
+           std::to_string(::getpid()) + "_" + std::to_string(rows) + ".gshs";
     EXPECT_TRUE(store::EmbeddingStore::write(matrix, path).is_ok());
     auto opened = store::EmbeddingStore::open(path);
     EXPECT_TRUE(opened.ok()) << opened.status().to_string();

@@ -1,7 +1,10 @@
 // Exact blocked scan — agreement with a naive reference under every
 // metric, batch/single consistency, determinism across thread counts and
-// block sizes, and edge cases (k > rows, tie ordering).
+// block sizes (at every available SIMD ISA), malformed-shape Status
+// propagation, and edge cases (k > rows, tie ordering).
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -9,6 +12,7 @@
 #include <vector>
 
 #include "gosh/common/rng.hpp"
+#include "gosh/common/simd.hpp"
 #include "gosh/query/brute_force.hpp"
 
 namespace gosh::query {
@@ -22,8 +26,10 @@ struct Fixture {
   explicit Fixture(vid_t rows, unsigned dim, std::uint64_t seed = 17) {
     embedding::EmbeddingMatrix matrix(rows, dim);
     matrix.initialize_random(seed);
-    path = testing::TempDir() + "brute_force_" + std::to_string(rows) + "_" +
-           std::to_string(seed) + ".gshs";
+    // getpid(): concurrent `ctest -j` test processes with the same fixture
+    // shape must not rewrite each other's stores mid-scan.
+    path = testing::TempDir() + "brute_force_" + std::to_string(::getpid()) +
+           "_" + std::to_string(rows) + "_" + std::to_string(seed) + ".gshs";
     const std::uint64_t per_shard = rows / 3 + 1;
     shard_count = static_cast<std::uint32_t>((rows + per_shard - 1) / per_shard);
     EXPECT_TRUE(store::EmbeddingStore::write(matrix, path,
@@ -66,7 +72,7 @@ TEST(BruteForce, MatchesNaiveReferenceUnderEveryMetric) {
   const auto query = fx.store.row(13);
   for (const Metric metric : {Metric::kCosine, Metric::kDot, Metric::kL2}) {
     const auto inv = row_inverse_norms(fx.store, metric);
-    const auto got = scan_top_k(fx.store, query, 7, metric, inv);
+    const auto got = scan_top_k(fx.store, query, 7, metric, inv).value();
     const auto expected = reference_top_k(fx.store, query, 7, metric);
     ASSERT_EQ(got.size(), expected.size()) << metric_name(metric);
     for (std::size_t i = 0; i < got.size(); ++i) {
@@ -83,18 +89,97 @@ TEST(BruteForce, DeterministicAcrossThreadAndBlockShapes) {
   const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
   const auto baseline =
       scan_top_k(fx.store, query, 10, Metric::kCosine, inv,
-                 {.threads = 1, .block_rows = 1024});
+                 {.threads = 1, .block_rows = 1024})
+          .value();
   for (const ScanOptions options :
        {ScanOptions{.threads = 4, .block_rows = 1},
         ScanOptions{.threads = 3, .block_rows = 7},
         ScanOptions{.threads = 0, .block_rows = 100000}}) {
     const auto got =
-        scan_top_k(fx.store, query, 10, Metric::kCosine, inv, options);
+        scan_top_k(fx.store, query, 10, Metric::kCosine, inv, options).value();
     ASSERT_EQ(got.size(), baseline.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i].id, baseline[i].id) << "rank " << i;
     }
   }
+}
+
+// The register-tiled scan must answer identically — ids AND score bits —
+// however rows land on threads and blocks, at every ISA the host supports.
+TEST(BruteForce, DeterministicAcrossThreadCountsAtEachForcedIsa) {
+  Fixture fx(157, 19);
+  simd::ScopedIsa guard;
+  const unsigned d = fx.store.dim();
+  // Two queries, the second holding two vectors, to drive the multi path.
+  std::vector<float> vectors;
+  for (const vid_t v : {7u, 60u, 101u}) {
+    const auto row = fx.store.row(v);
+    vectors.insert(vectors.end(), row.begin(), row.end());
+  }
+  const std::vector<std::size_t> counts = {1, 2};
+  ASSERT_EQ(vectors.size(), 3u * d);
+
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2,
+                              simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    if (simd::kernel_table(isa) == nullptr) continue;
+    ASSERT_TRUE(simd::force_isa(isa));
+    for (const Metric metric : {Metric::kCosine, Metric::kDot, Metric::kL2}) {
+      const auto inv = row_inverse_norms(fx.store, metric);
+      const auto baseline =
+          scan_top_k_multi(fx.store, vectors, counts, 12, metric, inv,
+                           Aggregate::kMean, {},
+                           {.threads = 1, .block_rows = 4096})
+              .value();
+      for (const ScanOptions options :
+           {ScanOptions{.threads = 2, .block_rows = 3},
+            ScanOptions{.threads = 4, .block_rows = 32},
+            ScanOptions{.threads = 3, .block_rows = 1}}) {
+        const auto got = scan_top_k_multi(fx.store, vectors, counts, 12,
+                                          metric, inv, Aggregate::kMean, {},
+                                          options)
+                             .value();
+        ASSERT_EQ(got.size(), baseline.size());
+        for (std::size_t q = 0; q < got.size(); ++q) {
+          ASSERT_EQ(got[q].size(), baseline[q].size());
+          for (std::size_t i = 0; i < got[q].size(); ++i) {
+            EXPECT_EQ(got[q][i].id, baseline[q][i].id)
+                << simd::isa_name(isa) << " " << metric_name(metric)
+                << " query " << q << " rank " << i;
+            // Bit-for-bit at a fixed ISA, not merely close.
+            EXPECT_EQ(got[q][i].score, baseline[q][i].score)
+                << simd::isa_name(isa) << " " << metric_name(metric);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BruteForce, MalformedVectorCountsAreInvalidArgumentNotAnOverread) {
+  Fixture fx(30, 8);
+  const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
+  const auto query = fx.store.row(3);  // 8 floats
+  // Counts claim two vectors but the buffer holds one.
+  const std::vector<std::size_t> counts = {2};
+  const auto got = scan_top_k_multi(fx.store, query, counts, 5,
+                                    Metric::kCosine, inv, Aggregate::kMax, {});
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), api::StatusCode::kInvalidArgument);
+
+  // Batch variant with a short buffer fails the same way.
+  const auto batched =
+      scan_top_k_batch(fx.store, query, 3, 5, Metric::kCosine, inv);
+  ASSERT_FALSE(batched.ok());
+  EXPECT_EQ(batched.status().code(), api::StatusCode::kInvalidArgument);
+}
+
+TEST(BruteForce, MissingCosineNormsAreInvalidArgument) {
+  Fixture fx(30, 8);
+  const std::vector<float> truncated_norms(10, 1.0f);  // store has 30 rows
+  const auto got = scan_top_k(fx.store, fx.store.row(0), 5, Metric::kCosine,
+                              truncated_norms);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), api::StatusCode::kInvalidArgument);
 }
 
 TEST(BruteForce, BatchAgreesWithSingleQueries) {
@@ -107,12 +192,13 @@ TEST(BruteForce, BatchAgreesWithSingleQueries) {
     queries.insert(queries.end(), row.begin(), row.end());
   }
   const auto batched =
-      scan_top_k_batch(fx.store, queries, 3, 5, Metric::kL2, inv);
+      scan_top_k_batch(fx.store, queries, 3, 5, Metric::kL2, inv).value();
   ASSERT_EQ(batched.size(), 3u);
   for (std::size_t q = 0; q < 3; ++q) {
     const auto single = scan_top_k(
         fx.store, std::span<const float>(queries).subspan(q * d, d), 5,
-        Metric::kL2, inv);
+        Metric::kL2, inv)
+                            .value();
     ASSERT_EQ(batched[q].size(), single.size());
     for (std::size_t i = 0; i < single.size(); ++i) {
       EXPECT_EQ(batched[q][i].id, single[i].id);
@@ -124,7 +210,8 @@ TEST(BruteForce, SelfIsTheBestMatchForItsOwnRow) {
   Fixture fx(50, 12);
   for (const Metric metric : {Metric::kCosine, Metric::kL2}) {
     const auto inv = row_inverse_norms(fx.store, metric);
-    const auto top = scan_top_k(fx.store, fx.store.row(21), 3, metric, inv);
+    const auto top =
+        scan_top_k(fx.store, fx.store.row(21), 3, metric, inv).value();
     ASSERT_FALSE(top.empty());
     EXPECT_EQ(top[0].id, 21u) << metric_name(metric);
   }
@@ -134,7 +221,7 @@ TEST(BruteForce, KBeyondRowsReturnsEveryRowRanked) {
   Fixture fx(6, 4);
   const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
   const auto top =
-      scan_top_k(fx.store, fx.store.row(2), 100, Metric::kCosine, inv);
+      scan_top_k(fx.store, fx.store.row(2), 100, Metric::kCosine, inv).value();
   EXPECT_EQ(top.size(), 6u);
   for (std::size_t i = 1; i < top.size(); ++i) {
     EXPECT_TRUE(better(top[i - 1], top[i]) || top[i - 1].score == top[i].score);
@@ -144,9 +231,11 @@ TEST(BruteForce, KBeyondRowsReturnsEveryRowRanked) {
 TEST(BruteForce, KZeroAndEmptyBatchAreEmpty) {
   Fixture fx(10, 4);
   const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
-  EXPECT_TRUE(
-      scan_top_k(fx.store, fx.store.row(0), 0, Metric::kCosine, inv).empty());
+  EXPECT_TRUE(scan_top_k(fx.store, fx.store.row(0), 0, Metric::kCosine, inv)
+                  .value()
+                  .empty());
   EXPECT_TRUE(scan_top_k_batch(fx.store, {}, 0, 5, Metric::kCosine, inv)
+                  .value()
                   .empty());
 }
 
@@ -158,7 +247,8 @@ TEST(BruteForce, FilteredScanOnlyReturnsPassingRows) {
   const RowFilter even = [](vid_t v) { return v % 2 == 0; };
   const auto filtered = scan_top_k_multi(fx.store, query, counts, 10,
                                          Metric::kCosine, inv,
-                                         Aggregate::kMax, even);
+                                         Aggregate::kMax, even)
+                            .value();
   ASSERT_EQ(filtered.size(), 1u);
   ASSERT_EQ(filtered[0].size(), 10u);
   for (const Neighbor& n : filtered[0]) EXPECT_EQ(n.id % 2, 0u);
@@ -189,7 +279,8 @@ TEST(BruteForce, MultiVectorMaxTakesTheBestPerCandidate) {
   }
   const std::vector<std::size_t> counts = {2};
   const auto got = scan_top_k_multi(fx.store, vectors, counts, 60,
-                                    Metric::kDot, inv, Aggregate::kMax, {});
+                                    Metric::kDot, inv, Aggregate::kMax, {})
+                       .value();
   ASSERT_EQ(got.size(), 1u);
 
   // Naive reference.
@@ -219,7 +310,8 @@ TEST(BruteForce, MultiVectorMeanAveragesPerCandidate) {
   }
   const std::vector<std::size_t> counts = {3};
   const auto got = scan_top_k_multi(fx.store, vectors, counts, 8, Metric::kL2,
-                                    inv, Aggregate::kMean, {});
+                                    inv, Aggregate::kMean, {})
+                       .value();
   ASSERT_EQ(got[0].size(), 8u);
 
   std::vector<Neighbor> expected;
@@ -249,16 +341,19 @@ TEST(BruteForce, MixedCountsBatchAgreesWithSeparateScans) {
   const std::vector<std::size_t> counts = {1, 2};
   const auto batched = scan_top_k_multi(fx.store, vectors, counts, 6,
                                         Metric::kCosine, inv, Aggregate::kMax,
-                                        {});
+                                        {})
+                           .value();
   ASSERT_EQ(batched.size(), 2u);
 
   const auto single = scan_top_k(
       fx.store, std::span<const float>(vectors).subspan(0, d), 6,
-      Metric::kCosine, inv);
+      Metric::kCosine, inv)
+                          .value();
   const std::vector<std::size_t> pair_count = {2};
   const auto pair = scan_top_k_multi(
       fx.store, std::span<const float>(vectors).subspan(d, 2 * d), pair_count,
-      6, Metric::kCosine, inv, Aggregate::kMax, {});
+      6, Metric::kCosine, inv, Aggregate::kMax, {})
+                        .value();
   ASSERT_EQ(batched[0].size(), single.size());
   for (std::size_t i = 0; i < single.size(); ++i) {
     EXPECT_EQ(batched[0][i].id, single[i].id);
@@ -276,7 +371,8 @@ TEST(BruteForce, FilterRejectingEverythingYieldsEmptyAnswers) {
   const std::vector<std::size_t> counts = {1};
   const auto got = scan_top_k_multi(fx.store, query, counts, 5,
                                     Metric::kCosine, inv, Aggregate::kMax,
-                                    [](vid_t) { return false; });
+                                    [](vid_t) { return false; })
+                       .value();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_TRUE(got[0].empty());
 }

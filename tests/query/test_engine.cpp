@@ -3,6 +3,8 @@
 // name-enumerating errors.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -18,8 +20,8 @@ struct Fixture {
   explicit Fixture(vid_t rows = 32, unsigned dim = 8) {
     embedding::EmbeddingMatrix matrix(rows, dim);
     matrix.initialize_random(7);
-    path = testing::TempDir() + "engine_options_" + std::to_string(rows) +
-           ".gshs";
+    path = testing::TempDir() + "engine_options_" +
+           std::to_string(::getpid()) + "_" + std::to_string(rows) + ".gshs";
     EXPECT_TRUE(store::EmbeddingStore::write(matrix, path).is_ok());
     auto opened = store::EmbeddingStore::open(path);
     EXPECT_TRUE(opened.ok()) << opened.status().to_string();

@@ -4,6 +4,8 @@
 // concurrent serving (suite QueryService* is in the TSan CI filter).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -28,8 +30,9 @@ struct Fixture {
       : rows(rows_in), dim(dim_in) {
     embedding::EmbeddingMatrix matrix(rows, dim);
     matrix.initialize_random(seed);
-    store_path = testing::TempDir() + "service_" + std::to_string(rows) + "_" +
-                 std::to_string(seed) + ".gshs";
+    store_path = testing::TempDir() + "service_" +
+                 std::to_string(::getpid()) + "_" + std::to_string(rows) +
+                 "_" + std::to_string(seed) + ".gshs";
     const std::uint64_t per_shard = rows / 3 + 1;
     shard_count =
         static_cast<std::uint32_t>((rows + per_shard - 1) / per_shard);
@@ -68,7 +71,7 @@ std::vector<query::Neighbor> reference_top_k(const std::string& store_path,
   auto opened = store::EmbeddingStore::open(store_path);
   EXPECT_TRUE(opened.ok());
   const auto inv = query::row_inverse_norms(opened.value(), metric);
-  return query::scan_top_k(opened.value(), vec, k, metric, inv);
+  return query::scan_top_k(opened.value(), vec, k, metric, inv).value();
 }
 
 TEST(QueryService, ExactServiceMatchesTheRawScan) {

@@ -2,6 +2,8 @@
 // access, and the corruption / truncation error paths.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -18,8 +20,9 @@ embedding::EmbeddingMatrix sample_matrix(vid_t rows, unsigned dim,
   return matrix;
 }
 
+// Process-unique so `ctest -j` siblings cannot collide on store files.
 std::string temp_path(const std::string& name) {
-  return testing::TempDir() + name;
+  return testing::TempDir() + std::to_string(::getpid()) + "_" + name;
 }
 
 void remove_store(const std::string& path, std::uint32_t count) {
