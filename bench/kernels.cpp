@@ -309,11 +309,14 @@ bench::Record to_record(const CaptureReporter::Captured& run) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip "--json <file>" before google-benchmark sees (and rejects) it.
+  // Strip "--json <file>" / "--run-id <id>" before google-benchmark sees
+  // (and rejects) them.
   const std::string json_path = gosh::bench::json_flag(argc, argv);
+  const std::string run_id = gosh::bench::run_id_flag(argc, argv);
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--json" || arg == "--run-id") {
       ++i;  // skip the value too
       continue;
     }
@@ -336,7 +339,8 @@ int main(int argc, char** argv) {
     std::vector<gosh::bench::Record> records;
     records.reserve(reporter.captured.size());
     for (const auto& run : reporter.captured) records.push_back(to_record(run));
-    if (!gosh::bench::write_report(json_path, "bench_kernels", records)) {
+    if (!gosh::bench::write_report(json_path, "bench_kernels", records,
+                                   run_id)) {
       return 1;
     }
     std::printf("json report: %s (%zu records)\n", json_path.c_str(),

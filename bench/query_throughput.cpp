@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> thread_flags =
       api::flag_list(argc, argv, "--threads", {"1", "4"});
   const std::string json_path = bench::json_flag(argc, argv);
+  const std::string run_id = bench::run_id_flag(argc, argv);
 
   std::vector<unsigned> thread_counts;
   for (const std::string& t : thread_flags) {
@@ -203,7 +204,8 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    if (!bench::write_report(json_path, "bench_query_throughput", records)) {
+    if (!bench::write_report(json_path, "bench_query_throughput", records,
+                             run_id)) {
       return 1;
     }
     std::printf("json report: %s (%zu records)\n", json_path.c_str(),

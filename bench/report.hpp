@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <ctime>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -68,9 +69,33 @@ inline std::string json_flag(int argc, char** argv) {
   return {};
 }
 
+/// "--run-id <id>" lookup; empty string when absent. A run id names one
+/// sweep across harnesses (e.g. "pr6-avx512-host") so the records of a
+/// committed BENCH_*.json can be traced to the machine/session that
+/// produced them.
+inline std::string run_id_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--run-id") return argv[i + 1];
+  }
+  return {};
+}
+
+/// ISO-8601 UTC "now" for the report header.
+inline std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm parts{};
+  gmtime_r(&now, &parts);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &parts);
+  return buffer;
+}
+
 /// Writes the report object; false (with a stderr diagnostic) on IO error.
+/// `run_id` (optional) tags the report with the sweep it belongs to; the
+/// timestamp is stamped unconditionally.
 inline bool write_report(const std::string& path, std::string_view bench,
-                         const std::vector<Record>& records) {
+                         const std::vector<Record>& records,
+                         std::string_view run_id = {}) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "error: cannot write bench report to '%s'\n",
@@ -79,6 +104,11 @@ inline bool write_report(const std::string& path, std::string_view bench,
   }
   std::fprintf(out, "{\n  \"bench\": \"%s\",\n",
                json_escape(bench).c_str());
+  if (!run_id.empty()) {
+    std::fprintf(out, "  \"run_id\": \"%s\",\n",
+                 json_escape(run_id).c_str());
+  }
+  std::fprintf(out, "  \"timestamp\": \"%s\",\n", utc_timestamp().c_str());
   std::fprintf(out, "  \"isa_active\": \"%s\",\n",
                std::string(simd::isa_name(simd::active_isa())).c_str());
   std::fprintf(out, "  \"records\": [");

@@ -1,0 +1,485 @@
+// HTTP serving throughput — what the wire costs on top of the scan.
+//
+// Self-host mode (default): writes a synthetic store, measures the
+// in-process exact-scan baseline (QueryService::serve in a loop, no
+// sockets), then stands an HttpServer up on an ephemeral loopback port and
+// drives it closed-loop (every client thread keeps one keep-alive
+// connection and fires its next request the moment the previous answer
+// lands) at each --concurrency level, reporting queries/s and client-side
+// p50/p99 per level plus the HTTP/in-process ratio. When --rate-qps is
+// set, a second rate-limited server takes an open-loop burst at twice the
+// sustained rate and the harness reports how many requests were shed 429
+// and what the /metrics exposition counted — admission control caught in
+// the act, not assumed.
+//
+// Connect mode (--connect HOST:PORT): the same closed-loop client pointed
+// at an external gosh_serve — the CI smoke test's driver. Checks /healthz,
+// serves the query phase, scrapes /metrics (and verifies the per-endpoint
+// series showed up), and with --shutdown posts /admin/shutdown at the end.
+//
+//   bench_serve_throughput [--rows N] [--dim D] [--k K] [--requests R]
+//                          [--concurrency c1,c2,...] [--rate-qps Q]
+//                          [--seed S] [--json FILE] [--run-id ID]
+//                          [--connect HOST:PORT] [--shutdown]
+//
+// Defaults: 20000 rows, dim 64, k 10, 2000 requests, concurrency 1,4,8.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gosh/api/api.hpp"
+#include "gosh/common/simd.hpp"
+#include "report.hpp"
+
+namespace {
+
+using namespace gosh;
+
+int fail(const api::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+bool bool_flag(int argc, char** argv, std::string_view name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == name) return true;
+  }
+  return false;
+}
+
+std::string flag_string(int argc, char** argv, std::string_view name,
+                        std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == name) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// One vertex query as the wire sees it.
+std::string query_body(vid_t probe, unsigned k) {
+  return "{\"queries\":[{\"vertex\":" + std::to_string(probe) +
+         "}],\"k\":" + std::to_string(k) + "}";
+}
+
+struct LoadResult {
+  double seconds = 0.0;
+  std::uint64_t ok_2xx = 0;
+  std::uint64_t shed_429 = 0;
+  std::uint64_t failed = 0;  ///< transport errors or non-2xx/429 statuses
+};
+
+/// Closed-loop phase: `concurrency` threads, each owning one keep-alive
+/// connection, splitting `probes` among them; per-request client-side
+/// latency lands in `latency`.
+LoadResult run_closed_loop(const std::string& host, unsigned short port,
+                           const std::vector<vid_t>& probes, unsigned k,
+                           unsigned concurrency,
+                           serving::Histogram& latency) {
+  LoadResult result;
+  std::atomic<std::uint64_t> ok{0}, shed{0}, failed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  WallTimer timer;
+  for (unsigned c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      net::HttpClient client(host, port);
+      WallTimer request_timer;
+      for (std::size_t i = c; i < probes.size(); i += concurrency) {
+        request_timer.reset();
+        auto response = client.post_json("/v1/query",
+                                         query_body(probes[i], k));
+        if (!response.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latency.observe(request_timer.seconds());
+        if (response.value().status / 100 == 2) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (response.value().status == 429) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  result.seconds = timer.seconds();
+  result.ok_2xx = ok.load();
+  result.shed_429 = shed.load();
+  result.failed = failed.load();
+  return result;
+}
+
+/// Open-loop phase: fire at a fixed pace regardless of answers — the shape
+/// that makes a token bucket visible (a closed loop self-throttles and
+/// never overruns a limiter for long).
+LoadResult run_open_loop(const std::string& host, unsigned short port,
+                         const std::vector<vid_t>& probes, unsigned k,
+                         double target_qps, serving::Histogram& latency) {
+  LoadResult result;
+  net::HttpClient client(host, port);
+  const auto interval = std::chrono::duration<double>(1.0 / target_qps);
+  auto deadline = std::chrono::steady_clock::now();
+  WallTimer timer;
+  WallTimer request_timer;
+  for (const vid_t probe : probes) {
+    deadline += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        interval);
+    std::this_thread::sleep_until(deadline);
+    request_timer.reset();
+    auto response = client.post_json("/v1/query", query_body(probe, k));
+    if (!response.ok()) {
+      ++result.failed;
+      continue;
+    }
+    latency.observe(request_timer.seconds());
+    if (response.value().status / 100 == 2) {
+      ++result.ok_2xx;
+    } else if (response.value().status == 429) {
+      ++result.shed_429;
+    } else {
+      ++result.failed;
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+/// GET /metrics and sanity-check it is the Prometheus text format carrying
+/// the per-endpoint series (the acceptance check the CI smoke leans on).
+int scrape_metrics(const std::string& host, unsigned short port,
+                   bool print_summary) {
+  net::HttpClient client(host, port);
+  auto response = client.get("/metrics");
+  if (!response.ok()) return fail(response.status());
+  if (response.value().status != 200) {
+    std::fprintf(stderr, "error: /metrics answered %d\n",
+                 response.value().status);
+    return 1;
+  }
+  const std::string& body = response.value().body;
+  for (const char* needle :
+       {"# TYPE ", "gosh_http_requests_total_post_v1_query",
+        "gosh_http_request_seconds_post_v1_query"}) {
+    if (body.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "error: /metrics exposition is missing \"%s\"\n",
+                   needle);
+      return 1;
+    }
+  }
+  if (print_summary) {
+    std::printf("/metrics: %zu bytes, per-endpoint series present\n",
+                body.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  api::print_bench_banner("HTTP serving throughput (gosh::net front-end)");
+
+  const auto rows = static_cast<vid_t>(
+      api::require_flag_unsigned(argc, argv, "--rows", 20000));
+  const auto dim = static_cast<unsigned>(
+      api::require_flag_unsigned(argc, argv, "--dim", 64));
+  const auto k =
+      static_cast<unsigned>(api::require_flag_unsigned(argc, argv, "--k", 10));
+  const auto requests = static_cast<std::size_t>(
+      api::require_flag_unsigned(argc, argv, "--requests", 2000));
+  const auto rate_qps = static_cast<double>(
+      api::require_flag_unsigned(argc, argv, "--rate-qps", 0));
+  const auto seed = api::require_flag_unsigned(argc, argv, "--seed", 1);
+  const std::vector<std::string> concurrency_flags =
+      api::flag_list(argc, argv, "--concurrency", {"1", "4", "8"});
+  const std::string json_path = bench::json_flag(argc, argv);
+  const std::string run_id = bench::run_id_flag(argc, argv);
+  const std::string connect = flag_string(argc, argv, "--connect", "");
+  const bool remote_shutdown = bool_flag(argc, argv, "--shutdown");
+
+  std::vector<unsigned> concurrency_levels;
+  for (const std::string& c : concurrency_flags) {
+    auto parsed = api::parse_unsigned(c);
+    if (!parsed.ok() || parsed.value() == 0) {
+      std::fprintf(stderr, "error: --concurrency wants positive integers\n");
+      return 1;
+    }
+    concurrency_levels.push_back(static_cast<unsigned>(parsed.value()));
+  }
+  unsigned max_concurrency = 1;
+  for (const unsigned c : concurrency_levels) {
+    max_concurrency = std::max(max_concurrency, c);
+  }
+
+  Rng rng(seed + 7);
+  std::vector<vid_t> probes(requests);
+  for (vid_t& p : probes) p = rng.next_vertex(rows);
+
+  const std::string isa_label(simd::isa_name(simd::active_isa()));
+  std::vector<bench::Record> records;
+  const auto shape_params = [&](unsigned concurrency, const char* transport) {
+    std::vector<std::pair<std::string, std::string>> params;
+    params.emplace_back("transport", transport);
+    params.emplace_back("rows", std::to_string(rows));
+    params.emplace_back("dim", std::to_string(dim));
+    params.emplace_back("requests", std::to_string(requests));
+    params.emplace_back("k", std::to_string(k));
+    params.emplace_back("concurrency", std::to_string(concurrency));
+    return params;
+  };
+
+  serving::MetricsRegistry client_metrics;
+
+  // ---- Connect mode: drive an external gosh_serve and get out. ----------
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    unsigned long long port_value = 0;
+    if (colon != std::string::npos) {
+      auto port_parsed = api::parse_unsigned(connect.substr(colon + 1));
+      if (port_parsed.ok()) port_value = port_parsed.value();
+    }
+    if (colon == std::string::npos || port_value == 0 || port_value > 65535) {
+      std::fprintf(stderr, "error: --connect wants HOST:PORT, got '%s'\n",
+                   connect.c_str());
+      return 1;
+    }
+    const std::string host = connect.substr(0, colon);
+    const auto port = static_cast<unsigned short>(port_value);
+
+    net::HttpClient probe_client(host, port);
+    auto health = probe_client.get("/healthz");
+    if (!health.ok()) return fail(health.status());
+    if (health.value().status != 200) {
+      std::fprintf(stderr, "error: /healthz answered %d\n",
+                   health.value().status);
+      return 1;
+    }
+
+    std::printf("\n%-12s %8s %12s %12s %12s %8s\n", "transport",
+                "conc", "queries/s", "p50 ms", "p99 ms", "429s");
+    for (const unsigned concurrency : concurrency_levels) {
+      serving::Histogram& latency = client_metrics.histogram(
+          "bench_http_latency_seconds_c" + std::to_string(concurrency));
+      const LoadResult load =
+          run_closed_loop(host, port, probes, k, concurrency, latency);
+      if (load.failed > 0) {
+        std::fprintf(stderr, "error: %llu requests failed\n",
+                     static_cast<unsigned long long>(load.failed));
+        return 1;
+      }
+      const double qps =
+          (load.ok_2xx + load.shed_429) /
+          (load.seconds > 0 ? load.seconds : 1e-9);
+      std::printf("%-12s %8u %12.1f %12.4f %12.4f %8llu\n", "http", concurrency,
+                  qps, 1e3 * latency.quantile(0.5),
+                  1e3 * latency.quantile(0.99),
+                  static_cast<unsigned long long>(load.shed_429));
+      records.push_back({"serve_throughput", shape_params(concurrency, "http"),
+                         qps, "queries/s", isa_label, concurrency});
+    }
+    if (int rc = scrape_metrics(host, port, /*print_summary=*/true); rc != 0) {
+      return rc;
+    }
+    if (remote_shutdown) {
+      auto stop = probe_client.post_json("/admin/shutdown", "{}");
+      if (!stop.ok()) return fail(stop.status());
+      if (stop.value().status != 200) {
+        std::fprintf(stderr, "error: /admin/shutdown answered %d\n",
+                     stop.value().status);
+        return 1;
+      }
+      std::printf("shutdown requested\n");
+    }
+    if (!json_path.empty() &&
+        !bench::write_report(json_path, "bench_serve_throughput", records,
+                             run_id)) {
+      return 1;
+    }
+    return 0;
+  }
+
+  // ---- Self-host mode. ----------------------------------------------------
+  embedding::EmbeddingMatrix matrix(rows, dim);
+  matrix.initialize_random(seed);
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() /
+       ("gosh_bench_serve_" + std::to_string(::getpid()) + ".store"))
+          .string();
+  if (api::Status status =
+          store::EmbeddingStore::write(matrix, store_path, {});
+      !status.is_ok()) {
+    return fail(status);
+  }
+
+  serving::ServeOptions serve_options;
+  serve_options.store_path = store_path;
+  serve_options.strategy = "exact";
+  serve_options.k = k;
+  serve_options.verify_checksums = false;
+  serving::MetricsRegistry server_metrics;
+  auto service = serving::make_service(serve_options, &server_metrics);
+  if (!service.ok()) return fail(service.status());
+
+  // Baseline: the same probes through QueryService::serve directly — the
+  // number the wire overhead is judged against.
+  WallTimer timer;
+  for (const vid_t probe : probes) {
+    auto response =
+        service.value()->serve(serving::QueryRequest::for_vertex(probe, k));
+    if (!response.ok()) return fail(response.status());
+  }
+  const double inprocess_seconds = timer.seconds();
+  const double inprocess_qps =
+      requests / (inprocess_seconds > 0 ? inprocess_seconds : 1e-9);
+  std::printf("\nin-process exact scan: %.1f queries/s (%u rows x %u dim)\n",
+              inprocess_qps, rows, dim);
+  records.push_back({"serve_throughput", shape_params(1, "inprocess"),
+                     inprocess_qps, "queries/s", isa_label, 1});
+
+  net::NetOptions net_options;
+  net_options.host = "127.0.0.1";
+  net_options.port = 0;
+  net_options.threads = max_concurrency;
+  net::QueryHandler handler(*service.value());
+  net::HttpServer server(net_options, &server_metrics);
+  server.handle("POST", "/v1/query", [&handler](const net::HttpRequest& r) {
+    return handler.handle(r);
+  });
+  net::add_builtin_routes(server, server_metrics);
+  if (api::Status status = server.start(); !status.is_ok()) {
+    return fail(status);
+  }
+
+  std::printf("\n%-12s %8s %12s %12s %12s %10s\n", "transport", "conc",
+              "queries/s", "p50 ms", "p99 ms", "vs direct");
+  double qps_at_max = 0.0;
+  for (const unsigned concurrency : concurrency_levels) {
+    serving::Histogram& latency = client_metrics.histogram(
+        "bench_http_latency_seconds_c" + std::to_string(concurrency));
+    const LoadResult load = run_closed_loop("127.0.0.1", server.port(), probes,
+                                            k, concurrency, latency);
+    if (load.failed > 0 || load.shed_429 > 0) {
+      std::fprintf(stderr, "error: %llu failed / %llu shed with no limiter\n",
+                   static_cast<unsigned long long>(load.failed),
+                   static_cast<unsigned long long>(load.shed_429));
+      server.shutdown();
+      return 1;
+    }
+    const double qps =
+        load.ok_2xx / (load.seconds > 0 ? load.seconds : 1e-9);
+    if (concurrency == max_concurrency) qps_at_max = qps;
+    std::printf("%-12s %8u %12.1f %12.4f %12.4f %9.1f%%\n", "http",
+                concurrency, qps, 1e3 * latency.quantile(0.5),
+                1e3 * latency.quantile(0.99), 100.0 * qps / inprocess_qps);
+    records.push_back({"serve_throughput", shape_params(concurrency, "http"),
+                       qps, "queries/s", isa_label, concurrency});
+  }
+  std::printf("http at concurrency %u sustains %.1f%% of the in-process scan\n",
+              max_concurrency, 100.0 * qps_at_max / inprocess_qps);
+  if (int rc = scrape_metrics("127.0.0.1", server.port(),
+                              /*print_summary=*/true);
+      rc != 0) {
+    server.shutdown();
+    return rc;
+  }
+  server.shutdown();
+
+  // ---- Shed phase: a rate-limited twin takes 2x its sustained rate. ------
+  if (rate_qps > 0) {
+    net::NetOptions limited = net_options;
+    limited.rate_qps = rate_qps;
+    // A one-second default burst would absorb the whole overload window;
+    // cap it at a tenth of the rate so admission control actually bites.
+    limited.burst = std::max(1.0, rate_qps / 10.0);
+    net::HttpServer shed_server(limited, &server_metrics);
+    shed_server.handle("POST", "/v1/query",
+                       [&handler](const net::HttpRequest& r) {
+                         return handler.handle(r);
+                       });
+    net::add_builtin_routes(shed_server, server_metrics);
+    if (api::Status status = shed_server.start(); !status.is_ok()) {
+      return fail(status);
+    }
+    serving::Histogram& latency =
+        client_metrics.histogram("bench_http_latency_seconds_shed");
+    const std::size_t shed_requests =
+        std::min<std::size_t>(requests, static_cast<std::size_t>(
+                                            std::max(2.0 * rate_qps, 16.0)));
+    const std::vector<vid_t> shed_probes(probes.begin(),
+                                         probes.begin() + shed_requests);
+    const LoadResult load =
+        run_open_loop("127.0.0.1", shed_server.port(), shed_probes, k,
+                      2.0 * rate_qps, latency);
+    // The sheds must show up on the wire-visible side too: scrape the
+    // limited server's /metrics and find a nonzero rate-limited counter.
+    {
+      net::HttpClient scraper("127.0.0.1", shed_server.port());
+      auto response = scraper.get("/metrics");
+      if (!response.ok() || response.value().status != 200) {
+        shed_server.shutdown();
+        std::fprintf(stderr, "error: shed-phase /metrics scrape failed\n");
+        return 1;
+      }
+      const std::string& body = response.value().body;
+      // Leading '\n' skips the "# TYPE ..." line and lands on the sample.
+      const char* needle = "\ngosh_http_rate_limited_total ";
+      const std::size_t at = body.find(needle);
+      if (at == std::string::npos ||
+          std::strtod(body.c_str() + at + std::strlen(needle), nullptr) <=
+              0.0) {
+        shed_server.shutdown();
+        std::fprintf(stderr,
+                     "error: gosh_http_rate_limited_total is missing or zero "
+                     "in /metrics after the shed phase\n");
+        return 1;
+      }
+    }
+    shed_server.shutdown();
+    if (load.failed > 0) {
+      std::fprintf(stderr, "error: %llu requests failed in the shed phase\n",
+                   static_cast<unsigned long long>(load.failed));
+      return 1;
+    }
+    const double offered =
+        (load.ok_2xx + load.shed_429) / (load.seconds > 0 ? load.seconds : 1e-9);
+    std::printf(
+        "\nshed phase: offered %.1f q/s against --rate-qps %.0f -> "
+        "%llu answered, %llu shed 429 (%.1f%%)\n",
+        offered, rate_qps, static_cast<unsigned long long>(load.ok_2xx),
+        static_cast<unsigned long long>(load.shed_429),
+        100.0 * load.shed_429 /
+            std::max<std::uint64_t>(load.ok_2xx + load.shed_429, 1));
+    if (load.shed_429 == 0) {
+      std::fprintf(stderr,
+                   "error: open loop at 2x the sustained rate shed nothing — "
+                   "the limiter is not limiting\n");
+      return 1;
+    }
+    auto params = shape_params(1, "http");
+    params.emplace_back("rate_qps", std::to_string(rate_qps));
+    records.push_back({"serve_shed_429", params,
+                       static_cast<double>(load.shed_429), "responses",
+                       isa_label, 1});
+  }
+
+  std::filesystem::remove(store_path);
+  if (!json_path.empty()) {
+    if (!bench::write_report(json_path, "bench_serve_throughput", records,
+                             run_id)) {
+      return 1;
+    }
+    std::printf("json report: %s (%zu records)\n", json_path.c_str(),
+                records.size());
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "gosh/api/eval.hpp"
 #include "gosh/api/graph.hpp"
 #include "gosh/api/io.hpp"
+#include "gosh/api/net.hpp"
 #include "gosh/api/options.hpp"
 #include "gosh/api/progress.hpp"
 #include "gosh/api/registry.hpp"

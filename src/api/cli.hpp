@@ -2,14 +2,20 @@
 // instead of) Options::from_args — the bench harnesses. Exit-on-error
 // lookups over the strict parsers, so a typo'd or negative flag value is a
 // diagnosed failure rather than a silent wrap, plus the shared
-// synthetic-analog banner the table/figure harnesses print.
+// synthetic-analog banner the table/figure harnesses print and the
+// store/strategy usage block + service banner gosh_query and gosh_serve
+// share (the two tools speak the same serving flags; one text, one voice).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 
 #include "gosh/api/options.hpp"
+#include "gosh/query/metric.hpp"
+#include "gosh/serving/options.hpp"
+#include "gosh/serving/service.hpp"
 
 namespace gosh::api {
 
@@ -41,6 +47,39 @@ inline unsigned long long require_flag_unsigned(int argc, char** argv,
     std::exit(1);
   }
   return static_cast<unsigned long long>(value);
+}
+
+/// The ServeOptions flag block shared verbatim between gosh_query and
+/// gosh_serve usage text — one source so the two tools cannot drift.
+/// (Each tool keeps its own header line and tool-only flags around it;
+/// scan parallelism is "--threads" in gosh_query and "--scan-threads" in
+/// gosh_serve, whose "--threads" is the connection worker pool.)
+inline const char* serve_flags_usage() {
+  return
+      "  --store PATH           GSHS embedding store (required)\n"
+      "  --index PATH           HNSW index file (default: STORE.hnsw)\n"
+      "  --strategy S           exact|hnsw|batched|router|auto (default\n"
+      "                         auto = hnsw when the index exists, else exact)\n"
+      "  --k K                  neighbors per query (default 10)\n"
+      "  --metric M             cosine|dot|l2 (default cosine)\n"
+      "  --aggregate A          multi-vector combine rule: max|mean\n"
+      "  --filter LO:HI         only ids in [LO, HI) may appear in answers\n"
+      "  --batch B              max requests coalesced per scan (batched)\n"
+      "  --ef EF                HNSW search beam width (default 64)\n"
+      "  --block-rows N         rows per scan block (default 2048)\n"
+      "  --no-verify            skip the store checksum pass at open\n"
+      "  --options FILE         key=value options file; flags override it\n";
+}
+
+/// The "store ... rows x dim, strategy, metric" banner both serving tools
+/// print right after make_service().
+inline void print_service_banner(const serving::ServeOptions& options,
+                                 const serving::QueryService& service) {
+  std::printf("store %s: %u rows x %u dim, strategy %s, metric %s\n",
+              options.store_path.c_str(), service.rows(), service.dim(),
+              std::string(service.strategy_name()).c_str(),
+              std::string(query::metric_name(service.default_metric()))
+                  .c_str());
 }
 
 /// Header banner shared by the table/figure harnesses.

@@ -1,0 +1,18 @@
+// Facade forwarding header: the network side of the library.
+//
+// The public surface is gosh::net — the HttpServer front-end (accept loop
+// + fixed worker pool, keep-alive, graceful shutdown), the QueryHandler
+// that speaks the QueryRequest/QueryResponse model as JSON on
+// POST /v1/query, the token-bucket RateLimiter behind 429 + Retry-After,
+// structured NetOptions (which embed the ServeOptions shared with
+// gosh_query), and the blocking HttpClient the tests, the smoke test and
+// the serve_throughput load generator drive the wire with.
+#pragma once
+
+#include "gosh/net/client.hpp"
+#include "gosh/net/http.hpp"
+#include "gosh/net/json.hpp"
+#include "gosh/net/options.hpp"
+#include "gosh/net/query_handler.hpp"
+#include "gosh/net/rate_limiter.hpp"
+#include "gosh/net/server.hpp"

@@ -1,0 +1,171 @@
+#include "gosh/net/client.hpp"
+
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gosh::net {
+
+HttpClient::HttpClient(std::string host, unsigned short port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+api::Status HttpClient::connect_() {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string port_text = std::to_string(port_);
+  if (const int rc =
+          ::getaddrinfo(host_.c_str(), port_text.c_str(), &hints, &results);
+      rc != 0) {
+    return api::Status::io_error("http: resolve " + host_ + ": " +
+                                 ::gai_strerror(rc));
+  }
+  api::Status status = api::Status::io_error("http: no usable address for " +
+                                             host_);
+  for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
+    const int fd = ::socket(entry->ai_family,
+                            entry->ai_socktype | SOCK_CLOEXEC, 0);
+    if (fd < 0) continue;
+    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) == 0) {
+      fd_ = fd;
+      status = api::Status::ok();
+      break;
+    }
+    status = api::Status::io_error("http: connect " + host_ + ":" +
+                                   port_text + ": " + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  return status;
+}
+
+api::Status HttpClient::send_all(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return api::Status::io_error(std::string("http: send: ") +
+                                   std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return api::Status::ok();
+}
+
+api::Result<HttpResponse> HttpClient::read_response() {
+  const auto read_some = [this]() -> int {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms_);
+    if (ready < 0) return errno == EINTR ? 0 : -1;
+    if (ready == 0) return 0;
+    char chunk[8192];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) return -1;
+    if (got == 0) return -2;  // orderly close
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+    return 1;
+  };
+
+  std::size_t head_end;
+  while ((head_end = find_header_end(buffer_)) == std::string::npos) {
+    const int got = read_some();
+    if (got == 1) continue;
+    close();
+    return api::Status::io_error(
+        got == 0 ? "http: response head timed out"
+                 : "http: connection closed before a response arrived");
+  }
+
+  HttpResponse response;
+  if (api::Status status = parse_response_head(
+          std::string_view(buffer_).substr(0, head_end), response);
+      !status.is_ok()) {
+    close();
+    return status;
+  }
+  auto length = content_length(response.headers);
+  if (!length.ok()) {
+    close();
+    return length.status();
+  }
+  while (buffer_.size() < head_end + length.value()) {
+    const int got = read_some();
+    if (got == 1) continue;
+    close();
+    return api::Status::io_error(got == 0
+                                     ? "http: response body timed out"
+                                     : "http: response body truncated");
+  }
+  response.body = buffer_.substr(head_end, length.value());
+  buffer_.erase(0, head_end + length.value());
+
+  // The server told us it is dropping the connection — believe it.
+  if (const std::string* connection = response.header("Connection");
+      connection != nullptr && *connection == "close") {
+    close();
+  }
+  return response;
+}
+
+api::Result<HttpResponse> HttpClient::request(const std::string& method,
+                                              const std::string& target,
+                                              std::string body,
+                                              std::vector<Header> headers) {
+  HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.version = "HTTP/1.1";
+  request.headers = std::move(headers);
+  if (request.header("Host") == nullptr) {
+    request.headers.push_back(
+        {"Host", host_ + ":" + std::to_string(port_)});
+  }
+  request.body = std::move(body);
+  const std::string bytes = serialize_request(request, /*keep_alive=*/true);
+
+  const bool reused = connected();
+  if (!reused) {
+    if (api::Status status = connect_(); !status.is_ok()) return status;
+  }
+  api::Status sent = send_all(bytes);
+  api::Result<HttpResponse> response =
+      sent.is_ok() ? read_response() : api::Result<HttpResponse>(sent);
+  if (response.ok() || !reused) return response;
+
+  // A reused keep-alive connection may have been recycled server-side
+  // between requests; one redial retry is the standard remedy.
+  if (api::Status status = connect_(); !status.is_ok()) return status;
+  if (api::Status status = send_all(bytes); !status.is_ok()) return status;
+  return read_response();
+}
+
+api::Result<HttpResponse> HttpClient::raw(std::string_view bytes,
+                                          bool half_close_after_send) {
+  if (api::Status status = connect_(); !status.is_ok()) return status;
+  if (api::Status status = send_all(bytes); !status.is_ok()) return status;
+  if (half_close_after_send) ::shutdown(fd_, SHUT_WR);
+  api::Result<HttpResponse> response = read_response();
+  close();  // raw exchanges never reuse the stream
+  return response;
+}
+
+}  // namespace gosh::net

@@ -1,0 +1,70 @@
+// HttpClient — the minimal blocking HTTP/1.1 client on the other end of
+// HttpServer's wire: one TCP connection, keep-alive reuse, Content-Length
+// bodies, per-operation deadline. Used by the tests (including the
+// malformed-wire suite via raw()), the embed→serve smoke test, and the
+// serve_throughput load generator — one of these per load-generating
+// thread is the closed-loop worker.
+//
+// Not a general client: no TLS, no redirects, no chunked decoding, IPv4
+// numeric or resolvable hosts only. That is exactly the surface the
+// in-tree consumers need.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "gosh/net/http.hpp"
+
+namespace gosh::net {
+
+class HttpClient {
+ public:
+  /// Connection target; nothing is dialed until the first request.
+  HttpClient(std::string host, unsigned short port, int timeout_ms = 5000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One request/response exchange. Reuses the live connection when the
+  /// server kept it open; reconnects (once) when reuse fails — the normal
+  /// keep-alive race where the server recycled the connection between
+  /// requests.
+  api::Result<HttpResponse> request(const std::string& method,
+                                    const std::string& target,
+                                    std::string body = {},
+                                    std::vector<Header> headers = {});
+
+  api::Result<HttpResponse> get(const std::string& target) {
+    return request("GET", target);
+  }
+  api::Result<HttpResponse> post_json(const std::string& target,
+                                      std::string body) {
+    return request("POST", target, std::move(body),
+                   {{"Content-Type", "application/json"}});
+  }
+
+  /// Sends `bytes` verbatim on a fresh connection and reads one response —
+  /// the malformed-wire tests' hook for sending what serialize_request
+  /// refuses to produce. `half_close_after_send` shuts down the write side
+  /// (the "client hung up mid-body" shape).
+  api::Result<HttpResponse> raw(std::string_view bytes,
+                                bool half_close_after_send = false);
+
+  /// Drops the connection (next request redials). Idempotent.
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  api::Status connect_();
+  api::Status send_all(std::string_view bytes);
+  api::Result<HttpResponse> read_response();
+
+  std::string host_;
+  unsigned short port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the previous response
+};
+
+}  // namespace gosh::net

@@ -1,0 +1,357 @@
+#include "gosh/net/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gosh::net::json {
+
+namespace {
+
+/// Cursor over the input with one-line error construction. The parser is
+/// plain recursive descent; depth is threaded explicitly so the recursion
+/// bound is an argument, not a stack-overflow experiment.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t max_depth;
+
+  api::Status error(const std::string& what) const {
+    return api::Status::invalid_argument("json: " + what + " at offset " +
+                                         std::to_string(pos));
+  }
+
+  bool eof() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return text[pos]; }
+
+  void skip_whitespace() {
+    while (!eof() && (text[pos] == ' ' || text[pos] == '\t' ||
+                      text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text.substr(pos, literal.size()) != literal) return false;
+    pos += literal.size();
+    return true;
+  }
+
+  api::Status parse_value(Value& out, std::size_t depth);
+  api::Status parse_string(std::string& out);
+  api::Status parse_number(Value& out);
+  api::Status parse_array(Value& out, std::size_t depth);
+  api::Status parse_object(Value& out, std::size_t depth);
+};
+
+void append_utf8(std::string& out, unsigned code_point) {
+  if (code_point < 0x80) {
+    out += static_cast<char>(code_point);
+  } else if (code_point < 0x800) {
+    out += static_cast<char>(0xC0 | (code_point >> 6));
+    out += static_cast<char>(0x80 | (code_point & 0x3F));
+  } else if (code_point < 0x10000) {
+    out += static_cast<char>(0xE0 | (code_point >> 12));
+    out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code_point & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (code_point >> 18));
+    out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code_point & 0x3F));
+  }
+}
+
+api::Status Parser::parse_string(std::string& out) {
+  if (!consume('"')) return error("expected '\"'");
+  out.clear();
+  while (true) {
+    if (eof()) return error("unterminated string");
+    const char c = text[pos++];
+    if (c == '"') return api::Status::ok();
+    if (static_cast<unsigned char>(c) < 0x20)
+      return error("unescaped control character in string");
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (eof()) return error("unterminated escape");
+    const char esc = text[pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const auto hex4 = [this](unsigned& value) {
+          if (pos + 4 > text.size()) return false;
+          value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          return true;
+        };
+        unsigned code = 0;
+        if (!hex4(code)) return error("bad \\u escape");
+        if (code >= 0xD800 && code <= 0xDBFF) {
+          // High surrogate: the low half must follow immediately.
+          unsigned low = 0;
+          if (!consume('\\') || !consume('u') || !hex4(low) ||
+              low < 0xDC00 || low > 0xDFFF) {
+            return error("unpaired surrogate in \\u escape");
+          }
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+          return error("unpaired surrogate in \\u escape");
+        }
+        append_utf8(out, code);
+        break;
+      }
+      default:
+        return error("unknown escape");
+    }
+  }
+}
+
+api::Status Parser::parse_number(Value& out) {
+  const std::size_t start = pos;
+  if (consume('-')) {
+  }
+  if (eof() || !(peek() >= '0' && peek() <= '9'))
+    return error("malformed number");
+  // JSON forbids leading zeros: "0" and "0.5" are fine, "01" is not.
+  if (peek() == '0') {
+    ++pos;
+    if (!eof() && peek() >= '0' && peek() <= '9')
+      return error("malformed number");
+  } else {
+    while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+  }
+  if (!eof() && peek() == '.') {
+    ++pos;
+    if (eof() || !(peek() >= '0' && peek() <= '9'))
+      return error("malformed number");
+    while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+  }
+  if (!eof() && (peek() == 'e' || peek() == 'E')) {
+    ++pos;
+    if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+    if (eof() || !(peek() >= '0' && peek() <= '9'))
+      return error("malformed number");
+    while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+  }
+  double number = 0.0;
+  const char* first = text.data() + start;
+  const char* last = text.data() + pos;
+  const auto [ptr, ec] = std::from_chars(first, last, number);
+  if (ec != std::errc() || ptr != last) return error("malformed number");
+  out = Value(number);
+  return api::Status::ok();
+}
+
+api::Status Parser::parse_array(Value& out, std::size_t depth) {
+  ++pos;  // '['
+  out = Value::array();
+  skip_whitespace();
+  if (consume(']')) return api::Status::ok();
+  while (true) {
+    Value element;
+    if (api::Status s = parse_value(element, depth); !s.is_ok()) return s;
+    out.push_back(std::move(element));
+    skip_whitespace();
+    if (consume(']')) return api::Status::ok();
+    if (!consume(',')) return error("expected ',' or ']'");
+    skip_whitespace();
+  }
+}
+
+api::Status Parser::parse_object(Value& out, std::size_t depth) {
+  ++pos;  // '{'
+  out = Value::object();
+  skip_whitespace();
+  if (consume('}')) return api::Status::ok();
+  while (true) {
+    skip_whitespace();
+    std::string key;
+    if (api::Status s = parse_string(key); !s.is_ok()) return s;
+    skip_whitespace();
+    if (!consume(':')) return error("expected ':'");
+    Value member;
+    if (api::Status s = parse_value(member, depth); !s.is_ok()) return s;
+    if (out.find(key) != nullptr)
+      return error("duplicate object key '" + key + "'");
+    out.set(std::move(key), std::move(member));
+    skip_whitespace();
+    if (consume('}')) return api::Status::ok();
+    if (!consume(',')) return error("expected ',' or '}'");
+  }
+}
+
+api::Status Parser::parse_value(Value& out, std::size_t depth) {
+  if (depth >= max_depth) return error("nesting too deep");
+  skip_whitespace();
+  if (eof()) return error("unexpected end of input");
+  switch (peek()) {
+    case '{': return parse_object(out, depth + 1);
+    case '[': return parse_array(out, depth + 1);
+    case '"': {
+      std::string s;
+      if (api::Status status = parse_string(s); !status.is_ok())
+        return status;
+      out = Value(std::move(s));
+      return api::Status::ok();
+    }
+    case 't':
+      if (!consume_literal("true")) return error("malformed literal");
+      out = Value(true);
+      return api::Status::ok();
+    case 'f':
+      if (!consume_literal("false")) return error("malformed literal");
+      out = Value(false);
+      return api::Status::ok();
+    case 'n':
+      if (!consume_literal("null")) return error("malformed literal");
+      out = Value();
+      return api::Status::ok();
+    default:
+      return parse_number(out);
+  }
+}
+
+void dump_value(const Value& value, std::string& out) {
+  switch (value.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kNumber: {
+      const double d = value.as_number();
+      if (!std::isfinite(d)) {
+        out += "null";  // the writer never emits non-JSON tokens
+        break;
+      }
+      // Integers inside the double-exact window print without a fraction
+      // (vertex ids and counts round-trip as the integers they are).
+      if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.0f", d);
+        out += buffer;
+        break;
+      }
+      char buffer[32];
+      const auto [ptr, ec] =
+          std::to_chars(buffer, buffer + sizeof(buffer), d);
+      out.append(buffer, ec == std::errc() ? ptr : buffer);
+      break;
+    }
+    case Value::Type::kString:
+      out += '"';
+      out += escape(value.as_string());
+      out += '"';
+      break;
+    case Value::Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        if (i > 0) out += ',';
+        dump_value(value[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        dump_value(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const noexcept {
+  for (const auto& [name, member] : members_) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+void Value::set(std::string key, Value value) {
+  type_ = Type::kObject;
+  for (auto& [name, member] : members_) {
+    if (name == key) {
+      member = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+api::Result<Value> Value::parse(std::string_view text, std::size_t max_depth) {
+  Parser parser{text, 0, max_depth};
+  Value value;
+  if (api::Status status = parser.parse_value(value, 0); !status.is_ok())
+    return status;
+  parser.skip_whitespace();
+  if (!parser.eof()) return parser.error("trailing characters");
+  return value;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace gosh::net::json

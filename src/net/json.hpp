@@ -1,0 +1,107 @@
+// net::json — the minimal JSON layer under the HTTP wire model.
+//
+// The serving front-end needs exactly one document shape each way: a
+// QueryRequest object in, a results object (or a structured error) out.
+// That is small enough that a third-party JSON dependency would be the
+// only dependency in the tree, so this is a self-contained reader/writer
+// instead: one Value variant, a strict recursive-descent parser (whole
+// input must parse, duplicate-free nesting depth capped so a hostile body
+// cannot blow the stack), and a deterministic writer (object members keep
+// insertion order, numbers print shortest-round-trip).
+//
+// Deliberately NOT a general JSON library: no comments, no NaN/Infinity,
+// no chunked/streaming parse — a request body is already bounded by the
+// server's max-body limit before it reaches the parser.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gosh/api/status.hpp"
+
+namespace gosh::net::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Default-constructed Value is null.
+  Value() = default;
+  Value(bool value) : type_(Type::kBool), bool_(value) {}
+  Value(double value) : type_(Type::kNumber), number_(value) {}
+  Value(int value) : Value(static_cast<double>(value)) {}
+  Value(unsigned value) : Value(static_cast<double>(value)) {}
+  Value(std::uint64_t value) : Value(static_cast<double>(value)) {}
+  Value(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Value(const char* value) : Value(std::string(value)) {}
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  // Accessors are valid only for the matching type (the parse/build sites
+  // branch on type first, same contract as api::Result::value()).
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return number_; }
+  const std::string& as_string() const noexcept { return string_; }
+
+  // ---- Array surface. ----------------------------------------------------
+  std::size_t size() const noexcept { return elements_.size(); }
+  const Value& operator[](std::size_t i) const noexcept {
+    return elements_[i];
+  }
+  void push_back(Value value) {
+    type_ = Type::kArray;
+    elements_.push_back(std::move(value));
+  }
+
+  // ---- Object surface (insertion-ordered members). -----------------------
+  /// The member value, or nullptr when `key` is absent / not an object.
+  const Value* find(std::string_view key) const noexcept;
+  void set(std::string key, Value value);
+  const std::vector<std::pair<std::string, Value>>& members() const noexcept {
+    return members_;
+  }
+
+  /// Compact single-line serialization (the wire format).
+  std::string dump() const;
+
+  /// Strict whole-text parse: leading/trailing whitespace allowed, any
+  /// trailing garbage, unterminated construct, bad escape, or nesting
+  /// beyond `max_depth` is kInvalidArgument naming the byte offset.
+  static api::Result<Value> parse(std::string_view text,
+                                  std::size_t max_depth = 64);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> elements_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// JSON string escaping (quotes not included) — shared with the
+/// Prometheus-adjacent error bodies the server writes by hand.
+std::string escape(std::string_view text);
+
+}  // namespace gosh::net::json

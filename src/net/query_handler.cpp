@@ -1,0 +1,235 @@
+#include "gosh/net/query_handler.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "gosh/query/metric.hpp"
+
+namespace gosh::net {
+
+namespace {
+
+api::Status bad(std::string message) {
+  return api::Status::invalid_argument(std::move(message));
+}
+
+/// A JSON number that must be a non-negative integer (ids, k, ef).
+api::Status read_unsigned(const json::Value& value, std::string_view field,
+                          std::uint64_t max, std::uint64_t& out) {
+  if (!value.is_number()) {
+    return bad("'" + std::string(field) + "' must be a number");
+  }
+  const double d = value.as_number();
+  if (!(d >= 0) || d != std::floor(d) || d > static_cast<double>(max)) {
+    return bad("'" + std::string(field) +
+               "' must be a non-negative integer <= " + std::to_string(max));
+  }
+  out = static_cast<std::uint64_t>(d);
+  return api::Status::ok();
+}
+
+api::Status read_vector(const json::Value& value, std::string_view field,
+                        unsigned dim, std::vector<float>& out) {
+  if (!value.is_array()) {
+    return bad("'" + std::string(field) + "' must be an array of numbers");
+  }
+  if (value.size() != dim) {
+    return bad("'" + std::string(field) + "' must hold exactly " +
+               std::to_string(dim) + " numbers (store dim), got " +
+               std::to_string(value.size()));
+  }
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (!value[i].is_number()) {
+      return bad("'" + std::string(field) + "[" + std::to_string(i) +
+                 "]' must be a number");
+    }
+    out.push_back(static_cast<float>(value[i].as_number()));
+  }
+  return api::Status::ok();
+}
+
+}  // namespace
+
+QueryHandler::QueryHandler(serving::QueryService& service)
+    : service_(service) {}
+
+api::Result<serving::QueryRequest> QueryHandler::parse_body(
+    const json::Value& body) const {
+  if (!body.is_object()) {
+    return bad("request body must be a JSON object");
+  }
+  // Strict schema: reject what would otherwise be silently ignored.
+  for (const auto& [key, value] : body.members()) {
+    if (key != "queries" && key != "k" && key != "ef" && key != "metric" &&
+        key != "aggregate" && key != "filter") {
+      return bad("unknown field '" + key + "'");
+    }
+  }
+
+  serving::QueryRequest request;
+  const json::Value* queries = body.find("queries");
+  if (queries == nullptr || !queries->is_array()) {
+    return bad("'queries' must be a non-empty array");
+  }
+  if (queries->size() == 0) {
+    return bad("'queries' must not be empty");
+  }
+  const unsigned dim = service_.dim();
+  for (std::size_t q = 0; q < queries->size(); ++q) {
+    const json::Value& entry = (*queries)[q];
+    const std::string where = "queries[" + std::to_string(q) + "]";
+    if (!entry.is_object()) {
+      return bad("'" + where + "' must be an object");
+    }
+    const json::Value* vertex = entry.find("vertex");
+    const json::Value* vector = entry.find("vector");
+    const json::Value* vectors = entry.find("vectors");
+    const int shapes = (vertex != nullptr) + (vector != nullptr) +
+                       (vectors != nullptr);
+    if (shapes != 1) {
+      return bad("'" + where +
+                 "' must carry exactly one of 'vertex', 'vector', 'vectors'");
+    }
+    if (static_cast<std::size_t>(shapes) != entry.members().size()) {
+      for (const auto& [key, value] : entry.members()) {
+        if (key != "vertex" && key != "vector" && key != "vectors") {
+          return bad("unknown field '" + where + "." + key + "'");
+        }
+      }
+    }
+    if (vertex != nullptr) {
+      std::uint64_t id = 0;
+      if (api::Status s = read_unsigned(*vertex, where + ".vertex",
+                                        std::numeric_limits<vid_t>::max(), id);
+          !s.is_ok())
+        return s;
+      request.queries.push_back(
+          serving::Query::vertex(static_cast<vid_t>(id)));
+    } else if (vector != nullptr) {
+      std::vector<float> values;
+      values.reserve(dim);
+      if (api::Status s = read_vector(*vector, where + ".vector", dim, values);
+          !s.is_ok())
+        return s;
+      request.queries.push_back(serving::Query::vector(std::move(values)));
+    } else {
+      if (!vectors->is_array() || vectors->size() == 0) {
+        return bad("'" + where + ".vectors' must be a non-empty array");
+      }
+      std::vector<float> flat;
+      flat.reserve(vectors->size() * dim);
+      for (std::size_t v = 0; v < vectors->size(); ++v) {
+        if (api::Status s = read_vector(
+                (*vectors)[v],
+                where + ".vectors[" + std::to_string(v) + "]", dim, flat);
+            !s.is_ok())
+          return s;
+      }
+      request.queries.push_back(
+          serving::Query::multi(std::move(flat), vectors->size()));
+    }
+  }
+
+  if (const json::Value* k = body.find("k")) {
+    std::uint64_t value = 0;
+    if (api::Status s = read_unsigned(*k, "k", 1000000, value); !s.is_ok())
+      return s;
+    request.k = static_cast<unsigned>(value);
+  }
+  if (const json::Value* ef = body.find("ef")) {
+    std::uint64_t value = 0;
+    if (api::Status s = read_unsigned(*ef, "ef", 1 << 24, value); !s.is_ok())
+      return s;
+    request.ef = static_cast<unsigned>(value);
+  }
+  if (const json::Value* metric = body.find("metric")) {
+    if (!metric->is_string()) return bad("'metric' must be a string");
+    auto parsed = query::parse_metric(metric->as_string());
+    if (!parsed.ok()) return parsed.status();
+    request.metric = parsed.value();
+  }
+  if (const json::Value* aggregate = body.find("aggregate")) {
+    if (!aggregate->is_string()) return bad("'aggregate' must be a string");
+    auto parsed = query::parse_aggregate(aggregate->as_string());
+    if (!parsed.ok()) return parsed.status();
+    request.aggregate = parsed.value();
+  }
+  if (const json::Value* filter = body.find("filter")) {
+    if (!filter->is_object()) {
+      return bad("'filter' must be an object {\"begin\": LO, \"end\": HI}");
+    }
+    const json::Value* begin = filter->find("begin");
+    const json::Value* end = filter->find("end");
+    if (begin == nullptr || end == nullptr ||
+        filter->members().size() != 2) {
+      return bad("'filter' must carry exactly 'begin' and 'end'");
+    }
+    std::uint64_t lo = 0, hi = 0;
+    if (api::Status s = read_unsigned(*begin, "filter.begin",
+                                      std::numeric_limits<vid_t>::max(), lo);
+        !s.is_ok())
+      return s;
+    if (api::Status s = read_unsigned(*end, "filter.end",
+                                      std::numeric_limits<vid_t>::max(), hi);
+        !s.is_ok())
+      return s;
+    if (hi <= lo) return bad("'filter' needs begin < end");
+    const vid_t filter_begin = static_cast<vid_t>(lo);
+    const vid_t filter_end = static_cast<vid_t>(hi);
+    request.filter = [filter_begin, filter_end](vid_t v) {
+      return v >= filter_begin && v < filter_end;
+    };
+  }
+  return request;
+}
+
+json::Value QueryHandler::render(const serving::QueryResponse& response) {
+  json::Value results = json::Value::array();
+  for (const std::vector<serving::Neighbor>& list : response.results) {
+    json::Value ranked = json::Value::array();
+    for (const serving::Neighbor& neighbor : list) {
+      json::Value entry = json::Value::object();
+      entry.set("id", json::Value(static_cast<double>(neighbor.id)));
+      entry.set("score", json::Value(static_cast<double>(neighbor.score)));
+      ranked.push_back(std::move(entry));
+    }
+    results.push_back(std::move(ranked));
+  }
+  json::Value root = json::Value::object();
+  root.set("results", std::move(results));
+  root.set("seconds", json::Value(response.seconds));
+  return root;
+}
+
+int QueryHandler::http_status(const api::Status& status) {
+  switch (status.code()) {
+    case api::StatusCode::kInvalidArgument:
+      return 400;
+    case api::StatusCode::kNotFound:
+      return 404;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse QueryHandler::handle(const HttpRequest& request) const {
+  auto body = json::Value::parse(request.body);
+  if (!body.ok()) {
+    return HttpResponse::error(400, "bad_json", body.status().message());
+  }
+  auto parsed = parse_body(body.value());
+  if (!parsed.ok()) {
+    return HttpResponse::error(400, "bad_request",
+                               parsed.status().message());
+  }
+  auto response = service_.serve(parsed.value());
+  if (!response.ok()) {
+    return HttpResponse::error(
+        http_status(response.status()),
+        std::string(api::status_code_name(response.status().code())),
+        response.status().message());
+  }
+  return HttpResponse::json(200, render(response.value()).dump());
+}
+
+}  // namespace gosh::net

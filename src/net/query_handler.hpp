@@ -1,0 +1,59 @@
+// QueryHandler — POST /v1/query: the JSON wire face of QueryService.
+//
+// The wire model IS the serving model; nothing new is invented here, only
+// spelled in JSON. Request body:
+//
+//   {
+//     "queries": [                       // required, non-empty
+//       {"vertex": 17},                  // stored row, self-excluded
+//       {"vector": [0.1, 0.2, ...]},     // one raw dim-float vector
+//       {"vectors": [[...], [...]]}      // multi-vector joint query
+//     ],
+//     "k": 10,                           // optional per-request overrides,
+//     "ef": 64,                          //   QueryRequest semantics
+//     "metric": "cosine",                // cosine | dot | l2
+//     "aggregate": "max",                // max | mean (multi-vector rule)
+//     "filter": {"begin": 0, "end": 50}  // ids in [begin, end)
+//   }
+//
+// Response: {"results": [[{"id": 3, "score": 0.98}, ...], ...],
+//            "seconds": 0.0012} — one ranked list per query, in order.
+//
+// Errors are structured, never HTML: unknown fields, an empty batch, a
+// wrong-typed member, or a service-side kInvalidArgument all come back
+// {"error": {"code": ..., "message": ...}} with a 4xx status; only
+// genuine service failures map to 5xx. Parsing is strict on purpose — a
+// misspelled "quieres" key silently answering nothing would be the worst
+// wire bug to chase.
+#pragma once
+
+#include "gosh/net/http.hpp"
+#include "gosh/net/json.hpp"
+#include "gosh/serving/service.hpp"
+
+namespace gosh::net {
+
+class QueryHandler {
+ public:
+  /// `service` must outlive the handler (the tool owns both).
+  explicit QueryHandler(serving::QueryService& service);
+
+  /// The net::Handler entry point: body parse -> serve() -> JSON.
+  HttpResponse handle(const HttpRequest& request) const;
+
+  // The two halves, separately testable without a socket:
+  /// Strict body-to-model mapping (unknown/missing/mistyped fields are
+  /// kInvalidArgument with a field-naming message).
+  api::Result<serving::QueryRequest> parse_body(
+      const json::Value& body) const;
+  /// Model-to-wire rendering of a successful response.
+  static json::Value render(const serving::QueryResponse& response);
+  /// api::Status -> HTTP status code (invalid_argument 400, not_found
+  /// 404, everything else 500).
+  static int http_status(const api::Status& status);
+
+ private:
+  serving::QueryService& service_;
+};
+
+}  // namespace gosh::net

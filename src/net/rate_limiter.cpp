@@ -1,0 +1,55 @@
+#include "gosh/net/rate_limiter.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gosh::net {
+
+RateLimiter::RateLimiter(double qps, double burst)
+    : qps_(qps),
+      burst_(qps > 0.0 ? (burst > 0.0 ? burst : std::max(qps, 1.0)) : 0.0),
+      tokens_(burst_),
+      last_(-1.0) {}
+
+double RateLimiter::now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double RateLimiter::refill_locked(double now_seconds) const {
+  if (last_ < 0.0) return tokens_;  // first observation: full burst
+  const double elapsed = std::max(0.0, now_seconds - last_);
+  return std::min(burst_, tokens_ + elapsed * qps_);
+}
+
+bool RateLimiter::try_acquire(double now_seconds,
+                              double* retry_after_seconds) {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double available = refill_locked(now_seconds);
+  tokens_ = available;
+  last_ = now_seconds;
+  if (available >= 1.0) {
+    tokens_ = available - 1.0;
+    return true;
+  }
+  if (retry_after_seconds != nullptr) {
+    *retry_after_seconds = (1.0 - available) / qps_;
+  }
+  return false;
+}
+
+bool RateLimiter::try_acquire(double* retry_after_seconds) {
+  return try_acquire(now_seconds(), retry_after_seconds);
+}
+
+double RateLimiter::tokens(double now_seconds) const {
+  if (!enabled()) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return refill_locked(now_seconds);
+}
+
+double RateLimiter::tokens() const { return tokens(now_seconds()); }
+
+}  // namespace gosh::net

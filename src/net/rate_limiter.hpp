@@ -1,0 +1,52 @@
+// RateLimiter — token-bucket admission control for the HTTP front-end.
+//
+// One bucket holds up to `burst` tokens and refills continuously at `qps`
+// tokens/second; each admitted request spends one token. The server keeps
+// one global bucket (aggregate offered load) and optionally one bucket per
+// connection (a single hot client cannot starve the rest), both answering
+// rejections with 429 + Retry-After computed from the actual token
+// deficit, so well-behaved clients back off by exactly the right amount.
+//
+// Time is an explicit parameter on the core methods (monotonic seconds)
+// so the refill math is unit-testable without sleeping; the argument-free
+// overloads read the steady clock.
+#pragma once
+
+#include <mutex>
+
+namespace gosh::net {
+
+class RateLimiter {
+ public:
+  /// `qps` <= 0 disables the limiter (every try_acquire admits).
+  /// `burst` <= 0 defaults to max(qps, 1) — one second of headroom.
+  RateLimiter(double qps, double burst);
+
+  /// Spends one token if available. On rejection returns false and (when
+  /// `retry_after_seconds` is non-null) the time until one token exists.
+  bool try_acquire(double now_seconds, double* retry_after_seconds = nullptr);
+  bool try_acquire(double* retry_after_seconds = nullptr);
+
+  /// Current token balance at `now_seconds` (refill applied, no spend) —
+  /// feeds the gosh_http_rate_tokens gauge.
+  double tokens(double now_seconds) const;
+  double tokens() const;
+
+  bool enabled() const noexcept { return qps_ > 0.0; }
+  double qps() const noexcept { return qps_; }
+  double burst() const noexcept { return burst_; }
+
+  /// Monotonic seconds (steady clock) — the `now` the overloads pass.
+  static double now_seconds();
+
+ private:
+  double refill_locked(double now_seconds) const;
+
+  double qps_;
+  double burst_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  double last_;  ///< monotonic seconds of the last refill; <0 = never
+};
+
+}  // namespace gosh::net

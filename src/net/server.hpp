@@ -1,0 +1,140 @@
+// HttpServer — the HTTP/1.1 front-end: one accept loop feeding a fixed
+// worker pool (the thread_pool.hpp pattern — workers started once, parked
+// on a condition variable, one connection owned per worker at a time).
+//
+// Lifecycle:
+//   HttpServer server(options, &metrics);
+//   server.handle("POST", "/v1/query", handler);     // before start()
+//   server.start();                                   // bind+listen+spawn
+//   ... port() is the bound port (options.port 0 = ephemeral) ...
+//   server.shutdown();                                // graceful join
+//
+// Shutdown is the self-pipe trick: every blocking point (the acceptor's
+// poll, each worker's keep-alive read poll, the idle worker's condvar)
+// also watches the pipe's read end, so shutdown() wakes everything at
+// once. Workers finish the request they are parsing, answer it with
+// "Connection: close", and join — no thread leaks, no torn responses.
+//
+// Admission control: a global token bucket plus an optional per-connection
+// bucket (NetOptions rate knobs). A shed request is answered 429 with
+// Retry-After and the connection stays usable — backpressure, not
+// punishment. /metrics and /healthz routes register as exempt so an
+// overloaded server can still be observed.
+//
+// Metrics (when a registry is wired): per-endpoint request counters and
+// latency histograms (gosh_http_requests_total_<route> /
+// gosh_http_request_seconds_<route>), response-class counters, the
+// in-flight connection gauge, rate-limiter sheds and token-level gauge.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gosh/net/http.hpp"
+#include "gosh/net/options.hpp"
+#include "gosh/net/rate_limiter.hpp"
+#include "gosh/serving/metrics.hpp"
+
+namespace gosh::net {
+
+/// A route handler: request in, response out. Handlers run on connection
+/// workers, concurrently — they must be thread-safe (the serving services
+/// already are; every query path only reads shared state).
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  explicit HttpServer(const NetOptions& options,
+                      serving::MetricsRegistry* metrics = nullptr);
+  ~HttpServer();  ///< shutdown() if still running
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for the exact (method, path) pair; query strings
+  /// are stripped before matching. `rate_limited=false` exempts the route
+  /// from admission control (observability endpoints). Call before
+  /// start(); routes are immutable while serving.
+  void handle(std::string method, std::string path, Handler handler,
+              bool rate_limited = true);
+
+  /// Binds, listens, spawns the acceptor and `options.threads` workers.
+  /// After an ok() return, port() is the bound port.
+  api::Status start();
+
+  /// Graceful stop: wakes every blocked thread, lets in-flight requests
+  /// finish (their responses carry "Connection: close"), joins all
+  /// threads, closes every socket. Idempotent; safe from any thread
+  /// EXCEPT a connection worker (a handler must signal its tool's main
+  /// thread instead — see gosh_serve's /admin/shutdown).
+  void shutdown();
+
+  bool running() const noexcept { return running_; }
+  unsigned short port() const noexcept { return port_; }
+
+ private:
+  struct Route {
+    std::string method;
+    std::string path;
+    Handler handler;
+    bool rate_limited = true;
+    serving::Counter* requests = nullptr;    ///< null without a registry
+    serving::Histogram* seconds = nullptr;   ///< null without a registry
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+  /// One request/response exchange on `fd`; `buffer` carries bytes beyond
+  /// the previous message (pipelining). Returns false when the connection
+  /// must close.
+  bool serve_one(int fd, std::string& buffer, RateLimiter* conn_limiter,
+                 std::uint64_t served_on_connection);
+  /// Waits for fd readability or shutdown; appends what arrived.
+  /// 1 = got bytes, 0 = timeout, -1 = peer closed / error, -2 = shutdown.
+  int read_some(int fd, std::string& buffer);
+  bool write_all(int fd, std::string_view bytes);
+  bool stopping() const noexcept;
+
+  NetOptions options_;
+  serving::MetricsRegistry* metrics_;
+  std::vector<Route> routes_;
+  std::unique_ptr<RateLimiter> global_limiter_;  ///< null when rate_qps == 0
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< [read, write]; write end = shutdown
+  unsigned short port_ = 0;
+  bool running_ = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+
+  // Instruments resolved once at start() (null without a registry).
+  serving::Counter* connections_ = nullptr;
+  serving::Counter* responses_2xx_ = nullptr;
+  serving::Counter* responses_4xx_ = nullptr;
+  serving::Counter* responses_5xx_ = nullptr;
+  serving::Counter* rate_limited_total_ = nullptr;
+  serving::Counter* parse_errors_ = nullptr;
+  serving::Gauge* inflight_ = nullptr;
+  serving::Gauge* rate_tokens_ = nullptr;
+};
+
+/// Registers the observability routes every serving front-end wants:
+/// GET /healthz ({"status":"ok"}) and GET /metrics (the registry's
+/// Prometheus text exposition), both exempt from admission control.
+void add_builtin_routes(HttpServer& server,
+                        serving::MetricsRegistry& registry);
+
+}  // namespace gosh::net

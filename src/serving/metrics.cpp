@@ -24,6 +24,22 @@ std::string format_double(double value) {
 
 }  // namespace
 
+void Gauge::set(double value) noexcept {
+  bits_.store(std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) noexcept {
+  std::uint64_t seen = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(
+      seen, std::bit_cast<std::uint64_t>(std::bit_cast<double>(seen) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::value() const noexcept {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(bounds.empty() ? default_latency_bounds() : std::move(bounds)),
       buckets_(bounds_.size() + 1) {
@@ -106,6 +122,17 @@ Counter& MetricsRegistry::counter(std::string_view name,
   return counters_.back()->counter;
 }
 
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : gauges_) {
+    if (entry->name == name) return entry->gauge;
+  }
+  gauges_.push_back(std::make_unique<GaugeEntry>());
+  gauges_.back()->name = std::string(name);
+  gauges_.back()->help = std::string(help);
+  return gauges_.back()->gauge;
+}
+
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view help,
                                       std::vector<double> bounds) {
@@ -123,8 +150,8 @@ std::string MetricsRegistry::expose() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
 
-  // Stable order: counters then histograms, each sorted by name, so two
-  // dumps of the same state are byte-identical.
+  // Stable order: counters, gauges, then histograms, each sorted by name,
+  // so two dumps of the same state are byte-identical.
   std::vector<const CounterEntry*> counters;
   for (const auto& entry : counters_) counters.push_back(entry.get());
   std::sort(counters.begin(), counters.end(),
@@ -136,6 +163,19 @@ std::string MetricsRegistry::expose() const {
       out += "# HELP " + entry->name + " " + entry->help + "\n";
     out += "# TYPE " + entry->name + " counter\n";
     out += entry->name + " " + std::to_string(entry->counter.value()) + "\n";
+  }
+
+  std::vector<const GaugeEntry*> gauges;
+  for (const auto& entry : gauges_) gauges.push_back(entry.get());
+  std::sort(gauges.begin(), gauges.end(),
+            [](const GaugeEntry* a, const GaugeEntry* b) {
+              return a->name < b->name;
+            });
+  for (const GaugeEntry* entry : gauges) {
+    if (!entry->help.empty())
+      out += "# HELP " + entry->name + " " + entry->help + "\n";
+    out += "# TYPE " + entry->name + " gauge\n";
+    out += entry->name + " " + format_double(entry->gauge.value()) + "\n";
   }
 
   std::vector<const HistogramEntry*> histograms;

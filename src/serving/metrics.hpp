@@ -43,6 +43,20 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Point-in-time level that moves both ways — in-flight connections,
+/// rate-limiter token balance. set() publishes an absolute reading; add()
+/// adjusts it atomically (CAS on the double's bit pattern, the Histogram
+/// sum technique), so concurrent +1/-1 bracketing never loses an update.
+class Gauge {
+ public:
+  void set(double value) noexcept;
+  void add(double delta) noexcept;
+  double value() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  ///< double bits; 0 encodes +0.0
+};
+
 /// Fixed-bucket histogram: observations land in the first bucket whose
 /// upper bound is >= the value (the last bucket is +Inf). Quantiles are
 /// read back by linear interpolation inside the winning bucket — exact
@@ -86,20 +100,26 @@ class MetricsRegistry {
   /// Finds or creates the named counter. The reference stays valid for the
   /// registry's lifetime, so callers resolve once and increment lock-free.
   Counter& counter(std::string_view name, std::string_view help = {});
+  /// Finds or creates the named gauge, same lifetime contract as counter().
+  Gauge& gauge(std::string_view name, std::string_view help = {});
   /// Finds or creates the named histogram (`bounds` only applies on
   /// creation; empty = the default latency ladder).
   Histogram& histogram(std::string_view name, std::string_view help = {},
                        std::vector<double> bounds = {});
 
-  /// Prometheus text exposition: # HELP / # TYPE lines, counter samples,
-  /// histogram _bucket/_sum/_count series plus p50/p99 gauge series
-  /// (<name>_p50 / <name>_p99) for humans reading the dump directly.
+  /// Prometheus text exposition: # HELP / # TYPE lines, counter and gauge
+  /// samples, histogram _bucket/_sum/_count series plus p50/p99 gauge
+  /// series (<name>_p50 / <name>_p99) for humans reading the dump directly.
   std::string expose() const;
 
  private:
   struct CounterEntry {
     std::string name, help;
     Counter counter;
+  };
+  struct GaugeEntry {
+    std::string name, help;
+    Gauge gauge;
   };
   struct HistogramEntry {
     std::string name, help;
@@ -109,6 +129,7 @@ class MetricsRegistry {
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<CounterEntry>> counters_;
+  std::vector<std::unique_ptr<GaugeEntry>> gauges_;
   std::vector<std::unique_ptr<HistogramEntry>> histograms_;
 };
 

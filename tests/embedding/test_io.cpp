@@ -1,5 +1,6 @@
 // Embedding matrix persistence round trips.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -12,7 +13,10 @@ namespace {
 class EmbeddingIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "gosh_emb_io";
+    // Unique per process — ctest -j runs tests concurrently and a shared
+    // directory would race with a sibling's TearDown.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gosh_emb_io_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,6 +1,8 @@
 // Edge-list and binary IO round trips.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,7 +16,11 @@ namespace {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "gosh_io_test";
+    // Unique per process: ctest -j runs each TEST_F as its own process, and
+    // a shared directory would let one test's TearDown delete another's
+    // files mid-run.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gosh_io_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,103 @@
+// net::json — the strict reader/writer under the HTTP wire: whole-text
+// parsing, structured rejection of malformed documents, deterministic
+// insertion-ordered dumping, and unicode escapes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gosh/net/json.hpp"
+
+namespace gosh::net::json {
+namespace {
+
+TEST(NetJson, ParsesScalars) {
+  EXPECT_TRUE(Value::parse("null").value().is_null());
+  EXPECT_TRUE(Value::parse("true").value().as_bool());
+  EXPECT_FALSE(Value::parse("false").value().as_bool());
+  EXPECT_DOUBLE_EQ(Value::parse("-12.5e1").value().as_number(), -125.0);
+  EXPECT_EQ(Value::parse("\"hi\"").value().as_string(), "hi");
+  // Surrounding whitespace is fine; it is still one whole document.
+  EXPECT_DOUBLE_EQ(Value::parse("  42 \n").value().as_number(), 42.0);
+}
+
+TEST(NetJson, ParsesNestedDocumentAndFinds) {
+  auto parsed = Value::parse(
+      R"({"queries": [{"vertex": 17}, {"vector": [0.5, -1]}], "k": 10})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const Value* queries = root.find("queries");
+  ASSERT_NE(queries, nullptr);
+  ASSERT_EQ(queries->size(), 2u);
+  EXPECT_DOUBLE_EQ((*queries)[0].find("vertex")->as_number(), 17.0);
+  EXPECT_DOUBLE_EQ((*(*queries)[1].find("vector"))[1].as_number(), -1.0);
+  EXPECT_DOUBLE_EQ(root.find("k")->as_number(), 10.0);
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(NetJson, RejectsMalformedDocuments) {
+  // Each rejection is kInvalidArgument with a byte offset in the message.
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "nul", "tru", "01",
+        "+1", "1.", "\"unterminated", "\"bad \\x escape\"", "{\"a\":1} extra",
+        "[1] [2]", "{\"dup\":1,\"dup\":2}", "nan", "Infinity"}) {
+    auto parsed = Value::parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), api::StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetJson, DepthCapStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(Value::parse(deep).ok());
+  // The same shape under the cap parses.
+  EXPECT_TRUE(Value::parse(deep.substr(150, 100)).ok());
+}
+
+TEST(NetJson, DumpKeepsInsertionOrderAndRoundTrips) {
+  Value root = Value::object();
+  root.set("zeta", Value(1));
+  root.set("alpha", Value(true));
+  Value list = Value::array();
+  list.push_back(Value(0.5));
+  list.push_back(Value("x\"y\\z"));
+  list.push_back(Value());
+  root.set("list", std::move(list));
+  const std::string text = root.dump();
+  // Insertion order, not alphabetical.
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+  EXPECT_EQ(text, R"({"zeta":1,"alpha":true,"list":[0.5,"x\"y\\z",null]})");
+
+  auto reparsed = Value::parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed.value().dump(), text);
+}
+
+TEST(NetJson, IntegersDumpWithoutFraction) {
+  EXPECT_EQ(Value(10).dump(), "10");
+  EXPECT_EQ(Value(std::uint64_t{1} << 40).dump(), "1099511627776");
+  EXPECT_EQ(Value(-3.0).dump(), "-3");
+  EXPECT_EQ(Value(0.25).dump(), "0.25");
+}
+
+TEST(NetJson, UnicodeEscapesDecodeToUtf8) {
+  // U+00E9 (2-byte), U+4E2D (3-byte), U+1F600 (a surrogate pair).
+  auto parsed = Value::parse(R"("a\u00e9\u4e2d\ud83d\ude00b")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().as_string(),
+            "a\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80"
+            "b");
+  // A lone surrogate half is malformed.
+  EXPECT_FALSE(Value::parse(R"("\ud83d")").ok());
+}
+
+TEST(NetJson, EscapeCoversControlCharacters) {
+  EXPECT_EQ(escape("a\"b\\c\nd\x01"), "a\\\"b\\\\c\\nd\\u0001");
+}
+
+}  // namespace
+}  // namespace gosh::net::json

@@ -1,0 +1,182 @@
+// QueryHandler — the JSON face of QueryService, tested without a socket:
+// strict body parsing into the request model, response rendering, and the
+// Status -> HTTP mapping, against a fake service that records what it was
+// asked.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gosh/net/query_handler.hpp"
+
+namespace gosh::net {
+namespace {
+
+/// Answers every query with one fixed neighbor and records the request so
+/// the tests can assert exactly what crossed the parse boundary.
+class FakeService final : public serving::QueryService {
+ public:
+  api::Result<serving::QueryResponse> serve(
+      const serving::QueryRequest& request) override {
+    last = &request;
+    last_k = request.k;
+    last_ef = request.ef;
+    last_metric = request.metric;
+    last_aggregate = request.aggregate;
+    if (!next_status.is_ok()) return next_status;
+    serving::QueryResponse response;
+    response.results.resize(request.queries.size(),
+                            {serving::Neighbor{3, 0.5f}});
+    response.seconds = 0.25;
+    return response;
+  }
+  vid_t rows() const noexcept override { return 100; }
+  unsigned dim() const noexcept override { return 4; }
+  serving::Metric default_metric() const noexcept override {
+    return serving::Metric::kCosine;
+  }
+  std::string_view strategy_name() const noexcept override { return "fake"; }
+  api::Result<std::vector<float>> row_vector(vid_t) const override {
+    return std::vector<float>(dim(), 0.0f);
+  }
+
+  const serving::QueryRequest* last = nullptr;
+  unsigned last_k = 0;
+  unsigned last_ef = 0;
+  std::optional<serving::Metric> last_metric;
+  serving::Aggregate last_aggregate = serving::Aggregate::kMax;
+  api::Status next_status = api::Status::ok();
+};
+
+HttpRequest post(std::string body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/query";
+  request.version = "HTTP/1.1";
+  request.body = std::move(body);
+  return request;
+}
+
+TEST(QueryHandler, ServesAVertexQueryEndToEnd) {
+  FakeService service;
+  QueryHandler handler(service);
+  const HttpResponse response = handler.handle(
+      post(R"({"queries": [{"vertex": 17}], "k": 5})"));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NE(service.last, nullptr);
+  EXPECT_EQ(service.last_k, 5u);
+  EXPECT_EQ(response.body,
+            R"({"results":[[{"id":3,"score":0.5}]],"seconds":0.25})");
+  ASSERT_NE(response.header("Content-Type"), nullptr);
+  EXPECT_EQ(*response.header("Content-Type"), "application/json");
+}
+
+TEST(QueryHandler, ParsesEveryQueryShapeAndOverride) {
+  FakeService service;
+  QueryHandler handler(service);
+  auto body = json::Value::parse(R"({
+    "queries": [
+      {"vertex": 9},
+      {"vector": [1, 2, 3, 4]},
+      {"vectors": [[1, 0, 0, 0], [0, 1, 0, 0]]}
+    ],
+    "k": 3, "ef": 128, "metric": "l2", "aggregate": "mean",
+    "filter": {"begin": 10, "end": 20}
+  })");
+  ASSERT_TRUE(body.ok()) << body.status().to_string();
+  auto parsed = handler.parse_body(body.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const serving::QueryRequest& request = parsed.value();
+  ASSERT_EQ(request.queries.size(), 3u);
+  EXPECT_TRUE(request.queries[0].is_vertex);
+  EXPECT_EQ(request.queries[0].vertex_id, 9u);
+  EXPECT_EQ(request.queries[1].vector_count, 1u);
+  EXPECT_EQ(request.queries[1].vectors.size(), 4u);
+  EXPECT_EQ(request.queries[2].vector_count, 2u);
+  EXPECT_EQ(request.queries[2].vectors.size(), 8u);
+  EXPECT_EQ(request.k, 3u);
+  EXPECT_EQ(request.ef, 128u);
+  ASSERT_TRUE(request.metric.has_value());
+  EXPECT_EQ(*request.metric, serving::Metric::kL2);
+  EXPECT_EQ(request.aggregate, serving::Aggregate::kMean);
+  ASSERT_TRUE(static_cast<bool>(request.filter));
+  EXPECT_FALSE(request.filter(9));
+  EXPECT_TRUE(request.filter(10));
+  EXPECT_TRUE(request.filter(19));
+  EXPECT_FALSE(request.filter(20));
+}
+
+TEST(QueryHandler, RejectsMalformedBodiesWithStructured400s) {
+  FakeService service;
+  QueryHandler handler(service);
+  struct Case {
+    const char* body;
+    const char* code;
+  };
+  const Case cases[] = {
+      {"{not json", "bad_json"},
+      {R"("a string")", "bad_request"},
+      {R"({})", "bad_request"},                               // no queries
+      {R"({"queries": []})", "bad_request"},                  // empty batch
+      {R"({"quieres": [{"vertex": 1}]})", "bad_request"},     // typo'd key
+      {R"({"queries": [{"vertex": 1}], "x": 1})", "bad_request"},
+      {R"({"queries": [{}]})", "bad_request"},                // no shape
+      {R"({"queries": [{"vertex": 1, "vector": [1,2,3,4]}]})",
+       "bad_request"},                                        // two shapes
+      {R"({"queries": [{"vertex": -1}]})", "bad_request"},
+      {R"({"queries": [{"vertex": 1.5}]})", "bad_request"},
+      {R"({"queries": [{"vector": [1, 2]}]})", "bad_request"},  // dim 4
+      {R"({"queries": [{"vector": [1, "x", 3, 4]}]})", "bad_request"},
+      {R"({"queries": [{"vectors": []}]})", "bad_request"},
+      {R"({"queries": [{"vertex": 1, "why": 2}]})", "bad_request"},
+      {R"({"queries": [{"vertex": 1}], "k": "ten"})", "bad_request"},
+      {R"({"queries": [{"vertex": 1}], "metric": "hamming"})", "bad_request"},
+      {R"({"queries": [{"vertex": 1}], "filter": {"begin": 5, "end": 5}})",
+       "bad_request"},
+      {R"({"queries": [{"vertex": 1}], "filter": {"begin": 0}})",
+       "bad_request"},
+  };
+  for (const Case& c : cases) {
+    const HttpResponse response = handler.handle(post(c.body));
+    EXPECT_EQ(response.status, 400) << c.body;
+    EXPECT_NE(response.body.find("\"error\""), std::string::npos) << c.body;
+    EXPECT_NE(response.body.find(c.code), std::string::npos)
+        << c.body << " -> " << response.body;
+  }
+  // None of those may have reached the service.
+  EXPECT_EQ(service.last, nullptr);
+}
+
+TEST(QueryHandler, MapsServiceStatusesToHttpStatuses) {
+  EXPECT_EQ(QueryHandler::http_status(
+                api::Status::invalid_argument("bad k")),
+            400);
+  EXPECT_EQ(QueryHandler::http_status(api::Status::not_found("no row")), 404);
+  EXPECT_EQ(QueryHandler::http_status(api::Status::internal("scan died")),
+            500);
+
+  FakeService service;
+  QueryHandler handler(service);
+  service.next_status = api::Status::invalid_argument("k too large");
+  HttpResponse response =
+      handler.handle(post(R"({"queries": [{"vertex": 1}]})"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("k too large"), std::string::npos);
+
+  service.next_status = api::Status::internal("scan died");
+  response = handler.handle(post(R"({"queries": [{"vertex": 1}]})"));
+  EXPECT_EQ(response.status, 500);
+}
+
+TEST(QueryHandler, RendersRankedListsInRequestOrder) {
+  serving::QueryResponse response;
+  response.results = {{{7, 0.75f}, {2, 0.5f}}, {}};
+  response.seconds = 0.125;
+  EXPECT_EQ(QueryHandler::render(response).dump(),
+            R"({"results":[[{"id":7,"score":0.75},{"id":2,"score":0.5}],[]],)"
+            R"("seconds":0.125})");
+}
+
+}  // namespace
+}  // namespace gosh::net

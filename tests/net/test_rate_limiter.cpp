@@ -1,0 +1,101 @@
+// RateLimiter — token-bucket refill math against an explicit clock, the
+// Retry-After deficit, and concurrent admission (suite RateLimiter* is in
+// the TSan CI filter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gosh/net/rate_limiter.hpp"
+
+namespace gosh::net {
+namespace {
+
+TEST(RateLimiter, DisabledLimiterAdmitsEverything) {
+  RateLimiter limiter(0.0, 0.0);
+  EXPECT_FALSE(limiter.enabled());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(limiter.try_acquire(0.0));
+  }
+}
+
+TEST(RateLimiter, BurstSpendsThenRejects) {
+  RateLimiter limiter(/*qps=*/10.0, /*burst=*/5.0);
+  EXPECT_TRUE(limiter.enabled());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(limiter.try_acquire(/*now_seconds=*/0.0)) << "token " << i;
+  }
+  double retry_after = 0.0;
+  EXPECT_FALSE(limiter.try_acquire(0.0, &retry_after));
+  // One token exists after 1/qps seconds of refill.
+  EXPECT_NEAR(retry_after, 0.1, 1e-9);
+}
+
+TEST(RateLimiter, RefillsContinuouslyUpToBurst) {
+  RateLimiter limiter(10.0, 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(limiter.try_acquire(0.0));
+  EXPECT_FALSE(limiter.try_acquire(0.0));
+  // 0.25 s of refill at 10/s = 2.5 tokens: two admits, then rejection.
+  EXPECT_TRUE(limiter.try_acquire(0.25));
+  EXPECT_TRUE(limiter.try_acquire(0.25));
+  double retry_after = 0.0;
+  EXPECT_FALSE(limiter.try_acquire(0.25, &retry_after));
+  // 0.5 tokens remain; 0.05 s buys the missing half token.
+  EXPECT_NEAR(retry_after, 0.05, 1e-9);
+  // A long idle period caps at burst, not beyond it.
+  EXPECT_NEAR(limiter.tokens(1000.0), 5.0, 1e-9);
+}
+
+TEST(RateLimiter, BurstDefaultsToOneSecondOfRate) {
+  RateLimiter limiter(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(limiter.burst(), 3.0);
+  // Sub-1 qps still buckets at least one request.
+  RateLimiter slow(0.25, 0.0);
+  EXPECT_DOUBLE_EQ(slow.burst(), 1.0);
+  EXPECT_TRUE(slow.try_acquire(0.0));
+  double retry_after = 0.0;
+  EXPECT_FALSE(slow.try_acquire(0.0, &retry_after));
+  EXPECT_NEAR(retry_after, 4.0, 1e-9);
+}
+
+TEST(RateLimiter, TokensReportsBalanceWithoutSpending) {
+  RateLimiter limiter(10.0, 4.0);
+  EXPECT_NEAR(limiter.tokens(0.0), 4.0, 1e-9);
+  EXPECT_TRUE(limiter.try_acquire(0.0));
+  EXPECT_NEAR(limiter.tokens(0.0), 3.0, 1e-9);
+  EXPECT_NEAR(limiter.tokens(0.1), 4.0, 1e-9);  // refilled, still capped
+}
+
+TEST(RateLimiter, ConcurrentAcquiresNeverOversellTheBucket) {
+  // Frozen clock: exactly `burst` admissions may succeed no matter how
+  // many threads race for them.
+  RateLimiter limiter(/*qps=*/1.0, /*burst=*/100.0);
+  constexpr int kThreads = 8;
+  constexpr int kTriesPerThread = 50;
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&limiter, &admitted] {
+      for (int i = 0; i < kTriesPerThread; ++i) {
+        if (limiter.try_acquire(/*now_seconds=*/0.0)) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 100);
+}
+
+TEST(RateLimiter, WallClockOverloadAdmitsAtLeastTheBurst) {
+  RateLimiter limiter(1000.0, 8.0);
+  int admitted = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (limiter.try_acquire()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 8);
+}
+
+}  // namespace
+}  // namespace gosh::net

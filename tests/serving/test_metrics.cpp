@@ -21,6 +21,54 @@ TEST(MetricsRegistry, CounterFindsOrCreatesByName) {
   EXPECT_EQ(registry.counter("other_total").value(), 0u);
 }
 
+TEST(MetricsRegistry, GaugeSetsAddsAndFindsByName) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("inflight", "help text");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(4.0);
+  g.add(2.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("inflight").value(), 5.0);
+  // A different name is a different instrument; set() overwrites.
+  EXPECT_DOUBLE_EQ(registry.gauge("tokens").value(), 0.0);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(MetricsRegistry, GaugeAppearsInExpositionAsGaugeType) {
+  MetricsRegistry registry;
+  registry.gauge("gosh_http_inflight_connections", "open connections")
+      .set(3.0);
+  const std::string text = registry.expose();
+  EXPECT_NE(
+      text.find("# HELP gosh_http_inflight_connections open connections"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE gosh_http_inflight_connections gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("gosh_http_inflight_connections 3"), std::string::npos);
+  EXPECT_EQ(text, registry.expose());
+}
+
+TEST(MetricsRegistry, GaugeConcurrentAddsNeverLoseAnUpdate) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("concurrent_level");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      // +1/-1 bracketing, the in-flight-connection pattern: the final
+      // level must come back to exactly the surviving +1 per iteration.
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge.add(2.0);
+        gauge.add(-1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kPerThread * 1.0);
+}
+
 TEST(MetricsRegistry, HistogramQuantilesInterpolateInsideBuckets) {
   MetricsRegistry registry;
   // Buckets: (0,1], (1,2], (2,4], +Inf.

@@ -57,14 +57,18 @@ namespace {
 using namespace gosh;
 
 void usage() {
-  std::puts(
+  std::printf(
       "usage: gosh_query --store PATH (--build-index | --queries FILE|- |\n"
-      "                  --eval N) [--strategy exact|hnsw|batched|router|auto]\n"
-      "                  [--index PATH] [--k K] [--metric cosine|dot|l2]\n"
-      "                  [--aggregate max|mean] [--filter LO:HI] [--batch B]\n"
-      "                  [--ef EF] [--threads T] [--block-rows N] [--M M]\n"
-      "                  [--ef-construction EC] [--seed S] [--recall-floor F]\n"
-      "                  [--no-verify] [--options FILE] [--metrics]");
+      "                  --eval N) [serving flags] [tool flags]\n"
+      "serving flags (shared with gosh_serve):\n"
+      "%s"
+      "tool flags:\n"
+      "  --threads T            scan parallelism (default: all workers)\n"
+      "  --M M / --ef-construction EC   HNSW build shape (default 16 / 200)\n"
+      "  --seed S               build + --eval sampling seed (default 42)\n"
+      "  --recall-floor F       exit nonzero if --eval recall@k < F\n"
+      "  --metrics              dump the metrics exposition at exit\n",
+      api::serve_flags_usage());
 }
 
 int fail(const api::Status& status) {
@@ -357,12 +361,7 @@ int main(int argc, char** argv) {
   serving::MetricsRegistry& metrics = serving::MetricsRegistry::global();
   auto service = serving::make_service(options, &metrics);
   if (!service.ok()) return fail(service.status());
-  std::printf("store %s: %u rows x %u dim, strategy %s, metric %s\n",
-              options.store_path.c_str(), service.value()->rows(),
-              service.value()->dim(),
-              std::string(service.value()->strategy_name()).c_str(),
-              std::string(query::metric_name(service.value()->default_metric()))
-                  .c_str());
+  api::print_service_banner(options, *service.value());
 
   int exit_code = 0;
   if (options.eval_samples > 0) {

@@ -1,0 +1,183 @@
+// gosh_serve — gosh_query with a wire in front: the HTTP/1.1 serving
+// front-end over the same store/index/strategy flags.
+//
+//   gosh_serve --store emb.store --port 8080
+//   gosh_serve --store emb.store --strategy hnsw --rate-qps 500 --burst 50
+//   gosh_serve --store emb.store --port 0 --port-file /tmp/port \
+//              --allow-remote-shutdown                  # tests / CI smoke
+//
+// Endpoints:
+//   POST /v1/query        the QueryRequest JSON wire (see net/query_handler)
+//   GET  /metrics         Prometheus text exposition (rate-limit exempt)
+//   GET  /healthz         {"status":"ok"}              (rate-limit exempt)
+//   POST /admin/shutdown  graceful stop; only with --allow-remote-shutdown
+//
+// Network flags (everything ServeOptions speaks also works — the shared
+// flag block below is printed by --help):
+//   --host H               bind address (default 127.0.0.1)
+//   --port P               TCP port; 0 = ephemeral (default 8080)
+//   --threads T            connection worker pool (default 4)
+//   --scan-threads T       scan parallelism (ServeOptions "threads")
+//   --max-body N           request body cap in bytes -> 413 (default 1 MiB)
+//   --max-header N         request head cap in bytes -> 431 (default 16 KiB)
+//   --read-timeout-ms MS   per-read deadline -> 408 (default 5000)
+//   --keepalive-requests N requests per connection, 0=unlimited
+//   --rate-qps Q           global admission rate; 0 = off
+//   --burst B              global bucket depth (default max(Q, 1))
+//   --conn-rate-qps Q      per-connection admission rate; 0 = off
+//   --conn-burst B         per-connection bucket depth
+//   --port-file PATH       write the bound port (temp+rename) after listen
+//   --allow-remote-shutdown   register POST /admin/shutdown
+//
+// Shutdown: SIGINT/SIGTERM (and the admin endpoint) write one byte to a
+// self-pipe the main thread blocks on; main — never a connection worker —
+// then runs HttpServer::shutdown(), so in-flight requests finish and every
+// thread joins before exit.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "gosh/api/api.hpp"
+
+namespace {
+
+using namespace gosh;
+
+/// Self-pipe the signal handler and the admin endpoint both poke; main
+/// blocks on the read end. write() is async-signal-safe; nothing else is
+/// allowed in the handler.
+int g_stop_pipe[2] = {-1, -1};
+
+void request_stop() {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_stop_pipe[1], &byte, 1);
+}
+
+void on_signal(int) { request_stop(); }
+
+void usage() {
+  std::printf(
+      "usage: gosh_serve --store PATH [serving flags] [network flags]\n"
+      "serving flags (shared with gosh_query; scan parallelism is\n"
+      "--scan-threads here):\n"
+      "%s"
+      "network flags:\n"
+      "  --host H               bind address (default 127.0.0.1)\n"
+      "  --port P               TCP port; 0 = ephemeral (default 8080)\n"
+      "  --threads T            connection worker pool (default 4)\n"
+      "  --max-body N           request body cap in bytes (default 1 MiB)\n"
+      "  --max-header N         request head cap in bytes (default 16 KiB)\n"
+      "  --read-timeout-ms MS   per-read deadline (default 5000)\n"
+      "  --keepalive-requests N per-connection request cap (0 = unlimited)\n"
+      "  --rate-qps Q / --burst B             global admission bucket\n"
+      "  --conn-rate-qps Q / --conn-burst B   per-connection bucket\n"
+      "  --port-file PATH       write the bound port after listen\n"
+      "  --allow-remote-shutdown  register POST /admin/shutdown\n",
+      api::serve_flags_usage());
+}
+
+int fail(const api::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+/// Writes the bound port where a poller (the CI smoke script) watches for
+/// it — to a temp name first, renamed into place, so the poller can never
+/// read a half-written file.
+api::Status write_port_file(const std::string& path, unsigned short port) {
+  const std::string temp = path + ".tmp";
+  std::FILE* out = std::fopen(temp.c_str(), "w");
+  if (out == nullptr) {
+    return api::Status::io_error("cannot write port file " + temp);
+  }
+  std::fprintf(out, "%u\n", static_cast<unsigned>(port));
+  if (std::fclose(out) != 0) {
+    return api::Status::io_error("short write on port file " + temp);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    return api::Status::io_error("cannot rename " + temp + " -> " + path +
+                                 ": " + std::strerror(errno));
+  }
+  return api::Status::ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = net::NetOptions::from_args(argc, argv);
+  if (!parsed.ok()) {
+    fail(parsed.status());
+    usage();
+    return 1;
+  }
+  net::NetOptions options = std::move(parsed).value();
+  if (options.show_help) {
+    usage();
+    return 0;
+  }
+
+  serving::MetricsRegistry& metrics = serving::MetricsRegistry::global();
+  auto service = serving::make_service(options.serve, &metrics);
+  if (!service.ok()) return fail(service.status());
+  api::print_service_banner(options.serve, *service.value());
+
+  if (::pipe(g_stop_pipe) != 0) {
+    return fail(api::Status::io_error(std::string("pipe: ") +
+                                      std::strerror(errno)));
+  }
+
+  net::QueryHandler handler(*service.value());
+  net::HttpServer server(options, &metrics);
+  server.handle("POST", "/v1/query", [&handler](const net::HttpRequest& r) {
+    return handler.handle(r);
+  });
+  net::add_builtin_routes(server, metrics);
+  if (options.allow_remote_shutdown) {
+    // The handler runs on a connection worker, which must NOT call
+    // shutdown() itself — it pokes the same pipe the signal handler does
+    // and main performs the stop after the response is on the wire.
+    server.handle(
+        "POST", "/admin/shutdown",
+        [](const net::HttpRequest&) {
+          request_stop();
+          net::HttpResponse response =
+              net::HttpResponse::json(200, "{\"status\":\"shutting down\"}");
+          response.set_header("Connection", "close");
+          return response;
+        },
+        /*rate_limited=*/false);
+  }
+
+  if (api::Status status = server.start(); !status.is_ok()) {
+    return fail(status);
+  }
+  if (!options.port_file.empty()) {
+    if (api::Status status = write_port_file(options.port_file, server.port());
+        !status.is_ok()) {
+      server.shutdown();
+      return fail(status);
+    }
+  }
+  std::printf("serving on %s:%u (%u workers%s)\n", options.host.c_str(),
+              static_cast<unsigned>(server.port()), options.threads,
+              options.rate_qps > 0 ? ", rate-limited" : "");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Park until a signal or the admin endpoint fires; EINTR just re-polls.
+  pollfd pfd{g_stop_pipe[0], POLLIN, 0};
+  while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("shutting down\n");
+  server.shutdown();
+  ::close(g_stop_pipe[0]);
+  ::close(g_stop_pipe[1]);
+  return 0;
+}
