@@ -157,7 +157,10 @@ void register_isa_benchmarks() {
                               simd::Isa::kAvx512, simd::Isa::kNeon}) {
     const simd::KernelTable* table = simd::kernel_table(isa);
     if (table == nullptr) continue;
-    const std::string suffix = "/" + std::string(simd::isa_name(isa));
+    // Lvalue temp: `"/" + std::string(...)` hits GCC 12's -Wrestrict false
+    // positive (PR105651) on the rvalue operator+ overload.
+    const std::string isa_str(simd::isa_name(isa));
+    const std::string suffix = "/" + isa_str;
 
     benchmark::RegisterBenchmark(
         ("simd_dot" + suffix).c_str(),

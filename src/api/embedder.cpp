@@ -155,7 +155,7 @@ class GoshBackend final : public Embedder {
           if (observer != nullptr && *announced && !done)
             observer->on_pipeline_end(timer.seconds());
         }
-      } end_guard{observer, &announced};
+      } end_guard{observer, &announced, WallTimer{}, false};
 
       // Per-embed traffic accounting: the device is owned by this backend
       // instance, so a reset here scopes the counters to this run.

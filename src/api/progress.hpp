@@ -30,20 +30,21 @@ class ProgressObserver {
 
   /// Fired once, after the backend has planned its work. `num_levels` is 1
   /// for flat backends and the hierarchy depth for the GOSH pipeline.
-  virtual void on_pipeline_begin(std::string_view backend,
-                                 std::size_t num_levels) {}
-  virtual void on_level_begin(const LevelInfo& level) {}
+  virtual void on_pipeline_begin(std::string_view /*backend*/,
+                                 std::size_t /*num_levels*/) {}
+  virtual void on_level_begin(const LevelInfo& /*level*/) {}
   /// Per synchronized training pass within the level: one tick per
   /// Algorithm 3 pass on the resident path, one tick per Algorithm 5
   /// rotation on the partitioned path. `epoch` counts from 0 to
   /// `total - 1` within the level.
-  virtual void on_epoch(std::size_t level, unsigned epoch, unsigned total) {}
+  virtual void on_epoch(std::size_t /*level*/, unsigned /*epoch*/,
+                        unsigned /*total*/) {}
   /// Per pair kernel inside one rotation of the partitioned path
   /// (`pair` counts from 0 to `num_pairs - 1`); silent on resident levels.
-  virtual void on_pair(std::size_t level, unsigned rotation, std::size_t pair,
-                       std::size_t num_pairs) {}
-  virtual void on_level_end(const LevelInfo& level, double seconds) {}
-  virtual void on_pipeline_end(double total_seconds) {}
+  virtual void on_pair(std::size_t /*level*/, unsigned /*rotation*/,
+                       std::size_t /*pair*/, std::size_t /*num_pairs*/) {}
+  virtual void on_level_end(const LevelInfo& /*level*/, double /*seconds*/) {}
+  virtual void on_pipeline_end(double /*total_seconds*/) {}
 };
 
 /// Renders pipeline/level events through the library logger at Info level

@@ -1,0 +1,154 @@
+// Annotated synchronization primitives — the single place raw mutexes live.
+//
+// GOSH's speed comes from deliberate lock-freedom: the Algorithm 1 row
+// updates race by design (HOGWILD), and everything around them — sample
+// pools, batch queues, the HTTP worker pool, metrics — must NOT race. The
+// line between "accepted race" and "bug" used to be a runtime TSan job;
+// these wrappers move the locking discipline into the type system instead.
+// Under Clang, `-Wthread-safety -Werror=thread-safety` then proves at
+// compile time that every field marked GOSH_GUARDED_BY is only touched
+// with its mutex held; under GCC the attributes expand to nothing and the
+// wrappers are zero-cost forwarding shims over the std primitives.
+//
+// Usage pattern (see thread_pool.hpp for the canonical migration):
+//
+//   common::Mutex mutex_;
+//   common::CondVar cv_;
+//   std::deque<Task> queue_ GOSH_GUARDED_BY(mutex_);
+//   bool stopping_ GOSH_GUARDED_BY(mutex_) = false;
+//
+//   common::UniqueLock lock(mutex_);
+//   while (!stopping_ && queue_.empty()) cv_.wait(lock);
+//
+// Condition-variable predicates are written as explicit `while` loops, not
+// lambdas: the analysis is per-function, and a lambda body has no way to
+// declare that it runs with the capability held, so guarded reads inside a
+// predicate lambda would (rightly) fail the analysis.
+//
+// Project lint: tools/lint/gosh_lint forbids raw std::mutex /
+// std::condition_variable / std::lock_guard / std::unique_lock / pthread_
+// everywhere outside this header, so new concurrent code cannot bypass the
+// annotations by accident.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---- Clang Thread Safety Analysis attribute macros. ------------------------
+// No-ops on GCC and MSVC; see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#if defined(__clang__) && (!defined(SWIG))
+#define GOSH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GOSH_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Marks a class as a capability (a lockable resource) named in messages.
+#define GOSH_CAPABILITY(x) GOSH_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define GOSH_SCOPED_CAPABILITY GOSH_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read or written with `x` held.
+#define GOSH_GUARDED_BY(x) GOSH_THREAD_ANNOTATION(guarded_by(x))
+/// Pointed-to data may only be touched with `x` held.
+#define GOSH_PT_GUARDED_BY(x) GOSH_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function acquires the capability (held on return, not on entry).
+#define GOSH_ACQUIRE(...) \
+  GOSH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define GOSH_RELEASE(...) \
+  GOSH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Caller must hold the capability across the call.
+#define GOSH_REQUIRES(...) \
+  GOSH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (deadlock prevention).
+#define GOSH_EXCLUDES(...) GOSH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability iff it returns `b`.
+#define GOSH_TRY_ACQUIRE(b, ...) \
+  GOSH_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+/// Escape hatch: the function is checked by inspection/TSan instead.
+#define GOSH_NO_THREAD_SAFETY_ANALYSIS \
+  GOSH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gosh::common {
+
+/// std::mutex with capability annotations. Lock it through MutexLock /
+/// UniqueLock; the raw lock()/unlock() exist for the rare hand-over-hand
+/// pattern and stay visible to the analysis.
+class GOSH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GOSH_ACQUIRE() { mutex_.lock(); }
+  void unlock() GOSH_RELEASE() { mutex_.unlock(); }
+  bool try_lock() GOSH_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mutex_;
+};
+
+/// RAII lock for the whole scope — the std::lock_guard shape.
+class GOSH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GOSH_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() GOSH_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII lock that can be dropped and re-taken mid-scope and waited on —
+/// the std::unique_lock shape, annotated so the analysis tracks the
+/// lock/unlock calls (the canonical "relockable scoped capability").
+class GOSH_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) GOSH_ACQUIRE(mutex)
+      : lock_(mutex.mutex_) {}
+  ~UniqueLock() GOSH_RELEASE() = default;  // std::unique_lock skips unowned
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() GOSH_ACQUIRE() { lock_.lock(); }
+  void unlock() GOSH_RELEASE() { lock_.unlock(); }
+  bool owns_lock() const noexcept { return lock_.owns_lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over Mutex/UniqueLock. wait() releases the lock
+/// while blocked and re-takes it before returning, exactly like the std
+/// primitive — to the analysis the capability is simply held throughout,
+/// which is the sound over-approximation (the caller re-checks its
+/// predicate in a `while` loop either way).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gosh::common

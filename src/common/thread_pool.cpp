@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -32,7 +32,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 
 void ThreadPool::submit_detached(std::function<void()> fn) {
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
@@ -42,8 +42,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      common::UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -8,14 +8,14 @@
 // condition variable between tasks.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "gosh/common/sync.hpp"
 
 namespace gosh {
 
@@ -43,10 +43,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  common::Mutex mutex_;
+  common::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GOSH_GUARDED_BY(mutex_);
+  bool stopping_ GOSH_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool, created on first use with hardware concurrency.

@@ -95,7 +95,7 @@ SampleManager::SampleManager(const graph::Graph& graph,
 
 SampleManager::~SampleManager() {
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     stopping_ = true;
   }
   not_full_.notify_all();
@@ -104,8 +104,8 @@ SampleManager::~SampleManager() {
 }
 
 std::unique_ptr<PairSamples> SampleManager::next_pool() {
-  std::unique_lock lock(mutex_);
-  not_empty_.wait(lock, [this] { return !queue_.empty() || finished_; });
+  common::UniqueLock lock(mutex_);
+  while (queue_.empty() && !finished_) not_empty_.wait(lock);
   if (queue_.empty()) return nullptr;
   auto pool = std::move(queue_.front());
   queue_.pop_front();
@@ -119,16 +119,16 @@ void SampleManager::producer_loop() {
     for (const auto& [a, b] : pairs) {
       auto pool = std::make_unique<PairSamples>(make_pool(
           graph_, plan_, r, a, b, batch_B_, sampler_threads_, seed_));
-      std::unique_lock lock(mutex_);
-      not_full_.wait(lock, [this] {
-        return queue_.size() < queue_capacity_ || stopping_;
-      });
+      common::UniqueLock lock(mutex_);
+      while (queue_.size() >= queue_capacity_ && !stopping_) {
+        not_full_.wait(lock);
+      }
       if (stopping_) return;
       queue_.push_back(std::move(pool));
       not_empty_.notify_one();
     }
   }
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   finished_ = true;
   not_empty_.notify_all();
 }

@@ -15,14 +15,13 @@
 // of `sampler_threads` workers parallelizes each pool's fill.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "gosh/common/sync.hpp"
 #include "gosh/graph/graph.hpp"
 #include "gosh/largegraph/partition.hpp"
 
@@ -77,12 +76,12 @@ class SampleManager {
   std::uint64_t seed_;
   std::size_t queue_capacity_;
 
-  std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::unique_ptr<PairSamples>> queue_;
-  bool finished_ = false;
-  bool stopping_ = false;
+  common::Mutex mutex_;
+  common::CondVar not_empty_;
+  common::CondVar not_full_;
+  std::deque<std::unique_ptr<PairSamples>> queue_ GOSH_GUARDED_BY(mutex_);
+  bool finished_ GOSH_GUARDED_BY(mutex_) = false;
+  bool stopping_ GOSH_GUARDED_BY(mutex_) = false;
   std::thread producer_;
 };
 

@@ -1,10 +1,8 @@
 #include "gosh/largegraph/trainer.hpp"
 
 #include <cassert>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +10,7 @@
 
 #include "gosh/common/rng.hpp"
 #include "gosh/common/sigmoid.hpp"
+#include "gosh/common/sync.hpp"
 #include "gosh/embedding/schedule.hpp"
 #include "gosh/embedding/update.hpp"
 #include "gosh/largegraph/rotation.hpp"
@@ -227,9 +226,9 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
     pools.push_back(std::move(pool));
   }
 
-  std::mutex pool_mutex;
-  std::condition_variable pool_freed;   // a device pool slot became free
-  std::condition_variable pool_ready;   // an uploaded pool is available
+  common::Mutex pool_mutex;
+  common::CondVar pool_freed;   // a device pool slot became free
+  common::CondVar pool_ready;   // an uploaded pool is available
   std::deque<unsigned> free_pool_slots;
   std::deque<unsigned> ready_pool_slots;  // in pair order
   bool pools_done = false;
@@ -247,8 +246,8 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
       if (host_pool == nullptr) break;
       unsigned slot;
       {
-        std::unique_lock lock(pool_mutex);
-        pool_freed.wait(lock, [&] { return !free_pool_slots.empty(); });
+        common::UniqueLock lock(pool_mutex);
+        while (free_pool_slots.empty()) pool_freed.wait(lock);
         slot = free_pool_slots.front();
         free_pool_slots.pop_front();
       }
@@ -265,13 +264,13 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
             device_pool.a_count);
       }
       {
-        std::lock_guard lock(pool_mutex);
+        common::MutexLock lock(pool_mutex);
         ready_pool_slots.push_back(slot);
       }
       pool_ready.notify_one();
     }
     {
-      std::lock_guard lock(pool_mutex);
+      common::MutexLock lock(pool_mutex);
       pools_done = true;
     }
     pool_ready.notify_all();
@@ -294,9 +293,8 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
       // Wait for the pool of this pair (pools arrive in pair order).
       unsigned pool_slot;
       {
-        std::unique_lock lock(pool_mutex);
-        pool_ready.wait(lock,
-                        [&] { return !ready_pool_slots.empty() || pools_done; });
+        common::UniqueLock lock(pool_mutex);
+        while (ready_pool_slots.empty() && !pools_done) pool_ready.wait(lock);
         assert(!ready_pool_slots.empty());
         pool_slot = ready_pool_slots.front();
         ready_pool_slots.pop_front();
@@ -366,7 +364,7 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
       if (config_.on_pair) config_.on_pair(r, pair_index, pairs.size());
 
       {
-        std::lock_guard lock(pool_mutex);
+        common::MutexLock lock(pool_mutex);
         free_pool_slots.push_back(pool_slot);
       }
       pool_freed.notify_one();

@@ -16,12 +16,15 @@ api::Status bad(std::string message) {
 /// A JSON number that must be a non-negative integer (ids, k, ef).
 api::Status read_unsigned(const json::Value& value, std::string_view field,
                           std::uint64_t max, std::uint64_t& out) {
+  // Named lvalue: `"'" + std::string(field)` picks the rvalue operator+
+  // overload that GCC 12 misdiagnoses under -Wrestrict (PR105651).
+  const std::string name(field);
   if (!value.is_number()) {
-    return bad("'" + std::string(field) + "' must be a number");
+    return bad("'" + name + "' must be a number");
   }
   const double d = value.as_number();
   if (!(d >= 0) || d != std::floor(d) || d > static_cast<double>(max)) {
-    return bad("'" + std::string(field) +
+    return bad("'" + name +
                "' must be a non-negative integer <= " + std::to_string(max));
   }
   out = static_cast<std::uint64_t>(d);
@@ -30,18 +33,17 @@ api::Status read_unsigned(const json::Value& value, std::string_view field,
 
 api::Status read_vector(const json::Value& value, std::string_view field,
                         unsigned dim, std::vector<float>& out) {
+  const std::string name(field);  // lvalue, as in read_unsigned
   if (!value.is_array()) {
-    return bad("'" + std::string(field) + "' must be an array of numbers");
+    return bad("'" + name + "' must be an array of numbers");
   }
   if (value.size() != dim) {
-    return bad("'" + std::string(field) + "' must hold exactly " +
-               std::to_string(dim) + " numbers (store dim), got " +
-               std::to_string(value.size()));
+    return bad("'" + name + "' must hold exactly " + std::to_string(dim) +
+               " numbers (store dim), got " + std::to_string(value.size()));
   }
   for (std::size_t i = 0; i < value.size(); ++i) {
     if (!value[i].is_number()) {
-      return bad("'" + std::string(field) + "[" + std::to_string(i) +
-                 "]' must be a number");
+      return bad("'" + name + "[" + std::to_string(i) + "]' must be a number");
     }
     out.push_back(static_cast<float>(value[i].as_number()));
   }

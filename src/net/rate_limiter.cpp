@@ -26,7 +26,7 @@ double RateLimiter::refill_locked(double now_seconds) const {
 bool RateLimiter::try_acquire(double now_seconds,
                               double* retry_after_seconds) {
   if (!enabled()) return true;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const double available = refill_locked(now_seconds);
   tokens_ = available;
   last_ = now_seconds;
@@ -46,7 +46,7 @@ bool RateLimiter::try_acquire(double* retry_after_seconds) {
 
 double RateLimiter::tokens(double now_seconds) const {
   if (!enabled()) return 0.0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return refill_locked(now_seconds);
 }
 

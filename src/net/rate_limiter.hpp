@@ -12,7 +12,7 @@
 // overloads read the steady clock.
 #pragma once
 
-#include <mutex>
+#include "gosh/common/sync.hpp"
 
 namespace gosh::net {
 
@@ -40,13 +40,14 @@ class RateLimiter {
   static double now_seconds();
 
  private:
-  double refill_locked(double now_seconds) const;
+  double refill_locked(double now_seconds) const GOSH_REQUIRES(mutex_);
 
   double qps_;
   double burst_;
-  mutable std::mutex mutex_;
-  double tokens_;
-  double last_;  ///< monotonic seconds of the last refill; <0 = never
+  mutable common::Mutex mutex_;
+  double tokens_ GOSH_GUARDED_BY(mutex_);
+  /// Monotonic seconds of the last refill; <0 = never.
+  double last_ GOSH_GUARDED_BY(mutex_);
 };
 
 }  // namespace gosh::net

@@ -160,14 +160,14 @@ api::Status HttpServer::start() {
 }
 
 bool HttpServer::stopping() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stopping_;
 }
 
 void HttpServer::shutdown() {
   if (!running_) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -183,8 +183,13 @@ void HttpServer::shutdown() {
   }
   workers_.clear();
 
-  for (const int fd : pending_) ::close(fd);
-  pending_.clear();
+  {
+    // Every producer/consumer thread is joined, but the analysis (and any
+    // future caller added off the control thread) wants the lock held.
+    common::MutexLock lock(mutex_);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
   close_fd(listen_fd_);
   close_fd(wake_pipe_[0]);
   close_fd(wake_pipe_[1]);
@@ -208,18 +213,26 @@ void HttpServer::accept_loop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     if (connections_ != nullptr) connections_->increment();
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (stopping_) {
-      lock.unlock();
+    enum class Gate { kQueued, kStopping, kOverloaded } gate;
+    {
+      common::MutexLock lock(mutex_);
+      if (stopping_) {
+        gate = Gate::kStopping;
+      } else if (pending_.size() >=
+                 std::max<std::size_t>(64, std::size_t{8} * options_.threads)) {
+        // Admission at the accept gate too: with every worker pinned and
+        // the backlog full, shedding with 503 beats queueing into timeout.
+        gate = Gate::kOverloaded;
+      } else {
+        pending_.push_back(fd);
+        gate = Gate::kQueued;
+      }
+    }
+    if (gate == Gate::kStopping) {
       ::close(fd);
       return;
     }
-    // Admission at the accept gate too: with every worker pinned and the
-    // backlog full, shedding with 503 beats queueing into timeout.
-    const std::size_t max_pending =
-        std::max<std::size_t>(64, std::size_t{8} * options_.threads);
-    if (pending_.size() >= max_pending) {
-      lock.unlock();
+    if (gate == Gate::kOverloaded) {
       const std::string bytes = serialize_response(
           HttpResponse::error(503, "overloaded",
                               "connection backlog full, retry later"),
@@ -228,8 +241,6 @@ void HttpServer::accept_loop() {
       ::close(fd);
       continue;
     }
-    pending_.push_back(fd);
-    lock.unlock();
     cv_.notify_one();
   }
 }
@@ -238,8 +249,8 @@ void HttpServer::worker_loop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      common::UniqueLock lock(mutex_);
+      while (!stopping_ && pending_.empty()) cv_.wait(lock);
       if (pending_.empty()) return;  // stopping_, queue drained
       fd = pending_.front();
       pending_.pop_front();
@@ -433,7 +444,7 @@ bool HttpServer::serve_one(int fd, std::string& buffer,
       response = HttpResponse::error(
           404, "not_found", "no route for " + std::string(request.path()));
     }
-  } else if (const bool shed = [&] {
+  } else if ([&] {
                if (!route->rate_limited) return false;
                double retry_after = 0.0;
                if (global_limiter_ != nullptr) {

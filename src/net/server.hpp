@@ -27,16 +27,15 @@
 // in-flight connection gauge, rate-limiter sheds and token-level gauge.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "gosh/common/sync.hpp"
 #include "gosh/net/http.hpp"
 #include "gosh/net/options.hpp"
 #include "gosh/net/rate_limiter.hpp"
@@ -115,10 +114,11 @@ class HttpServer {
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;
-  std::deque<int> pending_;  ///< accepted fds awaiting a worker
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;
+  /// Accepted fds awaiting a worker.
+  std::deque<int> pending_ GOSH_GUARDED_BY(mutex_);
+  bool stopping_ GOSH_GUARDED_BY(mutex_) = false;
 
   // Instruments resolved once at start() (null without a registry).
   serving::Counter* connections_ = nullptr;

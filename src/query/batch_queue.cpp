@@ -39,9 +39,10 @@ double QueryCounters::max_latency_seconds() const noexcept {
 
 BatchQueue::BatchQueue(const QueryEngine& engine, BatchQueueOptions options,
                        QueryObserver* observer)
-    : engine_(engine), options_(options), observer_(observer) {
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
-}
+    : engine_(engine),
+      options_(options),
+      observer_(observer),
+      dispatcher_([this] { dispatch_loop(); }) {}
 
 BatchQueue::~BatchQueue() { stop(); }
 
@@ -58,7 +59,7 @@ std::future<std::vector<Neighbor>> BatchQueue::submit(
   }
   request.query = std::move(query);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (stopping_) {
       request.promise.set_exception(std::make_exception_ptr(
           std::runtime_error("BatchQueue: submit after stop")));
@@ -73,7 +74,7 @@ std::future<std::vector<Neighbor>> BatchQueue::submit(
 void BatchQueue::stop() {
   std::thread worker;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stopping_ = true;
     worker = std::move(dispatcher_);  // exactly one caller gets to join
   }
@@ -82,7 +83,7 @@ void BatchQueue::stop() {
 }
 
 std::size_t BatchQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return pending_.size();
 }
 
@@ -90,8 +91,8 @@ void BatchQueue::dispatch_loop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      common::UniqueLock lock(mutex_);
+      while (!stopping_ && pending_.empty()) cv_.wait(lock);
       if (pending_.empty()) return;  // stopping and drained
       const std::size_t take =
           std::min(options_.max_batch > 0 ? options_.max_batch : 1,

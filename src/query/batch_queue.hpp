@@ -12,14 +12,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "gosh/common/sync.hpp"
 #include "gosh/query/engine.hpp"
 
 namespace gosh::query {
@@ -32,9 +31,9 @@ class QueryObserver {
  public:
   virtual ~QueryObserver() = default;
   /// One engine call serving `queries` coalesced requests.
-  virtual void on_batch(std::size_t queries, double seconds) {}
+  virtual void on_batch(std::size_t /*queries*/, double /*seconds*/) {}
   /// One request fulfilled; `latency_seconds` covers enqueue -> result.
-  virtual void on_query(double latency_seconds) {}
+  virtual void on_query(double /*latency_seconds*/) {}
 };
 
 /// Default observer: lock-free running counters, readable while serving.
@@ -98,11 +97,14 @@ class BatchQueue {
   const BatchQueueOptions options_;
   QueryObserver* observer_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Pending> pending_;
-  bool stopping_ = false;
-  std::thread dispatcher_;
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;
+  std::deque<Pending> pending_ GOSH_GUARDED_BY(mutex_);
+  bool stopping_ GOSH_GUARDED_BY(mutex_) = false;
+  /// Guarded: stop() is idempotent by moving the thread out under the lock,
+  /// so exactly one caller joins. (Initialized in the constructor's member
+  /// list, before any concurrency exists.)
+  std::thread dispatcher_ GOSH_GUARDED_BY(mutex_);
 };
 
 }  // namespace gosh::query

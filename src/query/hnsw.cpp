@@ -246,7 +246,9 @@ std::vector<Neighbor> HnswIndex::search(const store::EmbeddingStore& store,
 namespace {
 
 void append_raw(std::string& buffer, const void* data, std::size_t bytes) {
-  buffer.append(static_cast<const char*>(data), bytes);
+  // data is null for empty vectors (zero-degree adjacency); append(null, 0)
+  // is undefined, so skip the call entirely.
+  if (bytes > 0) buffer.append(static_cast<const char*>(data), bytes);
 }
 template <typename T>
 void append_pod(std::string& buffer, const T& value) {
@@ -259,7 +261,9 @@ struct Cursor {
   std::size_t at = 0;
   bool read(void* out, std::size_t bytes) {
     if (at + bytes > size) return false;
-    std::memcpy(out, data + at, bytes);
+    // bytes == 0 happens for zero-degree adjacency lists, whose vector
+    // data() is null — memcpy must not see a null pointer even then.
+    if (bytes > 0) std::memcpy(out, data + at, bytes);
     at += bytes;
     return true;
   }

@@ -112,7 +112,7 @@ MetricsRegistry& MetricsRegistry::global() {
 
 Counter& MetricsRegistry::counter(std::string_view name,
                                   std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& entry : counters_) {
     if (entry->name == name) return entry->counter;
   }
@@ -123,7 +123,7 @@ Counter& MetricsRegistry::counter(std::string_view name,
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& entry : gauges_) {
     if (entry->name == name) return entry->gauge;
   }
@@ -136,7 +136,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view help,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& entry : histograms_) {
     if (entry->name == name) return entry->histogram;
   }
@@ -147,7 +147,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 std::string MetricsRegistry::expose() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::string out;
 
   // Stable order: counters, gauges, then histograms, each sorted by name,

@@ -19,12 +19,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "gosh/api/progress.hpp"
+#include "gosh/common/sync.hpp"
 #include "gosh/query/batch_queue.hpp"
 
 namespace gosh::serving {
@@ -127,10 +127,11 @@ class MetricsRegistry {
     HistogramEntry(std::vector<double> bounds) : histogram(std::move(bounds)) {}
   };
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<CounterEntry>> counters_;
-  std::vector<std::unique_ptr<GaugeEntry>> gauges_;
-  std::vector<std::unique_ptr<HistogramEntry>> histograms_;
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<CounterEntry>> counters_ GOSH_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<GaugeEntry>> gauges_ GOSH_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<HistogramEntry>> histograms_
+      GOSH_GUARDED_BY(mutex_);
 };
 
 /// Streams the BatchQueue/QueryService serving events into a registry:

@@ -1,14 +1,13 @@
 #include "gosh/simt/device.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gosh/common/aligned_buffer.hpp"
+#include "gosh/common/sync.hpp"
 
 namespace gosh::simt {
 
@@ -53,7 +52,7 @@ struct Device::Impl {
 
   ~Impl() {
     {
-      std::lock_guard lock(mutex);
+      common::MutexLock lock(mutex);
       stopping = true;
     }
     work_cv.notify_all();
@@ -62,12 +61,12 @@ struct Device::Impl {
 
   void run(std::size_t num_warps, std::size_t shared_bytes,
            const WarpKernel& kernel) {
-    std::unique_lock lock(mutex);
+    common::UniqueLock lock(mutex);
     // One launch at a time per device; concurrent launchers (one per
     // stream) serialize here. In-order execution per stream and a full
     // barrier per launch are exactly the guarantees the trainer's
     // epoch-synchronization relies on.
-    idle_cv.wait(lock, [this] { return current == nullptr; });
+    while (current != nullptr) idle_cv.wait(lock);
 
     Launch launch;
     launch.num_warps = num_warps;
@@ -77,9 +76,9 @@ struct Device::Impl {
     ++generation;
     work_cv.notify_all();
 
-    done_cv.wait(lock, [&launch] {
-      return launch.completed == launch.num_warps && launch.refs == 0;
-    });
+    while (launch.completed != launch.num_warps || launch.refs != 0) {
+      done_cv.wait(lock);
+    }
     current = nullptr;
     idle_cv.notify_one();
   }
@@ -88,9 +87,9 @@ struct Device::Impl {
     AlignedBuffer<std::byte>& arena = shared_arenas[worker_index];
     const std::size_t grain = std::max<std::size_t>(1, config.warp_grain);
 
-    std::unique_lock lock(mutex);
+    common::UniqueLock lock(mutex);
     for (;;) {
-      work_cv.wait(lock, [this] { return stopping || current != nullptr; });
+      while (!stopping && current == nullptr) work_cv.wait(lock);
       if (stopping) return;
       Launch* launch = current;
       const std::uint64_t my_generation = generation;
@@ -121,9 +120,9 @@ struct Device::Impl {
       }
       // Park until this launch retires; otherwise the worker would spin on
       // the exhausted cursor while the launcher is still waking up.
-      work_cv.wait(lock, [this, my_generation] {
-        return stopping || generation != my_generation || current == nullptr;
-      });
+      while (!stopping && generation == my_generation && current != nullptr) {
+        work_cv.wait(lock);
+      }
       if (stopping) return;
     }
   }
@@ -131,13 +130,13 @@ struct Device::Impl {
   DeviceConfig config;
   std::vector<std::thread> threads;
   std::vector<AlignedBuffer<std::byte>> shared_arenas;
-  std::mutex mutex;
-  std::condition_variable work_cv;   // new launch available
-  std::condition_variable done_cv;   // current launch fully complete
-  std::condition_variable idle_cv;   // device free for the next launcher
-  Launch* current = nullptr;         // guarded by mutex
-  std::uint64_t generation = 0;      // guarded by mutex
-  bool stopping = false;             // guarded by mutex
+  common::Mutex mutex;
+  common::CondVar work_cv;   // new launch available
+  common::CondVar done_cv;   // current launch fully complete
+  common::CondVar idle_cv;   // device free for the next launcher
+  Launch* current GOSH_GUARDED_BY(mutex) = nullptr;
+  std::uint64_t generation GOSH_GUARDED_BY(mutex) = 0;
+  bool stopping GOSH_GUARDED_BY(mutex) = false;
 };
 
 Device::Device(const DeviceConfig& config)

@@ -141,15 +141,20 @@ class DeviceBuffer {
 
   ~DeviceBuffer() { release(); }
 
-  /// Copies host data into the buffer (metered H2D).
+  /// Copies host data into the buffer (metered H2D). An empty span is a
+  /// no-op: its data() may be null, which memcpy must never see.
   void copy_from_host(std::span<const T> host, std::size_t offset = 0) {
-    std::memcpy(data_ + offset, host.data(), host.size_bytes());
+    if (!host.empty()) {
+      std::memcpy(data_ + offset, host.data(), host.size_bytes());
+    }
     device_->metrics().add_h2d(host.size_bytes());
   }
 
-  /// Copies buffer contents out to host (metered D2H).
+  /// Copies buffer contents out to host (metered D2H). Empty span: no-op.
   void copy_to_host(std::span<T> host, std::size_t offset = 0) const {
-    std::memcpy(host.data(), data_ + offset, host.size_bytes());
+    if (!host.empty()) {
+      std::memcpy(host.data(), data_ + offset, host.size_bytes());
+    }
     device_->metrics().add_d2h(host.size_bytes());
   }
 

@@ -5,18 +5,18 @@ namespace gosh::simt {
 Event::Event() : state_(std::make_shared<State>()) {}
 
 void Event::wait() const {
-  std::unique_lock lock(state_->mutex);
-  state_->cv.wait(lock, [this] { return state_->set; });
+  common::UniqueLock lock(state_->mutex);
+  while (!state_->set) state_->cv.wait(lock);
 }
 
 bool Event::ready() const {
-  std::lock_guard lock(state_->mutex);
+  common::MutexLock lock(state_->mutex);
   return state_->set;
 }
 
 void Event::signal() const {
   {
-    std::lock_guard lock(state_->mutex);
+    common::MutexLock lock(state_->mutex);
     state_->set = true;
   }
   state_->cv.notify_all();
@@ -26,7 +26,7 @@ Stream::Stream() { thread_ = std::thread([this] { worker_loop(); }); }
 
 Stream::~Stream() {
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -35,7 +35,7 @@ Stream::~Stream() {
 
 void Stream::enqueue(std::function<void()> work) {
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     queue_.push_back(std::move(work));
   }
   cv_.notify_one();
@@ -48,18 +48,18 @@ Event Stream::record() {
 }
 
 void Stream::synchronize() {
-  std::unique_lock lock(mutex_);
-  drained_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  common::UniqueLock lock(mutex_);
+  while (!queue_.empty() || busy_) drained_.wait(lock);
 }
 
 void Stream::worker_loop() {
   for (;;) {
     std::function<void()> work;
     {
-      std::unique_lock lock(mutex_);
+      common::UniqueLock lock(mutex_);
       busy_ = false;
       if (queue_.empty()) drained_.notify_all();
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (stopping_ && queue_.empty()) return;
       work = std::move(queue_.front());
       queue_.pop_front();

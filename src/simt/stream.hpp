@@ -12,12 +12,12 @@
 // has finished.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "gosh/common/sync.hpp"
 
 namespace gosh::simt {
 
@@ -36,9 +36,9 @@ class Event {
   void signal() const;
 
   struct State {
-    mutable std::mutex mutex;
-    mutable std::condition_variable cv;
-    bool set = false;
+    mutable common::Mutex mutex;
+    mutable common::CondVar cv;
+    bool set GOSH_GUARDED_BY(mutex) = false;
   };
   std::shared_ptr<State> state_;
 };
@@ -63,12 +63,12 @@ class Stream {
  private:
   void worker_loop();
 
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;        // queue became non-empty / stopping
-  std::condition_variable drained_;   // queue empty and worker idle
-  bool stopping_ = false;
-  bool busy_ = false;
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;        // queue became non-empty / stopping
+  common::CondVar drained_;   // queue empty and worker idle
+  std::deque<std::function<void()>> queue_ GOSH_GUARDED_BY(mutex_);
+  bool stopping_ GOSH_GUARDED_BY(mutex_) = false;
+  bool busy_ GOSH_GUARDED_BY(mutex_) = false;
   /// Declared last (and started in the constructor body): the worker locks
   /// mutex_ immediately, so every other member must be built before it.
   std::thread thread_;

@@ -111,7 +111,9 @@ TEST_P(RngVertexBoundTest, VertexSamplesCoverRange) {
     seen.insert(v);
   }
   // All values should appear for small n.
-  if (n <= 8) EXPECT_EQ(seen.size(), n);
+  if (n <= 8) {
+    EXPECT_EQ(seen.size(), n);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Bounds, RngVertexBoundTest,

@@ -28,7 +28,9 @@ api::EmbedResult must_embed(const graph::Graph& g,
 TEST(Presets, MatchTable3) {
   const auto preset = [](const char* name, bool large_scale = false) {
     api::Options options;
-    if (large_scale) EXPECT_TRUE(options.set("large-scale", "true").is_ok());
+    if (large_scale) {
+      EXPECT_TRUE(options.set("large-scale", "true").is_ok());
+    }
     EXPECT_TRUE(options.set("preset", name).is_ok());
     return options;
   };
@@ -151,7 +153,9 @@ TEST(GoshEmbed, CoarseningImprovesSmallBudgetQuality) {
 
   auto separation = [&](bool coarsen) {
     api::Options options = device_options();
-    if (!coarsen) EXPECT_TRUE(options.set("preset", "nocoarse").is_ok());
+    if (!coarsen) {
+      EXPECT_TRUE(options.set("preset", "nocoarse").is_ok());
+    }
     options.train().dim = 16;
     options.train().learning_rate = 0.05f;
     options.gosh.total_epochs = 400;

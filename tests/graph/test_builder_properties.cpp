@@ -40,7 +40,9 @@ TEST_P(BuilderPropertyTest, SymmetrizedInvariants) {
     const auto nb = g.neighbors(v);
     for (std::size_t i = 0; i < nb.size(); ++i) {
       EXPECT_NE(nb[i], v);
-      if (i > 0) EXPECT_LT(nb[i - 1], nb[i]);
+      if (i > 0) {
+        EXPECT_LT(nb[i - 1], nb[i]);
+      }
     }
   }
   // Degree sum identity.

@@ -110,7 +110,9 @@ TEST(EndToEnd, CoarseningSpeedsUpAtSimilarQuality) {
   auto run = [&](bool coarsen, double* auc) {
     api::Options options = device_options(128u << 20);
     options.backend = "device";
-    if (!coarsen) EXPECT_TRUE(options.set("preset", "nocoarse").is_ok());
+    if (!coarsen) {
+      EXPECT_TRUE(options.set("preset", "nocoarse").is_ok());
+    }
     options.train().dim = 32;
     options.gosh.total_epochs = 200;
     const auto result = must_embed(split.train, options);

@@ -1,0 +1,222 @@
+// net::json under torture: 10k generated cases. Part one builds random
+// documents and asserts dump -> parse -> dump is a fixed point (and the
+// reparsed tree is structurally identical). Part two mutates valid
+// serializations (truncate / flip / insert / delete bytes) and asserts the
+// strict parser either cleanly rejects or yields a tree whose dump parses
+// again — never a crash, which the ASan/UBSan CI leg turns into a hard
+// failure. Everything is seeded, so a failure reproduces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gosh/net/json.hpp"
+
+namespace gosh::net::json {
+namespace {
+
+constexpr int kRoundTripCases = 3000;
+constexpr int kMutationCases = 7000;
+
+class DocumentGenerator {
+ public:
+  explicit DocumentGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  Value document() { return value(/*depth=*/0); }
+
+ private:
+  Value value(int depth) {
+    // Deeper nodes lean scalar so documents stay small and bounded.
+    const int kinds = depth >= 5 ? 4 : 6;
+    switch (pick(kinds)) {
+      case 0:
+        return Value();
+      case 1:
+        return Value(pick(2) == 0);
+      case 2:
+        return number();
+      case 3:
+        return Value(string());
+      case 4: {
+        Value array = Value::array();
+        const int n = pick(depth == 0 ? 8 : 4);
+        for (int i = 0; i < n; ++i) array.push_back(value(depth + 1));
+        return array;
+      }
+      default: {
+        Value object = Value::object();
+        const int n = pick(depth == 0 ? 8 : 4);
+        for (int i = 0; i < n; ++i) object.set(string(), value(depth + 1));
+        return object;
+      }
+    }
+  }
+
+  Value number() {
+    switch (pick(4)) {
+      case 0:
+        return Value(static_cast<double>(static_cast<std::int64_t>(rng_()) %
+                                         2000001 - 1000000));
+      case 1:
+        return Value(std::uniform_real_distribution<double>(-1e6, 1e6)(rng_));
+      case 2:
+        // Extremes of the finite range; shortest-round-trip must hold.
+        return Value(std::uniform_real_distribution<double>(-1e-300,
+                                                            1e-300)(rng_));
+      default:
+        return Value(static_cast<double>(rng_() >> pick(40)));
+    }
+  }
+
+  std::string string() {
+    std::string out;
+    const int n = pick(12);
+    for (int i = 0; i < n; ++i) {
+      switch (pick(6)) {
+        case 0:
+          out += static_cast<char>('a' + pick(26));
+          break;
+        case 1:  // characters the escaper must handle
+          out += "\"\\\n\r\t\b\f"[pick(7)];
+          break;
+        case 2:  // raw control character
+          out += static_cast<char>(pick(0x20));
+          break;
+        case 3:  // 2-byte UTF-8 (U+00E9)
+          out += "\xc3\xa9";
+          break;
+        case 4:  // 4-byte UTF-8 (U+1F600)
+          out += "\xf0\x9f\x98\x80";
+          break;
+        default:
+          out += static_cast<char>(' ' + pick(95));
+          break;
+      }
+    }
+    return out;
+  }
+
+  int pick(int n) { return static_cast<int>(rng_() % static_cast<unsigned>(n)); }
+
+  std::mt19937_64 rng_;
+};
+
+void expect_same_tree(const Value& a, const Value& b, const std::string& at) {
+  ASSERT_EQ(static_cast<int>(a.type()), static_cast<int>(b.type())) << at;
+  switch (a.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      EXPECT_EQ(a.as_bool(), b.as_bool()) << at;
+      break;
+    case Value::Type::kNumber:
+      EXPECT_EQ(a.as_number(), b.as_number()) << at;
+      break;
+    case Value::Type::kString:
+      EXPECT_EQ(a.as_string(), b.as_string()) << at;
+      break;
+    case Value::Type::kArray:
+      ASSERT_EQ(a.size(), b.size()) << at;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        expect_same_tree(a[i], b[i], at + "[" + std::to_string(i) + "]");
+      }
+      break;
+    case Value::Type::kObject:
+      ASSERT_EQ(a.members().size(), b.members().size()) << at;
+      for (std::size_t i = 0; i < a.members().size(); ++i) {
+        EXPECT_EQ(a.members()[i].first, b.members()[i].first) << at;
+        expect_same_tree(a.members()[i].second, b.members()[i].second,
+                         at + "." + a.members()[i].first);
+      }
+      break;
+  }
+}
+
+TEST(NetJsonTorture, RandomDocumentsRoundTripExactly) {
+  DocumentGenerator gen(20260807);
+  for (int i = 0; i < kRoundTripCases; ++i) {
+    const Value doc = gen.document();
+    const std::string text = doc.dump();
+    auto parsed = Value::parse(text);
+    ASSERT_TRUE(parsed.ok())
+        << "case " << i << ": " << parsed.status().to_string()
+        << "\ninput: " << text;
+    expect_same_tree(doc, parsed.value(), "case " + std::to_string(i));
+    // dump must be a fixed point: reserializing the parse is byte-equal.
+    EXPECT_EQ(parsed.value().dump(), text) << "case " << i;
+  }
+}
+
+TEST(NetJsonTorture, MutatedDocumentsNeverCrashTheStrictParser) {
+  DocumentGenerator gen(771020);
+  std::mt19937_64 rng(424243);
+  const auto pick = [&rng](std::size_t n) {
+    return static_cast<std::size_t>(rng() % n);
+  };
+  int rejected = 0;
+  for (int i = 0; i < kMutationCases; ++i) {
+    std::string text = gen.document().dump();
+    switch (pick(4)) {
+      case 0:  // truncate
+        text.resize(pick(text.size() + 1));
+        break;
+      case 1:  // flip one byte to an arbitrary value
+        if (!text.empty()) {
+          text[pick(text.size())] = static_cast<char>(rng() % 256);
+        }
+        break;
+      case 2:  // delete one byte
+        if (!text.empty()) text.erase(pick(text.size()), 1);
+        break;
+      default:  // insert one arbitrary byte
+        text.insert(pick(text.size() + 1), 1, static_cast<char>(rng() % 256));
+        break;
+    }
+    auto parsed = Value::parse(text);
+    if (!parsed.ok()) {
+      ++rejected;
+      continue;
+    }
+    // A mutation can still be valid JSON (e.g. flipping a digit); the
+    // result must then survive its own round trip.
+    const std::string redump = parsed.value().dump();
+    auto reparsed = Value::parse(redump);
+    ASSERT_TRUE(reparsed.ok())
+        << "case " << i << " accepted input whose dump does not reparse\n"
+        << "input:  " << text << "\nredump: " << redump;
+  }
+  // The strict parser must reject the overwhelming majority of mutations;
+  // a permissive regression (e.g. accepting trailing garbage) craters this.
+  EXPECT_GT(rejected, kMutationCases / 2) << rejected;
+}
+
+TEST(NetJsonTorture, HandWrittenMalformedCorpusIsRejected) {
+  const char* const kMalformed[] = {
+      "",        " ",        "{",         "}",          "[",       "]",
+      "{]",      "[}",       "[1,",       "[1,]",       "{\"a\":}",
+      "{\"a\"}", "{\"a\":1", "{\"a\":1,}", "{1:2}",     "tru",
+      "truee",   "nullx",    "+1",        "01",         "1.",      ".5",
+      "-",       "1e",       "1e+",       "0x10",       "NaN",     "Infinity",
+      "\"",      "\"\\\"",   "\"\\q\"",   "\"\\u12\"",  "\"\\ud83d\"",
+      "\"\x01\"", "'a'",     "[1] []",    "[1]x",       "{} {}",   "\"a\" \"b\"",
+  };
+  for (const char* text : kMalformed) {
+    EXPECT_FALSE(Value::parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(NetJsonTorture, NestingDepthIsCappedNotStackBound) {
+  // Exactly at the cap parses; one past the cap is a clean error (and a
+  // pathological depth must not touch the stack guard at all).
+  const auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_TRUE(Value::parse(nested(64), /*max_depth=*/64).ok());
+  EXPECT_FALSE(Value::parse(nested(65), /*max_depth=*/64).ok());
+  EXPECT_FALSE(Value::parse(nested(100000)).ok());
+}
+
+}  // namespace
+}  // namespace gosh::net::json

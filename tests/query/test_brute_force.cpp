@@ -18,6 +18,14 @@
 namespace gosh::query {
 namespace {
 
+/// Unwraps a scan Result; a Status failure is a test failure carrying the
+/// status text instead of an abort inside Result::value().
+template <typename T>
+T must(api::Result<T> result) {
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value();
+}
+
 struct Fixture {
   store::EmbeddingStore store;
   std::string path;
@@ -72,7 +80,7 @@ TEST(BruteForce, MatchesNaiveReferenceUnderEveryMetric) {
   const auto query = fx.store.row(13);
   for (const Metric metric : {Metric::kCosine, Metric::kDot, Metric::kL2}) {
     const auto inv = row_inverse_norms(fx.store, metric);
-    const auto got = scan_top_k(fx.store, query, 7, metric, inv).value();
+    const auto got = must(scan_top_k(fx.store, query, 7, metric, inv));
     const auto expected = reference_top_k(fx.store, query, 7, metric);
     ASSERT_EQ(got.size(), expected.size()) << metric_name(metric);
     for (std::size_t i = 0; i < got.size(); ++i) {
@@ -88,15 +96,14 @@ TEST(BruteForce, DeterministicAcrossThreadAndBlockShapes) {
   const auto query = fx.store.row(0);
   const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
   const auto baseline =
-      scan_top_k(fx.store, query, 10, Metric::kCosine, inv,
-                 {.threads = 1, .block_rows = 1024})
-          .value();
+      must(scan_top_k(fx.store, query, 10, Metric::kCosine, inv,
+                      {.threads = 1, .block_rows = 1024}));
   for (const ScanOptions options :
        {ScanOptions{.threads = 4, .block_rows = 1},
         ScanOptions{.threads = 3, .block_rows = 7},
         ScanOptions{.threads = 0, .block_rows = 100000}}) {
     const auto got =
-        scan_top_k(fx.store, query, 10, Metric::kCosine, inv, options).value();
+        must(scan_top_k(fx.store, query, 10, Metric::kCosine, inv, options));
     ASSERT_EQ(got.size(), baseline.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i].id, baseline[i].id) << "rank " << i;
@@ -126,18 +133,16 @@ TEST(BruteForce, DeterministicAcrossThreadCountsAtEachForcedIsa) {
     for (const Metric metric : {Metric::kCosine, Metric::kDot, Metric::kL2}) {
       const auto inv = row_inverse_norms(fx.store, metric);
       const auto baseline =
-          scan_top_k_multi(fx.store, vectors, counts, 12, metric, inv,
-                           Aggregate::kMean, {},
-                           {.threads = 1, .block_rows = 4096})
-              .value();
+          must(scan_top_k_multi(fx.store, vectors, counts, 12, metric, inv,
+                                Aggregate::kMean, {},
+                                {.threads = 1, .block_rows = 4096}));
       for (const ScanOptions options :
            {ScanOptions{.threads = 2, .block_rows = 3},
             ScanOptions{.threads = 4, .block_rows = 32},
             ScanOptions{.threads = 3, .block_rows = 1}}) {
-        const auto got = scan_top_k_multi(fx.store, vectors, counts, 12,
-                                          metric, inv, Aggregate::kMean, {},
-                                          options)
-                             .value();
+        const auto got = must(scan_top_k_multi(fx.store, vectors, counts, 12,
+                                               metric, inv, Aggregate::kMean, {},
+                                               options));
         ASSERT_EQ(got.size(), baseline.size());
         for (std::size_t q = 0; q < got.size(); ++q) {
           ASSERT_EQ(got[q].size(), baseline[q].size());
@@ -192,13 +197,12 @@ TEST(BruteForce, BatchAgreesWithSingleQueries) {
     queries.insert(queries.end(), row.begin(), row.end());
   }
   const auto batched =
-      scan_top_k_batch(fx.store, queries, 3, 5, Metric::kL2, inv).value();
+      must(scan_top_k_batch(fx.store, queries, 3, 5, Metric::kL2, inv));
   ASSERT_EQ(batched.size(), 3u);
   for (std::size_t q = 0; q < 3; ++q) {
-    const auto single = scan_top_k(
-        fx.store, std::span<const float>(queries).subspan(q * d, d), 5,
-        Metric::kL2, inv)
-                            .value();
+    const auto single = must(scan_top_k(
+             fx.store, std::span<const float>(queries).subspan(q * d, d), 5,
+             Metric::kL2, inv));
     ASSERT_EQ(batched[q].size(), single.size());
     for (std::size_t i = 0; i < single.size(); ++i) {
       EXPECT_EQ(batched[q][i].id, single[i].id);
@@ -211,7 +215,7 @@ TEST(BruteForce, SelfIsTheBestMatchForItsOwnRow) {
   for (const Metric metric : {Metric::kCosine, Metric::kL2}) {
     const auto inv = row_inverse_norms(fx.store, metric);
     const auto top =
-        scan_top_k(fx.store, fx.store.row(21), 3, metric, inv).value();
+        must(scan_top_k(fx.store, fx.store.row(21), 3, metric, inv));
     ASSERT_FALSE(top.empty());
     EXPECT_EQ(top[0].id, 21u) << metric_name(metric);
   }
@@ -221,7 +225,7 @@ TEST(BruteForce, KBeyondRowsReturnsEveryRowRanked) {
   Fixture fx(6, 4);
   const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
   const auto top =
-      scan_top_k(fx.store, fx.store.row(2), 100, Metric::kCosine, inv).value();
+      must(scan_top_k(fx.store, fx.store.row(2), 100, Metric::kCosine, inv));
   EXPECT_EQ(top.size(), 6u);
   for (std::size_t i = 1; i < top.size(); ++i) {
     EXPECT_TRUE(better(top[i - 1], top[i]) || top[i - 1].score == top[i].score);
@@ -231,11 +235,9 @@ TEST(BruteForce, KBeyondRowsReturnsEveryRowRanked) {
 TEST(BruteForce, KZeroAndEmptyBatchAreEmpty) {
   Fixture fx(10, 4);
   const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
-  EXPECT_TRUE(scan_top_k(fx.store, fx.store.row(0), 0, Metric::kCosine, inv)
-                  .value()
+  EXPECT_TRUE(must(scan_top_k(fx.store, fx.store.row(0), 0, Metric::kCosine, inv))
                   .empty());
-  EXPECT_TRUE(scan_top_k_batch(fx.store, {}, 0, 5, Metric::kCosine, inv)
-                  .value()
+  EXPECT_TRUE(must(scan_top_k_batch(fx.store, {}, 0, 5, Metric::kCosine, inv))
                   .empty());
 }
 
@@ -245,10 +247,9 @@ TEST(BruteForce, FilteredScanOnlyReturnsPassingRows) {
   const auto query = fx.store.row(5);
   const std::vector<std::size_t> counts = {1};
   const RowFilter even = [](vid_t v) { return v % 2 == 0; };
-  const auto filtered = scan_top_k_multi(fx.store, query, counts, 10,
-                                         Metric::kCosine, inv,
-                                         Aggregate::kMax, even)
-                            .value();
+  const auto filtered = must(scan_top_k_multi(fx.store, query, counts, 10,
+                                              Metric::kCosine, inv,
+                                              Aggregate::kMax, even));
   ASSERT_EQ(filtered.size(), 1u);
   ASSERT_EQ(filtered[0].size(), 10u);
   for (const Neighbor& n : filtered[0]) EXPECT_EQ(n.id % 2, 0u);
@@ -278,9 +279,8 @@ TEST(BruteForce, MultiVectorMaxTakesTheBestPerCandidate) {
     vectors.insert(vectors.end(), row.begin(), row.end());
   }
   const std::vector<std::size_t> counts = {2};
-  const auto got = scan_top_k_multi(fx.store, vectors, counts, 60,
-                                    Metric::kDot, inv, Aggregate::kMax, {})
-                       .value();
+  const auto got = must(scan_top_k_multi(fx.store, vectors, counts, 60,
+                                         Metric::kDot, inv, Aggregate::kMax, {}));
   ASSERT_EQ(got.size(), 1u);
 
   // Naive reference.
@@ -309,9 +309,8 @@ TEST(BruteForce, MultiVectorMeanAveragesPerCandidate) {
     vectors.insert(vectors.end(), row.begin(), row.end());
   }
   const std::vector<std::size_t> counts = {3};
-  const auto got = scan_top_k_multi(fx.store, vectors, counts, 8, Metric::kL2,
-                                    inv, Aggregate::kMean, {})
-                       .value();
+  const auto got = must(scan_top_k_multi(fx.store, vectors, counts, 8, Metric::kL2,
+                                         inv, Aggregate::kMean, {}));
   ASSERT_EQ(got[0].size(), 8u);
 
   std::vector<Neighbor> expected;
@@ -339,21 +338,18 @@ TEST(BruteForce, MixedCountsBatchAgreesWithSeparateScans) {
     vectors.insert(vectors.end(), row.begin(), row.end());
   }
   const std::vector<std::size_t> counts = {1, 2};
-  const auto batched = scan_top_k_multi(fx.store, vectors, counts, 6,
-                                        Metric::kCosine, inv, Aggregate::kMax,
-                                        {})
-                           .value();
+  const auto batched = must(scan_top_k_multi(fx.store, vectors, counts, 6,
+                                             Metric::kCosine, inv, Aggregate::kMax,
+                                             {}));
   ASSERT_EQ(batched.size(), 2u);
 
-  const auto single = scan_top_k(
-      fx.store, std::span<const float>(vectors).subspan(0, d), 6,
-      Metric::kCosine, inv)
-                          .value();
+  const auto single = must(scan_top_k(
+           fx.store, std::span<const float>(vectors).subspan(0, d), 6,
+           Metric::kCosine, inv));
   const std::vector<std::size_t> pair_count = {2};
-  const auto pair = scan_top_k_multi(
-      fx.store, std::span<const float>(vectors).subspan(d, 2 * d), pair_count,
-      6, Metric::kCosine, inv, Aggregate::kMax, {})
-                        .value();
+  const auto pair = must(scan_top_k_multi(
+           fx.store, std::span<const float>(vectors).subspan(d, 2 * d), pair_count,
+           6, Metric::kCosine, inv, Aggregate::kMax, {}));
   ASSERT_EQ(batched[0].size(), single.size());
   for (std::size_t i = 0; i < single.size(); ++i) {
     EXPECT_EQ(batched[0][i].id, single[i].id);
@@ -369,10 +365,9 @@ TEST(BruteForce, FilterRejectingEverythingYieldsEmptyAnswers) {
   const auto inv = row_inverse_norms(fx.store, Metric::kCosine);
   const auto query = fx.store.row(0);
   const std::vector<std::size_t> counts = {1};
-  const auto got = scan_top_k_multi(fx.store, query, counts, 5,
-                                    Metric::kCosine, inv, Aggregate::kMax,
-                                    [](vid_t) { return false; })
-                       .value();
+  const auto got = must(scan_top_k_multi(fx.store, query, counts, 5,
+                                         Metric::kCosine, inv, Aggregate::kMax,
+                                         [](vid_t) { return false; }));
   ASSERT_EQ(got.size(), 1u);
   EXPECT_TRUE(got[0].empty());
 }

@@ -70,7 +70,10 @@ TEST(ServeOptions, FromArgsParsesTheFullSurface) {
 
 TEST(ServeOptions, EngineAndHnswOptionsAreSubsumed) {
   ServeOptions options;
-  options.store_path = "s";
+  // Named lvalue: assigning the short literal directly trips GCC 12's
+  // -Wrestrict false positive on the inlined std::string replace (PR105651).
+  const std::string store_path("s");
+  options.store_path = store_path;
   options.metric = query::Metric::kDot;
   options.threads = 2;
   options.block_rows = 128;

@@ -46,6 +46,10 @@ TEST(DeviceStress, LaunchesInterleavedWithTransfers) {
   Device device(config);
   DeviceBuffer<int> data(device, 1024);
   std::vector<int> host(1024, 0);
+  // Zero the buffer before racing: a fresh allocation holds arbitrary
+  // bytes (ASan poisons it with a fill pattern), and the 0<=sum<=64
+  // invariant below only holds once every element is a raced 0/1.
+  data.copy_from_host(std::span<const int>(host));
 
   std::atomic<bool> stop{false};
   std::thread copier([&] {

@@ -3,7 +3,7 @@
 //
 //   gosh_serve --store emb.store --port 8080
 //   gosh_serve --store emb.store --strategy hnsw --rate-qps 500 --burst 50
-//   gosh_serve --store emb.store --port 0 --port-file /tmp/port \
+//   gosh_serve --store emb.store --port 0 --port-file /tmp/port
 //              --allow-remote-shutdown                  # tests / CI smoke
 //
 // Endpoints:

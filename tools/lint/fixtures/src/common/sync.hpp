@@ -1,0 +1,11 @@
+// Near-miss: raw primitives in the allowlisted wrapper path must NOT fire.
+#pragma once
+#include <mutex>
+
+namespace gosh::fixture {
+
+struct Wrapper {
+  std::mutex mutex_;  // allowlisted: this is the wrapper layer
+};
+
+}  // namespace gosh::fixture

@@ -1,0 +1,12 @@
+// Planted violation: raw primitives outside src/common/sync.hpp.
+#include <mutex>
+
+namespace gosh::fixture {
+
+std::mutex planted_mutex;  // raw-sync must fire here
+
+void planted_lock() {
+  std::lock_guard<std::mutex> lock(planted_mutex);  // and here
+}
+
+}  // namespace gosh::fixture

@@ -1,0 +1,8 @@
+// Defines the real symbol the fixture .tsan-suppressions names, so the
+// tsan-suppression rule can prove it accepts live entries.
+
+namespace gosh::fixture {
+
+int real_symbol(int counter) { return counter + 1; }
+
+}  // namespace gosh::fixture

@@ -1,0 +1,20 @@
+// Planted violation: .value() without a same-function ok()/status() check.
+
+namespace gosh::fixture {
+
+template <typename T>
+struct FakeResult {
+  bool ok() const { return true; }
+  T value() const { return T{}; }
+};
+
+int planted_unchecked(const FakeResult<int>& result) {
+  return result.value();  // unchecked-value must fire here
+}
+
+int checked(const FakeResult<int>& result) {
+  if (!result.ok()) return -1;
+  return result.value();  // guarded above: must NOT fire
+}
+
+}  // namespace gosh::fixture

@@ -1,0 +1,4 @@
+// Planted violation: a front-end reaching into strategy internals.
+#include "gosh/query/hnsw.hpp"  // internal-include must fire here
+
+int main() { return 0; }
