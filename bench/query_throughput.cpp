@@ -16,9 +16,15 @@
 //
 //   bench_query_throughput [--rows N] [--dim D] [--queries Q] [--k K]
 //                          [--threads t1,t2,...] [--batch B] [--seed S]
-//                          [--json FILE]
+//                          [--trace on|off|sampled] [--json FILE]
 //
 // Defaults: 20000 rows, dim 64, 512 queries, k 10, threads 1,4, batch 64.
+//
+// --trace prices the gosh::trace layer on the in-process path: "off"
+// leaves the global gate down (every TRACE_SPAN in the scan reduces to one
+// relaxed atomic load), "on" wraps every request in a sampled trace,
+// "sampled" keeps 1%. The mode lands in each record's "trace" param so the
+// BENCH_*.json trajectory holds the columns side by side.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -26,6 +32,7 @@
 
 #include "gosh/api/api.hpp"
 #include "gosh/common/simd.hpp"
+#include "gosh/trace/trace.hpp"
 #include "report.hpp"
 
 namespace {
@@ -35,6 +42,14 @@ using namespace gosh;
 int fail(const api::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
   return 1;
+}
+
+std::string flag_string(int argc, char** argv, std::string_view name,
+                        std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == name) return argv[i + 1];
+  }
+  return fallback;
 }
 
 }  // namespace
@@ -58,6 +73,12 @@ int main(int argc, char** argv) {
       api::flag_list(argc, argv, "--threads", {"1", "4"});
   const std::string json_path = bench::json_flag(argc, argv);
   const std::string run_id = bench::run_id_flag(argc, argv);
+  const std::string trace_mode = flag_string(argc, argv, "--trace", "off");
+  if (trace_mode != "on" && trace_mode != "off" && trace_mode != "sampled") {
+    std::fprintf(stderr, "error: --trace wants on|off|sampled, got '%s'\n",
+                 trace_mode.c_str());
+    return 1;
+  }
 
   std::vector<unsigned> thread_counts;
   for (const std::string& t : thread_flags) {
@@ -125,7 +146,29 @@ int main(int argc, char** argv) {
     params.emplace_back("dim", std::to_string(dim));
     params.emplace_back("queries", std::to_string(num_queries));
     params.emplace_back("k", std::to_string(k));
+    params.emplace_back("trace", trace_mode);
     return params;
+  };
+
+  // --trace wiring: "off" keeps the global gate down so every TRACE_SPAN
+  // in the scan costs one relaxed load; on/sampled configure the global
+  // tracer and wrap each request the way the HTTP front-end does.
+  trace::Tracer& tracer = trace::Tracer::global();
+  const bool tracing = trace_mode != "off";
+  {
+    trace::TraceOptions knobs;
+    knobs.sample_rate =
+        trace_mode == "on" ? 1.0 : (trace_mode == "sampled" ? 0.01 : 0.0);
+    tracer.configure(knobs);
+  }
+  const auto traced_serve = [&](serving::QueryService& service,
+                                const serving::QueryRequest& request) {
+    if (!tracing) return service.serve(request);
+    std::shared_ptr<trace::Trace> trace = tracer.begin(trace::mint_request_id());
+    trace::ScopedTrace scope(trace);
+    auto response = service.serve(request);
+    tracer.finish(trace);
+    return response;
   };
 
   serving::MetricsRegistry metrics;
@@ -149,8 +192,8 @@ int main(int argc, char** argv) {
             isa_label + "_t" + std::to_string(threads));
         timer.reset();
         for (const vid_t probe : probes) {
-          auto response = service.value()->serve(
-              serving::QueryRequest::for_vertex(probe, k));
+          auto response = traced_serve(
+              *service.value(), serving::QueryRequest::for_vertex(probe, k));
           if (!response.ok()) return fail(response.status());
           latency.observe(response.value().seconds);
         }
@@ -183,7 +226,7 @@ int main(int argc, char** argv) {
       request.queries.push_back(serving::Query::vertex(probe));
     }
     timer.reset();
-    auto response = service.value()->serve(request);
+    auto response = traced_serve(*service.value(), request);
     if (!response.ok()) return fail(response.status());
     const double seconds = timer.seconds();
     const double qps = num_queries / (seconds > 0 ? seconds : 1e-9);

@@ -20,9 +20,20 @@
 //   bench_serve_throughput [--rows N] [--dim D] [--k K] [--requests R]
 //                          [--concurrency c1,c2,...] [--rate-qps Q]
 //                          [--seed S] [--json FILE] [--run-id ID]
+//                          [--trace on|off|sampled]
 //                          [--connect HOST:PORT] [--shutdown]
+//                          [--expect-traces]
 //
 // Defaults: 20000 rows, dim 64, k 10, 2000 requests, concurrency 1,4,8.
+//
+// --trace prices the gosh::trace layer in self-host mode: "off" leaves the
+// global gate down (the disabled-check cost), "on" samples every request,
+// "sampled" keeps 1%. The mode lands in every record's "trace" param so
+// the BENCH_*.json trajectory can hold the three columns side by side.
+// --expect-traces (connect mode) POSTs one query with an explicit
+// X-Request-Id and asserts GET /debug/traces reports the nested
+// handler -> queue-wait -> scan -> merge span chain under that id — the
+// smoke test's end-to-end tracing acceptance check.
 #include <unistd.h>
 
 #include <atomic>
@@ -38,6 +49,8 @@
 
 #include "gosh/api/api.hpp"
 #include "gosh/common/simd.hpp"
+#include "gosh/net/json.hpp"
+#include "gosh/trace/trace.hpp"
 #include "report.hpp"
 
 namespace {
@@ -184,6 +197,78 @@ int scrape_metrics(const std::string& host, unsigned short port,
   return 0;
 }
 
+/// The tracing acceptance probe: one POST under a client-chosen request
+/// id, then /debug/traces must report the batched strategy's nested span
+/// chain (handler -> queue-wait -> scan -> merge) for exactly that id,
+/// as strict JSON. Requires the server to run --strategy batched with
+/// sampling on — the smoke test's configuration.
+int verify_traces(const std::string& host, unsigned short port, unsigned k) {
+  net::HttpClient client(host, port);
+  const std::string id = "smoke-trace-probe";
+  auto posted = client.request("POST", "/v1/query", query_body(0, k),
+                               {{"Content-Type", "application/json"},
+                                {"X-Request-Id", id}});
+  if (!posted.ok()) return fail(posted.status());
+  if (posted.value().status != 200) {
+    std::fprintf(stderr, "error: traced POST /v1/query answered %d\n",
+                 posted.value().status);
+    return 1;
+  }
+  const std::string* echoed = posted.value().header("X-Request-Id");
+  if (echoed == nullptr || *echoed != id) {
+    std::fprintf(stderr, "error: X-Request-Id was not echoed (got \"%s\")\n",
+                 echoed != nullptr ? echoed->c_str() : "<missing>");
+    return 1;
+  }
+
+  auto traces = client.get("/debug/traces");
+  if (!traces.ok()) return fail(traces.status());
+  if (traces.value().status != 200) {
+    std::fprintf(stderr, "error: /debug/traces answered %d\n",
+                 traces.value().status);
+    return 1;
+  }
+  auto parsed = net::json::Value::parse(traces.value().body);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: /debug/traces is not strict JSON: %s\n",
+                 parsed.status().to_string().c_str());
+    return 1;
+  }
+  const net::json::Value* events = parsed.value().find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "error: /debug/traces carries no traceEvents\n");
+    return 1;
+  }
+  std::vector<std::string> missing;
+  for (const char* name : {"handler", "queue-wait", "scan", "merge"}) {
+    bool found = false;
+    for (std::size_t i = 0; i < events->size() && !found; ++i) {
+      const net::json::Value& event = (*events)[i];
+      const net::json::Value* event_name = event.find("name");
+      const net::json::Value* args = event.find("args");
+      const net::json::Value* request_id =
+          args != nullptr ? args->find("request_id") : nullptr;
+      found = event_name != nullptr && event_name->is_string() &&
+              event_name->as_string() == name && request_id != nullptr &&
+              request_id->is_string() && request_id->as_string() == id;
+    }
+    if (!found) missing.emplace_back(name);
+  }
+  if (!missing.empty()) {
+    std::string list;
+    for (const std::string& name : missing) list += " " + name;
+    std::fprintf(stderr,
+                 "error: /debug/traces is missing span(s)%s for "
+                 "request id \"%s\"\n%s\n",
+                 list.c_str(), id.c_str(), traces.value().body.c_str());
+    return 1;
+  }
+  std::printf("/debug/traces: handler/queue-wait/scan/merge spans present "
+              "for \"%s\"\n",
+              id.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,6 +291,13 @@ int main(int argc, char** argv) {
   const std::string run_id = bench::run_id_flag(argc, argv);
   const std::string connect = flag_string(argc, argv, "--connect", "");
   const bool remote_shutdown = bool_flag(argc, argv, "--shutdown");
+  const bool expect_traces = bool_flag(argc, argv, "--expect-traces");
+  const std::string trace_mode = flag_string(argc, argv, "--trace", "off");
+  if (trace_mode != "on" && trace_mode != "off" && trace_mode != "sampled") {
+    std::fprintf(stderr, "error: --trace wants on|off|sampled, got '%s'\n",
+                 trace_mode.c_str());
+    return 1;
+  }
 
   std::vector<unsigned> concurrency_levels;
   for (const std::string& c : concurrency_flags) {
@@ -235,6 +327,7 @@ int main(int argc, char** argv) {
     params.emplace_back("requests", std::to_string(requests));
     params.emplace_back("k", std::to_string(k));
     params.emplace_back("concurrency", std::to_string(concurrency));
+    params.emplace_back("trace", trace_mode);
     return params;
   };
 
@@ -289,6 +382,9 @@ int main(int argc, char** argv) {
     }
     if (int rc = scrape_metrics(host, port, /*print_summary=*/true); rc != 0) {
       return rc;
+    }
+    if (expect_traces) {
+      if (int rc = verify_traces(host, port, k); rc != 0) return rc;
     }
     if (remote_shutdown) {
       auto stop = probe_client.post_json("/admin/shutdown", "{}");
@@ -350,6 +446,16 @@ int main(int argc, char** argv) {
   net_options.host = "127.0.0.1";
   net_options.port = 0;
   net_options.threads = max_concurrency;
+  // --trace prices the tracing layer: the server ctor wires the global
+  // tracer from these knobs; "off" leaves the gate down so the measured
+  // cost is the relaxed-atomic disabled check alone.
+  if (trace_mode == "on") {
+    net_options.trace_sample_rate = 1.0;
+  } else if (trace_mode == "sampled") {
+    net_options.trace_sample_rate = 0.01;
+  } else {
+    trace::Tracer::global().configure(trace::TraceOptions{});
+  }
   net::QueryHandler handler(*service.value());
   net::HttpServer server(net_options, &server_metrics);
   server.handle("POST", "/v1/query", [&handler](const net::HttpRequest& r) {

@@ -1,15 +1,21 @@
 # End-to-end serving smoke test (driven by ctest, see CMakeLists.txt):
 #   1. write a small community-structured edge list,
 #   2. gosh_embed trains it and persists a GSHS store,
-#   3. gosh_serve starts in the background on an EPHEMERAL port and
-#      announces it through --port-file (written temp+rename, so this
-#      script can poll without ever reading a partial file),
+#   3. gosh_serve starts in the background on an EPHEMERAL port with the
+#      batched strategy and full tracing (--trace-sample-rate 1
+#      --trace-out), announcing the port through --port-file (written
+#      temp+rename, so this script can poll without ever reading a
+#      partial file),
 #   4. bench_serve_throughput --connect drives /healthz, a closed-loop
 #      POST /v1/query phase, a /metrics scrape (verifying the Prometheus
-#      exposition carries the per-endpoint series), and --shutdown posts
-#      /admin/shutdown,
+#      exposition carries the per-endpoint series), --expect-traces (one
+#      POST under an explicit X-Request-Id whose handler/queue-wait/scan/
+#      merge spans must come back from /debug/traces), and --shutdown
+#      posts /admin/shutdown,
 #   5. the script polls the server PID until it is gone — a hung worker or
-#      leaked thread turns up here as a timeout, not a green run.
+#      leaked thread turns up here as a timeout, not a green run — and
+#      then requires the --trace-out Chrome trace JSON on disk (CI
+#      uploads it as an artifact).
 #
 # Expects -DGOSH_EMBED=..., -DGOSH_SERVE=..., -DSERVE_BENCH=...,
 # -DWORK_DIR=...
@@ -27,7 +33,8 @@ set(store_file ${WORK_DIR}/serve.store)
 set(port_file ${WORK_DIR}/serve.port)
 set(pid_file ${WORK_DIR}/serve.pid)
 set(log_file ${WORK_DIR}/serve.log)
-file(REMOVE ${port_file} ${pid_file} ${log_file})
+set(trace_file ${WORK_DIR}/serve_trace.json)
+file(REMOVE ${port_file} ${pid_file} ${log_file} ${trace_file})
 
 # Four 16-cliques chained by bridge edges — 64 vertices, same shape the
 # embed+query smoke trains.
@@ -74,8 +81,9 @@ run_step("gosh_embed -> store"
 # Background launch: sh detaches the server and leaves its PID behind for
 # the exit check. Port 0 = the OS picks; --port-file announces the choice.
 execute_process(
-  COMMAND sh -c "'${GOSH_SERVE}' --store '${store_file}' --strategy exact \
---port 0 --port-file '${port_file}' --threads 2 --allow-remote-shutdown \
+  COMMAND sh -c "'${GOSH_SERVE}' --store '${store_file}' --strategy batched \
+--k 5 --port 0 --port-file '${port_file}' --threads 2 \
+--allow-remote-shutdown --trace-sample-rate 1 --trace-out '${trace_file}' \
 > '${log_file}' 2>&1 & echo $! > '${pid_file}'"
   RESULT_VARIABLE launch_rv)
 if(NOT launch_rv EQUAL 0)
@@ -100,10 +108,12 @@ message(STATUS "gosh_serve is listening on 127.0.0.1:${server_port} "
                "(pid ${server_pid})")
 
 # Drive the wire: health check, closed-loop queries at two concurrency
-# levels, the /metrics scrape, then the remote shutdown.
+# levels, the /metrics scrape, the end-to-end tracing probe (POST under a
+# known X-Request-Id, then /debug/traces must report its nested
+# handler/queue-wait/scan/merge spans), then the remote shutdown.
 run_step("bench_serve_throughput --connect"
          ${SERVE_BENCH} --connect 127.0.0.1:${server_port} --rows 64 --k 5
-         --requests 64 --concurrency 1,2 --shutdown)
+         --requests 64 --concurrency 1,2 --expect-traces --shutdown)
 
 # Clean shutdown is part of the contract: the process must be GONE.
 set(waited 0)
@@ -124,3 +134,18 @@ endwhile()
 
 file(READ ${log_file} log)
 message(STATUS "gosh_serve exited cleanly; log:\n${log}")
+
+# The exit path must have flushed the trace ring: a Chrome trace JSON
+# with the span events the probe asserted over the wire.
+if(NOT EXISTS ${trace_file})
+  message(FATAL_ERROR "gosh_serve --trace-out left no ${trace_file}")
+endif()
+file(READ ${trace_file} trace_json)
+foreach(needle "\"traceEvents\"" "\"handler\"" "\"queue-wait\"")
+  string(FIND "${trace_json}" ${needle} at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+        "trace JSON is missing ${needle}:\n${trace_json}")
+  endif()
+endforeach()
+message(STATUS "trace JSON written: ${trace_file}")

@@ -367,6 +367,10 @@ Status Options::set(std::string_view key, std::string_view value) {
   if (key == "demo") return set_scalar(demo, key, value, parse_bool);
   if (key == "eval") return set_scalar(run_eval, key, value, parse_bool);
   if (key == "verbose") return set_scalar(verbose, key, value, parse_bool);
+  if (key == "trace-out") {
+    trace_out = std::string(trim(value));
+    return Status::ok();
+  }
 
   return Status::invalid_argument("unknown option " + quoted(key));
 }

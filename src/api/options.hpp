@@ -100,6 +100,9 @@ struct Options {
   std::uint64_t rows_per_shard = 0;
   bool run_eval = false;                    ///< link-prediction evaluation
   bool verbose = false;                     ///< narrate progress (Info log)
+  /// File the training-phase trace (gosh::trace Chrome JSON) is dumped to
+  /// ("--trace-out"); empty = tracing stays off.
+  std::string trace_out;
   bool show_help = false;                   ///< --help seen; caller prints
 
   // Convenience accessors into the subsumed structs.

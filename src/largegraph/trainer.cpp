@@ -16,6 +16,7 @@
 #include "gosh/largegraph/rotation.hpp"
 #include "gosh/largegraph/sample_pool.hpp"
 #include "gosh/simt/stream.hpp"
+#include "gosh/trace/trace.hpp"
 
 namespace gosh::largegraph {
 namespace {
@@ -282,6 +283,13 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
   const SigmoidTable& lut = default_sigmoid_table();
 
   for (unsigned r = 0; r < rotations; ++r) {
+    // Phase spans for gosh_embed --trace-out: one "rotation" per r, with
+    // the stall ("pool-wait") and compute ("pair-kernel") phases nested
+    // inside — the profile that shows whether sampling keeps up with the
+    // kernel (the paper's pipeline-overlap argument, measured).
+    trace::Span rotation_span(trace::enabled()
+                                  ? "rotation-" + std::to_string(r)
+                                  : std::string());
     const float lr = embedding::decayed_learning_rate(
         train_config_.learning_rate, r, rotations);
     for (std::size_t pair_index = 0; pair_index < pairs.size(); ++pair_index) {
@@ -293,6 +301,7 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
       // Wait for the pool of this pair (pools arrive in pair order).
       unsigned pool_slot;
       {
+        TRACE_SPAN("pool-wait");
         common::UniqueLock lock(pool_mutex);
         while (ready_pool_slots.empty() && !pools_done) pool_ready.wait(lock);
         assert(!ready_pool_slots.empty());
@@ -354,10 +363,13 @@ LargeGraphStats LargeGraphTrainer::train(embedding::EmbeddingMatrix& matrix,
                                (static_cast<std::uint64_t>(r) << 32) |
                                    (static_cast<std::uint64_t>(m) << 16) | s);
 
-      if (train_config_.use_sigmoid_lut) {
-        run_pair_kernel(device_, args, lut);
-      } else {
-        run_pair_kernel(device_, args, embedding::ExactSigmoid{});
+      {
+        TRACE_SPAN("pair-kernel");
+        if (train_config_.use_sigmoid_lut) {
+          run_pair_kernel(device_, args, lut);
+        } else {
+          run_pair_kernel(device_, args, embedding::ExactSigmoid{});
+        }
       }
       stats.kernels++;
       stats.pools_consumed++;

@@ -113,6 +113,27 @@ HttpResponse HttpResponse::error(int status, std::string_view code,
   return json(status, root.dump());
 }
 
+void stamp_request_id(HttpResponse& response, const std::string& request_id) {
+  if (response.header("X-Request-Id") == nullptr) {
+    response.set_header("X-Request-Id", request_id);
+  }
+  // The structured error shape is deterministic (HttpResponse::error dumps
+  // members in insertion order), so prefix matching is exact, and a body
+  // already stamped by an inner layer starts with the request_id member.
+  static constexpr std::string_view kErrorPrefix = "{\"error\":{";
+  static constexpr std::string_view kIdKey = "\"request_id\":";
+  if (response.body.compare(0, kErrorPrefix.size(), kErrorPrefix) != 0) {
+    return;
+  }
+  if (response.body.compare(kErrorPrefix.size(), kIdKey.size(), kIdKey) == 0) {
+    return;
+  }
+  std::string member(kIdKey);
+  member += json::Value(request_id).dump();
+  member += ',';
+  response.body.insert(kErrorPrefix.size(), member);
+}
+
 std::string_view reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";

@@ -67,6 +67,13 @@ struct HttpResponse {
                             std::string_view message);
 };
 
+/// Stamps the request id onto a response, idempotently: sets the
+/// X-Request-Id header unless one is already present, and — when the body
+/// is the standard error shape and carries no request_id yet — injects
+/// "request_id" as the first member of the error object, so every 4xx/5xx
+/// on this wire names the request it answered.
+void stamp_request_id(HttpResponse& response, const std::string& request_id);
+
 /// Standard reason phrase for `status` ("OK", "Too Many Requests", ...);
 /// "Status" for codes off the map.
 std::string_view reason_phrase(int status);

@@ -67,6 +67,21 @@ api::Status NetOptions::set(std::string_view key, std::string_view value) {
   if (key == "burst") return set_rate(burst, key, value);
   if (key == "conn-rate-qps") return set_rate(conn_rate_qps, key, value);
   if (key == "conn-burst") return set_rate(conn_burst, key, value);
+  if (key == "trace-sample-rate")
+    return set_rate(trace_sample_rate, key, value);
+  if (key == "trace-slow-ms") return set_rate(trace_slow_ms, key, value);
+  if (key == "trace-out") {
+    trace_out = std::string(value);
+    return api::Status::ok();
+  }
+  if (key == "access-log") {
+    auto parsed = api::parse_bool(value);
+    if (!parsed.ok())
+      return api::Status::invalid_argument("access-log: " +
+                                           parsed.status().message());
+    access_log = parsed.value();
+    return api::Status::ok();
+  }
   if (key == "port-file") {
     port_file = std::string(value);
     return api::Status::ok();
@@ -103,6 +118,8 @@ api::Status NetOptions::validate() const {
     return bad("burst: needs rate-qps > 0");
   if (conn_burst > 0.0 && conn_rate_qps <= 0.0)
     return bad("conn-burst: needs conn-rate-qps > 0");
+  if (trace_sample_rate > 1.0)
+    return bad("trace-sample-rate: must be in [0, 1]");
   return serve.validate();
 }
 
@@ -121,7 +138,7 @@ api::Result<NetOptions> NetOptions::from_args(int argc, char** argv) {
       return api::Status::invalid_argument("stray argument " + quoted(arg) +
                                            " (flags start with --)");
     const std::string_view key = arg.substr(2);
-    if (key == "allow-remote-shutdown") {
+    if (key == "allow-remote-shutdown" || key == "access-log") {
       pairs.emplace_back(std::string(key), "true");
       continue;
     }

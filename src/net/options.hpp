@@ -53,6 +53,20 @@ struct NetOptions {
   double conn_rate_qps = 0.0;  ///< per-connection sustained qps; 0 = off
   double conn_burst = 0.0;     ///< per-connection depth; 0 = max(qps, 1)
 
+  // ---- Observability (gosh::trace + the access log). ----------------------
+  /// Fraction of requests traced ("--trace-sample-rate", [0, 1]); kept
+  /// traces are readable at GET /debug/traces. 0 = sampling off.
+  double trace_sample_rate = 0.0;
+  /// Requests slower than this many ms are always traced and logged at
+  /// Warn ("--trace-slow-ms"); 0 = off.
+  double trace_slow_ms = 0.0;
+  /// File the Chrome trace_event JSON is dumped to on shutdown
+  /// ("--trace-out"); empty = no dump.
+  std::string trace_out;
+  /// One structured line per response ("--access-log"): method, path,
+  /// status, bytes, micros, request id.
+  bool access_log = false;
+
   // ---- Tool-facing. -------------------------------------------------------
   /// File the bound port is written to after listen() (written to a temp
   /// name and renamed, so a poller never reads a partial file).
@@ -75,7 +89,8 @@ struct NetOptions {
   api::Status set(std::string_view key, std::string_view value);
 
   /// Strict command-line parse, gosh_embed/gosh_query conventions:
-  /// boolean flags (--allow-remote-shutdown, --no-verify) take no value,
+  /// boolean flags (--allow-remote-shutdown, --access-log, --no-verify)
+  /// take no value,
   /// "--options FILE" loads the file first, flags override, result has
   /// already passed validate().
   static api::Result<NetOptions> from_args(int argc, char** argv);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "gosh/query/metric.hpp"
+#include "gosh/trace/trace.hpp"
 
 namespace gosh::net {
 
@@ -214,8 +215,11 @@ int QueryHandler::http_status(const api::Status& status) {
   }
 }
 
-HttpResponse QueryHandler::handle(const HttpRequest& request) const {
-  auto body = json::Value::parse(request.body);
+HttpResponse QueryHandler::handle_impl(const HttpRequest& request) const {
+  api::Result<json::Value> body = [&] {
+    TRACE_SPAN("parse");
+    return json::Value::parse(request.body);
+  }();
   if (!body.ok()) {
     return HttpResponse::error(400, "bad_json", body.status().message());
   }
@@ -224,14 +228,33 @@ HttpResponse QueryHandler::handle(const HttpRequest& request) const {
     return HttpResponse::error(400, "bad_request",
                                parsed.status().message());
   }
-  auto response = service_.serve(parsed.value());
+  api::Result<serving::QueryResponse> response = [&] {
+    TRACE_SPAN("serve");
+    return service_.serve(parsed.value());
+  }();
   if (!response.ok()) {
     return HttpResponse::error(
         http_status(response.status()),
         std::string(api::status_code_name(response.status().code())),
         response.status().message());
   }
+  TRACE_SPAN("render");
   return HttpResponse::json(200, render(response.value()).dump());
+}
+
+HttpResponse QueryHandler::handle(const HttpRequest& request) const {
+  HttpResponse response = handle_impl(request);
+  // Honor the caller's request id (HttpServer injects a minted one before
+  // dispatch, so a bare handler test is the only path that mints here);
+  // stamp_request_id is idempotent, the server's later stamp is a no-op.
+  std::string request_id;
+  if (const std::string* inbound = request.header("X-Request-Id")) {
+    request_id = trace::sanitize_request_id(*inbound);
+  } else {
+    request_id = trace::mint_request_id();
+  }
+  stamp_request_id(response, request_id);
+  return response;
 }
 
 }  // namespace gosh::net

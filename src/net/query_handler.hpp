@@ -38,7 +38,9 @@ class QueryHandler {
   /// `service` must outlive the handler (the tool owns both).
   explicit QueryHandler(serving::QueryService& service);
 
-  /// The net::Handler entry point: body parse -> serve() -> JSON.
+  /// The net::Handler entry point: body parse -> serve() -> JSON, with
+  /// "parse"/"serve"/"render" trace spans and X-Request-Id echoed (or
+  /// minted) on every response, error bodies included.
   HttpResponse handle(const HttpRequest& request) const;
 
   // The two halves, separately testable without a socket:
@@ -53,6 +55,9 @@ class QueryHandler {
   static int http_status(const api::Status& status);
 
  private:
+  /// The traced pipeline; handle() wraps it with request-id stamping.
+  HttpResponse handle_impl(const HttpRequest& request) const;
+
   serving::QueryService& service_;
 };
 

@@ -14,7 +14,10 @@
 #include <cmath>
 #include <cstring>
 
+#include "gosh/common/logging.hpp"
+#include "gosh/common/simd.hpp"
 #include "gosh/common/timer.hpp"
+#include "gosh/net/json.hpp"
 
 namespace gosh::net {
 
@@ -50,11 +53,20 @@ void close_fd(int& fd) {
 }  // namespace
 
 HttpServer::HttpServer(const NetOptions& options,
-                       serving::MetricsRegistry* metrics)
-    : options_(options), metrics_(metrics) {
+                       serving::MetricsRegistry* metrics,
+                       trace::Tracer* tracer)
+    : options_(options), metrics_(metrics), tracer_(tracer) {
   if (options_.rate_qps > 0.0) {
     global_limiter_ =
         std::make_unique<RateLimiter>(options_.rate_qps, options_.burst);
+  }
+  if (tracer_ == nullptr &&
+      (options_.trace_sample_rate > 0.0 || options_.trace_slow_ms > 0.0)) {
+    tracer_ = &trace::Tracer::global();
+    trace::TraceOptions knobs = tracer_->options();
+    knobs.sample_rate = options_.trace_sample_rate;
+    knobs.slow_ms = options_.trace_slow_ms;
+    tracer_->configure(knobs);
   }
 }
 
@@ -151,6 +163,7 @@ api::Status HttpServer::start() {
 
   stopping_ = false;
   running_ = true;
+  start_ns_ = trace::now_ns();
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(options_.threads);
   for (unsigned w = 0; w < options_.threads; ++w) {
@@ -162,6 +175,11 @@ api::Status HttpServer::start() {
 bool HttpServer::stopping() const noexcept {
   common::MutexLock lock(mutex_);
   return stopping_;
+}
+
+double HttpServer::uptime_seconds() const noexcept {
+  if (start_ns_ == 0) return 0.0;
+  return static_cast<double>(trace::now_ns() - start_ns_) * 1e-9;
 }
 
 void HttpServer::shutdown() {
@@ -305,19 +323,46 @@ bool HttpServer::write_all(int fd, std::string_view bytes) {
 bool HttpServer::serve_one(int fd, std::string& buffer,
                            RateLimiter* conn_limiter,
                            std::uint64_t served_on_connection) {
+  WallTimer request_timer;
+  HttpRequest request;
+  bool head_parsed = false;
+  std::string request_id;
+
+  // One structured line per answered request (opt-in): enough to grep a
+  // request id from the access log into /debug/traces and back.
+  const auto log_access = [&](const HttpResponse& response) {
+    if (!options_.access_log) return;
+    std::string line = "access method=";
+    line += head_parsed ? request.method : "-";
+    line += " path=";
+    line += head_parsed ? std::string(request.path()) : "-";
+    line += " status=" + std::to_string(response.status);
+    line += " bytes=" + std::to_string(response.body.size());
+    line += " micros=" +
+            std::to_string(
+                static_cast<long long>(request_timer.seconds() * 1e6));
+    line += " request_id=" + request_id;
+    log_info(line);
+  };
+  // Terminal error write: every rejection carries the request id (header
+  // and error.request_id body member) and closes the connection.
+  const auto reject = [&](HttpResponse response) {
+    if (request_id.empty()) request_id = trace::mint_request_id();
+    stamp_request_id(response, request_id);
+    log_access(response);
+    write_all(fd, serialize_response(response, false));
+  };
+
   // ---- Read the header block (self-pipe aware). --------------------------
   std::size_t head_end;
   while ((head_end = find_header_end(buffer)) == std::string::npos) {
     if (buffer.size() > options_.max_header) {
       if (parse_errors_ != nullptr) parse_errors_->increment();
       if (responses_4xx_ != nullptr) responses_4xx_->increment();
-      write_all(fd, serialize_response(
-                        HttpResponse::error(431, "header_too_large",
-                                            "header block exceeds " +
-                                                std::to_string(
-                                                    options_.max_header) +
-                                                " bytes"),
-                        false));
+      reject(HttpResponse::error(431, "header_too_large",
+                                 "header block exceeds " +
+                                     std::to_string(options_.max_header) +
+                                     " bytes"));
       return false;
     }
     const int got = read_some(fd, buffer);
@@ -332,59 +377,57 @@ bool HttpServer::serve_one(int fd, std::string& buffer,
     if (!buffer.empty()) {
       if (parse_errors_ != nullptr) parse_errors_->increment();
       if (responses_4xx_ != nullptr) responses_4xx_->increment();
-      write_all(fd, serialize_response(
-                        HttpResponse::error(408, "timeout",
-                                            "request head not completed "
-                                            "within the read deadline"),
-                        false));
+      reject(HttpResponse::error(408, "timeout",
+                                 "request head not completed "
+                                 "within the read deadline"));
     }
     return false;
   }
 
-  HttpRequest request;
   if (api::Status status = parse_request_head(
           std::string_view(buffer).substr(0, head_end), request);
       !status.is_ok()) {
     if (parse_errors_ != nullptr) parse_errors_->increment();
     if (responses_4xx_ != nullptr) responses_4xx_->increment();
-    write_all(fd, serialize_response(
-                      HttpResponse::error(400, "bad_request",
-                                          status.message()),
-                      false));
+    reject(HttpResponse::error(400, "bad_request", status.message()));
     return false;
+  }
+  head_parsed = true;
+  // The request id: honor what the client sent, mint one otherwise — and
+  // inject the minted id into the request's headers, so handlers that
+  // echo X-Request-Id themselves (QueryHandler) see the same id the
+  // server stamps and logs.
+  if (const std::string* inbound = request.header("X-Request-Id")) {
+    request_id = trace::sanitize_request_id(*inbound);
+  } else {
+    request_id = trace::mint_request_id();
+    request.headers.push_back({"X-Request-Id", request_id});
   }
 
   // ---- Body (Content-Length only; chunked is out of scope). --------------
   if (request.header("Transfer-Encoding") != nullptr) {
     if (responses_5xx_ != nullptr) responses_5xx_->increment();
-    write_all(fd, serialize_response(
-                      HttpResponse::error(501, "not_implemented",
-                                          "chunked transfer encoding is not "
-                                          "supported; send Content-Length"),
-                      false));
+    reject(HttpResponse::error(501, "not_implemented",
+                               "chunked transfer encoding is not "
+                               "supported; send Content-Length"));
     return false;
   }
   auto length = content_length(request.headers);
   if (!length.ok()) {
     if (parse_errors_ != nullptr) parse_errors_->increment();
     if (responses_4xx_ != nullptr) responses_4xx_->increment();
-    write_all(fd, serialize_response(
-                      HttpResponse::error(400, "bad_request",
-                                          length.status().message()),
-                      false));
+    reject(HttpResponse::error(400, "bad_request",
+                               length.status().message()));
     return false;
   }
   const std::size_t body_length = length.value();
   if (body_length > options_.max_body) {
     // The body will not be read, so the stream is desynced: must close.
     if (responses_4xx_ != nullptr) responses_4xx_->increment();
-    write_all(fd, serialize_response(
-                      HttpResponse::error(
-                          413, "body_too_large",
-                          "Content-Length " + std::to_string(body_length) +
-                              " exceeds max-body " +
-                              std::to_string(options_.max_body)),
-                      false));
+    reject(HttpResponse::error(
+        413, "body_too_large",
+        "Content-Length " + std::to_string(body_length) +
+            " exceeds max-body " + std::to_string(options_.max_body)));
     return false;
   }
   while (buffer.size() < head_end + body_length) {
@@ -394,15 +437,11 @@ bool HttpServer::serve_one(int fd, std::string& buffer,
     if (responses_4xx_ != nullptr) responses_4xx_->increment();
     // Timeout (0) and shutdown (-2) can still be answered; a closed peer
     // (-1) may have half-closed its write side and still be reading.
-    write_all(fd,
-              serialize_response(
-                  HttpResponse::error(
-                      got == 0 ? 408 : 400,
-                      got == 0 ? "timeout" : "truncated_body",
-                      "request body ended after " +
-                          std::to_string(buffer.size() - head_end) + " of " +
-                          std::to_string(body_length) + " bytes"),
-                  false));
+    reject(HttpResponse::error(
+        got == 0 ? 408 : 400, got == 0 ? "timeout" : "truncated_body",
+        "request body ended after " +
+            std::to_string(buffer.size() - head_end) + " of " +
+            std::to_string(body_length) + " bytes"));
     return false;
   }
   request.body = buffer.substr(head_end, body_length);
@@ -476,8 +515,23 @@ bool HttpServer::serve_one(int fd, std::string& buffer,
              }()) {
     if (rate_limited_total_ != nullptr) rate_limited_total_->increment();
   } else {
+    // The request trace: sampled (or slow-eligible) requests collect the
+    // span tree the handler and everything below it emits on this thread
+    // and any thread the work hops to (BatchQueue captures the context).
+    std::shared_ptr<trace::Trace> tr;
+    if (tracer_ != nullptr) {
+      tr = tracer_->begin(request_id);
+      if (tr != nullptr) {
+        tr->set_label(request.method + " " + std::string(request.path()));
+      }
+    }
     WallTimer timer;
-    response = route->handler(request);
+    {
+      trace::ScopedTrace scope(tr);
+      trace::Span span("handler");
+      response = route->handler(request);
+    }
+    if (tracer_ != nullptr) tracer_->finish(tr);
     if (route->requests != nullptr) route->requests->increment();
     if (route->seconds != nullptr) route->seconds->observe(timer.seconds());
   }
@@ -496,16 +550,27 @@ bool HttpServer::serve_one(int fd, std::string& buffer,
   if (const std::string* connection = response.header("Connection")) {
     if (*connection == "close") keep_alive = false;
   }
+  stamp_request_id(response, request_id);
+  log_access(response);
   if (!write_all(fd, serialize_response(response, keep_alive))) return false;
   return keep_alive;
 }
 
-void add_builtin_routes(HttpServer& server,
-                        serving::MetricsRegistry& registry) {
+void add_builtin_routes(HttpServer& server, serving::MetricsRegistry& registry,
+                        trace::Tracer* tracer) {
   server.handle(
       "GET", "/healthz",
-      [](const HttpRequest&) {
-        return HttpResponse::json(200, "{\"status\":\"ok\"}");
+      [&server](const HttpRequest&) {
+        json::Value build = json::Value::object();
+        build.set("compiler", json::Value(std::string(__VERSION__)));
+        build.set("std", json::Value(static_cast<double>(__cplusplus)));
+        json::Value root = json::Value::object();
+        root.set("status", json::Value(std::string("ok")));
+        root.set("uptime_seconds", json::Value(server.uptime_seconds()));
+        root.set("build", std::move(build));
+        root.set("simd_isa", json::Value(std::string(
+                                 simd::isa_name(simd::active_isa()))));
+        return HttpResponse::json(200, root.dump());
       },
       /*rate_limited=*/false);
   server.handle(
@@ -519,6 +584,14 @@ void add_builtin_routes(HttpServer& server,
         return response;
       },
       /*rate_limited=*/false);
+  if (tracer != nullptr) {
+    server.handle(
+        "GET", "/debug/traces",
+        [tracer](const HttpRequest&) {
+          return HttpResponse::json(200, tracer->export_chrome_json());
+        },
+        /*rate_limited=*/false);
+  }
 }
 
 }  // namespace gosh::net

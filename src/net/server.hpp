@@ -40,6 +40,7 @@
 #include "gosh/net/options.hpp"
 #include "gosh/net/rate_limiter.hpp"
 #include "gosh/serving/metrics.hpp"
+#include "gosh/trace/trace.hpp"
 
 namespace gosh::net {
 
@@ -50,8 +51,12 @@ using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
 class HttpServer {
  public:
+  /// `tracer` overrides the tracing sink (tests); by default the server
+  /// configures trace::Tracer::global() from the options' trace knobs and
+  /// uses it when they are active.
   explicit HttpServer(const NetOptions& options,
-                      serving::MetricsRegistry* metrics = nullptr);
+                      serving::MetricsRegistry* metrics = nullptr,
+                      trace::Tracer* tracer = nullptr);
   ~HttpServer();  ///< shutdown() if still running
 
   HttpServer(const HttpServer&) = delete;
@@ -77,6 +82,10 @@ class HttpServer {
 
   bool running() const noexcept { return running_; }
   unsigned short port() const noexcept { return port_; }
+  /// Seconds since start() — the /healthz uptime source; 0 before start().
+  double uptime_seconds() const noexcept;
+  /// The tracing sink in use, or null when tracing is off.
+  trace::Tracer* tracer() const noexcept { return tracer_; }
 
  private:
   struct Route {
@@ -104,6 +113,8 @@ class HttpServer {
 
   NetOptions options_;
   serving::MetricsRegistry* metrics_;
+  trace::Tracer* tracer_ = nullptr;  ///< null = tracing off
+  std::uint64_t start_ns_ = 0;       ///< trace::now_ns() at start()
   std::vector<Route> routes_;
   std::unique_ptr<RateLimiter> global_limiter_;  ///< null when rate_qps == 0
 
@@ -131,10 +142,13 @@ class HttpServer {
   serving::Gauge* rate_tokens_ = nullptr;
 };
 
-/// Registers the observability routes every serving front-end wants:
-/// GET /healthz ({"status":"ok"}) and GET /metrics (the registry's
-/// Prometheus text exposition), both exempt from admission control.
-void add_builtin_routes(HttpServer& server,
-                        serving::MetricsRegistry& registry);
+/// Registers the observability routes every serving front-end wants, all
+/// exempt from admission control: GET /healthz (JSON: status, uptime
+/// seconds, build info, the resolved SIMD ISA), GET /metrics (the
+/// registry's Prometheus text exposition), and — when `tracer` is non-null
+/// — GET /debug/traces (the completed-trace ring as Chrome trace_event
+/// JSON, loadable at chrome://tracing).
+void add_builtin_routes(HttpServer& server, serving::MetricsRegistry& registry,
+                        trace::Tracer* tracer = nullptr);
 
 }  // namespace gosh::net

@@ -50,6 +50,7 @@ std::future<std::vector<Neighbor>> BatchQueue::submit(
     std::vector<float> query) {
   Pending request;
   request.enqueued = Clock::now();
+  if (trace::enabled()) request.trace = trace::current_shared();
   auto future = request.promise.get_future();
   if (query.size() != engine_.dim()) {
     request.promise.set_exception(std::make_exception_ptr(std::runtime_error(
@@ -115,6 +116,24 @@ void BatchQueue::dispatch_loop() {
     auto results = engine_.top_k_batch(queries, batch.size(), options_.k,
                                        options_.strategy);
     const auto done = Clock::now();
+
+    // Spans recorded explicitly (not via TRACE_SPAN): the dispatcher thread
+    // holds no trace context of its own, and the submitter's may already
+    // have moved on — the captured shared_ptr keeps each Trace alive.
+    const auto to_ns = [](Clock::time_point tp) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              tp.time_since_epoch())
+              .count());
+    };
+    for (const Pending& request : batch) {
+      if (request.trace == nullptr) continue;
+      const std::uint32_t thread = trace::thread_ordinal();
+      request.trace->record("queue-wait", to_ns(request.enqueued),
+                            to_ns(scan_begin), /*depth=*/2, thread);
+      request.trace->record("scan", to_ns(scan_begin), to_ns(done),
+                            /*depth=*/2, thread);
+    }
 
     if (observer_ != nullptr) {
       observer_->on_batch(

@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "gosh/common/sync.hpp"
 #include "gosh/query/engine.hpp"
+#include "gosh/trace/trace.hpp"
 
 namespace gosh::query {
 
@@ -89,6 +91,10 @@ class BatchQueue {
     std::vector<float> query;
     std::promise<std::vector<Neighbor>> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// The submitter's trace context, carried across the thread handoff so
+    /// the dispatcher can record "queue-wait" and "scan" spans into it
+    /// (null when tracing is off or the submitter was untraced).
+    std::shared_ptr<trace::Trace> trace;
   };
 
   void dispatch_loop();

@@ -201,6 +201,7 @@ std::string MetricsRegistry::expose() const {
     // buckets, `gosh_query --metrics` readers get them for free.
     out += entry->name + "_p50 " + format_double(h.quantile(0.5)) + "\n";
     out += entry->name + "_p99 " + format_double(h.quantile(0.99)) + "\n";
+    out += entry->name + "_p999 " + format_double(h.quantile(0.999)) + "\n";
   }
   return out;
 }

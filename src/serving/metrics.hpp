@@ -108,8 +108,9 @@ class MetricsRegistry {
                        std::vector<double> bounds = {});
 
   /// Prometheus text exposition: # HELP / # TYPE lines, counter and gauge
-  /// samples, histogram _bucket/_sum/_count series plus p50/p99 gauge
-  /// series (<name>_p50 / <name>_p99) for humans reading the dump directly.
+  /// samples, histogram _bucket/_sum/_count series plus quantile gauge
+  /// series (<name>_p50 / _p99 / _p999) for humans reading the dump
+  /// directly.
   std::string expose() const;
 
  private:

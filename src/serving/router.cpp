@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "gosh/common/timer.hpp"
+#include "gosh/trace/trace.hpp"
 
 namespace gosh::serving {
 
@@ -153,22 +154,32 @@ api::Result<QueryResponse> Router::serve(const QueryRequest& request) {
   std::vector<std::vector<std::vector<Neighbor>>> partials;
   row_begins.reserve(children_.size());
   partials.reserve(children_.size());
-  for (const Child& child : children_) {
-    if (request.filter) {
-      const vid_t begin = child.row_begin;
-      const RowFilter& filter = request.filter;
-      scattered.filter = [begin, filter](vid_t local) {
-        return filter(local + begin);
-      };
+  {
+    trace::Span scatter_span("scatter");
+    for (std::size_t c = 0; c < children_.size(); ++c) {
+      const Child& child = children_[c];
+      // Per-shard span names only materialize for traced requests; the
+      // ternary keeps the untraced fast path allocation-free.
+      trace::Span shard_span(trace::enabled()
+                                 ? "shard-" + std::to_string(c)
+                                 : std::string());
+      if (request.filter) {
+        const vid_t begin = child.row_begin;
+        const RowFilter& filter = request.filter;
+        scattered.filter = [begin, filter](vid_t local) {
+          return filter(local + begin);
+        };
+      }
+      auto partial = child.service->serve(scattered);
+      if (!partial.ok()) return partial.status();
+      row_begins.push_back(child.row_begin);
+      partials.push_back(std::move(partial.value().results));
     }
-    auto partial = child.service->serve(scattered);
-    if (!partial.ok()) return partial.status();
-    row_begins.push_back(child.row_begin);
-    partials.push_back(std::move(partial.value().results));
   }
 
   QueryResponse response;
   response.results.resize(request.queries.size());
+  trace::Span merge_span("merge");
   for (std::size_t q = 0; q < request.queries.size(); ++q) {
     std::vector<std::vector<Neighbor>> per_child;
     per_child.reserve(children_.size());

@@ -9,6 +9,7 @@
 #include "gosh/common/parallel_for.hpp"
 #include "gosh/common/timer.hpp"
 #include "gosh/query/brute_force.hpp"
+#include "gosh/trace/trace.hpp"
 
 namespace gosh::serving {
 
@@ -181,6 +182,7 @@ api::Result<QueryResponse> EngineService::serve(const QueryRequest& request) {
   QueryResponse response;
   response.results.resize(request.queries.size());
 
+  TRACE_SPAN("scan");
   if (strategy_ == query::Strategy::kExact) {
     // Flatten the batch into the generalized scan's shape: one flat vector
     // buffer plus per-query vector counts.
@@ -373,13 +375,18 @@ api::Result<QueryResponse> BatchedService::serve(const QueryRequest& request) {
 
   QueryResponse response;
   response.results.resize(request.queries.size());
-  for (std::size_t q = 0; q < futures.size(); ++q) {
-    try {
-      response.results[q] = futures[q].get();
-    } catch (const std::exception& error) {
-      return api::Status::internal(error.what());
+  {
+    // The gather: the dispatcher records "queue-wait"/"scan" into this
+    // trace from its own thread; this span is the caller-side wait.
+    trace::Span merge_span("merge");
+    for (std::size_t q = 0; q < futures.size(); ++q) {
+      try {
+        response.results[q] = futures[q].get();
+      } catch (const std::exception& error) {
+        return api::Status::internal(error.what());
+      }
+      finalize_answer(response.results[q], request.queries[q], k);
     }
-    finalize_answer(response.results[q], request.queries[q], k);
   }
   response.seconds = timer.seconds();
   return response;

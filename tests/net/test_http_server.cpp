@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "gosh/net/client.hpp"
+#include "gosh/net/json.hpp"
 #include "gosh/net/query_handler.hpp"
 #include "gosh/net/server.hpp"
+#include "gosh/trace/trace.hpp"
 
 namespace gosh::net {
 namespace {
@@ -68,7 +70,7 @@ struct ServerFixture {
     server.handle("GET", "/ping", [](const HttpRequest&) {
       return HttpResponse::json(200, "{\"pong\":true}");
     });
-    add_builtin_routes(server, metrics);
+    add_builtin_routes(server, metrics, server.tracer());
     const api::Status status = server.start();
     EXPECT_TRUE(status.is_ok()) << status.to_string();
   }
@@ -105,7 +107,108 @@ TEST(HttpServer, ServesRoutesOnAnEphemeralPort) {
   auto health = client.get("/healthz");
   ASSERT_TRUE(health.ok()) << health.status().to_string();
   EXPECT_EQ(health.value().status, 200);
-  EXPECT_EQ(health.value().body, "{\"status\":\"ok\"}");
+  auto parsed = json::Value::parse(health.value().body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const json::Value& root = parsed.value();
+  ASSERT_NE(root.find("status"), nullptr);
+  EXPECT_EQ(root.find("status")->as_string(), "ok");
+  ASSERT_NE(root.find("uptime_seconds"), nullptr);
+  EXPECT_GE(root.find("uptime_seconds")->as_number(), 0.0);
+  ASSERT_NE(root.find("build"), nullptr);
+  EXPECT_NE(root.find("build")->find("compiler"), nullptr);
+  ASSERT_NE(root.find("simd_isa"), nullptr);
+  EXPECT_FALSE(root.find("simd_isa")->as_string().empty());
+}
+
+TEST(HttpServer, EchoesInboundRequestIdAndMintsOneOtherwise) {
+  ServerFixture fixture;
+  HttpClient client = fixture.client();
+
+  auto echoed = client.request("POST", "/v1/query", kQuery,
+                               {{"Content-Type", "application/json"},
+                                {"X-Request-Id", "trace-me-42"}});
+  ASSERT_TRUE(echoed.ok()) << echoed.status().to_string();
+  ASSERT_NE(echoed.value().header("X-Request-Id"), nullptr);
+  EXPECT_EQ(*echoed.value().header("X-Request-Id"), "trace-me-42");
+
+  auto minted = client.post_json("/v1/query", kQuery);
+  ASSERT_TRUE(minted.ok()) << minted.status().to_string();
+  ASSERT_NE(minted.value().header("X-Request-Id"), nullptr);
+  EXPECT_EQ(minted.value().header("X-Request-Id")->substr(0, 5), "gosh-");
+
+  // An inbound id full of log-breaking bytes comes back sanitized.
+  auto hostile = client.request("GET", "/ping", "",
+                                {{"X-Request-Id", "a b\"c\\d"}});
+  ASSERT_TRUE(hostile.ok()) << hostile.status().to_string();
+  ASSERT_NE(hostile.value().header("X-Request-Id"), nullptr);
+  EXPECT_EQ(*hostile.value().header("X-Request-Id"), "a_b_c_d");
+}
+
+TEST(HttpServer, ErrorBodiesCarryTheRequestId) {
+  ServerFixture fixture;
+  HttpClient client = fixture.client();
+
+  // Routing error (404), handler error (400), and wire error (431 via a
+  // malformed request line is covered elsewhere): each body must be strict
+  // JSON whose error.request_id matches the response header.
+  for (const auto& [method, target, body] :
+       {std::tuple<const char*, const char*, const char*>{"GET", "/nope", ""},
+        {"POST", "/v1/query", "{not json"}}) {
+    auto response = client.request(method, target, body,
+                                   {{"X-Request-Id", "err-7"}});
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    EXPECT_GE(response.value().status, 400);
+    ASSERT_NE(response.value().header("X-Request-Id"), nullptr);
+    EXPECT_EQ(*response.value().header("X-Request-Id"), "err-7");
+    auto parsed = json::Value::parse(response.value().body);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().to_string() << ": "
+                             << response.value().body;
+    const json::Value* error = parsed.value().find("error");
+    ASSERT_NE(error, nullptr);
+    ASSERT_NE(error->find("request_id"), nullptr) << response.value().body;
+    EXPECT_EQ(error->find("request_id")->as_string(), "err-7");
+  }
+}
+
+TEST(HttpServer, DebugTracesServesChromeJsonForSampledRequests) {
+  NetOptions options = loopback();
+  options.trace_sample_rate = 1.0;
+  ServerFixture fixture(options);
+  ASSERT_NE(fixture.server.tracer(), nullptr);
+  fixture.server.tracer()->clear();
+  HttpClient client = fixture.client();
+
+  auto query = client.request("POST", "/v1/query", kQuery,
+                              {{"Content-Type", "application/json"},
+                               {"X-Request-Id", "debug-traces-1"}});
+  ASSERT_TRUE(query.ok()) << query.status().to_string();
+  ASSERT_EQ(query.value().status, 200);
+
+  auto traces = client.get("/debug/traces");
+  ASSERT_TRUE(traces.ok()) << traces.status().to_string();
+  EXPECT_EQ(traces.value().status, 200);
+  auto parsed = json::Value::parse(traces.value().body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const json::Value* events = parsed.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_handler = false, saw_parse = false, saw_id = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& event = (*events)[i];
+    const json::Value* name = event.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    if (name->as_string() == "handler") saw_handler = true;
+    if (name->as_string() == "parse") saw_parse = true;
+    const json::Value* args = event.find("args");
+    if (args != nullptr && args->find("request_id") != nullptr &&
+        args->find("request_id")->as_string() == "debug-traces-1") {
+      saw_id = true;
+    }
+  }
+  EXPECT_TRUE(saw_handler) << traces.value().body;
+  EXPECT_TRUE(saw_parse) << traces.value().body;
+  EXPECT_TRUE(saw_id) << traces.value().body;
 }
 
 TEST(HttpServer, MetricsEndpointSpeaksPrometheusText) {

@@ -130,6 +130,7 @@ TEST(MetricsRegistry, ExpositionCarriesTypesBucketsAndQuantiles) {
   EXPECT_NE(text.find("gosh_latency_seconds_count 3"), std::string::npos);
   EXPECT_NE(text.find("gosh_latency_seconds_p50"), std::string::npos);
   EXPECT_NE(text.find("gosh_latency_seconds_p99"), std::string::npos);
+  EXPECT_NE(text.find("gosh_latency_seconds_p999"), std::string::npos);
   // Deterministic: two dumps of the same state are byte-identical.
   EXPECT_EQ(text, registry.expose());
 }

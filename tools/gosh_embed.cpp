@@ -25,11 +25,15 @@
 //   --options FILE      load key=value options; flags override the file
 //   --eval              run the 80/20 link-prediction evaluation
 //   --verbose           narrate per-level progress
+//   --trace-out PATH    profile the run (per-level spans; rotation /
+//                       pool-wait / pair-kernel phases on the partitioned
+//                       path) and dump Chrome trace_event JSON to PATH
 #include <cstdio>
 #include <exception>
 #include <string>
 
 #include "gosh/api/api.hpp"
+#include "gosh/trace/trace.hpp"
 
 namespace {
 
@@ -40,8 +44,51 @@ void usage() {
       "                  [--backend NAME]\n"
       "                  [--preset fast|normal|slow|nocoarse]\n"
       "                  [--dim D] [--epochs E] [--device-mib M] [--seed S]\n"
-      "                  [--options FILE] [--eval] [--verbose] | --demo");
+      "                  [--options FILE] [--eval] [--verbose]\n"
+      "                  [--trace-out trace.json] | --demo");
 }
+
+/// Forwards every progress event to the wrapped observer (may be null)
+/// and records one "level-N" span per coarsening level into the current
+/// trace — the pipeline-shape view gosh_embed --trace-out dumps, on top
+/// of the rotation/pool-wait/pair-kernel spans the trainer emits itself.
+class TracingProgressObserver : public gosh::api::ProgressObserver {
+ public:
+  explicit TracingProgressObserver(gosh::api::ProgressObserver* inner)
+      : inner_(inner) {}
+
+  void on_pipeline_begin(std::string_view backend,
+                         std::size_t num_levels) override {
+    if (inner_ != nullptr) inner_->on_pipeline_begin(backend, num_levels);
+  }
+  void on_level_begin(const gosh::api::LevelInfo& level) override {
+    level_begin_ns_ = gosh::trace::now_ns();
+    if (inner_ != nullptr) inner_->on_level_begin(level);
+  }
+  void on_epoch(std::size_t level, unsigned epoch, unsigned total) override {
+    if (inner_ != nullptr) inner_->on_epoch(level, epoch, total);
+  }
+  void on_pair(std::size_t level, unsigned rotation, std::size_t pair,
+               std::size_t num_pairs) override {
+    if (inner_ != nullptr) inner_->on_pair(level, rotation, pair, num_pairs);
+  }
+  void on_level_end(const gosh::api::LevelInfo& level,
+                    double seconds) override {
+    if (gosh::trace::Trace* trace = gosh::trace::current()) {
+      trace->record("level-" + std::to_string(level.level), level_begin_ns_,
+                    gosh::trace::now_ns(), /*depth=*/1,
+                    gosh::trace::thread_ordinal());
+    }
+    if (inner_ != nullptr) inner_->on_level_end(level, seconds);
+  }
+  void on_pipeline_end(double total_seconds) override {
+    if (inner_ != nullptr) inner_->on_pipeline_end(total_seconds);
+  }
+
+ private:
+  gosh::api::ProgressObserver* inner_;
+  std::uint64_t level_begin_ns_ = 0;
+};
 
 int fail(const gosh::api::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
@@ -93,6 +140,22 @@ int main(int argc, char** argv) {
   api::LoggingProgressObserver logger;
   api::ProgressObserver* observer = options.verbose ? &logger : nullptr;
 
+  // --trace-out: profile the whole run as ONE trace (sample rate 1) and
+  // install it for the pipeline — the trainer's TRACE_SPANs and the
+  // observer's level spans all land in it.
+  trace::Tracer& tracer = trace::Tracer::global();
+  std::shared_ptr<trace::Trace> profile;
+  TracingProgressObserver tracing_observer(observer);
+  if (!options.trace_out.empty()) {
+    trace::TraceOptions knobs;
+    knobs.sample_rate = 1.0;
+    tracer.configure(knobs);
+    profile = tracer.begin(trace::mint_request_id());
+    if (profile != nullptr) profile->set_label("gosh_embed");
+    observer = &tracing_observer;
+  }
+  trace::ScopedTrace profile_scope(profile);
+
   // One pipeline run, whatever the mode: with --eval it embeds the train
   // split and that same embedding is evaluated AND written (the seed tool
   // used to train twice — once for the metric, once for the output).
@@ -118,6 +181,18 @@ int main(int argc, char** argv) {
               "%zu levels)\n",
               result.backend.c_str(), result.total_seconds,
               result.coarsening_seconds, result.levels.size());
+
+  if (profile != nullptr) {
+    tracer.finish(profile);
+    if (api::Status status =
+            trace::write_chrome_json(tracer, options.trace_out);
+        !status.is_ok()) {
+      std::fprintf(stderr, "warning: %s\n", status.to_string().c_str());
+    } else {
+      std::printf("wrote %s (%zu spans)\n", options.trace_out.c_str(),
+                  profile->spans().size());
+    }
+  }
 
   if (api::Status status =
           api::write_embedding(result.embedding, options.output_path,

@@ -9,7 +9,8 @@
 // Endpoints:
 //   POST /v1/query        the QueryRequest JSON wire (see net/query_handler)
 //   GET  /metrics         Prometheus text exposition (rate-limit exempt)
-//   GET  /healthz         {"status":"ok"}              (rate-limit exempt)
+//   GET  /healthz         JSON: status, uptime, build, SIMD ISA (exempt)
+//   GET  /debug/traces    Chrome trace_event JSON (tracing on; exempt)
 //   POST /admin/shutdown  graceful stop; only with --allow-remote-shutdown
 //
 // Network flags (everything ServeOptions speaks also works — the shared
@@ -28,6 +29,13 @@
 //   --conn-burst B         per-connection bucket depth
 //   --port-file PATH       write the bound port (temp+rename) after listen
 //   --allow-remote-shutdown   register POST /admin/shutdown
+//
+// Observability flags (gosh::trace):
+//   --trace-sample-rate R  fraction of requests traced, [0, 1]
+//   --trace-slow-ms MS     always trace + warn-log requests slower than MS
+//   --trace-out PATH       dump the trace ring as Chrome JSON on shutdown
+//                          (alone it implies --trace-sample-rate 1)
+//   --access-log           one structured log line per response
 //
 // Shutdown: SIGINT/SIGTERM (and the admin endpoint) write one byte to a
 // self-pipe the main thread blocks on; main — never a connection worker —
@@ -75,7 +83,13 @@ void usage() {
       "  --rate-qps Q / --burst B             global admission bucket\n"
       "  --conn-rate-qps Q / --conn-burst B   per-connection bucket\n"
       "  --port-file PATH       write the bound port after listen\n"
-      "  --allow-remote-shutdown  register POST /admin/shutdown\n",
+      "  --allow-remote-shutdown  register POST /admin/shutdown\n"
+      "observability flags:\n"
+      "  --trace-sample-rate R  fraction of requests traced, in [0, 1]\n"
+      "  --trace-slow-ms MS     always trace + log requests slower than MS\n"
+      "  --trace-out PATH       dump traces as Chrome JSON on shutdown\n"
+      "                         (alone it implies --trace-sample-rate 1)\n"
+      "  --access-log           one structured log line per response\n",
       api::serve_flags_usage());
 }
 
@@ -118,6 +132,15 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  // --trace-out with no sampling knob would dump an empty ring; alone it
+  // means "trace everything I serve".
+  if (!options.trace_out.empty() && options.trace_sample_rate == 0.0 &&
+      options.trace_slow_ms == 0.0) {
+    options.trace_sample_rate = 1.0;
+  }
+  // The access log emits at Info; the default threshold (Warn) would
+  // swallow it.
+  if (options.access_log) set_log_level(LogLevel::Info);
 
   serving::MetricsRegistry& metrics = serving::MetricsRegistry::global();
   auto service = serving::make_service(options.serve, &metrics);
@@ -134,7 +157,7 @@ int main(int argc, char** argv) {
   server.handle("POST", "/v1/query", [&handler](const net::HttpRequest& r) {
     return handler.handle(r);
   });
-  net::add_builtin_routes(server, metrics);
+  net::add_builtin_routes(server, metrics, server.tracer());
   if (options.allow_remote_shutdown) {
     // The handler runs on a connection worker, which must NOT call
     // shutdown() itself — it pokes the same pipe the signal handler does
@@ -177,6 +200,16 @@ int main(int argc, char** argv) {
 
   std::printf("shutting down\n");
   server.shutdown();
+  if (!options.trace_out.empty() && server.tracer() != nullptr) {
+    if (api::Status status = trace::write_chrome_json(*server.tracer(),
+                                                      options.trace_out);
+        !status.is_ok()) {
+      std::fprintf(stderr, "warning: %s\n", status.to_string().c_str());
+    } else {
+      std::printf("wrote %s (%llu traces)\n", options.trace_out.c_str(),
+                  static_cast<unsigned long long>(server.tracer()->kept()));
+    }
+  }
   ::close(g_stop_pipe[0]);
   ::close(g_stop_pipe[1]);
   return 0;

@@ -1,0 +1,11 @@
+// Near-miss: steady_clock outside src/net/ and src/serving/ is fine —
+// trace-clock scopes to the serving hot paths only (must NOT fire).
+#include <chrono>
+
+namespace gosh::fixture {
+
+long long out_of_scope_timing() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace gosh::fixture

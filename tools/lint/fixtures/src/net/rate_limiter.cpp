@@ -1,0 +1,11 @@
+// Allowlisted: the token-bucket refill is the one justified raw
+// steady_clock use in the serving layers (trace-clock must NOT fire).
+#include <chrono>
+
+namespace gosh::fixture {
+
+long long allowlisted_refill_delta() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace gosh::fixture

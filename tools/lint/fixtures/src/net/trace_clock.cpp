@@ -1,0 +1,11 @@
+// Planted violation: raw steady_clock timing inside a serving hot path.
+#include <chrono>
+
+namespace gosh::fixture {
+
+long long planted_timing() {
+  // trace-clock must fire here: src/net/ times through gosh::trace.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace gosh::fixture

@@ -17,6 +17,12 @@
 //   tsan-suppression  Every symbol named in .tsan-suppressions must still
 //                     exist in src/ — a stale entry silently widens what the
 //                     race-detector job ignores.
+//   trace-clock       Serving hot paths (src/net/, src/serving/) time work
+//                     with gosh::trace (now_ns() / Span), not raw
+//                     std::chrono::steady_clock::now() — one clock shim
+//                     keeps span timestamps and ad-hoc timings on the same
+//                     epoch. The token-bucket refill in rate_limiter.cpp is
+//                     the one justified exception.
 //
 // Each rule carries an explicit allowlist next to its implementation; the
 // fixture tree under tools/lint/fixtures plants one violation per rule and
@@ -326,6 +332,34 @@ void check_internal_include(const SourceFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: trace-clock
+// ---------------------------------------------------------------------------
+
+/// Timing in the serving layers must go through the trace clock shim
+/// (gosh::trace::now_ns(), Span, WallTimer) so every duration lands on the
+/// same epoch the Chrome trace export uses.
+const std::vector<std::string> kTraceClockAllowlist = {
+    // The token bucket refills from a monotonic duration delta; it never
+    // reports the timestamp, so the shared epoch does not apply.
+    "src/net/rate_limiter.cpp",
+};
+
+void check_trace_clock(const SourceFile& file, std::vector<Violation>& out) {
+  const bool serving_layer = starts_with(file.path, "src/net/") ||
+                             starts_with(file.path, "src/serving/");
+  if (!serving_layer || allowlisted(file.path, kTraceClockAllowlist)) return;
+  const std::string needle = "steady_clock::now";
+  std::size_t pos = 0;
+  while ((pos = file.stripped.find(needle, pos)) != std::string::npos) {
+    out.push_back({file.path, line_of(file.stripped, pos), "trace-clock",
+                   "raw steady_clock::now() in a serving hot path; time "
+                   "through gosh::trace (now_ns()/Span) so timings share "
+                   "the trace epoch"});
+    pos += needle.size();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: tsan-suppression
 // ---------------------------------------------------------------------------
 
@@ -468,6 +502,7 @@ std::vector<Violation> run_rules(const fs::path& root,
     check_raw_sync(file, violations);
     check_unchecked_value(file, violations);
     check_internal_include(file, violations);
+    check_trace_clock(file, violations);
   }
   check_tsan_suppressions(root, files, violations);
   return violations;
@@ -526,9 +561,15 @@ int self_test(const fs::path& root) {
   expect(count("tsan-suppression", ".tsan-suppressions") == 1,
          "tsan-suppression must flag the stale symbol and accept the real "
          "one");
+  expect(count("trace-clock", "src/net/trace_clock.cpp") == 1,
+         "trace-clock must fire on the planted steady_clock::now()");
+  expect(count("trace-clock", "src/net/rate_limiter.cpp") == 0,
+         "trace-clock must honor the rate_limiter.cpp allowlist");
+  expect(count("trace-clock", "src/clock_out_of_scope.cpp") == 0,
+         "trace-clock must ignore steady_clock outside src/net|serving/");
   // Nothing else may fire — a noisy rule is as useless as a silent one.
   const auto expected_total =
-      count("raw-sync", "src/raw_sync.cpp") + 1 + 1 + 1;
+      count("raw-sync", "src/raw_sync.cpp") + 1 + 1 + 1 + 1;
   expect(static_cast<long>(violations.size()) == expected_total,
          "no unexpected violations in the fixture tree");
 
