@@ -19,21 +19,34 @@
 //
 //   bench_serve_throughput [--rows N] [--dim D] [--k K] [--requests R]
 //                          [--concurrency c1,c2,...] [--rate-qps Q]
-//                          [--seed S] [--json FILE] [--run-id ID]
+//                          [--burst B] [--zipf-s S] [--seed S]
+//                          [--json FILE] [--run-id ID]
 //                          [--trace on|off|sampled]
 //                          [--connect HOST:PORT] [--shutdown]
-//                          [--expect-traces]
+//                          [--expect-traces] [--expect-cache]
 //
-// Defaults: 20000 rows, dim 64, k 10, 2000 requests, concurrency 1,4,8.
+// Defaults: 20000 rows, dim 64, k 10, 2000 requests, concurrency 1,4,8,
+// burst 1, zipf-s 1.0.
 //
 // --trace prices the gosh::trace layer in self-host mode: "off" leaves the
 // global gate down (the disabled-check cost), "on" samples every request,
 // "sampled" keeps 1%. The mode lands in every record's "trace" param so
 // the BENCH_*.json trajectory can hold the three columns side by side.
+// --zipf-s shapes probe popularity (Zipf over a shuffled rank->id map;
+// 0 = uniform) so a hot set dominates the way real traffic does — the
+// regime where a cache-enabled server pulls ahead. --burst groups the
+// open-loop shed phase's arrivals into back-to-back volleys of B at
+// interval B/rate (the mean rate is unchanged; the instantaneous rate is
+// what admission control and the tail quantiles see).
 // --expect-traces (connect mode) POSTs one query with an explicit
-// X-Request-Id and asserts GET /debug/traces reports the nested
-// handler -> queue-wait -> scan -> merge span chain under that id — the
-// smoke test's end-to-end tracing acceptance check.
+// X-Request-Id and asserts GET /debug/traces reports the span chain under
+// that id — handler -> queue-wait -> scan -> merge when the answer came
+// from a scan, handler -> cache-lookup when the server's semantic cache
+// answered (the response's "cache" annotation picks the expectation).
+// --expect-cache (connect mode) POSTs the same query twice so the second
+// is a guaranteed exact-byte hit, asserts the "cache":["hit"] annotation,
+// a nonzero gosh_cache_hits_total in /metrics, and the cache-lookup span
+// under the hit's request id — the smoke test's cache acceptance check.
 #include <unistd.h>
 
 #include <atomic>
@@ -49,6 +62,7 @@
 
 #include "gosh/api/api.hpp"
 #include "gosh/common/simd.hpp"
+#include "gosh/common/zipf.hpp"
 #include "gosh/net/json.hpp"
 #include "gosh/trace/trace.hpp"
 #include "report.hpp"
@@ -135,22 +149,32 @@ LoadResult run_closed_loop(const std::string& host, unsigned short port,
 
 /// Open-loop phase: fire at a fixed pace regardless of answers — the shape
 /// that makes a token bucket visible (a closed loop self-throttles and
-/// never overruns a limiter for long).
+/// never overruns a limiter for long). `burst` groups arrivals into
+/// back-to-back volleys at interval burst/target_qps: the mean offered
+/// rate stays target_qps, but the instantaneous rate inside a volley is
+/// whatever the wire sustains — the shape that separates p99 from p999
+/// and exercises a limiter's bucket depth rather than its refill rate.
 LoadResult run_open_loop(const std::string& host, unsigned short port,
                          const std::vector<vid_t>& probes, unsigned k,
-                         double target_qps, serving::Histogram& latency) {
+                         double target_qps, std::size_t burst,
+                         serving::Histogram& latency) {
   LoadResult result;
   net::HttpClient client(host, port);
-  const auto interval = std::chrono::duration<double>(1.0 / target_qps);
+  if (burst < 1) burst = 1;
+  const auto interval =
+      std::chrono::duration<double>(static_cast<double>(burst) / target_qps);
   auto deadline = std::chrono::steady_clock::now();
   WallTimer timer;
   WallTimer request_timer;
-  for (const vid_t probe : probes) {
-    deadline += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-        interval);
-    std::this_thread::sleep_until(deadline);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    if (i % burst == 0) {
+      deadline +=
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              interval);
+      std::this_thread::sleep_until(deadline);
+    }
     request_timer.reset();
-    auto response = client.post_json("/v1/query", query_body(probe, k));
+    auto response = client.post_json("/v1/query", query_body(probes[i], k));
     if (!response.ok()) {
       ++result.failed;
       continue;
@@ -197,30 +221,27 @@ int scrape_metrics(const std::string& host, unsigned short port,
   return 0;
 }
 
-/// The tracing acceptance probe: one POST under a client-chosen request
-/// id, then /debug/traces must report the batched strategy's nested span
-/// chain (handler -> queue-wait -> scan -> merge) for exactly that id,
-/// as strict JSON. Requires the server to run --strategy batched with
-/// sampling on — the smoke test's configuration.
-int verify_traces(const std::string& host, unsigned short port, unsigned k) {
-  net::HttpClient client(host, port);
-  const std::string id = "smoke-trace-probe";
-  auto posted = client.request("POST", "/v1/query", query_body(0, k),
-                               {{"Content-Type", "application/json"},
-                                {"X-Request-Id", id}});
-  if (!posted.ok()) return fail(posted.status());
-  if (posted.value().status != 200) {
-    std::fprintf(stderr, "error: traced POST /v1/query answered %d\n",
-                 posted.value().status);
-    return 1;
+/// Query 0's "cache" annotation from a response body — "hit"/"miss"/
+/// "skip", or "" when the annotation is absent (no cache in the path).
+std::string cache_annotation(const std::string& body) {
+  auto parsed = net::json::Value::parse(body);
+  if (!parsed.ok()) return "";
+  const net::json::Value* cache = parsed.value().find("cache");
+  if (cache == nullptr || !cache->is_array() || cache->size() == 0) {
+    return "";
   }
-  const std::string* echoed = posted.value().header("X-Request-Id");
-  if (echoed == nullptr || *echoed != id) {
-    std::fprintf(stderr, "error: X-Request-Id was not echoed (got \"%s\")\n",
-                 echoed != nullptr ? echoed->c_str() : "<missing>");
-    return 1;
-  }
+  return (*cache)[0].is_string() ? (*cache)[0].as_string() : "";
+}
 
+bool answered_from_cache(const std::string& body) {
+  return cache_annotation(body) == "hit";
+}
+
+/// Scans /debug/traces for the named spans under one request id; fills
+/// `missing` with the absentees. Returns nonzero on transport/JSON errors.
+int spans_for_id(net::HttpClient& client, const std::string& id,
+                 const std::vector<const char*>& names,
+                 std::vector<std::string>& missing) {
   auto traces = client.get("/debug/traces");
   if (!traces.ok()) return fail(traces.status());
   if (traces.value().status != 200) {
@@ -239,8 +260,7 @@ int verify_traces(const std::string& host, unsigned short port, unsigned k) {
     std::fprintf(stderr, "error: /debug/traces carries no traceEvents\n");
     return 1;
   }
-  std::vector<std::string> missing;
-  for (const char* name : {"handler", "queue-wait", "scan", "merge"}) {
+  for (const char* name : names) {
     bool found = false;
     for (std::size_t i = 0; i < events->size() && !found; ++i) {
       const net::json::Value& event = (*events)[i];
@@ -254,18 +274,134 @@ int verify_traces(const std::string& host, unsigned short port, unsigned k) {
     }
     if (!found) missing.emplace_back(name);
   }
+  return 0;
+}
+
+/// One POST under a client-chosen id with status + echo checks; returns
+/// the body through `body_out` so callers can read the cache annotation.
+int traced_post(net::HttpClient& client, const std::string& id, vid_t probe,
+                unsigned k, std::string& body_out) {
+  auto posted = client.request("POST", "/v1/query", query_body(probe, k),
+                               {{"Content-Type", "application/json"},
+                                {"X-Request-Id", id}});
+  if (!posted.ok()) return fail(posted.status());
+  if (posted.value().status != 200) {
+    std::fprintf(stderr, "error: traced POST /v1/query answered %d\n",
+                 posted.value().status);
+    return 1;
+  }
+  const std::string* echoed = posted.value().header("X-Request-Id");
+  if (echoed == nullptr || *echoed != id) {
+    std::fprintf(stderr, "error: X-Request-Id was not echoed (got \"%s\")\n",
+                 echoed != nullptr ? echoed->c_str() : "<missing>");
+    return 1;
+  }
+  body_out = posted.value().body;
+  return 0;
+}
+
+/// The tracing acceptance probe: one POST under a client-chosen request
+/// id, then /debug/traces must report the span chain for exactly that id,
+/// as strict JSON. A scan-served answer must show the batched strategy's
+/// nested handler -> queue-wait -> scan -> merge chain. With the semantic
+/// cache in the path the response annotation decides: a hit must show
+/// handler -> cache-lookup, and a miss handler -> cache-lookup -> scan ->
+/// cache-insert — the cache's k+1 over-fetch makes its sub-request
+/// non-queueable, so misses reach the engine directly, not through the
+/// BatchQueue. Requires the server to run --strategy batched with
+/// sampling on — the smoke test's configuration.
+int verify_traces(const std::string& host, unsigned short port, unsigned k) {
+  net::HttpClient client(host, port);
+  const std::string id = "smoke-trace-probe";
+  std::string body;
+  if (int rc = traced_post(client, id, 0, k, body); rc != 0) return rc;
+  const std::string annotation = cache_annotation(body);
+  const bool hit = annotation == "hit";
+  const std::vector<const char*> expected =
+      annotation.empty()
+          ? std::vector<const char*>{"handler", "queue-wait", "scan", "merge"}
+          : (hit ? std::vector<const char*>{"handler", "cache-lookup"}
+                 : std::vector<const char*>{"handler", "cache-lookup", "scan",
+                                            "cache-insert"});
+  std::vector<std::string> missing;
+  if (int rc = spans_for_id(client, id, expected, missing); rc != 0) return rc;
   if (!missing.empty()) {
     std::string list;
     for (const std::string& name : missing) list += " " + name;
     std::fprintf(stderr,
                  "error: /debug/traces is missing span(s)%s for "
-                 "request id \"%s\"\n%s\n",
-                 list.c_str(), id.c_str(), traces.value().body.c_str());
+                 "request id \"%s\" (%s-served)\n",
+                 list.c_str(), id.c_str(), hit ? "cache" : "scan");
     return 1;
   }
-  std::printf("/debug/traces: handler/queue-wait/scan/merge spans present "
-              "for \"%s\"\n",
+  std::string chain;
+  for (const char* name : expected) {
+    if (!chain.empty()) chain += "/";
+    chain += name;
+  }
+  std::printf("/debug/traces: %s spans present for \"%s\"\n", chain.c_str(),
               id.c_str());
+  return 0;
+}
+
+/// The semantic-cache acceptance probe: POST the same vertex query twice
+/// under distinct request ids. The first installs (or refreshes) the
+/// entry; the second is a guaranteed exact-byte hit, so its response must
+/// carry "cache":["hit"], /metrics must count a nonzero
+/// gosh_cache_hits_total, and /debug/traces must hold the cache-lookup
+/// span under the second id.
+int verify_cache(const std::string& host, unsigned short port, unsigned k) {
+  net::HttpClient client(host, port);
+  std::string body;
+  if (int rc = traced_post(client, "smoke-cache-warm", 1, k, body); rc != 0) {
+    return rc;
+  }
+  const std::string hit_id = "smoke-cache-hit";
+  if (int rc = traced_post(client, hit_id, 1, k, body); rc != 0) return rc;
+  if (!answered_from_cache(body)) {
+    std::fprintf(stderr,
+                 "error: repeated query was not served from the cache "
+                 "(response: %s)\n",
+                 body.c_str());
+    return 1;
+  }
+  {
+    auto response = client.get("/metrics");
+    if (!response.ok()) return fail(response.status());
+    if (response.value().status != 200) {
+      std::fprintf(stderr, "error: /metrics answered %d\n",
+                   response.value().status);
+      return 1;
+    }
+    const std::string& text = response.value().body;
+    // Leading '\n' skips the "# TYPE ..." line and lands on the sample.
+    const char* needle = "\ngosh_cache_hits_total ";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos ||
+        std::strtod(text.c_str() + at + std::strlen(needle), nullptr) <=
+            0.0) {
+      std::fprintf(stderr,
+                   "error: gosh_cache_hits_total is missing or zero in "
+                   "/metrics after a guaranteed hit\n");
+      return 1;
+    }
+  }
+  std::vector<std::string> missing;
+  if (int rc = spans_for_id(client, hit_id, {"handler", "cache-lookup"},
+                            missing);
+      rc != 0) {
+    return rc;
+  }
+  if (!missing.empty()) {
+    std::fprintf(stderr,
+                 "error: /debug/traces is missing the cache-lookup span "
+                 "for the guaranteed hit \"%s\"\n",
+                 hit_id.c_str());
+    return 1;
+  }
+  std::printf("cache probe: hit annotated, gosh_cache_hits_total > 0, "
+              "cache-lookup span present for \"%s\"\n",
+              hit_id.c_str());
   return 0;
 }
 
@@ -284,6 +420,8 @@ int main(int argc, char** argv) {
       api::require_flag_unsigned(argc, argv, "--requests", 2000));
   const auto rate_qps = static_cast<double>(
       api::require_flag_unsigned(argc, argv, "--rate-qps", 0));
+  const auto burst = static_cast<std::size_t>(
+      api::require_flag_unsigned(argc, argv, "--burst", 1));
   const auto seed = api::require_flag_unsigned(argc, argv, "--seed", 1);
   const std::vector<std::string> concurrency_flags =
       api::flag_list(argc, argv, "--concurrency", {"1", "4", "8"});
@@ -292,10 +430,23 @@ int main(int argc, char** argv) {
   const std::string connect = flag_string(argc, argv, "--connect", "");
   const bool remote_shutdown = bool_flag(argc, argv, "--shutdown");
   const bool expect_traces = bool_flag(argc, argv, "--expect-traces");
+  const bool expect_cache = bool_flag(argc, argv, "--expect-cache");
   const std::string trace_mode = flag_string(argc, argv, "--trace", "off");
   if (trace_mode != "on" && trace_mode != "off" && trace_mode != "sampled") {
     std::fprintf(stderr, "error: --trace wants on|off|sampled, got '%s'\n",
                  trace_mode.c_str());
+    return 1;
+  }
+  const std::string zipf_flag = flag_string(argc, argv, "--zipf-s", "1.0");
+  const auto zipf_parsed = api::parse_real(zipf_flag);
+  if (!zipf_parsed.ok() || zipf_parsed.value() < 0.0) {
+    std::fprintf(stderr, "error: --zipf-s wants a real >= 0, got '%s'\n",
+                 zipf_flag.c_str());
+    return 1;
+  }
+  const double zipf_s = zipf_parsed.value();
+  if (burst < 1) {
+    std::fprintf(stderr, "error: --burst wants a positive volley size\n");
     return 1;
   }
 
@@ -314,8 +465,9 @@ int main(int argc, char** argv) {
   }
 
   Rng rng(seed + 7);
+  ZipfSampler zipf(rows, zipf_s, rng);
   std::vector<vid_t> probes(requests);
-  for (vid_t& p : probes) p = rng.next_vertex(rows);
+  for (vid_t& p : probes) p = zipf.sample(rng);
 
   const std::string isa_label(simd::isa_name(simd::active_isa()));
   std::vector<bench::Record> records;
@@ -328,6 +480,7 @@ int main(int argc, char** argv) {
     params.emplace_back("k", std::to_string(k));
     params.emplace_back("concurrency", std::to_string(concurrency));
     params.emplace_back("trace", trace_mode);
+    params.emplace_back("zipf_s", zipf_flag);
     return params;
   };
 
@@ -358,8 +511,8 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    std::printf("\n%-12s %8s %12s %12s %12s %8s\n", "transport",
-                "conc", "queries/s", "p50 ms", "p99 ms", "429s");
+    std::printf("\n%-12s %8s %12s %12s %12s %12s %8s\n", "transport",
+                "conc", "queries/s", "p50 ms", "p99 ms", "p999 ms", "429s");
     for (const unsigned concurrency : concurrency_levels) {
       serving::Histogram& latency = client_metrics.histogram(
           "bench_http_latency_seconds_c" + std::to_string(concurrency));
@@ -373,9 +526,10 @@ int main(int argc, char** argv) {
       const double qps =
           (load.ok_2xx + load.shed_429) /
           (load.seconds > 0 ? load.seconds : 1e-9);
-      std::printf("%-12s %8u %12.1f %12.4f %12.4f %8llu\n", "http", concurrency,
-                  qps, 1e3 * latency.quantile(0.5),
+      std::printf("%-12s %8u %12.1f %12.4f %12.4f %12.4f %8llu\n", "http",
+                  concurrency, qps, 1e3 * latency.quantile(0.5),
                   1e3 * latency.quantile(0.99),
+                  1e3 * latency.quantile(0.999),
                   static_cast<unsigned long long>(load.shed_429));
       records.push_back({"serve_throughput", shape_params(concurrency, "http"),
                          qps, "queries/s", isa_label, concurrency});
@@ -385,6 +539,9 @@ int main(int argc, char** argv) {
     }
     if (expect_traces) {
       if (int rc = verify_traces(host, port, k); rc != 0) return rc;
+    }
+    if (expect_cache) {
+      if (int rc = verify_cache(host, port, k); rc != 0) return rc;
     }
     if (remote_shutdown) {
       auto stop = probe_client.post_json("/admin/shutdown", "{}");
@@ -466,8 +623,8 @@ int main(int argc, char** argv) {
     return fail(status);
   }
 
-  std::printf("\n%-12s %8s %12s %12s %12s %10s\n", "transport", "conc",
-              "queries/s", "p50 ms", "p99 ms", "vs direct");
+  std::printf("\n%-12s %8s %12s %12s %12s %12s %10s\n", "transport", "conc",
+              "queries/s", "p50 ms", "p99 ms", "p999 ms", "vs direct");
   double qps_at_max = 0.0;
   for (const unsigned concurrency : concurrency_levels) {
     serving::Histogram& latency = client_metrics.histogram(
@@ -484,9 +641,10 @@ int main(int argc, char** argv) {
     const double qps =
         load.ok_2xx / (load.seconds > 0 ? load.seconds : 1e-9);
     if (concurrency == max_concurrency) qps_at_max = qps;
-    std::printf("%-12s %8u %12.1f %12.4f %12.4f %9.1f%%\n", "http",
+    std::printf("%-12s %8u %12.1f %12.4f %12.4f %12.4f %9.1f%%\n", "http",
                 concurrency, qps, 1e3 * latency.quantile(0.5),
-                1e3 * latency.quantile(0.99), 100.0 * qps / inprocess_qps);
+                1e3 * latency.quantile(0.99), 1e3 * latency.quantile(0.999),
+                100.0 * qps / inprocess_qps);
     records.push_back({"serve_throughput", shape_params(concurrency, "http"),
                        qps, "queries/s", isa_label, concurrency});
   }
@@ -525,7 +683,7 @@ int main(int argc, char** argv) {
                                          probes.begin() + shed_requests);
     const LoadResult load =
         run_open_loop("127.0.0.1", shed_server.port(), shed_probes, k,
-                      2.0 * rate_qps, latency);
+                      2.0 * rate_qps, burst, latency);
     // The sheds must show up on the wire-visible side too: scrape the
     // limited server's /metrics and find a nonzero rate-limited counter.
     {
@@ -559,12 +717,17 @@ int main(int argc, char** argv) {
     const double offered =
         (load.ok_2xx + load.shed_429) / (load.seconds > 0 ? load.seconds : 1e-9);
     std::printf(
-        "\nshed phase: offered %.1f q/s against --rate-qps %.0f -> "
-        "%llu answered, %llu shed 429 (%.1f%%)\n",
-        offered, rate_qps, static_cast<unsigned long long>(load.ok_2xx),
+        "\nshed phase: offered %.1f q/s against --rate-qps %.0f "
+        "(volleys of %zu) -> %llu answered, %llu shed 429 (%.1f%%)\n",
+        offered, rate_qps, burst,
+        static_cast<unsigned long long>(load.ok_2xx),
         static_cast<unsigned long long>(load.shed_429),
         100.0 * load.shed_429 /
             std::max<std::uint64_t>(load.ok_2xx + load.shed_429, 1));
+    std::printf("shed-phase client latency: p50 %.4f ms / p99 %.4f ms / "
+                "p999 %.4f ms\n",
+                1e3 * latency.quantile(0.5), 1e3 * latency.quantile(0.99),
+                1e3 * latency.quantile(0.999));
     if (load.shed_429 == 0) {
       std::fprintf(stderr,
                    "error: open loop at 2x the sustained rate shed nothing — "
@@ -573,6 +736,7 @@ int main(int argc, char** argv) {
     }
     auto params = shape_params(1, "http");
     params.emplace_back("rate_qps", std::to_string(rate_qps));
+    params.emplace_back("burst", std::to_string(burst));
     records.push_back({"serve_shed_429", params,
                        static_cast<double>(load.shed_429), "responses",
                        isa_label, 1});

@@ -2,16 +2,20 @@
 #   1. write a small community-structured edge list,
 #   2. gosh_embed trains it and persists a GSHS store,
 #   3. gosh_serve starts in the background on an EPHEMERAL port with the
-#      batched strategy and full tracing (--trace-sample-rate 1
+#      batched strategy behind the semantic cache (--cache
+#      --cache-threshold 0.99) and full tracing (--trace-sample-rate 1
 #      --trace-out), announcing the port through --port-file (written
 #      temp+rename, so this script can poll without ever reading a
 #      partial file),
 #   4. bench_serve_throughput --connect drives /healthz, a closed-loop
 #      POST /v1/query phase, a /metrics scrape (verifying the Prometheus
 #      exposition carries the per-endpoint series), --expect-traces (one
-#      POST under an explicit X-Request-Id whose handler/queue-wait/scan/
-#      merge spans must come back from /debug/traces), and --shutdown
-#      posts /admin/shutdown,
+#      POST under an explicit X-Request-Id whose span chain must come
+#      back from /debug/traces), --expect-cache (the same query POSTed
+#      twice: the replay must be annotated "cache":["hit"], count a
+#      nonzero gosh_cache_hits_total in /metrics, and leave a
+#      cache-lookup span under its request id), and --shutdown posts
+#      /admin/shutdown,
 #   5. the script polls the server PID until it is gone — a hung worker or
 #      leaked thread turns up here as a timeout, not a green run — and
 #      then requires the --trace-out Chrome trace JSON on disk (CI
@@ -82,6 +86,7 @@ run_step("gosh_embed -> store"
 # the exit check. Port 0 = the OS picks; --port-file announces the choice.
 execute_process(
   COMMAND sh -c "'${GOSH_SERVE}' --store '${store_file}' --strategy batched \
+--cache --cache-threshold 0.99 \
 --k 5 --port 0 --port-file '${port_file}' --threads 2 \
 --allow-remote-shutdown --trace-sample-rate 1 --trace-out '${trace_file}' \
 > '${log_file}' 2>&1 & echo $! > '${pid_file}'"
@@ -109,11 +114,13 @@ message(STATUS "gosh_serve is listening on 127.0.0.1:${server_port} "
 
 # Drive the wire: health check, closed-loop queries at two concurrency
 # levels, the /metrics scrape, the end-to-end tracing probe (POST under a
-# known X-Request-Id, then /debug/traces must report its nested
-# handler/queue-wait/scan/merge spans), then the remote shutdown.
+# known X-Request-Id, then /debug/traces must report its span chain), the
+# semantic-cache probe (a replayed query must be a hit with the counter
+# and span to prove it), then the remote shutdown.
 run_step("bench_serve_throughput --connect"
          ${SERVE_BENCH} --connect 127.0.0.1:${server_port} --rows 64 --k 5
-         --requests 64 --concurrency 1,2 --expect-traces --shutdown)
+         --requests 64 --concurrency 1,2 --expect-traces --expect-cache
+         --shutdown)
 
 # Clean shutdown is part of the contract: the process must be GONE.
 set(waited 0)
@@ -136,12 +143,16 @@ file(READ ${log_file} log)
 message(STATUS "gosh_serve exited cleanly; log:\n${log}")
 
 # The exit path must have flushed the trace ring: a Chrome trace JSON
-# with the span events the probe asserted over the wire.
+# with the span events the probe asserted over the wire. Both cache
+# halves must appear: cache-lookup on every query, scan + cache-insert on
+# the misses. (No queue-wait here — the cache's k+1 over-fetch makes its
+# sub-requests non-queueable, so misses reach the engine directly.)
 if(NOT EXISTS ${trace_file})
   message(FATAL_ERROR "gosh_serve --trace-out left no ${trace_file}")
 endif()
 file(READ ${trace_file} trace_json)
-foreach(needle "\"traceEvents\"" "\"handler\"" "\"queue-wait\"")
+foreach(needle "\"traceEvents\"" "\"handler\"" "\"cache-lookup\""
+        "\"scan\"" "\"cache-insert\"")
   string(FIND "${trace_json}" ${needle} at)
   if(at EQUAL -1)
     message(FATAL_ERROR

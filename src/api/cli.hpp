@@ -65,6 +65,12 @@ inline const char* serve_flags_usage() {
       "  --aggregate A          multi-vector combine rule: max|mean\n"
       "  --filter LO:HI         only ids in [LO, HI) may appear in answers\n"
       "  --batch B              max requests coalesced per scan (batched)\n"
+      "  --cache                wrap the strategy behind the semantic result\n"
+      "                         cache (same as a cached:<strategy> name)\n"
+      "  --cache-threshold T    cosine floor for proximity hits in [0, 1];\n"
+      "                         1.0 = exact-byte matches only (default 0.99)\n"
+      "  --cache-capacity N     max cached entries, LRU beyond (default 1024)\n"
+      "  --cache-ttl-ms MS      entry lifetime; 0 = no expiry (default)\n"
       "  --ef EF                HNSW search beam width (default 64)\n"
       "  --block-rows N         rows per scan block (default 2048)\n"
       "  --no-verify            skip the store checksum pass at open\n"

@@ -1,0 +1,117 @@
+// SemanticCache — a proximity-keyed top-k result cache (gosh::cache).
+//
+// Real query traffic is heavily skewed: a small set of hot vertices (and
+// near-duplicate raw vectors) accounts for most requests. Every scan the
+// cache short-circuits is capacity kept on the small hardware the paper
+// targets. An entry remembers the query vector it was computed for plus
+// the raw ranked answer; a lookup hits when
+//   * the probe is byte-identical to a cached query vector (always a hit,
+//     at every threshold), or
+//   * threshold < 1.0 and the cosine similarity between the probe and a
+//     cached query vector is >= threshold (the best such entry wins).
+// Threshold 1.0 therefore means "exact-byte match only": the proximity
+// path is disabled outright rather than thresholded, because two distinct
+// float vectors can round to cosine 1.0 — the bit-identical-to-uncached
+// guarantee must not depend on floating-point luck.
+//
+// Bounded capacity with plain LRU eviction; TTL expiry against an
+// injectable nanosecond clock (default gosh::trace::now_ns, the project's
+// one timing shim); generation stamping so a reopened/rewritten store
+// flushes every stale entry in one set_generation() call. Thread-safe:
+// one annotated common::Mutex guards the entry list and the counters —
+// the proximity scan is O(entries) dot products either way, so a sharded
+// lock would buy nothing at the capacities this cache runs at.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gosh/common/sync.hpp"
+#include "gosh/query/metric.hpp"
+
+namespace gosh::cache {
+
+struct SemanticCacheOptions {
+  /// Max cached entries; the LRU tail is evicted beyond this.
+  std::size_t capacity = 1024;
+  /// Cosine floor for proximity hits, in [0, 1]. 1.0 disables the
+  /// proximity path entirely (exact-byte hits only).
+  double threshold = 0.99;
+  /// Entry lifetime in milliseconds; 0 = entries never expire by age.
+  std::uint64_t ttl_ms = 0;
+  /// Nanosecond clock for TTL bookkeeping; null = trace::now_ns. Tests
+  /// inject a fake clock to expire entries deterministically.
+  std::uint64_t (*clock_ns)() = nullptr;
+};
+
+/// Monotonic counters, snapshotted under the lock.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// What insert() did — the caller (CachedService) feeds these into its
+/// MetricsRegistry counters without re-deriving them from stats deltas.
+struct InsertOutcome {
+  bool inserted = false;  ///< false only for malformed (empty) vectors
+  bool replaced = false;  ///< refreshed an exact-duplicate entry in place
+  bool evicted = false;   ///< capacity pushed out the LRU tail
+};
+
+class SemanticCache {
+ public:
+  explicit SemanticCache(SemanticCacheOptions options = {});
+
+  /// Looks up the raw ranked answer cached for a query vector under result
+  /// count `k`. Entries cached under a different k never match (the raw
+  /// lists have different lengths). Hits refresh the entry's LRU position.
+  std::optional<std::vector<query::Neighbor>> lookup(
+      std::span<const float> vec, unsigned k);
+
+  /// Caches `results` (the raw, un-finalized ranked list) for `vec` under
+  /// `k`. An exact-byte duplicate entry is refreshed in place.
+  InsertOutcome insert(std::span<const float> vec, unsigned k,
+                       std::vector<query::Neighbor> results);
+
+  /// Entries are only valid for the generation they were inserted under;
+  /// a different token flushes everything (counted as evictions). The
+  /// caller derives the token from the store identity (path + file
+  /// fingerprint), so reopening a rewritten store starts cold.
+  void set_generation(std::uint64_t generation);
+  std::uint64_t generation() const;
+
+  /// Drops every entry without touching the hit/miss counters.
+  void clear();
+
+  std::size_t size() const;
+  CacheStats stats() const;
+  const SemanticCacheOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;      ///< FNV-1a of the raw vector bytes + k
+    unsigned k = 0;
+    std::vector<float> vec;      ///< the query vector the results answer
+    float inv_norm = 0.0f;       ///< 1/|vec| for the cosine comparisons
+    std::vector<query::Neighbor> results;
+    std::uint64_t inserted_ns = 0;
+  };
+
+  std::uint64_t now_ns() const;
+  bool expired(const Entry& entry, std::uint64_t now) const;
+
+  const SemanticCacheOptions options_;
+
+  mutable common::Mutex mutex_;
+  /// MRU at the front; lookups splice hits forward, inserts push front.
+  std::list<Entry> entries_ GOSH_GUARDED_BY(mutex_);
+  std::uint64_t generation_ GOSH_GUARDED_BY(mutex_) = 0;
+  CacheStats stats_ GOSH_GUARDED_BY(mutex_);
+};
+
+}  // namespace gosh::cache

@@ -1,0 +1,61 @@
+// ZipfSampler — rank-frequency skewed id sampling for traffic shaping.
+//
+// Real query traffic against an embedding store is not uniform: a few hot
+// vertices dominate. The benches model that with a Zipf(s) popularity
+// distribution, P(rank r) ∝ 1 / (r + 1)^s over n ids — s = 0 degrades to
+// uniform, s = 1 is the classic web-traffic skew the semantic cache is
+// judged against. Rank is decoupled from id by a seeded Fisher-Yates
+// shuffle, so the popular ids are scattered across the store instead of
+// clustering at the low rows (which would flatter any scan with page
+// locality).
+//
+// Construction is O(n) (one CDF pass + the shuffle); sampling is one RNG
+// draw plus a binary search over the CDF. Deterministic for a given
+// (n, s, seed), like every other Rng consumer in the tree.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "gosh/common/rng.hpp"
+#include "gosh/common/types.hpp"
+
+namespace gosh {
+
+class ZipfSampler {
+ public:
+  /// `n` ids, exponent `s` >= 0 (0 = uniform); `rng` seeds the rank->id
+  /// shuffle only, so two samplers built from equal-state rngs agree.
+  ZipfSampler(std::uint64_t n, double s, Rng& rng) : cdf_(n), ids_(n) {
+    double total = 0.0;
+    for (std::uint64_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = total;
+    }
+    for (std::uint64_t r = 0; r < n; ++r) cdf_[r] /= total;
+    std::iota(ids_.begin(), ids_.end(), vid_t{0});
+    for (std::uint64_t r = n; r > 1; --r) {
+      std::swap(ids_[r - 1], ids_[rng.next_bounded(r)]);
+    }
+  }
+
+  vid_t sample(Rng& rng) const noexcept {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const std::size_t rank =
+        it == cdf_.end() ? cdf_.size() - 1
+                         : static_cast<std::size_t>(it - cdf_.begin());
+    return ids_[rank];
+  }
+
+  std::uint64_t size() const noexcept { return ids_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<vid_t> ids_;
+};
+
+}  // namespace gosh

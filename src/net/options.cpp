@@ -138,7 +138,8 @@ api::Result<NetOptions> NetOptions::from_args(int argc, char** argv) {
       return api::Status::invalid_argument("stray argument " + quoted(arg) +
                                            " (flags start with --)");
     const std::string_view key = arg.substr(2);
-    if (key == "allow-remote-shutdown" || key == "access-log") {
+    if (key == "allow-remote-shutdown" || key == "access-log" ||
+        key == "cache") {
       pairs.emplace_back(std::string(key), "true");
       continue;
     }

@@ -200,6 +200,16 @@ json::Value QueryHandler::render(const serving::QueryResponse& response) {
   }
   json::Value root = json::Value::object();
   root.set("results", std::move(results));
+  // Cache strategies annotate each query's disposition; surface it so a
+  // client (or a human with curl) can see hit/miss/skip per query.
+  if (!response.cache.empty()) {
+    json::Value outcomes = json::Value::array();
+    for (const serving::CacheOutcome outcome : response.cache) {
+      outcomes.push_back(
+          json::Value(std::string(serving::cache_outcome_name(outcome))));
+    }
+    root.set("cache", std::move(outcomes));
+  }
   root.set("seconds", json::Value(response.seconds));
   return root;
 }

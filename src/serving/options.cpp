@@ -144,6 +144,25 @@ api::Status ServeOptions::set(std::string_view key, std::string_view value) {
     return set_unsigned(ef_construction, key, value);
   if (key == "seed") return set_unsigned(seed, key, value);
   if (key == "batch") return set_unsigned(max_batch, key, value);
+  if (key == "cache") {
+    auto parsed = api::parse_bool(value);
+    if (!parsed.ok())
+      return api::Status::invalid_argument("cache: " +
+                                           parsed.status().message());
+    cache_enabled = parsed.value();
+    return api::Status::ok();
+  }
+  if (key == "cache-threshold") {
+    auto parsed = api::parse_real(value);
+    if (!parsed.ok())
+      return api::Status::invalid_argument("cache-threshold: " +
+                                           parsed.status().message());
+    cache_threshold = parsed.value();
+    return api::Status::ok();
+  }
+  if (key == "cache-capacity")
+    return set_unsigned(cache_capacity, key, value);
+  if (key == "cache-ttl-ms") return set_unsigned(cache_ttl_ms, key, value);
   if (key == "verify") {
     auto parsed = api::parse_bool(value);
     if (!parsed.ok())
@@ -207,6 +226,9 @@ api::Status ServeOptions::validate() const {
   if (hnsw_m < 2 || hnsw_m > 512) return bad("M: must be in [2, 512]");
   if (ef_construction < 1) return bad("ef-construction: must be >= 1");
   if (max_batch < 1) return bad("batch: must be >= 1");
+  if (cache_threshold < 0.0 || cache_threshold > 1.0)
+    return bad("cache-threshold: must be in [0, 1]");
+  if (cache_capacity < 1) return bad("cache-capacity: must be >= 1");
   if (recall_floor < 0.0 || recall_floor > 1.0)
     return bad("recall-floor: must be in [0, 1]");
   return api::Status::ok();
@@ -227,7 +249,7 @@ api::Result<ServeOptions> ServeOptions::from_args(int argc, char** argv) {
       return api::Status::invalid_argument("stray argument " + quoted(arg) +
                                            " (flags start with --)");
     const std::string_view key = arg.substr(2);
-    if (key == "build-index" || key == "metrics") {
+    if (key == "build-index" || key == "metrics" || key == "cache") {
       pairs.emplace_back(std::string(key), "true");
       continue;
     }

@@ -61,6 +61,16 @@ struct ServeOptions {
   // ---- Batched strategy (subsumes BatchQueueOptions). -------------------
   std::uint64_t max_batch = 64;
 
+  // ---- Semantic result cache (the "cached:<inner>" wrapper). ------------
+  /// "--cache": wrap the selected strategy behind the SemanticCache
+  /// (equivalent to prefixing the strategy with "cached:").
+  bool cache_enabled = false;
+  /// Cosine floor for proximity hits ("--cache-threshold", in [0, 1]);
+  /// 1.0 = exact-byte matches only (bit-identical to the uncached path).
+  double cache_threshold = 0.99;
+  std::uint64_t cache_capacity = 1024;  ///< "--cache-capacity" entries
+  std::uint64_t cache_ttl_ms = 0;       ///< "--cache-ttl-ms"; 0 = no expiry
+
   // ---- Store opening. ---------------------------------------------------
   bool verify_checksums = true;  ///< CLI "--no-verify" clears it
 

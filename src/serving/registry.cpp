@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <new>
 
+#include "gosh/cache/cached_service.hpp"
 #include "gosh/serving/router.hpp"
 
 namespace gosh::serving {
@@ -93,6 +94,31 @@ std::vector<std::string> ServiceRegistry::names() const {
 api::Result<std::unique_ptr<QueryService>> ServiceRegistry::create(
     std::string_view name, const ServeOptions& options,
     MetricsRegistry* metrics) const {
+  // "cached:<inner>" composes rather than registers: resolve the inner
+  // strategy through the registry (so cached:auto, cached:router etc. all
+  // work), then wrap it behind the semantic cache. One level only — a
+  // second cache layer would double-count every hit.
+  constexpr std::string_view kCachedPrefix = "cached:";
+  if (name.starts_with(kCachedPrefix)) {
+    const std::string_view inner_name = name.substr(kCachedPrefix.size());
+    if (inner_name.empty() || inner_name.starts_with(kCachedPrefix)) {
+      return api::Status::invalid_argument(
+          "strategy '" + std::string(name) +
+          "': expected cached:<inner> with a non-cached inner strategy");
+    }
+    auto inner = create(inner_name, options, metrics);
+    if (!inner.ok()) return inner.status();
+    try {
+      return cache::wrap_with_cache(std::move(inner).value(), options,
+                                    metrics);
+    } catch (const std::bad_alloc&) {
+      return api::Status::out_of_memory("strategy " + std::string(name) +
+                                        ": construction failed (allocation)");
+    } catch (const std::exception& error) {
+      return api::Status::internal("strategy " + std::string(name) +
+                                   ": construction failed: " + error.what());
+    }
+  }
   for (const Entry& entry : entries_) {
     if (entry.name != name) continue;
     // Factories open stores and spawn dispatcher threads; keep the
@@ -119,8 +145,13 @@ api::Result<std::unique_ptr<QueryService>> ServiceRegistry::create(
 
 api::Result<std::unique_ptr<QueryService>> make_service(
     const ServeOptions& options, MetricsRegistry* metrics) {
-  return ServiceRegistry::instance().create(options.strategy, options,
-                                            metrics);
+  // The --cache knob is sugar for the cached: prefix, so tools turn the
+  // cache on without learning a new strategy name.
+  std::string strategy = options.strategy;
+  if (options.cache_enabled && !strategy.starts_with("cached:")) {
+    strategy = "cached:" + strategy;
+  }
+  return ServiceRegistry::instance().create(strategy, options, metrics);
 }
 
 }  // namespace gosh::serving

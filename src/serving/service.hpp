@@ -80,9 +80,31 @@ struct QueryRequest {
   static QueryRequest for_vector(std::vector<float> values, unsigned k = 0);
 };
 
+/// How the semantic cache treated one query of a request (the
+/// "cached:<inner>" strategy). kHit = answered from a cached entry,
+/// kMiss = computed by the inner service (and inserted), kSkip = not
+/// expressible as a cache key (filter/metric/ef override, multi-vector).
+enum class CacheOutcome : std::uint8_t { kMiss = 0, kHit, kSkip };
+
+constexpr std::string_view cache_outcome_name(CacheOutcome outcome) noexcept {
+  switch (outcome) {
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kSkip:
+      return "skip";
+    case CacheOutcome::kMiss:
+    default:
+      return "miss";
+  }
+}
+
 struct QueryResponse {
   /// One ranked (score desc, id asc) list per request query.
   std::vector<std::vector<Neighbor>> results;
+  /// Per-query cache disposition, parallel to `results`. Empty unless a
+  /// caching strategy served the request; the HTTP handler surfaces it as
+  /// a "cache" array for debuggability.
+  std::vector<CacheOutcome> cache;
   double seconds = 0.0;  ///< service-side wall time for the whole request
 };
 

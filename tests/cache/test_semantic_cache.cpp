@@ -1,0 +1,173 @@
+// SemanticCache — the proximity-keyed result cache's contract: exact-byte
+// hits at every threshold (and ONLY exact-byte at 1.0), the >=-at-boundary
+// cosine rule, LRU order, TTL expiry against an injected clock, generation
+// flushes, and a concurrent lookup/insert smoke (suites SemanticCache* and
+// CachedService* are in the TSan CI filter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gosh/cache/semantic_cache.hpp"
+
+namespace gosh::cache {
+namespace {
+
+std::vector<query::Neighbor> answer(vid_t first) {
+  return {{first, 0.9f}, {first + 1, 0.8f}};
+}
+
+// Every component is a small integer and every norm is a power of two, so
+// the cosines below are EXACT in float arithmetic:
+//   a = (1,1,1,1), b = (1,1,1,-1): dot 2, |a| = |b| = 2 -> cosine 0.5
+//   c = (1,1,-1,-1) against a:     dot 0                -> cosine 0.0
+const std::vector<float> kA = {1.0f, 1.0f, 1.0f, 1.0f};
+const std::vector<float> kB = {1.0f, 1.0f, 1.0f, -1.0f};
+const std::vector<float> kC = {1.0f, 1.0f, -1.0f, -1.0f};
+
+TEST(SemanticCache, ExactByteMatchHitsAtEveryThreshold) {
+  for (const double threshold : {0.0, 0.5, 0.99, 1.0}) {
+    SemanticCache cache({.threshold = threshold});
+    EXPECT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+    auto hit = cache.lookup(kA, 10);
+    ASSERT_TRUE(hit.has_value()) << "threshold " << threshold;
+    EXPECT_EQ(hit->front().id, 1u);
+  }
+}
+
+TEST(SemanticCache, ThresholdOneRejectsEvenCosineOne) {
+  // 2a is colinear with a — cosine exactly 1.0 — but differs in bytes, so
+  // the exact-byte-only mode must miss: the bit-identical guarantee may
+  // not hinge on a float comparison rounding to 1.0.
+  SemanticCache cache({.threshold = 1.0});
+  ASSERT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+  const std::vector<float> scaled = {2.0f, 2.0f, 2.0f, 2.0f};
+  EXPECT_FALSE(cache.lookup(scaled, 10).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SemanticCache, CosineExactlyAtThresholdIsAHit) {
+  SemanticCache cache({.threshold = 0.5});
+  ASSERT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+  auto boundary = cache.lookup(kB, 10);  // cosine(a, b) == 0.5 exactly
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_EQ(boundary->front().id, 1u);
+  EXPECT_FALSE(cache.lookup(kC, 10).has_value());  // cosine 0.0 < 0.5
+}
+
+TEST(SemanticCache, CosineJustBelowThresholdMisses) {
+  SemanticCache cache({.threshold = 0.5000001});
+  ASSERT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+  EXPECT_FALSE(cache.lookup(kB, 10).has_value());  // 0.5 < threshold
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SemanticCache, BestCosineWinsAmongProximityCandidates) {
+  SemanticCache cache({.threshold = 0.4});
+  ASSERT_TRUE(cache.insert(kB, 10, answer(1)).inserted);   // cosine 0.5
+  ASSERT_TRUE(cache.insert(kA, 10, answer(10)).inserted);  // cosine 1.0
+  const std::vector<float> scaled = {2.0f, 2.0f, 2.0f, 2.0f};
+  auto hit = cache.lookup(scaled, 10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->front().id, 10u);  // the colinear entry, not the 0.5 one
+}
+
+TEST(SemanticCache, DifferentKNeverMatches) {
+  SemanticCache cache({.threshold = 0.0});  // proximity as loose as it gets
+  ASSERT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+  EXPECT_FALSE(cache.lookup(kA, 5).has_value());
+}
+
+TEST(SemanticCache, LruEvictsTheColdestEntry) {
+  SemanticCache cache({.capacity = 2, .threshold = 1.0});
+  const std::vector<float> v1 = {1.0f, 0.0f};
+  const std::vector<float> v2 = {0.0f, 1.0f};
+  const std::vector<float> v3 = {1.0f, 1.0f};
+  ASSERT_TRUE(cache.insert(v1, 10, answer(1)).inserted);
+  ASSERT_TRUE(cache.insert(v2, 10, answer(2)).inserted);
+  ASSERT_TRUE(cache.lookup(v1, 10).has_value());  // refresh v1 to MRU
+  const InsertOutcome third = cache.insert(v3, 10, answer(3));
+  EXPECT_TRUE(third.inserted);
+  EXPECT_TRUE(third.evicted);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(v1, 10).has_value());   // survived (was MRU)
+  EXPECT_FALSE(cache.lookup(v2, 10).has_value());  // the LRU tail went
+  EXPECT_TRUE(cache.lookup(v3, 10).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SemanticCache, ExactDuplicateInsertReplacesInPlace) {
+  SemanticCache cache({.capacity = 8, .threshold = 1.0});
+  ASSERT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+  const InsertOutcome again = cache.insert(kA, 10, answer(7));
+  EXPECT_TRUE(again.inserted);
+  EXPECT_TRUE(again.replaced);
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.lookup(kA, 10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->front().id, 7u);  // the refreshed answer, not the first
+}
+
+std::atomic<std::uint64_t> g_fake_now_ns{0};
+std::uint64_t fake_clock() { return g_fake_now_ns.load(); }
+
+TEST(SemanticCache, TtlExpiresEntriesAgainstTheInjectedClock) {
+  g_fake_now_ns = 0;
+  SemanticCache cache({.ttl_ms = 10, .clock_ns = fake_clock});
+  ASSERT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+  g_fake_now_ns = 5'000'000;  // 5 ms: still fresh
+  EXPECT_TRUE(cache.lookup(kA, 10).has_value());
+  g_fake_now_ns = 16'000'000;  // 11 ms after insert: lapsed
+  EXPECT_FALSE(cache.lookup(kA, 10).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // lazily erased during the lookup
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SemanticCache, GenerationChangeFlushesEverything) {
+  SemanticCache cache({.threshold = 1.0});
+  ASSERT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+  ASSERT_TRUE(cache.insert(kB, 10, answer(2)).inserted);
+  cache.set_generation(42);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.generation(), 42u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // Re-stamping the same generation is a no-op, not another flush.
+  ASSERT_TRUE(cache.insert(kA, 10, answer(1)).inserted);
+  cache.set_generation(42);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SemanticCache, EmptyVectorInsertIsRejected) {
+  SemanticCache cache;
+  const InsertOutcome outcome = cache.insert({}, 10, answer(1));
+  EXPECT_FALSE(outcome.inserted);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SemanticCache, ConcurrentLookupInsertStaysBounded) {
+  SemanticCache cache({.capacity = 16, .threshold = 1.0});
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, &hits, t] {
+      for (unsigned i = 0; i < 500; ++i) {
+        const float key = static_cast<float>((t * 7 + i) % 32);
+        const std::vector<float> vec = {key, 1.0f};
+        if (auto hit = cache.lookup(vec, 10); hit.has_value()) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.insert(vec, 10, answer(static_cast<vid_t>(key)));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_LE(cache.size(), 16u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, hits.load());
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 500u);
+}
+
+}  // namespace
+}  // namespace gosh::cache

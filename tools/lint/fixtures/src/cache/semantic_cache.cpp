@@ -1,0 +1,17 @@
+// Planted violations proving both serving-layer rules reach src/cache/:
+// a raw std::mutex (raw-sync) and a raw steady_clock read (trace-clock).
+// The real cache locks through gosh::common::Mutex and times through
+// gosh::trace; this fixture is what it must never look like.
+#include <chrono>
+#include <mutex>
+
+namespace gosh::fixture {
+
+std::mutex planted_cache_mutex;  // raw-sync must fire here
+
+long long planted_cache_timing() {
+  // trace-clock must fire here: src/cache/ times through gosh::trace.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace gosh::fixture

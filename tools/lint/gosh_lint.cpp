@@ -17,12 +17,12 @@
 //   tsan-suppression  Every symbol named in .tsan-suppressions must still
 //                     exist in src/ — a stale entry silently widens what the
 //                     race-detector job ignores.
-//   trace-clock       Serving hot paths (src/net/, src/serving/) time work
-//                     with gosh::trace (now_ns() / Span), not raw
-//                     std::chrono::steady_clock::now() — one clock shim
-//                     keeps span timestamps and ad-hoc timings on the same
-//                     epoch. The token-bucket refill in rate_limiter.cpp is
-//                     the one justified exception.
+//   trace-clock       Serving hot paths (src/net/, src/serving/,
+//                     src/cache/) time work with gosh::trace (now_ns() /
+//                     Span), not raw std::chrono::steady_clock::now() —
+//                     one clock shim keeps span timestamps and ad-hoc
+//                     timings on the same epoch. The token-bucket refill
+//                     in rate_limiter.cpp is the one justified exception.
 //
 // Each rule carries an explicit allowlist next to its implementation; the
 // fixture tree under tools/lint/fixtures plants one violation per rule and
@@ -346,7 +346,8 @@ const std::vector<std::string> kTraceClockAllowlist = {
 
 void check_trace_clock(const SourceFile& file, std::vector<Violation>& out) {
   const bool serving_layer = starts_with(file.path, "src/net/") ||
-                             starts_with(file.path, "src/serving/");
+                             starts_with(file.path, "src/serving/") ||
+                             starts_with(file.path, "src/cache/");
   if (!serving_layer || allowlisted(file.path, kTraceClockAllowlist)) return;
   const std::string needle = "steady_clock::now";
   std::size_t pos = 0;
@@ -566,10 +567,16 @@ int self_test(const fs::path& root) {
   expect(count("trace-clock", "src/net/rate_limiter.cpp") == 0,
          "trace-clock must honor the rate_limiter.cpp allowlist");
   expect(count("trace-clock", "src/clock_out_of_scope.cpp") == 0,
-         "trace-clock must ignore steady_clock outside src/net|serving/");
+         "trace-clock must ignore steady_clock outside "
+         "src/net|serving|cache/");
+  expect(count("raw-sync", "src/cache/semantic_cache.cpp") == 1,
+         "raw-sync must fire on the cache fixture's planted std::mutex");
+  expect(count("trace-clock", "src/cache/semantic_cache.cpp") == 1,
+         "trace-clock must fire on the cache fixture's planted "
+         "steady_clock::now()");
   // Nothing else may fire — a noisy rule is as useless as a silent one.
   const auto expected_total =
-      count("raw-sync", "src/raw_sync.cpp") + 1 + 1 + 1 + 1;
+      count("raw-sync", "src/raw_sync.cpp") + 1 + 1 + 1 + 1 + 1 + 1;
   expect(static_cast<long>(violations.size()) == expected_total,
          "no unexpected violations in the fixture tree");
 
