@@ -21,9 +21,10 @@
 //                          [--concurrency c1,c2,...] [--rate-qps Q]
 //                          [--burst B] [--zipf-s S] [--seed S]
 //                          [--json FILE] [--run-id ID]
-//                          [--trace on|off|sampled]
+//                          [--trace on|off|sampled] [--dist]
 //                          [--connect HOST:PORT] [--shutdown]
 //                          [--expect-traces] [--expect-cache]
+//                          [--expect-degraded] [--expect-recovered]
 //
 // Defaults: 20000 rows, dim 64, k 10, 2000 requests, concurrency 1,4,8,
 // burst 1, zipf-s 1.0.
@@ -47,6 +48,25 @@
 // is a guaranteed exact-byte hit, asserts the "cache":["hit"] annotation,
 // a nonzero gosh_cache_hits_total in /metrics, and the cache-lookup span
 // under the hit's request id — the smoke test's cache acceptance check.
+// --expect-degraded / --expect-recovered (connect mode) are the dist
+// smoke's fault-tolerance probes against a dist-router parent: the first
+// polls POST /v1/query until an answer carries "degraded": true AND the
+// parent's /metrics count a nonzero gosh_remote_degraded_responses_total
+// and gosh_remote_breaker_open_total (a shard child was killed and the
+// router kept answering); the second polls until an answer comes back
+// "degraded": false (the child restarted, the half-open probe closed the
+// breaker, full merges are back). Both skip the load phase.
+// --dist (self-host mode) adds the distributed phases: the store is
+// rewritten sharded 3 ways, three in-process shard children plus one
+// whole-store child come up on loopback, and the closed loop measures a
+// remote parent (single-backend forwarding) and a dist-router parent
+// (3-way scatter + k-way merge) at each concurrency level next to the
+// direct-http rows. Then the chaos phase: shard 0's FaultInjector flips
+// to stall_rate=1.0 mid-run and the loop drives the dist-router again —
+// every answer must still land 200 inside the scatter deadline with
+// "degraded": true counted in the parent's metrics, and the client p999
+// must stay bounded (the breaker sheds the stalled shard instead of
+// queueing behind it). Un-stalling the child must restore clean merges.
 #include <unistd.h>
 
 #include <atomic>
@@ -405,6 +425,116 @@ int verify_cache(const std::string& host, unsigned short port, unsigned k) {
   return 0;
 }
 
+/// One sample's value out of a Prometheus text exposition, or -1.0 when
+/// the series is absent. The leading '\n' skips "# TYPE name ..." lines
+/// and lands on the sample itself.
+double metric_sample(const std::string& text, const char* name) {
+  const std::string needle = std::string("\n") + name + " ";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+/// GET /metrics and read one counter; -1.0 on transport errors or when
+/// the series has not been registered yet.
+double scrape_metric(const std::string& host, unsigned short port,
+                     const char* name) {
+  net::HttpClient client(host, port);
+  auto response = client.get("/metrics");
+  if (!response.ok() || response.value().status != 200) return -1.0;
+  return metric_sample(response.value().body, name);
+}
+
+/// Polls /healthz until the server reports ready (or until a server that
+/// predates the readiness split answers 200 without a "ready" field).
+/// gosh_serve listens before the store loads, so a 200 alone no longer
+/// means it can answer queries.
+int wait_until_ready(const std::string& host, unsigned short port,
+                     unsigned timeout_ms) {
+  net::HttpClient client(host, port);
+  const unsigned step_ms = 200;
+  for (unsigned waited = 0;; waited += step_ms) {
+    auto health = client.get("/healthz");
+    if (health.ok() && health.value().status == 200) {
+      auto parsed = net::json::Value::parse(health.value().body);
+      const net::json::Value* ready =
+          parsed.ok() ? parsed.value().find("ready") : nullptr;
+      if (ready == nullptr || (ready->is_bool() && ready->as_bool())) {
+        return 0;
+      }
+    }
+    if (waited >= timeout_ms) {
+      std::fprintf(stderr,
+                   "error: %s:%u did not report ready within %u ms\n",
+                   host.c_str(), port, timeout_ms);
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(step_ms));
+  }
+}
+
+/// POSTs one vertex query and reads the answer's "degraded" annotation:
+/// 1 = degraded merge, 0 = clean answer (flag false or absent),
+/// -1 = transport error or non-200 (a breaker-shed 503 counts here).
+int post_degraded(net::HttpClient& client, unsigned k) {
+  auto response = client.post_json("/v1/query", query_body(0, k));
+  if (!response.ok() || response.value().status != 200) return -1;
+  auto parsed = net::json::Value::parse(response.value().body);
+  if (!parsed.ok()) return -1;
+  const net::json::Value* degraded = parsed.value().find("degraded");
+  const bool is_degraded =
+      degraded != nullptr && degraded->is_bool() && degraded->as_bool();
+  return is_degraded ? 1 : 0;
+}
+
+/// The dist smoke's fault probe: with a shard child down, the dist-router
+/// parent must keep answering 200 with "degraded": true, and its metrics
+/// must show the degradation was counted and the breaker opened. Polls
+/// because the kill is racing the first scatter.
+int verify_degraded(const std::string& host, unsigned short port,
+                    unsigned k) {
+  net::HttpClient client(host, port);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int state = post_degraded(client, k);
+    const double degraded_total =
+        scrape_metric(host, port, "gosh_remote_degraded_responses_total");
+    const double breaker_total =
+        scrape_metric(host, port, "gosh_remote_breaker_open_total");
+    if (state == 1 && degraded_total > 0.0 && breaker_total > 0.0) {
+      std::printf("degraded probe: partial merges annotated "
+                  "(gosh_remote_degraded_responses_total %.0f, "
+                  "gosh_remote_breaker_open_total %.0f)\n",
+                  degraded_total, breaker_total);
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::fprintf(stderr,
+               "error: no degraded answer with a counted breaker opening "
+               "within 20 s of a shard going down\n");
+  return 1;
+}
+
+/// The recovery probe: after the killed child restarts, the probe loop's
+/// half-open breaker admission must restore clean full merges. Polls one
+/// breaker cooldown + probe interval at a time.
+int verify_recovered(const std::string& host, unsigned short port,
+                     unsigned k) {
+  net::HttpClient client(host, port);
+  for (int attempt = 0; attempt < 150; ++attempt) {
+    if (post_degraded(client, k) == 0) {
+      std::printf("recovery probe: clean merges restored "
+                  "(\"degraded\": false)\n");
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::fprintf(stderr,
+               "error: merges still degraded 30 s after the shard child "
+               "came back\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -431,6 +561,9 @@ int main(int argc, char** argv) {
   const bool remote_shutdown = bool_flag(argc, argv, "--shutdown");
   const bool expect_traces = bool_flag(argc, argv, "--expect-traces");
   const bool expect_cache = bool_flag(argc, argv, "--expect-cache");
+  const bool expect_degraded = bool_flag(argc, argv, "--expect-degraded");
+  const bool expect_recovered = bool_flag(argc, argv, "--expect-recovered");
+  const bool dist_phases = bool_flag(argc, argv, "--dist");
   const std::string trace_mode = flag_string(argc, argv, "--trace", "off");
   if (trace_mode != "on" && trace_mode != "off" && trace_mode != "sampled") {
     std::fprintf(stderr, "error: --trace wants on|off|sampled, got '%s'\n",
@@ -502,13 +635,23 @@ int main(int argc, char** argv) {
     const std::string host = connect.substr(0, colon);
     const auto port = static_cast<unsigned short>(port_value);
 
+    if (int rc = wait_until_ready(host, port, /*timeout_ms=*/60000);
+        rc != 0) {
+      return rc;
+    }
     net::HttpClient probe_client(host, port);
-    auto health = probe_client.get("/healthz");
-    if (!health.ok()) return fail(health.status());
-    if (health.value().status != 200) {
-      std::fprintf(stderr, "error: /healthz answered %d\n",
-                   health.value().status);
-      return 1;
+
+    // The fault probes replace the load phase: the dist smoke calls back
+    // with one of these while a shard child is down (or freshly back) and
+    // only needs the degradation verdict, not a throughput table.
+    if (expect_degraded || expect_recovered) {
+      if (expect_degraded) {
+        if (int rc = verify_degraded(host, port, k); rc != 0) return rc;
+      }
+      if (expect_recovered) {
+        if (int rc = verify_recovered(host, port, k); rc != 0) return rc;
+      }
+      return 0;
     }
 
     std::printf("\n%-12s %8s %12s %12s %12s %12s %8s\n", "transport",
@@ -657,6 +800,245 @@ int main(int argc, char** argv) {
     return rc;
   }
   server.shutdown();
+
+  // ---- Distributed phases (--dist): remote, dist-router, then chaos. -----
+  if (dist_phases) {
+    const unsigned kShards = 3;
+    const std::filesystem::path shard_dir =
+        std::filesystem::temp_directory_path() /
+        ("gosh_bench_serve_" + std::to_string(::getpid()) + ".shards");
+    std::filesystem::create_directories(shard_dir);
+    const std::string sharded_path = (shard_dir / "store.gshs").string();
+    store::StoreOptions shard_layout;
+    shard_layout.rows_per_shard = (rows + kShards - 1) / kShards;
+    if (api::Status status =
+            store::EmbeddingStore::write(matrix, sharded_path, shard_layout);
+        !status.is_ok()) {
+      return fail(status);
+    }
+
+    // One loopback backend: its own registry, service, handler, health
+    // and HttpServer — what a gosh_serve child process holds, in-process
+    // so the chaos phase can flip its FaultInjector mid-run.
+    struct Backend {
+      serving::MetricsRegistry metrics;
+      std::unique_ptr<serving::QueryService> service;
+      std::unique_ptr<net::QueryHandler> handler;
+      net::HealthState health;
+      std::unique_ptr<net::HttpServer> server;
+    };
+    const auto spawn_backend = [&](const serving::ServeOptions& options,
+                                   std::uint64_t backend_rows)
+        -> std::unique_ptr<Backend> {
+      auto backend = std::make_unique<Backend>();
+      auto backend_service = serving::make_service(options, &backend->metrics);
+      if (!backend_service.ok()) {
+        fail(backend_service.status());
+        return nullptr;
+      }
+      backend->service = std::move(backend_service.value());
+      backend->handler = std::make_unique<net::QueryHandler>(*backend->service);
+      backend->server =
+          std::make_unique<net::HttpServer>(net_options, &backend->metrics);
+      net::QueryHandler* query_handler = backend->handler.get();
+      backend->server->handle("POST", "/v1/query",
+                              [query_handler](const net::HttpRequest& r) {
+                                return query_handler->handle(r);
+                              });
+      net::add_builtin_routes(*backend->server, backend->metrics, nullptr,
+                              &backend->health);
+      if (api::Status status = backend->server->start(); !status.is_ok()) {
+        fail(status);
+        return nullptr;
+      }
+      backend->health.rows.store(backend_rows, std::memory_order_relaxed);
+      backend->health.dim.store(dim, std::memory_order_relaxed);
+      backend->health.shards.store(options.shard_count > 0 ? options.shard_count
+                                                           : 1,
+                                   std::memory_order_relaxed);
+      backend->health.ready.store(true, std::memory_order_release);
+      return backend;
+    };
+
+    std::vector<std::unique_ptr<Backend>> children;
+    std::string backends_spec;
+    for (unsigned s = 0; s < kShards; ++s) {
+      serving::ServeOptions child_options = serve_options;
+      child_options.store_path = sharded_path;
+      child_options.shard_index = s;
+      child_options.shard_count = kShards;
+      const std::uint64_t begin = s * shard_layout.rows_per_shard;
+      const std::uint64_t shard_rows =
+          begin < rows ? std::min<std::uint64_t>(shard_layout.rows_per_shard,
+                                                 rows - begin)
+                       : 0;
+      auto child = spawn_backend(child_options, shard_rows);
+      if (child == nullptr) return 1;
+      if (!backends_spec.empty()) backends_spec += ",";
+      backends_spec += "127.0.0.1:" + std::to_string(child->server->port());
+      children.push_back(std::move(child));
+    }
+    auto whole = spawn_backend(serve_options, rows);
+    if (whole == nullptr) return 1;
+
+    // Remote parent: every query forwarded to the whole-store child — the
+    // wire cost of one extra hop, no scatter.
+    serving::ServeOptions remote_options = serve_options;
+    remote_options.strategy =
+        "remote:127.0.0.1:" + std::to_string(whole->server->port());
+    remote_options.remote_deadline_ms = 2000;
+    serving::MetricsRegistry remote_metrics;
+    auto remote_service = serving::make_service(remote_options, &remote_metrics);
+    if (!remote_service.ok()) return fail(remote_service.status());
+    net::QueryHandler remote_handler(*remote_service.value());
+    net::HttpServer remote_parent(net_options, &remote_metrics);
+    remote_parent.handle("POST", "/v1/query",
+                         [&remote_handler](const net::HttpRequest& r) {
+                           return remote_handler.handle(r);
+                         });
+    net::add_builtin_routes(remote_parent, remote_metrics);
+    if (api::Status status = remote_parent.start(); !status.is_ok()) {
+      return fail(status);
+    }
+
+    // Dist-router parent: 3-way scatter + k-way merge. The deadline here
+    // is also the chaos phase's budget, so it is deliberately tight; the
+    // breaker knobs make the stalled-shard phase shed fast and the
+    // recovery probe converge in fractions of a second.
+    serving::ServeOptions dist_options = serve_options;
+    dist_options.store_path = sharded_path;
+    dist_options.strategy = "dist-router";
+    dist_options.backends = backends_spec;
+    dist_options.remote_deadline_ms = 300;
+    dist_options.remote_retries = 1;
+    dist_options.breaker_failures = 2;
+    dist_options.breaker_cooldown_ms = 500;
+    dist_options.probe_interval_ms = 100;
+    serving::MetricsRegistry dist_metrics;
+    auto dist_service = serving::make_service(dist_options, &dist_metrics);
+    if (!dist_service.ok()) return fail(dist_service.status());
+    net::QueryHandler dist_handler(*dist_service.value());
+    net::HttpServer dist_parent(net_options, &dist_metrics);
+    dist_parent.handle("POST", "/v1/query",
+                       [&dist_handler](const net::HttpRequest& r) {
+                         return dist_handler.handle(r);
+                       });
+    net::add_builtin_routes(dist_parent, dist_metrics);
+    if (api::Status status = dist_parent.start(); !status.is_ok()) {
+      return fail(status);
+    }
+
+    const auto drive = [&](const char* transport, unsigned short port,
+                           unsigned concurrency) -> bool {
+      serving::Histogram& latency = client_metrics.histogram(
+          std::string("bench_http_latency_seconds_") + transport + "_c" +
+          std::to_string(concurrency));
+      const LoadResult load =
+          run_closed_loop("127.0.0.1", port, probes, k, concurrency, latency);
+      if (load.failed > 0 || load.shed_429 > 0) {
+        std::fprintf(stderr,
+                     "error: %s phase saw %llu failed / %llu shed with every "
+                     "backend healthy\n",
+                     transport, static_cast<unsigned long long>(load.failed),
+                     static_cast<unsigned long long>(load.shed_429));
+        return false;
+      }
+      const double qps = load.ok_2xx / (load.seconds > 0 ? load.seconds : 1e-9);
+      std::printf("%-12s %8u %12.1f %12.4f %12.4f %12.4f %9.1f%%\n", transport,
+                  concurrency, qps, 1e3 * latency.quantile(0.5),
+                  1e3 * latency.quantile(0.99), 1e3 * latency.quantile(0.999),
+                  100.0 * qps / inprocess_qps);
+      records.push_back({"serve_throughput",
+                         shape_params(concurrency, transport), qps,
+                         "queries/s", isa_label, concurrency});
+      return true;
+    };
+
+    std::printf("\n%-12s %8s %12s %12s %12s %12s %10s\n", "transport", "conc",
+                "queries/s", "p50 ms", "p99 ms", "p999 ms", "vs direct");
+    for (const unsigned concurrency : concurrency_levels) {
+      if (!drive("remote", remote_parent.port(), concurrency)) return 1;
+    }
+    for (const unsigned concurrency : concurrency_levels) {
+      if (!drive("dist-router", dist_parent.port(), concurrency)) return 1;
+    }
+
+    // ---- Chaos phase: stall shard 0 mid-run, keep serving. ---------------
+    // Every answer must still land 200 inside the scatter deadline with the
+    // partial merge annotated; the breaker opening is what keeps the tail
+    // bounded (without it every request would queue behind the stall).
+    net::FaultOptions stall;
+    stall.stall_rate = 1.0;
+    children[0]->server->fault_injector().configure(stall);
+    const std::size_t chaos_requests = std::min<std::size_t>(requests, 256);
+    const std::vector<vid_t> chaos_probes(probes.begin(),
+                                          probes.begin() + chaos_requests);
+    serving::Histogram& chaos_latency =
+        client_metrics.histogram("bench_http_latency_seconds_dist_degraded");
+    const LoadResult chaos_load =
+        run_closed_loop("127.0.0.1", dist_parent.port(), chaos_probes, k,
+                        max_concurrency, chaos_latency);
+    if (chaos_load.failed > 0) {
+      std::fprintf(stderr,
+                   "error: %llu requests failed outright with one shard "
+                   "stalled — degradation should answer 200\n",
+                   static_cast<unsigned long long>(chaos_load.failed));
+      return 1;
+    }
+    const double degraded_total = scrape_metric(
+        "127.0.0.1", dist_parent.port(), "gosh_remote_degraded_responses_total");
+    const double breaker_total = scrape_metric(
+        "127.0.0.1", dist_parent.port(), "gosh_remote_breaker_open_total");
+    if (degraded_total <= 0.0 || breaker_total <= 0.0) {
+      std::fprintf(stderr,
+                   "error: chaos phase left no metric trail (degraded %.0f, "
+                   "breaker openings %.0f)\n",
+                   degraded_total, breaker_total);
+      return 1;
+    }
+    const double chaos_qps =
+        chaos_load.ok_2xx /
+        (chaos_load.seconds > 0 ? chaos_load.seconds : 1e-9);
+    const double chaos_p999_ms = 1e3 * chaos_latency.quantile(0.999);
+    const double bound_ms = 4.0 * dist_options.remote_deadline_ms;
+    std::printf(
+        "\nchaos phase: shard 0 stalled, %llu/%zu answered 200 at %.1f q/s — "
+        "p50 %.1f ms / p99 %.1f ms / p999 %.1f ms (deadline %u ms), "
+        "%.0f degraded answers, %.0f breaker openings\n",
+        static_cast<unsigned long long>(chaos_load.ok_2xx), chaos_requests,
+        chaos_qps, 1e3 * chaos_latency.quantile(0.5),
+        1e3 * chaos_latency.quantile(0.99), chaos_p999_ms,
+        dist_options.remote_deadline_ms, degraded_total, breaker_total);
+    if (chaos_p999_ms > bound_ms) {
+      std::fprintf(stderr,
+                   "error: chaos-phase p999 %.1f ms blew the %.0f ms bound — "
+                   "the stalled shard is not being shed\n",
+                   chaos_p999_ms, bound_ms);
+      return 1;
+    }
+    auto chaos_params = shape_params(max_concurrency, "dist-degraded");
+    chaos_params.emplace_back("deadline_ms",
+                              std::to_string(dist_options.remote_deadline_ms));
+    chaos_params.emplace_back("degraded_responses",
+                              std::to_string(static_cast<std::uint64_t>(
+                                  degraded_total)));
+    records.push_back({"serve_throughput", chaos_params, chaos_qps,
+                       "queries/s", isa_label, max_concurrency});
+
+    // Un-stall and confirm clean full merges come back through the
+    // half-open breaker — the recovery half of the fault story.
+    children[0]->server->fault_injector().configure(net::FaultOptions{});
+    if (int rc = verify_recovered("127.0.0.1", dist_parent.port(), k);
+        rc != 0) {
+      return rc;
+    }
+
+    dist_parent.shutdown();
+    remote_parent.shutdown();
+    whole->server->shutdown();
+    for (auto& child : children) child->server->shutdown();
+    std::filesystem::remove_all(shard_dir);
+  }
 
   // ---- Shed phase: a rate-limited twin takes 2x its sustained rate. ------
   if (rate_qps > 0) {

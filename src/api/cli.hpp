@@ -58,8 +58,26 @@ inline const char* serve_flags_usage() {
   return
       "  --store PATH           GSHS embedding store (required)\n"
       "  --index PATH           HNSW index file (default: STORE.hnsw)\n"
-      "  --strategy S           exact|hnsw|batched|router|auto (default\n"
-      "                         auto = hnsw when the index exists, else exact)\n"
+      "  --strategy S           exact|hnsw|batched|router|auto|remote|\n"
+      "                         dist-router (default auto = hnsw when the\n"
+      "                         index exists, else exact)\n"
+      "  --shard I/N            serve only shard I of the N-sharded store,\n"
+      "                         in LOCAL ids (a dist-router child)\n"
+      "  --backends LIST        remote/dist-router backends: host:port\n"
+      "                         entries, ',' between shards, '|' between\n"
+      "                         replicas — or a file with one entry per line\n"
+      "  --remote-deadline-ms MS  whole budget per remote call (default 250)\n"
+      "  --retries N            extra attempts per remote call (default 2)\n"
+      "  --hedge-after-ms MS    hedge a quiet remote call after MS (clipped\n"
+      "                         to observed p99); 0 = off (default)\n"
+      "  --breaker-failures N   consecutive failures opening the circuit\n"
+      "                         breaker (default 5)\n"
+      "  --breaker-cooldown-ms MS  open duration before one half-open probe\n"
+      "                         (default 1000)\n"
+      "  --probe-interval-ms MS background /healthz probe cadence; 0 = off\n"
+      "                         (default 200)\n"
+      "  --require-all-shards   refuse partial merges: degraded answers\n"
+      "                         become 503 instead of degraded: true\n"
       "  --k K                  neighbors per query (default 10)\n"
       "  --metric M             cosine|dot|l2 (default cosine)\n"
       "  --aggregate A          multi-vector combine rule: max|mean\n"

@@ -10,6 +10,7 @@ std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kOutOfMemory: return "out_of_memory";
     case StatusCode::kIoError: return "io_error";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kOutOfMemory,      ///< device or host allocation failure
   kIoError,          ///< read/write failure on graph or embedding files
   kInternal,         ///< escaped internal exception — a bug, report it
+  kUnavailable,      ///< backend down/loading, deadline exceeded, breaker open
 };
 
 /// Stable lowercase name for a code ("ok", "invalid_argument", ...).
@@ -50,6 +51,9 @@ class [[nodiscard]] Status {
   }
   static Status internal(std::string message) {
     return {StatusCode::kInternal, std::move(message)};
+  }
+  static Status unavailable(std::string message) {
+    return {StatusCode::kUnavailable, std::move(message)};
   }
 
   bool is_ok() const noexcept { return code_ == StatusCode::kOk; }

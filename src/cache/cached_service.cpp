@@ -10,8 +10,6 @@
 
 namespace gosh::cache {
 
-namespace {
-
 /// Generation token for the store behind a service: the store path plus
 /// every shard file's size and mtime. A rewritten or replaced store gets a
 /// different token, so set_generation() flushes whatever an earlier
@@ -37,8 +35,6 @@ std::uint64_t store_fingerprint(const std::string& path) {
   }
   return h;
 }
-
-}  // namespace
 
 CachedService::CachedService(std::unique_ptr<serving::QueryService> inner,
                              const serving::ServeOptions& options,

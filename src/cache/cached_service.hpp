@@ -28,6 +28,13 @@ namespace gosh::cache {
 /// Wraps `inner` (already opened) behind a SemanticCache configured from
 /// the cache_* fields of `options`. `metrics` (optional) receives the
 /// gosh_cache_* counters, the hit-ratio gauge and the lookup histogram.
+/// Generation token for the store rooted at `path`: the path plus every
+/// shard file's size and mtime. Cheap (no payload read), and different
+/// for any store rewritten through the filesystem — what the semantic
+/// cache flushes on and what /healthz reports as "store_generation" so a
+/// restarted shard child can be checked for serving the same bytes.
+std::uint64_t store_fingerprint(const std::string& path);
+
 /// The cache generation is derived from the store files' identity
 /// (path + size + mtime), so a service opened over a rewritten store
 /// starts cold even if the cache object were shared.

@@ -1,15 +1,30 @@
 #include "gosh/net/client.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "gosh/trace/trace.hpp"
+
 namespace gosh::net {
+
+namespace {
+
+/// Absolute deadline for a `total_deadline_ms` budget; 0 = unbounded.
+std::uint64_t deadline_from_ms(int total_deadline_ms) {
+  if (total_deadline_ms <= 0) return 0;
+  return trace::now_ns() +
+         static_cast<std::uint64_t>(total_deadline_ms) * 1'000'000ULL;
+}
+
+}  // namespace
 
 HttpClient::HttpClient(std::string host, unsigned short port, int timeout_ms)
     : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
@@ -24,7 +39,17 @@ void HttpClient::close() {
   buffer_.clear();
 }
 
-api::Status HttpClient::connect_() {
+int HttpClient::poll_budget_ms(std::uint64_t deadline_ns) const {
+  if (deadline_ns == 0) return timeout_ms_;
+  const std::uint64_t now = trace::now_ns();
+  if (now >= deadline_ns) return 0;
+  const std::uint64_t left_ms = (deadline_ns - now) / 1'000'000ULL;
+  return static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(timeout_ms_),
+                              std::max<std::uint64_t>(left_ms, 1)));
+}
+
+api::Status HttpClient::connect_(std::uint64_t deadline_ns) {
   close();
   addrinfo hints{};
   hints.ai_family = AF_INET;
@@ -41,9 +66,31 @@ api::Status HttpClient::connect_() {
                                              host_);
   for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
     const int fd = ::socket(entry->ai_family,
-                            entry->ai_socktype | SOCK_CLOEXEC, 0);
+                            entry->ai_socktype | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                            0);
     if (fd < 0) continue;
-    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) == 0) {
+    // Non-blocking dial + poll: the kernel's SYN timeout (minutes) must not
+    // outlive the request deadline when the peer is unreachable.
+    int rc = ::connect(fd, entry->ai_addr, entry->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, poll_budget_ms(deadline_ns));
+      if (ready > 0) {
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        errno = soerr;
+        rc = soerr == 0 ? 0 : -1;
+      } else {
+        errno = ETIMEDOUT;
+        rc = -1;
+      }
+    }
+    if (rc == 0) {
+      // Back to blocking: send/recv below still rely on poll() for pacing
+      // but must not short-read on a ready-but-partial socket.
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
       fd_ = fd;
       status = api::Status::ok();
       break;
@@ -71,10 +118,13 @@ api::Status HttpClient::send_all(std::string_view bytes) {
   return api::Status::ok();
 }
 
-api::Result<HttpResponse> HttpClient::read_response() {
-  const auto read_some = [this]() -> int {
+api::Result<HttpResponse> HttpClient::read_response(
+    std::uint64_t deadline_ns) {
+  const auto read_some = [this, deadline_ns]() -> int {
+    const int wait_ms = poll_budget_ms(deadline_ns);
+    if (wait_ms == 0 && deadline_ns != 0) return 0;  // budget exhausted
     pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms_);
+    const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready < 0) return errno == EINTR ? 0 : -1;
     if (ready == 0) return 0;
     char chunk[8192];
@@ -129,7 +179,9 @@ api::Result<HttpResponse> HttpClient::read_response() {
 api::Result<HttpResponse> HttpClient::request(const std::string& method,
                                               const std::string& target,
                                               std::string body,
-                                              std::vector<Header> headers) {
+                                              std::vector<Header> headers,
+                                              int total_deadline_ms) {
+  const std::uint64_t deadline_ns = deadline_from_ms(total_deadline_ms);
   HttpRequest request;
   request.method = method;
   request.target = target;
@@ -144,26 +196,31 @@ api::Result<HttpResponse> HttpClient::request(const std::string& method,
 
   const bool reused = connected();
   if (!reused) {
-    if (api::Status status = connect_(); !status.is_ok()) return status;
+    if (api::Status status = connect_(deadline_ns); !status.is_ok()) {
+      return status;
+    }
   }
   api::Status sent = send_all(bytes);
   api::Result<HttpResponse> response =
-      sent.is_ok() ? read_response() : api::Result<HttpResponse>(sent);
+      sent.is_ok() ? read_response(deadline_ns)
+                   : api::Result<HttpResponse>(sent);
   if (response.ok() || !reused) return response;
 
   // A reused keep-alive connection may have been recycled server-side
   // between requests; one redial retry is the standard remedy.
-  if (api::Status status = connect_(); !status.is_ok()) return status;
+  if (api::Status status = connect_(deadline_ns); !status.is_ok()) {
+    return status;
+  }
   if (api::Status status = send_all(bytes); !status.is_ok()) return status;
-  return read_response();
+  return read_response(deadline_ns);
 }
 
 api::Result<HttpResponse> HttpClient::raw(std::string_view bytes,
                                           bool half_close_after_send) {
-  if (api::Status status = connect_(); !status.is_ok()) return status;
+  if (api::Status status = connect_(0); !status.is_ok()) return status;
   if (api::Status status = send_all(bytes); !status.is_ok()) return status;
   if (half_close_after_send) ::shutdown(fd_, SHUT_WR);
-  api::Result<HttpResponse> response = read_response();
+  api::Result<HttpResponse> response = read_response(0);
   close();  // raw exchanges never reuse the stream
   return response;
 }

@@ -10,6 +10,7 @@
 // in-tree consumers need.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -30,10 +31,17 @@ class HttpClient {
   /// server kept it open; reconnects (once) when reuse fails — the normal
   /// keep-alive race where the server recycled the connection between
   /// requests.
+  ///
+  /// `total_deadline_ms` bounds the WHOLE exchange (dial + send + every
+  /// read) — without it each socket operation gets the full per-op
+  /// `timeout_ms`, so a slow-drip response that lands one byte per poll
+  /// can stall a request ~N× the intended bound. 0 keeps the historical
+  /// per-operation-only behavior.
   api::Result<HttpResponse> request(const std::string& method,
                                     const std::string& target,
                                     std::string body = {},
-                                    std::vector<Header> headers = {});
+                                    std::vector<Header> headers = {},
+                                    int total_deadline_ms = 0);
 
   api::Result<HttpResponse> get(const std::string& target) {
     return request("GET", target);
@@ -56,9 +64,12 @@ class HttpClient {
   bool connected() const noexcept { return fd_ >= 0; }
 
  private:
-  api::Status connect_();
+  api::Status connect_(std::uint64_t deadline_ns);
   api::Status send_all(std::string_view bytes);
-  api::Result<HttpResponse> read_response();
+  api::Result<HttpResponse> read_response(std::uint64_t deadline_ns);
+  /// Poll timeout for the next socket wait: the per-op timeout clipped to
+  /// whatever is left of the request deadline (`deadline_ns` 0 = none).
+  int poll_budget_ms(std::uint64_t deadline_ns) const;
 
   std::string host_;
   unsigned short port_;

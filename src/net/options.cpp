@@ -82,6 +82,11 @@ api::Status NetOptions::set(std::string_view key, std::string_view value) {
     access_log = parsed.value();
     return api::Status::ok();
   }
+  if (key == "chaos-drop-rate") return set_rate(chaos_drop_rate, key, value);
+  if (key == "chaos-500-rate") return set_rate(chaos_500_rate, key, value);
+  if (key == "chaos-stall") return set_rate(chaos_stall, key, value);
+  if (key == "chaos-delay-ms") return set_unsigned(chaos_delay_ms, key, value);
+  if (key == "chaos-seed") return set_unsigned(chaos_seed, key, value);
   if (key == "port-file") {
     port_file = std::string(value);
     return api::Status::ok();
@@ -120,6 +125,10 @@ api::Status NetOptions::validate() const {
     return bad("conn-burst: needs conn-rate-qps > 0");
   if (trace_sample_rate > 1.0)
     return bad("trace-sample-rate: must be in [0, 1]");
+  if (chaos_drop_rate > 1.0 || chaos_500_rate > 1.0 || chaos_stall > 1.0)
+    return bad("chaos rates: must be in [0, 1]");
+  if (chaos_drop_rate + chaos_500_rate + chaos_stall > 1.0)
+    return bad("chaos rates: drop + 500 + stall must not exceed 1");
   return serve.validate();
 }
 

@@ -67,6 +67,16 @@ struct NetOptions {
   /// status, bytes, micros, request id.
   bool access_log = false;
 
+  // ---- Chaos (net::FaultInjector; see fault_injector.hpp). ----------------
+  // Deterministic fault injection on the query path, off by default.
+  // Compiled in always so tests and the dist smoke exercise the real
+  // server; /healthz and /metrics are never chaos'd.
+  double chaos_drop_rate = 0.0;  ///< P(connection dropped, no response)
+  double chaos_500_rate = 0.0;   ///< P(500 "chaos" instead of the handler)
+  double chaos_stall = 0.0;      ///< P(connection held open, never answered)
+  unsigned chaos_delay_ms = 0;   ///< latency added to surviving requests
+  std::uint64_t chaos_seed = 42; ///< fault-draw sequence seed
+
   // ---- Tool-facing. -------------------------------------------------------
   /// File the bound port is written to after listen() (written to a temp
   /// name and renamed, so a poller never reads a partial file).

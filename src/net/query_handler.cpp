@@ -182,6 +182,10 @@ api::Result<serving::QueryRequest> QueryHandler::parse_body(
     request.filter = [filter_begin, filter_end](vid_t v) {
       return v >= filter_begin && v < filter_end;
     };
+    // Keep the structured range too: a remote strategy can forward a
+    // range filter over the wire, but not an opaque predicate.
+    request.filter_begin = filter_begin;
+    request.filter_end = filter_end;
   }
   return request;
 }
@@ -210,7 +214,179 @@ json::Value QueryHandler::render(const serving::QueryResponse& response) {
     }
     root.set("cache", std::move(outcomes));
   }
+  // Distributed strategies annotate how the scatter went; plain
+  // strategies leave both empty and the wire shape is unchanged.
+  if (response.degraded || !response.shards.empty()) {
+    root.set("degraded", json::Value(response.degraded));
+    json::Value shards = json::Value::array();
+    for (const serving::ShardStatus& status : response.shards) {
+      json::Value entry = json::Value::object();
+      entry.set("shard", json::Value(static_cast<double>(status.shard)));
+      entry.set("backend", json::Value(status.backend));
+      entry.set("ok", json::Value(status.ok));
+      entry.set("retries", json::Value(static_cast<double>(status.retries)));
+      entry.set("hedged", json::Value(status.hedged));
+      entry.set("seconds", json::Value(status.seconds));
+      if (!status.error.empty()) {
+        entry.set("error", json::Value(status.error));
+      }
+      shards.push_back(std::move(entry));
+    }
+    root.set("shards", std::move(shards));
+  }
   root.set("seconds", json::Value(response.seconds));
+  return root;
+}
+
+api::Result<serving::QueryResponse> QueryHandler::parse_response(
+    const json::Value& body) {
+  if (!body.is_object()) return bad("response body must be a JSON object");
+  serving::QueryResponse response;
+  const json::Value* results = body.find("results");
+  if (results == nullptr || !results->is_array()) {
+    return bad("response 'results' must be an array");
+  }
+  response.results.reserve(results->size());
+  for (std::size_t q = 0; q < results->size(); ++q) {
+    const json::Value& list = (*results)[q];
+    if (!list.is_array()) return bad("response 'results' entries must be arrays");
+    std::vector<serving::Neighbor> ranked;
+    ranked.reserve(list.size());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const json::Value& entry = list[i];
+      if (!entry.is_object()) return bad("response neighbor must be an object");
+      const json::Value* id = entry.find("id");
+      const json::Value* score = entry.find("score");
+      if (id == nullptr || !id->is_number() || score == nullptr ||
+          !score->is_number()) {
+        return bad("response neighbor needs numeric 'id' and 'score'");
+      }
+      serving::Neighbor neighbor;
+      neighbor.id = static_cast<vid_t>(id->as_number());
+      // Scores were floats before render() widened them to JSON doubles;
+      // narrowing back is exact, so remote answers stay bit-identical.
+      neighbor.score = static_cast<float>(score->as_number());
+      ranked.push_back(neighbor);
+    }
+    response.results.push_back(std::move(ranked));
+  }
+  if (const json::Value* cache = body.find("cache")) {
+    if (!cache->is_array()) return bad("response 'cache' must be an array");
+    for (std::size_t i = 0; i < cache->size(); ++i) {
+      const json::Value& outcome = (*cache)[i];
+      if (!outcome.is_string()) return bad("response 'cache' entries must be strings");
+      if (outcome.as_string() == "hit") {
+        response.cache.push_back(serving::CacheOutcome::kHit);
+      } else if (outcome.as_string() == "skip") {
+        response.cache.push_back(serving::CacheOutcome::kSkip);
+      } else {
+        response.cache.push_back(serving::CacheOutcome::kMiss);
+      }
+    }
+  }
+  if (const json::Value* degraded = body.find("degraded")) {
+    if (!degraded->is_bool()) return bad("response 'degraded' must be a bool");
+    response.degraded = degraded->as_bool();
+  }
+  if (const json::Value* shards = body.find("shards")) {
+    if (!shards->is_array()) return bad("response 'shards' must be an array");
+    for (std::size_t i = 0; i < shards->size(); ++i) {
+      const json::Value& entry = (*shards)[i];
+      if (!entry.is_object()) return bad("response shard status must be an object");
+      serving::ShardStatus status;
+      if (const json::Value* shard = entry.find("shard");
+          shard != nullptr && shard->is_number()) {
+        status.shard = static_cast<unsigned>(shard->as_number());
+      }
+      if (const json::Value* backend = entry.find("backend");
+          backend != nullptr && backend->is_string()) {
+        status.backend = backend->as_string();
+      }
+      if (const json::Value* ok = entry.find("ok");
+          ok != nullptr && ok->is_bool()) {
+        status.ok = ok->as_bool();
+      }
+      if (const json::Value* retries = entry.find("retries");
+          retries != nullptr && retries->is_number()) {
+        status.retries = static_cast<unsigned>(retries->as_number());
+      }
+      if (const json::Value* hedged = entry.find("hedged");
+          hedged != nullptr && hedged->is_bool()) {
+        status.hedged = hedged->as_bool();
+      }
+      if (const json::Value* seconds = entry.find("seconds");
+          seconds != nullptr && seconds->is_number()) {
+        status.seconds = seconds->as_number();
+      }
+      if (const json::Value* error = entry.find("error");
+          error != nullptr && error->is_string()) {
+        status.error = error->as_string();
+      }
+      response.shards.push_back(std::move(status));
+    }
+  }
+  if (const json::Value* seconds = body.find("seconds")) {
+    if (seconds->is_number()) response.seconds = seconds->as_number();
+  }
+  return response;
+}
+
+api::Result<json::Value> QueryHandler::render_request(
+    const serving::QueryRequest& request) {
+  json::Value queries = json::Value::array();
+  for (const serving::Query& query : request.queries) {
+    json::Value entry = json::Value::object();
+    if (query.is_vertex) {
+      entry.set("vertex", json::Value(static_cast<double>(query.vertex_id)));
+    } else if (query.vector_count == 1) {
+      json::Value values = json::Value::array();
+      for (const float v : query.vectors) {
+        values.push_back(json::Value(static_cast<double>(v)));
+      }
+      entry.set("vector", std::move(values));
+    } else {
+      if (query.vector_count == 0 ||
+          query.vectors.size() % query.vector_count != 0) {
+        return bad("query vector buffer is not vector_count * dim floats");
+      }
+      const std::size_t dim = query.vectors.size() / query.vector_count;
+      json::Value groups = json::Value::array();
+      for (std::size_t g = 0; g < query.vector_count; ++g) {
+        json::Value values = json::Value::array();
+        for (std::size_t i = 0; i < dim; ++i) {
+          values.push_back(
+              json::Value(static_cast<double>(query.vectors[g * dim + i])));
+        }
+        groups.push_back(std::move(values));
+      }
+      entry.set("vectors", std::move(groups));
+    }
+    queries.push_back(std::move(entry));
+  }
+  json::Value root = json::Value::object();
+  root.set("queries", std::move(queries));
+  if (request.k > 0) root.set("k", json::Value(request.k));
+  if (request.ef > 0) root.set("ef", json::Value(request.ef));
+  if (request.metric.has_value()) {
+    root.set("metric",
+             json::Value(std::string(query::metric_name(*request.metric))));
+  }
+  root.set("aggregate",
+           json::Value(std::string(query::aggregate_name(request.aggregate))));
+  if (request.filter) {
+    // A predicate only crosses the wire when it is the [begin, end) range
+    // the wire model can spell; an opaque lambda cannot be forwarded.
+    if (request.filter_end <= request.filter_begin) {
+      return bad(
+          "filter predicate carries no [begin, end) range and cannot be "
+          "forwarded to a remote backend");
+    }
+    json::Value filter = json::Value::object();
+    filter.set("begin",
+               json::Value(static_cast<double>(request.filter_begin)));
+    filter.set("end", json::Value(static_cast<double>(request.filter_end)));
+    root.set("filter", std::move(filter));
+  }
   return root;
 }
 
@@ -220,6 +396,8 @@ int QueryHandler::http_status(const api::Status& status) {
       return 400;
     case api::StatusCode::kNotFound:
       return 404;
+    case api::StatusCode::kUnavailable:
+      return 503;  // loading, breaker open, or --require-all-shards unmet
     default:
       return 500;
   }

@@ -50,8 +50,19 @@ class QueryHandler {
       const json::Value& body) const;
   /// Model-to-wire rendering of a successful response.
   static json::Value render(const serving::QueryResponse& response);
+  /// The inverse of render(), for clients of the wire (RemoteService):
+  /// strict on 'results' (the payload), tolerant of the optional
+  /// annotations (cache/degraded/shards/seconds) so a newer child can
+  /// answer an older parent.
+  static api::Result<serving::QueryResponse> parse_response(
+      const json::Value& body);
+  /// The inverse of parse_body(), for FORWARDING a request over the wire.
+  /// Fails (kInvalidArgument) on the one non-serializable shape: a filter
+  /// predicate that does not carry its [filter_begin, filter_end) range.
+  static api::Result<json::Value> render_request(
+      const serving::QueryRequest& request);
   /// api::Status -> HTTP status code (invalid_argument 400, not_found
-  /// 404, everything else 500).
+  /// 404, unavailable 503, everything else 500).
   static int http_status(const api::Status& status);
 
  private:

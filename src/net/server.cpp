@@ -12,6 +12,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "gosh/common/logging.hpp"
@@ -60,6 +61,13 @@ HttpServer::HttpServer(const NetOptions& options,
     global_limiter_ =
         std::make_unique<RateLimiter>(options_.rate_qps, options_.burst);
   }
+  FaultOptions chaos;
+  chaos.drop_rate = options_.chaos_drop_rate;
+  chaos.error_rate = options_.chaos_500_rate;
+  chaos.stall_rate = options_.chaos_stall;
+  chaos.delay_ms = options_.chaos_delay_ms;
+  chaos.seed = options_.chaos_seed;
+  fault_injector_.configure(chaos);
   if (tracer_ == nullptr &&
       (options_.trace_sample_rate > 0.0 || options_.trace_slow_ms > 0.0)) {
     tracer_ = &trace::Tracer::global();
@@ -152,6 +160,12 @@ api::Status HttpServer::start() {
                            "Requests shed by admission control (429)");
     parse_errors_ = &metrics_->counter("gosh_http_parse_errors_total",
                                        "Requests rejected at the wire");
+    chaos_injected_ = &metrics_->counter(
+        "gosh_http_chaos_injected_total",
+        "Requests faulted by the chaos injector (drop/500/stall)");
+    deadline_expired_ = &metrics_->counter(
+        "gosh_http_deadline_expired_total",
+        "Requests answered 504: X-Deadline-Ms was already spent");
     inflight_ = &metrics_->gauge("gosh_http_inflight_connections",
                                  "Connections currently owned by workers");
     if (global_limiter_ != nullptr) {
@@ -393,6 +407,10 @@ bool HttpServer::serve_one(int fd, std::string& buffer,
     return false;
   }
   head_parsed = true;
+  // Deadline budgets (X-Deadline-Ms) are measured from here, not from
+  // serve_one entry — a keep-alive connection idles in this function
+  // between requests, and that wait is not the client's spend.
+  const std::uint64_t head_ns = trace::now_ns();
   // The request id: honor what the client sent, mint one otherwise — and
   // inject the minted id into the request's headers, so handlers that
   // echo X-Request-Id themselves (QueryHandler) see the same id the
@@ -465,8 +483,78 @@ bool HttpServer::serve_one(int fd, std::string& buffer,
       (options_.keepalive_requests == 0 ||
        served_on_connection + 1 < options_.keepalive_requests);
 
+  // ---- Chaos, then deadline enforcement (query path only). ---------------
+  // Observability routes are exempt from both, the same way they are
+  // exempt from admission control: a probe must see the server, not the
+  // weather. Order matters — a chaos delay that eats the remaining budget
+  // turns into an honest 504 below.
   HttpResponse response;
-  if (route == nullptr) {
+  bool preempted = false;
+  if (route != nullptr && route->rate_limited && fault_injector_.active()) {
+    switch (fault_injector_.next()) {
+      case FaultInjector::Action::kDrop:
+        if (chaos_injected_ != nullptr) chaos_injected_->increment();
+        return false;  // close without a response
+      case FaultInjector::Action::kError:
+        if (chaos_injected_ != nullptr) chaos_injected_->increment();
+        response = HttpResponse::error(500, "chaos",
+                                       "fault injected by --chaos-500-rate");
+        preempted = true;
+        break;
+      case FaultInjector::Action::kStall: {
+        // Hold the connection open and answer nothing: the slow-shard
+        // shape. Ends when the peer gives up or the server shuts down.
+        if (chaos_injected_ != nullptr) chaos_injected_->increment();
+        while (true) {
+          pollfd fds[2] = {{fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+          const int ready = ::poll(fds, 2, -1);
+          if (ready < 0) {
+            if (errno == EINTR) continue;
+            return false;
+          }
+          if (fds[1].revents != 0) return false;  // shutdown
+          if (fds[0].revents != 0) {
+            char sink[4096];
+            if (::recv(fd, sink, sizeof(sink), 0) <= 0) return false;
+          }
+        }
+      }
+      case FaultInjector::Action::kNone:
+        if (const unsigned delay = fault_injector_.delay_ms(); delay > 0) {
+          // Interruptible sleep: the wake pipe cuts the delay short at
+          // shutdown so chaos'd servers still stop promptly.
+          pollfd wake{wake_pipe_[0], POLLIN, 0};
+          ::poll(&wake, 1, static_cast<int>(delay));
+        }
+        break;
+    }
+  }
+  if (!preempted && route != nullptr && route->rate_limited) {
+    if (const std::string* budget = request.header("X-Deadline-Ms")) {
+      char* end = nullptr;
+      const unsigned long long deadline_ms =
+          std::strtoull(budget->c_str(), &end, 10);
+      const bool well_formed =
+          end != nullptr && end != budget->c_str() && *end == '\0';
+      const std::uint64_t elapsed_ms =
+          (trace::now_ns() - head_ns) / 1'000'000ULL;
+      if (well_formed && elapsed_ms >= deadline_ms) {
+        // The budget is already spent — running the handler would produce
+        // an answer nobody is waiting for. Shed it as an explicit 504 so
+        // the caller's retry/hedge logic sees a structured failure.
+        if (deadline_expired_ != nullptr) deadline_expired_->increment();
+        response = HttpResponse::error(
+            504, "deadline_exceeded",
+            "X-Deadline-Ms " + std::to_string(deadline_ms) +
+                " spent before the handler ran");
+        preempted = true;
+      }
+    }
+  }
+
+  if (preempted) {
+    // Response-class counters and keep-alive handling fall through below.
+  } else if (route == nullptr) {
     if (method_mismatch) {
       response = HttpResponse::error(405, "method_not_allowed",
                                      "no handler for " + request.method +
@@ -557,22 +645,59 @@ bool HttpServer::serve_one(int fd, std::string& buffer,
 }
 
 void add_builtin_routes(HttpServer& server, serving::MetricsRegistry& registry,
-                        trace::Tracer* tracer) {
+                        trace::Tracer* tracer, const HealthState* health) {
   server.handle(
       "GET", "/healthz",
-      [&server](const HttpRequest&) {
+      [&server, health](const HttpRequest&) {
         json::Value build = json::Value::object();
         build.set("compiler", json::Value(std::string(__VERSION__)));
         build.set("std", json::Value(static_cast<double>(__cplusplus)));
         json::Value root = json::Value::object();
-        root.set("status", json::Value(std::string("ok")));
+        // Liveness: this route answers 200 from listen() on. The status
+        // string and the readiness block tell probes whether queries
+        // would be answered too.
+        const bool ready =
+            health == nullptr ||
+            health->ready.load(std::memory_order_acquire);
+        root.set("status",
+                 json::Value(std::string(ready ? "ok" : "loading")));
         root.set("uptime_seconds", json::Value(server.uptime_seconds()));
         root.set("build", std::move(build));
         root.set("simd_isa", json::Value(std::string(
                                  simd::isa_name(simd::active_isa()))));
+        if (health != nullptr) {
+          root.set("ready", json::Value(ready));
+          root.set("rows",
+                   json::Value(static_cast<double>(
+                       health->rows.load(std::memory_order_relaxed))));
+          root.set("dim",
+                   json::Value(static_cast<double>(
+                       health->dim.load(std::memory_order_relaxed))));
+          root.set("shards",
+                   json::Value(static_cast<double>(
+                       health->shards.load(std::memory_order_relaxed))));
+          // As a string: a 64-bit fingerprint does not survive the trip
+          // through a JSON double.
+          root.set("store_generation",
+                   json::Value(std::to_string(health->store_generation.load(
+                       std::memory_order_relaxed))));
+        }
         return HttpResponse::json(200, root.dump());
       },
       /*rate_limited=*/false);
+  if (health != nullptr) {
+    server.handle(
+        "GET", "/readyz",
+        [health](const HttpRequest&) {
+          const bool ready = health->ready.load(std::memory_order_acquire);
+          json::Value root = json::Value::object();
+          root.set("ready", json::Value(ready));
+          if (ready) return HttpResponse::json(200, root.dump());
+          return HttpResponse::error(503, "unavailable",
+                                     "store/strategy still loading");
+        },
+        /*rate_limited=*/false);
+  }
   server.handle(
       "GET", "/metrics",
       [&registry](const HttpRequest&) {

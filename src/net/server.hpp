@@ -27,6 +27,7 @@
 // in-flight connection gauge, rate-limiter sheds and token-level gauge.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "gosh/common/sync.hpp"
+#include "gosh/net/fault_injector.hpp"
 #include "gosh/net/http.hpp"
 #include "gosh/net/options.hpp"
 #include "gosh/net/rate_limiter.hpp"
@@ -43,6 +45,22 @@
 #include "gosh/trace/trace.hpp"
 
 namespace gosh::net {
+
+/// Liveness vs readiness, split: a server answers /healthz the moment it
+/// listens (liveness — the process is up), but reports `ready` only once
+/// the owning tool flips it after the store/strategy finished loading
+/// (readiness — it can answer queries). The tool owns one of these and
+/// hands it to add_builtin_routes; the ReplicaSet probe loop and the
+/// smoke scripts read `ready` instead of racing startup.
+struct HealthState {
+  std::atomic<bool> ready{false};
+  std::atomic<std::uint64_t> rows{0};
+  std::atomic<std::uint32_t> dim{0};
+  std::atomic<std::uint32_t> shards{0};
+  /// Store identity fingerprint (the cache's generation stamp): two
+  /// replicas serving the same store report the same value.
+  std::atomic<std::uint64_t> store_generation{0};
+};
 
 /// A route handler: request in, response out. Handlers run on connection
 /// workers, concurrently — they must be thread-safe (the serving services
@@ -86,6 +104,10 @@ class HttpServer {
   double uptime_seconds() const noexcept;
   /// The tracing sink in use, or null when tracing is off.
   trace::Tracer* tracer() const noexcept { return tracer_; }
+  /// The chaos hook (configured from the options' chaos knobs; inert when
+  /// every rate is zero). Reconfigurable at runtime — the bench flips a
+  /// healthy shard to stalling mid-phase through this.
+  FaultInjector& fault_injector() noexcept { return fault_injector_; }
 
  private:
   struct Route {
@@ -117,6 +139,7 @@ class HttpServer {
   std::uint64_t start_ns_ = 0;       ///< trace::now_ns() at start()
   std::vector<Route> routes_;
   std::unique_ptr<RateLimiter> global_limiter_;  ///< null when rate_qps == 0
+  FaultInjector fault_injector_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< [read, write]; write end = shutdown
@@ -138,17 +161,25 @@ class HttpServer {
   serving::Counter* responses_5xx_ = nullptr;
   serving::Counter* rate_limited_total_ = nullptr;
   serving::Counter* parse_errors_ = nullptr;
+  serving::Counter* chaos_injected_ = nullptr;
+  serving::Counter* deadline_expired_ = nullptr;
   serving::Gauge* inflight_ = nullptr;
   serving::Gauge* rate_tokens_ = nullptr;
 };
 
 /// Registers the observability routes every serving front-end wants, all
-/// exempt from admission control: GET /healthz (JSON: status, uptime
-/// seconds, build info, the resolved SIMD ISA), GET /metrics (the
-/// registry's Prometheus text exposition), and — when `tracer` is non-null
-/// — GET /debug/traces (the completed-trace ring as Chrome trace_event
-/// JSON, loadable at chrome://tracing).
+/// exempt from admission control (and from chaos): GET /healthz (JSON:
+/// status, uptime seconds, build info, the resolved SIMD ISA), GET
+/// /metrics (the registry's Prometheus text exposition), and — when
+/// `tracer` is non-null — GET /debug/traces (the completed-trace ring as
+/// Chrome trace_event JSON, loadable at chrome://tracing).
+///
+/// With a non-null `health` (which must outlive the server), /healthz
+/// additionally reports ready/rows/dim/shards/store_generation (status
+/// becomes "loading" until ready flips) and GET /readyz is registered:
+/// 200 once ready, 503 while loading — the readiness probe endpoint.
 void add_builtin_routes(HttpServer& server, serving::MetricsRegistry& registry,
-                        trace::Tracer* tracer = nullptr);
+                        trace::Tracer* tracer = nullptr,
+                        const HealthState* health = nullptr);
 
 }  // namespace gosh::net

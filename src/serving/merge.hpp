@@ -1,0 +1,62 @@
+// merge_top_k — the one k-way merge both scatter strategies share.
+//
+// The in-process Router and the distributed DistRouter must produce
+// BIT-IDENTICAL merges (the crash-recovery acceptance test diffs them
+// byte for byte), so the merge lives here once instead of twice: a k-way
+// heap merge of per-child sorted partials under query::better's global
+// (score desc, id asc) order, rebasing each child's local ids by its
+// row_begin. Header-only on purpose — it is ~40 lines and hot.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "gosh/common/types.hpp"
+#include "gosh/query/engine.hpp"
+
+namespace gosh::serving {
+
+/// K-way merge of per-child sorted partials into one global top-k. Child
+/// ids are local; `row_begin[c]` rebases them. Ties resolve by the global
+/// (score desc, id asc) order, so the merge is bit-identical to sorting
+/// one unsharded scan.
+inline std::vector<query::Neighbor> merge_top_k(
+    const std::vector<std::vector<query::Neighbor>>& partials,
+    const std::vector<vid_t>& row_begin, unsigned k) {
+  struct Cursor {
+    std::size_t child;
+    std::size_t pos;
+    query::Neighbor head;  ///< already rebased to global ids
+  };
+  const auto worse = [](const Cursor& a, const Cursor& b) {
+    return query::better(b.head, a.head);  // min-heap on `better`
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(partials.size());
+  for (std::size_t c = 0; c < partials.size(); ++c) {
+    if (partials[c].empty()) continue;
+    query::Neighbor head = partials[c][0];
+    head.id += row_begin[c];
+    heap.push_back({c, 0, head});
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+
+  std::vector<query::Neighbor> merged;
+  merged.reserve(k);
+  while (!heap.empty() && merged.size() < k) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    Cursor cursor = heap.back();
+    heap.pop_back();
+    merged.push_back(cursor.head);
+    if (++cursor.pos < partials[cursor.child].size()) {
+      cursor.head = partials[cursor.child][cursor.pos];
+      cursor.head.id += row_begin[cursor.child];
+      heap.push_back(cursor);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  return merged;
+}
+
+}  // namespace gosh::serving

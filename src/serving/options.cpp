@@ -163,6 +163,47 @@ api::Status ServeOptions::set(std::string_view key, std::string_view value) {
   if (key == "cache-capacity")
     return set_unsigned(cache_capacity, key, value);
   if (key == "cache-ttl-ms") return set_unsigned(cache_ttl_ms, key, value);
+  if (key == "shard") {
+    // "I/N" (also accepts "I:N"): this process serves shard I of N.
+    const std::string_view spec = trim(value);
+    std::size_t sep = spec.find('/');
+    if (sep == std::string_view::npos) sep = spec.find(':');
+    if (sep == std::string_view::npos)
+      return api::Status::invalid_argument(
+          "shard: expected I/N (serve shard I of N), got " + quoted(spec));
+    unsigned index = 0, count = 0;
+    if (api::Status s = set_unsigned(index, key, spec.substr(0, sep));
+        !s.is_ok())
+      return s;
+    if (api::Status s = set_unsigned(count, key, spec.substr(sep + 1));
+        !s.is_ok())
+      return s;
+    shard_index = index;
+    shard_count = count;
+    return api::Status::ok();
+  }
+  if (key == "backends") {
+    backends = std::string(trim(value));
+    return api::Status::ok();
+  }
+  if (key == "remote-deadline-ms")
+    return set_unsigned(remote_deadline_ms, key, value);
+  if (key == "retries") return set_unsigned(remote_retries, key, value);
+  if (key == "hedge-after-ms") return set_unsigned(hedge_after_ms, key, value);
+  if (key == "breaker-failures")
+    return set_unsigned(breaker_failures, key, value);
+  if (key == "breaker-cooldown-ms")
+    return set_unsigned(breaker_cooldown_ms, key, value);
+  if (key == "probe-interval-ms")
+    return set_unsigned(probe_interval_ms, key, value);
+  if (key == "require-all-shards") {
+    auto parsed = api::parse_bool(value);
+    if (!parsed.ok())
+      return api::Status::invalid_argument("require-all-shards: " +
+                                           parsed.status().message());
+    require_all_shards = parsed.value();
+    return api::Status::ok();
+  }
   if (key == "verify") {
     auto parsed = api::parse_bool(value);
     if (!parsed.ok())
@@ -229,6 +270,18 @@ api::Status ServeOptions::validate() const {
   if (cache_threshold < 0.0 || cache_threshold > 1.0)
     return bad("cache-threshold: must be in [0, 1]");
   if (cache_capacity < 1) return bad("cache-capacity: must be >= 1");
+  if (shard_count > 0 && shard_index >= shard_count)
+    return bad("shard: needs I < N, got " + std::to_string(shard_index) +
+               "/" + std::to_string(shard_count));
+  if (remote_deadline_ms < 1 || remote_deadline_ms > 600000)
+    return bad("remote-deadline-ms: must be in [1, 600000]");
+  if (remote_retries > 16) return bad("retries: must be in [0, 16]");
+  if (breaker_failures < 1 || breaker_failures > 1000)
+    return bad("breaker-failures: must be in [1, 1000]");
+  if (breaker_cooldown_ms < 1 || breaker_cooldown_ms > 600000)
+    return bad("breaker-cooldown-ms: must be in [1, 600000]");
+  if (probe_interval_ms > 60000)
+    return bad("probe-interval-ms: must be in [0, 60000]");
   if (recall_floor < 0.0 || recall_floor > 1.0)
     return bad("recall-floor: must be in [0, 1]");
   return api::Status::ok();
@@ -249,7 +302,8 @@ api::Result<ServeOptions> ServeOptions::from_args(int argc, char** argv) {
       return api::Status::invalid_argument("stray argument " + quoted(arg) +
                                            " (flags start with --)");
     const std::string_view key = arg.substr(2);
-    if (key == "build-index" || key == "metrics" || key == "cache") {
+    if (key == "build-index" || key == "metrics" || key == "cache" ||
+        key == "require-all-shards") {
       pairs.emplace_back(std::string(key), "true");
       continue;
     }

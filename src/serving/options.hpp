@@ -73,6 +73,37 @@ struct ServeOptions {
 
   // ---- Store opening. ---------------------------------------------------
   bool verify_checksums = true;  ///< CLI "--no-verify" clears it
+  /// Serve ONE shard of a sharded store ("--shard I/N"): the service opens
+  /// `store_path`'s shard I of N and answers in LOCAL ids — how a
+  /// dist-router child process holds just its slice. shard_count 0 =
+  /// whole store (the default).
+  unsigned shard_index = 0;
+  unsigned shard_count = 0;
+
+  // ---- Distributed serving (the "remote:"/"dist-router" strategies). ----
+  /// Backend list ("--backends"): either inline "host:port,host:port,..."
+  /// (for dist-router: one entry per shard, '|' separating replicas of
+  /// the same shard) or the path of a file with one entry per line.
+  std::string backends;
+  /// Per-request budget in ms for one remote call — propagated to the
+  /// child as X-Deadline-Ms and enforced on both ends.
+  unsigned remote_deadline_ms = 250;
+  /// Extra attempts on idempotent queries after a failed one
+  /// ("--retries"), exponential backoff + jitter between them.
+  unsigned remote_retries = 2;
+  /// Launch a hedged second request on another replica when the first has
+  /// not answered after this many ms (clipped down to the backend's
+  /// observed p99 once enough samples exist); 0 = hedging off.
+  unsigned hedge_after_ms = 0;
+  /// Circuit breaker: consecutive failures that open it, and how long it
+  /// stays open before one half-open probe is let through.
+  unsigned breaker_failures = 5;
+  unsigned breaker_cooldown_ms = 1000;
+  /// Background /healthz probe cadence per backend; 0 = no probe loop.
+  unsigned probe_interval_ms = 200;
+  /// Strict mode ("--require-all-shards"): a degraded partial merge
+  /// becomes kUnavailable (HTTP 503) instead of an annotated answer.
+  bool require_all_shards = false;
 
   // ---- Tool-facing modes (gosh_query), api::Options precedent. ----------
   bool build_index = false;     ///< offline index build + save

@@ -6,6 +6,8 @@
 #include <new>
 
 #include "gosh/cache/cached_service.hpp"
+#include "gosh/serving/dist_router.hpp"
+#include "gosh/serving/remote.hpp"
 #include "gosh/serving/router.hpp"
 
 namespace gosh::serving {
@@ -36,6 +38,42 @@ void register_builtin_services(ServiceRegistry& registry) {
       [](const ServeOptions& options, MetricsRegistry* metrics)
           -> api::Result<std::unique_ptr<QueryService>> {
         auto service = Router::open(options, metrics);
+        if (!service.ok()) return service.status();
+        return std::unique_ptr<QueryService>(std::move(service).value());
+      });
+  // "remote" forwards to replicas of one logical backend over HTTP; the
+  // endpoint list comes from --backends (the "remote:<host:port,...>"
+  // prefix form is resolved in ServiceRegistry::create before this
+  // factory runs, by rewriting options.backends).
+  (void)registry.add(
+      "remote",
+      [](const ServeOptions& options, MetricsRegistry* metrics)
+          -> api::Result<std::unique_ptr<QueryService>> {
+        auto groups = parse_backends(options.backends);
+        if (!groups.ok()) return groups.status();
+        // Every entry is a replica of the same store here; ',' and '|'
+        // both flatten.
+        std::vector<Endpoint> replicas;
+        for (std::vector<Endpoint>& group : groups.value()) {
+          for (Endpoint& endpoint : group) {
+            replicas.push_back(std::move(endpoint));
+          }
+        }
+        auto service = RemoteService::open(std::move(replicas), options,
+                                           metrics);
+        if (!service.ok()) return service.status();
+        return std::unique_ptr<QueryService>(std::move(service).value());
+      });
+  // "dist-router" scatters to remote shard children (one --backends group
+  // per shard) and k-way merges exactly like the in-process "router".
+  (void)registry.add(
+      "dist-router",
+      [](const ServeOptions& options, MetricsRegistry* metrics)
+          -> api::Result<std::unique_ptr<QueryService>> {
+        auto groups = parse_backends(options.backends);
+        if (!groups.ok()) return groups.status();
+        auto service =
+            DistRouter::open(std::move(groups).value(), options, metrics);
         if (!service.ok()) return service.status();
         return std::unique_ptr<QueryService>(std::move(service).value());
       });
@@ -98,6 +136,21 @@ api::Result<std::unique_ptr<QueryService>> ServiceRegistry::create(
   // strategy through the registry (so cached:auto, cached:router etc. all
   // work), then wrap it behind the semantic cache. One level only — a
   // second cache layer would double-count every hit.
+  // "remote:<host:port,...>" is the endpoint-in-the-name sugar: rewrite
+  // it onto options.backends and resolve plain "remote". Same shape as
+  // the cached: prefix — compose, don't register per endpoint list.
+  constexpr std::string_view kRemotePrefix = "remote:";
+  if (name.starts_with(kRemotePrefix)) {
+    const std::string_view endpoints = name.substr(kRemotePrefix.size());
+    if (endpoints.empty()) {
+      return api::Status::invalid_argument(
+          "strategy '" + std::string(name) +
+          "': expected remote:<host:port[,host:port...]>");
+    }
+    ServeOptions rewritten = options;
+    rewritten.backends = std::string(endpoints);
+    return create("remote", rewritten, metrics);
+  }
   constexpr std::string_view kCachedPrefix = "cached:";
   if (name.starts_with(kCachedPrefix)) {
     const std::string_view inner_name = name.substr(kCachedPrefix.size());

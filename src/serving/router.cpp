@@ -4,55 +4,10 @@
 #include <utility>
 
 #include "gosh/common/timer.hpp"
+#include "gosh/serving/merge.hpp"
 #include "gosh/trace/trace.hpp"
 
 namespace gosh::serving {
-
-namespace {
-
-/// K-way merge of per-child sorted partials into one global top-k. Child
-/// ids are local; `row_begin[c]` rebases them. Ties resolve by the global
-/// (score desc, id asc) order, so the merge is bit-identical to sorting
-/// one unsharded scan.
-std::vector<Neighbor> merge_top_k(
-    const std::vector<std::vector<Neighbor>>& partials,
-    const std::vector<vid_t>& row_begin, unsigned k) {
-  struct Cursor {
-    std::size_t child;
-    std::size_t pos;
-    Neighbor head;  ///< already rebased to global ids
-  };
-  const auto worse = [](const Cursor& a, const Cursor& b) {
-    return query::better(b.head, a.head);  // min-heap on `better`
-  };
-  std::vector<Cursor> heap;
-  heap.reserve(partials.size());
-  for (std::size_t c = 0; c < partials.size(); ++c) {
-    if (partials[c].empty()) continue;
-    Neighbor head = partials[c][0];
-    head.id += row_begin[c];
-    heap.push_back({c, 0, head});
-  }
-  std::make_heap(heap.begin(), heap.end(), worse);
-
-  std::vector<Neighbor> merged;
-  merged.reserve(k);
-  while (!heap.empty() && merged.size() < k) {
-    std::pop_heap(heap.begin(), heap.end(), worse);
-    Cursor cursor = heap.back();
-    heap.pop_back();
-    merged.push_back(cursor.head);
-    if (++cursor.pos < partials[cursor.child].size()) {
-      cursor.head = partials[cursor.child][cursor.pos];
-      cursor.head.id += row_begin[cursor.child];
-      heap.push_back(cursor);
-      std::push_heap(heap.begin(), heap.end(), worse);
-    }
-  }
-  return merged;
-}
-
-}  // namespace
 
 api::Result<std::unique_ptr<Router>> Router::open(const ServeOptions& options,
                                                   MetricsRegistry* metrics) {

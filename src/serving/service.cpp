@@ -93,8 +93,15 @@ api::Result<std::vector<Neighbor>> QueryService::top_k_vertex(vid_t v,
 api::Result<std::unique_ptr<EngineService>> EngineService::open(
     const ServeOptions& options, query::Strategy strategy,
     MetricsRegistry* metrics) {
+  // --shard I/N: serve one shard of a sharded store as a whole store in
+  // LOCAL ids — the dist-router child's view of the world.
   auto opened =
-      store::EmbeddingStore::open(options.store_path, options.open_options());
+      options.shard_count > 0
+          ? store::EmbeddingStore::open_shard(
+                options.store_path, options.shard_index, options.shard_count,
+                options.open_options())
+          : store::EmbeddingStore::open(options.store_path,
+                                        options.open_options());
   if (!opened.ok()) return opened.status();
   auto engine = query::QueryEngine::create(std::move(opened).value(),
                                            options.engine_options());

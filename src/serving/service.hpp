@@ -74,6 +74,13 @@ struct QueryRequest {
   /// Only ids passing the predicate may appear in answers (global ids,
   /// also under the sharded Router). Empty = no filter.
   RowFilter filter;
+  /// The structured [begin, end) range behind `filter`, when the filter
+  /// came off the wire or a --filter flag (0,0 = not expressible as a
+  /// range). The predicate stays authoritative for in-process strategies;
+  /// remote strategies can only FORWARD a filter that carries this range —
+  /// an arbitrary predicate does not serialize.
+  vid_t filter_begin = 0;
+  vid_t filter_end = 0;
 
   // Single-query conveniences.
   static QueryRequest for_vertex(vid_t v, unsigned k = 0);
@@ -98,6 +105,19 @@ constexpr std::string_view cache_outcome_name(CacheOutcome outcome) noexcept {
   }
 }
 
+/// How one shard of a distributed scatter fared — the per-shard
+/// annotation a degraded DistRouter response carries so callers can see
+/// WHICH shard is missing from a partial merge, not just that one is.
+struct ShardStatus {
+  unsigned shard = 0;       ///< shard index in the store's layout
+  std::string backend;      ///< "host:port" answering (or last tried)
+  bool ok = false;          ///< this shard's rows are in the merge
+  unsigned retries = 0;     ///< extra attempts spent on this shard
+  bool hedged = false;      ///< a hedge request was launched
+  double seconds = 0.0;     ///< wall time until answer (or give-up)
+  std::string error;        ///< empty when ok; else the failure, briefly
+};
+
 struct QueryResponse {
   /// One ranked (score desc, id asc) list per request query.
   std::vector<std::vector<Neighbor>> results;
@@ -105,6 +125,13 @@ struct QueryResponse {
   /// caching strategy served the request; the HTTP handler surfaces it as
   /// a "cache" array for debuggability.
   std::vector<CacheOutcome> cache;
+  /// True when a distributed strategy answered from a PARTIAL merge (a
+  /// shard was down past its deadline/breaker). The results are still
+  /// correctly ranked — over the shards that answered.
+  bool degraded = false;
+  /// Per-shard disposition, one entry per shard of the scattered store.
+  /// Empty unless a distributed strategy served the request.
+  std::vector<ShardStatus> shards;
   double seconds = 0.0;  ///< service-side wall time for the whole request
 };
 

@@ -1,0 +1,302 @@
+// FaultInjector + the server's chaos hook + the client's whole-exchange
+// deadline — the failure-mode tooling under the distributed serving layer
+// (suites FaultInjector* / HttpClient* are in the TSan CI filter).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gosh/net/client.hpp"
+#include "gosh/net/fault_injector.hpp"
+#include "gosh/net/json.hpp"
+#include "gosh/net/server.hpp"
+
+namespace gosh::net {
+namespace {
+
+std::vector<FaultInjector::Action> draw(FaultInjector& injector, int n) {
+  std::vector<FaultInjector::Action> actions;
+  actions.reserve(n);
+  for (int i = 0; i < n; ++i) actions.push_back(injector.next());
+  return actions;
+}
+
+TEST(FaultInjector, OffByDefaultAndDrawsNothing) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.active());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.next(), FaultInjector::Action::kNone);
+  }
+  EXPECT_EQ(injector.delay_ms(), 0u);
+}
+
+TEST(FaultInjector, DelayAloneArmsTheInjector) {
+  FaultInjector injector;
+  injector.configure({.delay_ms = 5});
+  EXPECT_TRUE(injector.active());
+  EXPECT_EQ(injector.delay_ms(), 5u);
+  EXPECT_EQ(injector.next(), FaultInjector::Action::kNone);
+}
+
+TEST(FaultInjector, DrawSequenceIsDeterministicUnderASeed) {
+  const FaultOptions mix{.drop_rate = 0.25,
+                         .error_rate = 0.25,
+                         .stall_rate = 0.25,
+                         .seed = 1234};
+  FaultInjector a(mix);
+  FaultInjector b(mix);
+  EXPECT_EQ(draw(a, 500), draw(b, 500));
+
+  // Reconfiguring restarts the sequence from draw 0.
+  a.configure(mix);
+  FaultInjector c(mix);
+  EXPECT_EQ(draw(a, 100), draw(c, 100));
+
+  // A different seed is a different sequence.
+  FaultInjector d({.drop_rate = 0.25,
+                   .error_rate = 0.25,
+                   .stall_rate = 0.25,
+                   .seed = 99});
+  EXPECT_NE(draw(b, 500), draw(d, 500));
+}
+
+TEST(FaultInjector, RatesPartitionTheDrawSpace) {
+  FaultInjector injector({.drop_rate = 0.3,
+                          .error_rate = 0.2,
+                          .stall_rate = 0.1,
+                          .seed = 7});
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<int>(injector.next())];
+  }
+  // splitmix64 over 20k draws lands each bucket well within +/- 2% of its
+  // configured rate.
+  EXPECT_NEAR(counts[static_cast<int>(FaultInjector::Action::kDrop)],
+              0.3 * n, 0.02 * n);
+  EXPECT_NEAR(counts[static_cast<int>(FaultInjector::Action::kError)],
+              0.2 * n, 0.02 * n);
+  EXPECT_NEAR(counts[static_cast<int>(FaultInjector::Action::kStall)],
+              0.1 * n, 0.02 * n);
+  EXPECT_NEAR(counts[static_cast<int>(FaultInjector::Action::kNone)],
+              0.4 * n, 0.02 * n);
+}
+
+NetOptions loopback() {
+  NetOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  options.threads = 2;
+  return options;
+}
+
+TEST(FaultInjector, ServerAnswersSynthetic500sWhenConfigured) {
+  NetOptions options = loopback();
+  options.chaos_500_rate = 1.0;
+  serving::MetricsRegistry metrics;
+  HttpServer server(options, &metrics);
+  server.handle("GET", "/work", [](const HttpRequest&) {
+    return HttpResponse::json(200, "{\"ok\":true}");
+  });
+  add_builtin_routes(server, metrics);
+  ASSERT_TRUE(server.start().is_ok());
+
+  HttpClient client("127.0.0.1", server.port(), 2000);
+  auto response = client.get("/work");
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().status, 500);
+  EXPECT_NE(response.value().body.find("chaos"), std::string::npos);
+
+  // The exempt (rate_limited=false) routes never see chaos: probes must
+  // observe the server, not the injected faults.
+  auto health = client.get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().to_string();
+  EXPECT_EQ(health.value().status, 200);
+
+  EXPECT_GE(metrics.counter("gosh_http_chaos_injected_total").value(), 1u);
+  server.shutdown();
+}
+
+TEST(FaultInjector, ServerDropsConnectionsWhenConfigured) {
+  NetOptions options = loopback();
+  options.chaos_drop_rate = 1.0;
+  serving::MetricsRegistry metrics;
+  HttpServer server(options, &metrics);
+  server.handle("GET", "/work", [](const HttpRequest&) {
+    return HttpResponse::json(200, "{\"ok\":true}");
+  });
+  ASSERT_TRUE(server.start().is_ok());
+
+  HttpClient client("127.0.0.1", server.port(), 2000);
+  auto response = client.get("/work");
+  // A drop is a transport-level failure: the socket closes with no bytes.
+  EXPECT_FALSE(response.ok());
+  EXPECT_GE(metrics.counter("gosh_http_chaos_injected_total").value(), 1u);
+  server.shutdown();
+}
+
+TEST(FaultInjector, ServerEnforcesTheDeadlineHeader) {
+  serving::MetricsRegistry metrics;
+  HttpServer server(loopback(), &metrics);
+  server.handle("GET", "/work", [](const HttpRequest&) {
+    return HttpResponse::json(200, "{\"ok\":true}");
+  });
+  ASSERT_TRUE(server.start().is_ok());
+
+  HttpClient client("127.0.0.1", server.port(), 2000);
+  // A zero budget is always already spent by dispatch time.
+  auto expired = client.request("GET", "/work", {}, {{"X-Deadline-Ms", "0"}});
+  ASSERT_TRUE(expired.ok()) << expired.status().to_string();
+  EXPECT_EQ(expired.value().status, 504);
+  EXPECT_NE(expired.value().body.find("deadline_exceeded"),
+            std::string::npos);
+  EXPECT_GE(metrics.counter("gosh_http_deadline_expired_total").value(), 1u);
+
+  // A generous budget passes through untouched.
+  auto fine = client.request("GET", "/work", {}, {{"X-Deadline-Ms", "5000"}});
+  ASSERT_TRUE(fine.ok()) << fine.status().to_string();
+  EXPECT_EQ(fine.value().status, 200);
+  server.shutdown();
+}
+
+/// A one-connection server that drips its response `bytes` bytes at
+/// `interval_ms` per byte — each read lands inside any sane per-op
+/// timeout, so only a WHOLE-exchange deadline can bound the request.
+class SlowDripServer {
+ public:
+  SlowDripServer(int body_bytes, int interval_ms)
+      : body_bytes_(body_bytes), interval_ms_(interval_ms) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(fd_, 1), 0);
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~SlowDripServer() {
+    if (thread_.joinable()) thread_.join();
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  unsigned short port() const { return port_; }
+
+ private:
+  void run() {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) return;
+    char scratch[4096];
+    // Read the request head (one recv is enough for the tiny request).
+    (void)::recv(conn, scratch, sizeof(scratch), 0);
+    const std::string head = "HTTP/1.1 200 OK\r\nContent-Length: " +
+                             std::to_string(body_bytes_) +
+                             "\r\nConnection: close\r\n\r\n";
+    (void)::send(conn, head.data(), head.size(), MSG_NOSIGNAL);
+    for (int i = 0; i < body_bytes_; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms_));
+      if (::send(conn, "x", 1, MSG_NOSIGNAL) <= 0) break;  // client gave up
+    }
+    ::close(conn);
+  }
+
+  int fd_ = -1;
+  unsigned short port_ = 0;
+  int body_bytes_;
+  int interval_ms_;
+  std::thread thread_;
+};
+
+TEST(HttpClient, TotalDeadlineBoundsASlowDripResponse) {
+  // 10 bytes at 40 ms/byte = ~400 ms of dripping; every single read lands
+  // well inside the 1 s per-op timeout, so the per-op bound never fires.
+  SlowDripServer server(10, 40);
+  HttpClient client("127.0.0.1", server.port(), /*timeout_ms=*/1000);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto bounded = client.request("GET", "/slow", {}, {},
+                                /*total_deadline_ms=*/150);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_FALSE(bounded.ok())
+      << "a 150 ms whole-exchange deadline must not survive 400 ms of drip";
+  // Well under the drip total: the deadline cut the exchange off. The
+  // regression this guards: per-op-only timeouts let each 40 ms drip
+  // reset the clock, stalling ~N x the intended bound.
+  EXPECT_LT(elapsed, 390);
+}
+
+TEST(HttpClient, NoDeadlineKeepsTheHistoricalPerOpBehavior) {
+  SlowDripServer server(5, 20);
+  HttpClient client("127.0.0.1", server.port(), /*timeout_ms=*/1000);
+  auto response = client.request("GET", "/slow");
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, "xxxxx");
+}
+
+TEST(HttpServer, HealthzReportsReadinessAndGeometry) {
+  serving::MetricsRegistry metrics;
+  HealthState health;
+  HttpServer server(loopback(), &metrics);
+  add_builtin_routes(server, metrics, nullptr, &health);
+  ASSERT_TRUE(server.start().is_ok());
+  HttpClient client("127.0.0.1", server.port(), 2000);
+
+  // Liveness before readiness: the socket answers while "loading".
+  auto loading = client.get("/healthz");
+  ASSERT_TRUE(loading.ok()) << loading.status().to_string();
+  EXPECT_EQ(loading.value().status, 200);
+  auto body = json::Value::parse(loading.value().body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().find("status")->as_string(), "loading");
+  EXPECT_FALSE(body.value().find("ready")->as_bool());
+  auto readyz = client.get("/readyz");
+  ASSERT_TRUE(readyz.ok());
+  EXPECT_EQ(readyz.value().status, 503);
+
+  health.rows.store(1234, std::memory_order_relaxed);
+  health.dim.store(16, std::memory_order_relaxed);
+  health.shards.store(3, std::memory_order_relaxed);
+  health.store_generation.store(0xDEADBEEFCAFEF00DULL,
+                                std::memory_order_relaxed);
+  health.ready.store(true, std::memory_order_release);
+
+  auto ready = client.get("/healthz");
+  ASSERT_TRUE(ready.ok());
+  body = json::Value::parse(ready.value().body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value().find("status")->as_string(), "ok");
+  EXPECT_TRUE(body.value().find("ready")->as_bool());
+  EXPECT_EQ(body.value().find("rows")->as_number(), 1234.0);
+  EXPECT_EQ(body.value().find("dim")->as_number(), 16.0);
+  EXPECT_EQ(body.value().find("shards")->as_number(), 3.0);
+  // 64-bit fingerprints do not survive a JSON double; the wire carries a
+  // string on purpose.
+  EXPECT_EQ(body.value().find("store_generation")->as_string(),
+            std::to_string(0xDEADBEEFCAFEF00DULL));
+  readyz = client.get("/readyz");
+  ASSERT_TRUE(readyz.ok());
+  EXPECT_EQ(readyz.value().status, 200);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace gosh::net

@@ -1,0 +1,373 @@
+// DistRouter — scatter to remote shard children must be indistinguishable
+// from the in-process Router when every shard answers, degrade to an
+// annotated partial merge when one dies, and recover bit-identically once
+// the child is back (suite DistRouter* is in the TSan CI filter).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "child_server.hpp"
+#include "gosh/serving/dist_router.hpp"
+#include "gosh/serving/router.hpp"
+
+namespace gosh::serving {
+namespace {
+
+/// The test_router fixture shape: one matrix written sharded (3 shards)
+/// and flat, with deliberate cross-shard duplicate rows so merges carry
+/// score ties the (score desc, id asc) order must break identically on
+/// both sides of the wire.
+struct DistFixture {
+  std::string sharded_path;
+  std::string flat_path;
+  std::uint32_t shard_count;
+  vid_t rows;
+  unsigned dim;
+
+  explicit DistFixture(vid_t rows_in = 99, unsigned dim_in = 7)
+      : rows(rows_in), dim(dim_in) {
+    embedding::EmbeddingMatrix matrix(rows, dim);
+    matrix.initialize_random(31);
+    const vid_t third = rows / 3;
+    for (vid_t v = 0; v + third < rows; v += 10) {
+      const auto src = matrix.row(v);
+      auto dst = matrix.row(v + third);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    const std::string base = testing::TempDir() + "dist_router";
+    sharded_path = base + ".sharded.gshs";
+    flat_path = base + ".flat.gshs";
+    const std::uint64_t per_shard = rows / 3 + 1;
+    shard_count =
+        static_cast<std::uint32_t>((rows + per_shard - 1) / per_shard);
+    EXPECT_TRUE(store::EmbeddingStore::write(matrix, sharded_path,
+                                             {.rows_per_shard = per_shard})
+                    .is_ok());
+    EXPECT_TRUE(store::EmbeddingStore::write(matrix, flat_path, {}).is_ok());
+  }
+
+  ~DistFixture() {
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+      std::remove(
+          store::EmbeddingStore::shard_path(sharded_path, s, shard_count)
+              .c_str());
+    }
+    std::remove(flat_path.c_str());
+  }
+
+  /// What one shard child serves: its slice of the sharded store, in
+  /// LOCAL ids — exactly `gosh_serve --shard s/N`.
+  ServeOptions child_options(unsigned shard) const {
+    ServeOptions serve;
+    serve.store_path = sharded_path;
+    serve.strategy = "exact";
+    serve.shard_index = shard;
+    serve.shard_count = shard_count;
+    serve.k = 12;
+    return serve;
+  }
+
+  /// The dist-router parent's options; timings tuned so a dead child
+  /// fails fast and the breaker can be closed again within a test.
+  ServeOptions parent_options() const {
+    ServeOptions serve;
+    serve.store_path = sharded_path;
+    serve.k = 12;
+    serve.remote_deadline_ms = 3000;
+    serve.remote_retries = 0;
+    serve.breaker_failures = 1;
+    serve.breaker_cooldown_ms = 50;
+    serve.probe_interval_ms = 0;  // recovery is driven by probe_now()
+    return serve;
+  }
+};
+
+/// The three in-process shard children most tests scatter over.
+struct ChildSet {
+  std::vector<std::unique_ptr<ChildServer>> children;
+
+  explicit ChildSet(const DistFixture& fx) {
+    for (std::uint32_t s = 0; s < fx.shard_count; ++s) {
+      children.push_back(std::make_unique<ChildServer>(fx.child_options(s)));
+    }
+  }
+
+  std::vector<std::vector<Endpoint>> groups() const {
+    std::vector<std::vector<Endpoint>> groups;
+    for (const auto& child : children) {
+      groups.push_back({child->endpoint()});
+    }
+    return groups;
+  }
+
+  std::string backends_spec() const {
+    std::string spec;
+    for (const auto& child : children) {
+      if (!spec.empty()) spec += ",";
+      spec += child->endpoint().label();
+    }
+    return spec;
+  }
+};
+
+void expect_identical(const std::vector<query::Neighbor>& got,
+                      const std::vector<query::Neighbor>& expected,
+                      const std::string& what) {
+  ASSERT_EQ(got.size(), expected.size()) << what;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id) << what << " rank " << i;
+    EXPECT_FLOAT_EQ(got[i].score, expected[i].score) << what << " rank " << i;
+  }
+}
+
+TEST(DistRouter, MatchesTheInProcessRouterBitIdentically) {
+  DistFixture fx;
+  ChildSet set(fx);
+  MetricsRegistry metrics;
+  auto dist = DistRouter::open(set.groups(), fx.parent_options(), &metrics);
+  ASSERT_TRUE(dist.ok()) << dist.status().to_string();
+  EXPECT_EQ(dist.value()->shard_count(), fx.shard_count);
+  EXPECT_EQ(dist.value()->rows(), fx.rows);
+  EXPECT_EQ(dist.value()->dim(), fx.dim);
+
+  ServeOptions local_options = fx.parent_options();
+  local_options.strategy = "router";
+  auto router = make_service(local_options);
+  ASSERT_TRUE(router.ok()) << router.status().to_string();
+
+  // Tie-heavy vertex probes and shard-edge ids — the Router suite's set.
+  for (const vid_t probe : {0u, 10u, 32u, 33u, 43u, 98u}) {
+    auto remote = dist.value()->top_k_vertex(probe, 12);
+    auto local = router.value()->top_k_vertex(probe, 12);
+    ASSERT_TRUE(remote.ok()) << remote.status().to_string();
+    ASSERT_TRUE(local.ok());
+    expect_identical(remote.value(), local.value(),
+                     "vertex " + std::to_string(probe));
+  }
+  auto vec = router.value()->row_vector(50);
+  ASSERT_TRUE(vec.ok());
+  auto remote = dist.value()->top_k(vec.value(), 12);
+  auto local = router.value()->top_k(vec.value(), 12);
+  ASSERT_TRUE(remote.ok() && local.ok());
+  expect_identical(remote.value(), local.value(), "raw vector");
+
+  // A healthy scatter is not degraded, and says who answered each shard.
+  auto response = dist.value()->serve(QueryRequest::for_vertex(5, 12));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.value().degraded);
+  ASSERT_EQ(response.value().shards.size(), fx.shard_count);
+  for (std::uint32_t s = 0; s < fx.shard_count; ++s) {
+    EXPECT_TRUE(response.value().shards[s].ok) << "shard " << s;
+    EXPECT_EQ(response.value().shards[s].backend,
+              set.children[s]->endpoint().label());
+  }
+  EXPECT_EQ(metrics.counter("gosh_remote_degraded_responses_total").value(),
+            0u);
+}
+
+TEST(DistRouter, FiltersSpanningShardBoundariesSpeakGlobalIds) {
+  DistFixture fx;
+  ChildSet set(fx);
+  auto dist = DistRouter::open(set.groups(), fx.parent_options(), nullptr);
+  ASSERT_TRUE(dist.ok()) << dist.status().to_string();
+  ServeOptions local_options = fx.parent_options();
+  local_options.strategy = "router";
+  auto router = make_service(local_options);
+  ASSERT_TRUE(router.ok());
+
+  // [40, 80) straddles shard 1 and shard 2; the scatter must rebase the
+  // range per child and skip shard 0 entirely.
+  QueryRequest request = QueryRequest::for_vertex(2, 20);
+  request.filter = [](vid_t v) { return v >= 40 && v < 80; };
+  request.filter_begin = 40;
+  request.filter_end = 80;
+  auto got = dist.value()->serve(request);
+  auto expected = router.value()->serve(request);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_FALSE(got.value().degraded);
+  expect_identical(got.value().results.front(),
+                   expected.value().results.front(), "boundary filter");
+  for (const query::Neighbor& n : got.value().results.front()) {
+    EXPECT_GE(n.id, 40u);
+    EXPECT_LT(n.id, 80u);
+  }
+}
+
+TEST(DistRouter, MultiVectorAndMetricOverridesForward) {
+  DistFixture fx;
+  ChildSet set(fx);
+  auto dist = DistRouter::open(set.groups(), fx.parent_options(), nullptr);
+  ASSERT_TRUE(dist.ok()) << dist.status().to_string();
+  ServeOptions local_options = fx.parent_options();
+  local_options.strategy = "router";
+  auto router = make_service(local_options);
+  ASSERT_TRUE(router.ok());
+
+  auto a = router.value()->row_vector(8);
+  auto b = router.value()->row_vector(70);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<float> joint = a.value();
+  joint.insert(joint.end(), b.value().begin(), b.value().end());
+
+  QueryRequest request;
+  request.queries.push_back(Query::multi(joint, 2));
+  request.queries.push_back(Query::vertex(70));
+  request.k = 9;
+  request.aggregate = Aggregate::kMean;
+  request.metric = query::Metric::kDot;
+  auto got = dist.value()->serve(request);
+  auto expected = router.value()->serve(request);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  ASSERT_TRUE(expected.ok());
+  for (std::size_t q = 0; q < expected.value().results.size(); ++q) {
+    expect_identical(got.value().results[q], expected.value().results[q],
+                     "query " + std::to_string(q));
+  }
+}
+
+TEST(DistRouter, GroupCountMustMatchTheStoreShardCount) {
+  DistFixture fx;
+  ChildSet set(fx);
+  auto groups = set.groups();
+  groups.pop_back();  // 2 groups against a 3-shard store
+  auto dist = DistRouter::open(std::move(groups), fx.parent_options(),
+                               nullptr);
+  ASSERT_FALSE(dist.ok());
+  EXPECT_EQ(dist.status().code(), api::StatusCode::kInvalidArgument);
+}
+
+TEST(DistRouter, RegistryStrategyWiresThroughBackends) {
+  DistFixture fx;
+  ChildSet set(fx);
+  ServeOptions options = fx.parent_options();
+  options.strategy = "dist-router";
+  options.backends = set.backends_spec();
+  auto service = make_service(options);
+  ASSERT_TRUE(service.ok()) << service.status().to_string();
+  EXPECT_EQ(service.value()->strategy_name(), "dist-router");
+  auto answer = service.value()->top_k_vertex(1, 6);
+  ASSERT_TRUE(answer.ok()) << answer.status().to_string();
+  EXPECT_EQ(answer.value().size(), 6u);
+}
+
+TEST(DistRouter, DegradesThenRecoversBitIdentically) {
+  DistFixture fx;
+  ChildSet set(fx);
+  MetricsRegistry metrics;
+  ServeOptions options = fx.parent_options();
+  options.remote_deadline_ms = 400;  // a dead child must not stall the merge
+  auto dist = DistRouter::open(set.groups(), options, &metrics);
+  ASSERT_TRUE(dist.ok()) << dist.status().to_string();
+  ServeOptions local_options = fx.parent_options();
+  local_options.strategy = "router";
+  auto router = make_service(local_options);
+  ASSERT_TRUE(router.ok());
+
+  const QueryRequest request = QueryRequest::for_vertex(5, 12);
+  auto healthy = dist.value()->serve(request);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_FALSE(healthy.value().degraded);
+
+  // Kill shard 1 mid-flight. The scatter keeps answering — a partial
+  // merge over shards 0 and 2, annotated per shard.
+  set.children[1]->stop();
+  auto degraded = dist.value()->serve(request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().to_string();
+  EXPECT_TRUE(degraded.value().degraded);
+  ASSERT_EQ(degraded.value().shards.size(), 3u);
+  EXPECT_TRUE(degraded.value().shards[0].ok);
+  EXPECT_FALSE(degraded.value().shards[1].ok);
+  EXPECT_FALSE(degraded.value().shards[1].error.empty());
+  EXPECT_TRUE(degraded.value().shards[2].ok);
+  // Shard 1 owns [34, 68) — none of its rows can appear in the partial.
+  ASSERT_FALSE(degraded.value().results.front().empty());
+  for (const query::Neighbor& n : degraded.value().results.front()) {
+    EXPECT_TRUE(n.id < 34u || n.id >= 68u) << "ghost row " << n.id;
+  }
+  EXPECT_GE(metrics.counter("gosh_remote_degraded_responses_total").value(),
+            1u);
+  EXPECT_GE(metrics.counter("gosh_remote_breaker_open_total").value(), 1u);
+
+  // With the breaker open, the next degraded answer sheds the dead shard
+  // without dialing it — still annotated the same way.
+  auto shed = dist.value()->serve(request);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_TRUE(shed.value().degraded);
+  EXPECT_FALSE(shed.value().shards[1].ok);
+
+  // Restart the child on its pinned port; once the cooldown lapses one
+  // half-open probe closes the breaker and the merge is whole — and
+  // bit-identical to the in-process Router — again.
+  set.children[1]->start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  dist.value()->replicas(1).probe_now();
+  EXPECT_EQ(dist.value()->replicas(1).breaker_state(0),
+            CircuitBreaker::State::kClosed);
+  auto recovered = dist.value()->serve(request);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_FALSE(recovered.value().degraded);
+  auto expected = router.value()->serve(request);
+  ASSERT_TRUE(expected.ok());
+  expect_identical(recovered.value().results.front(),
+                   expected.value().results.front(), "recovered merge");
+}
+
+TEST(DistRouter, RequireAllShardsRefusesPartialMerges) {
+  DistFixture fx;
+  ChildSet set(fx);
+  ServeOptions options = fx.parent_options();
+  options.remote_deadline_ms = 400;
+  options.require_all_shards = true;
+  auto dist = DistRouter::open(set.groups(), options, nullptr);
+  ASSERT_TRUE(dist.ok()) << dist.status().to_string();
+
+  set.children[2]->stop();
+  auto refused = dist.value()->serve(QueryRequest::for_vertex(5, 12));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), api::StatusCode::kUnavailable);
+  // The diagnosis names the missing shard.
+  EXPECT_NE(refused.status().to_string().find("shard 2"), std::string::npos);
+}
+
+TEST(DistRouter, ChaosStalledShardDegradesInsideTheDeadline) {
+  DistFixture fx;
+  // Shard 0 stalls every request; the deadline, not the stall, bounds the
+  // response time.
+  std::vector<std::unique_ptr<ChildServer>> children;
+  children.push_back(std::make_unique<ChildServer>(
+      fx.child_options(0), net::FaultOptions{.stall_rate = 1.0}));
+  children.push_back(std::make_unique<ChildServer>(fx.child_options(1)));
+  children.push_back(std::make_unique<ChildServer>(fx.child_options(2)));
+  std::vector<std::vector<Endpoint>> groups;
+  for (const auto& child : children) groups.push_back({child->endpoint()});
+
+  MetricsRegistry metrics;
+  ServeOptions options = fx.parent_options();
+  options.remote_deadline_ms = 300;
+  auto dist = DistRouter::open(std::move(groups), options, &metrics);
+  ASSERT_TRUE(dist.ok()) << dist.status().to_string();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto response = dist.value()->serve(QueryRequest::for_vertex(70, 12));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_TRUE(response.value().degraded);
+  EXPECT_FALSE(response.value().shards[0].ok);
+  EXPECT_TRUE(response.value().shards[1].ok);
+  EXPECT_TRUE(response.value().shards[2].ok);
+  // Bounded: the 300 ms budget plus scheduling slack, nowhere near a
+  // stall-forever.
+  EXPECT_LT(elapsed, 1500);
+}
+
+}  // namespace
+}  // namespace gosh::serving

@@ -9,7 +9,11 @@
 // Endpoints:
 //   POST /v1/query        the QueryRequest JSON wire (see net/query_handler)
 //   GET  /metrics         Prometheus text exposition (rate-limit exempt)
-//   GET  /healthz         JSON: status, uptime, build, SIMD ISA (exempt)
+//   GET  /healthz         JSON liveness: status + ready/rows/dim/shards/
+//                         store_generation (exempt). The socket answers
+//                         BEFORE the store loads — "status": "loading"
+//                         with "ready": false until make_service lands.
+//   GET  /readyz          readiness alone: 200 once serving, 503 loading
 //   GET  /debug/traces    Chrome trace_event JSON (tracing on; exempt)
 //   POST /admin/shutdown  graceful stop; only with --allow-remote-shutdown
 //
@@ -41,6 +45,7 @@
 // self-pipe the main thread blocks on; main — never a connection worker —
 // then runs HttpServer::shutdown(), so in-flight requests finish and every
 // thread joins before exit.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -49,6 +54,8 @@
 #include <unistd.h>
 
 #include "gosh/api/api.hpp"
+#include "gosh/cache/cached_service.hpp"
+#include "gosh/store/embedding_store.hpp"
 
 namespace {
 
@@ -84,6 +91,12 @@ void usage() {
       "  --conn-rate-qps Q / --conn-burst B   per-connection bucket\n"
       "  --port-file PATH       write the bound port after listen\n"
       "  --allow-remote-shutdown  register POST /admin/shutdown\n"
+      "chaos flags (deterministic fault injection, off by default):\n"
+      "  --chaos-drop-rate R    drop this fraction of requests cold\n"
+      "  --chaos-500-rate R     answer this fraction with a synthetic 500\n"
+      "  --chaos-stall R        stall this fraction until the peer gives up\n"
+      "  --chaos-delay-ms MS    delay every surviving request by MS\n"
+      "  --chaos-seed S         fault-draw RNG seed (default 42)\n"
       "observability flags:\n"
       "  --trace-sample-rate R  fraction of requests traced, in [0, 1]\n"
       "  --trace-slow-ms MS     always trace + log requests slower than MS\n"
@@ -143,21 +156,30 @@ int main(int argc, char** argv) {
   if (options.access_log) set_log_level(LogLevel::Info);
 
   serving::MetricsRegistry& metrics = serving::MetricsRegistry::global();
-  auto service = serving::make_service(options.serve, &metrics);
-  if (!service.ok()) return fail(service.status());
-  api::print_service_banner(options.serve, *service.value());
 
   if (::pipe(g_stop_pipe) != 0) {
     return fail(api::Status::io_error(std::string("pipe: ") +
                                       std::strerror(errno)));
   }
 
-  net::QueryHandler handler(*service.value());
+  // The server comes up BEFORE the store/strategy load: /healthz answers
+  // "loading" (liveness) immediately, /readyz and /v1/query hold 503
+  // until the service lands — the readiness split a dist-router parent's
+  // probe loop keys off when a shard child restarts.
+  net::HealthState health;
+  std::atomic<net::QueryHandler*> handler_ptr{nullptr};
   net::HttpServer server(options, &metrics);
-  server.handle("POST", "/v1/query", [&handler](const net::HttpRequest& r) {
-    return handler.handle(r);
-  });
-  net::add_builtin_routes(server, metrics, server.tracer());
+  server.handle("POST", "/v1/query",
+                [&handler_ptr](const net::HttpRequest& r) {
+                  net::QueryHandler* handler =
+                      handler_ptr.load(std::memory_order_acquire);
+                  if (handler == nullptr) {
+                    return net::HttpResponse::error(
+                        503, "unavailable", "store/strategy still loading");
+                  }
+                  return handler->handle(r);
+                });
+  net::add_builtin_routes(server, metrics, server.tracer(), &health);
   if (options.allow_remote_shutdown) {
     // The handler runs on a connection worker, which must NOT call
     // shutdown() itself — it pokes the same pipe the signal handler does
@@ -177,6 +199,36 @@ int main(int argc, char** argv) {
   if (api::Status status = server.start(); !status.is_ok()) {
     return fail(status);
   }
+
+  auto service = serving::make_service(options.serve, &metrics);
+  if (!service.ok()) {
+    server.shutdown();
+    return fail(service.status());
+  }
+  api::print_service_banner(options.serve, *service.value());
+
+  // Publish geometry + readiness, THEN the port file: a poller that read
+  // the port can immediately see a ready /healthz, which keeps the
+  // existing smoke scripts' "port file means serving" contract.
+  health.rows.store(service.value()->rows(), std::memory_order_relaxed);
+  health.dim.store(service.value()->dim(), std::memory_order_relaxed);
+  {
+    std::uint32_t shards = options.serve.shard_count;
+    if (shards == 0 && !options.serve.store_path.empty()) {
+      auto info = store::EmbeddingStore::probe(options.serve.store_path);
+      shards = info.ok() ? info.value().shard_count : 1;
+    }
+    health.shards.store(shards > 0 ? shards : 1, std::memory_order_relaxed);
+  }
+  if (!options.serve.store_path.empty()) {
+    health.store_generation.store(
+        cache::store_fingerprint(options.serve.store_path),
+        std::memory_order_relaxed);
+  }
+  net::QueryHandler handler(*service.value());
+  handler_ptr.store(&handler, std::memory_order_release);
+  health.ready.store(true, std::memory_order_release);
+
   if (!options.port_file.empty()) {
     if (api::Status status = write_port_file(options.port_file, server.port());
         !status.is_ok()) {

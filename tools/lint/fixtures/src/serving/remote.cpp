@@ -1,0 +1,19 @@
+// Fixture: the remote-scatter layer's territory. Plants one raw-sync and
+// one trace-clock violation under src/serving/ so the self-test proves
+// both rules cover the distributed-serving files (the real remote.cpp
+// uses common::Mutex and trace::now_ns()).
+#include <chrono>
+#include <mutex>
+
+namespace gosh::serving {
+
+struct FakeReplica {
+  std::mutex mutex;  // planted: must use the annotated common::Mutex
+};
+
+long long fake_deadline_ns() {
+  // planted: serving hot paths time through gosh::trace, not chrono
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace gosh::serving

@@ -574,9 +574,14 @@ int self_test(const fs::path& root) {
   expect(count("trace-clock", "src/cache/semantic_cache.cpp") == 1,
          "trace-clock must fire on the cache fixture's planted "
          "steady_clock::now()");
+  expect(count("raw-sync", "src/serving/remote.cpp") == 1,
+         "raw-sync must fire on the serving fixture's planted std::mutex");
+  expect(count("trace-clock", "src/serving/remote.cpp") == 1,
+         "trace-clock must fire on the serving fixture's planted "
+         "steady_clock::now()");
   // Nothing else may fire — a noisy rule is as useless as a silent one.
   const auto expected_total =
-      count("raw-sync", "src/raw_sync.cpp") + 1 + 1 + 1 + 1 + 1 + 1;
+      count("raw-sync", "src/raw_sync.cpp") + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 1;
   expect(static_cast<long>(violations.size()) == expected_total,
          "no unexpected violations in the fixture tree");
 
